@@ -1,0 +1,248 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the repository's commands into a shared temp dir
+// and returns the binary path. Compilation is cached per test binary run;
+// the directory is removed by TestMain.
+var (
+	builtTools = map[string]string{}
+	toolDir    string
+)
+
+func TestMain(m *testing.M) {
+	var err error
+	toolDir, err = os.MkdirTemp("", "repro-cli-*")
+	if err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	os.RemoveAll(toolDir)
+	os.Exit(code)
+}
+
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if p, ok := builtTools[name]; ok {
+		return p
+	}
+	bin := filepath.Join(toolDir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	builtTools[name] = bin
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestRelmergeCLIFig4(t *testing.T) {
+	bin := buildTool(t, "relmerge")
+	out, err := run(t, bin, "-fig3", "-merge", "COURSE,OFFER,TEACH", "-name", "COURSE'", "-check")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"Prop 5.1(i)  only key-based inclusion dependencies after merge: false",
+		"COURSE'(C.NR*, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN)",
+		"COURSE': NS(O.C.NR,O.D.NAME)",
+		"ASSIST[A.C.NR] ⊆ COURSE'[O.C.NR]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRelmergeCLIPlan(t *testing.T) {
+	bin := buildTool(t, "relmerge")
+	out, err := run(t, bin, "-fig3", "-plan")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "merge set (key-relation OFFER): OFFER, TEACH, ASSIST") {
+		t.Errorf("planner output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "OFFER'(O.C.NR*, O.D.NAME, T.F.SSN, A.S.SSN)") {
+		t.Errorf("merged scheme missing:\n%s", out)
+	}
+}
+
+func TestRelmergeCLISchemaAndData(t *testing.T) {
+	bin := buildTool(t, "relmerge")
+	dir := t.TempDir()
+	schemaFile := filepath.Join(dir, "fig2.sdl")
+	dataFile := filepath.Join(dir, "fig2.data")
+	os.WriteFile(schemaFile, []byte(`
+relation OFFER (O.CN course_nr, O.DN dept_name) key (O.CN)
+relation TEACH (T.CN course_nr, T.FN ssn) key (T.CN)
+ind TEACH[T.CN] <= OFFER[O.CN]
+nna OFFER (O.CN, O.DN)
+nna TEACH (T.CN, T.FN)
+`), 0o644)
+	os.WriteFile(dataFile, []byte(`
+insert OFFER (c1, math)
+insert TEACH (c1, smith)
+`), 0o644)
+
+	out, err := run(t, bin, "-schema", schemaFile, "-merge", "OFFER,TEACH",
+		"-name", "ASSIGN", "-remove", "all", "-data", dataFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"insert ASSIGN (c1, math, smith)",
+		"round trip η′∘η restores the input state:   true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// An inconsistent data file is reported.
+	badData := filepath.Join(dir, "bad.data")
+	os.WriteFile(badData, []byte("insert TEACH (zz, smith)\n"), 0o644)
+	out, err = run(t, bin, "-schema", schemaFile, "-merge", "OFFER,TEACH", "-data", badData)
+	if err == nil || !strings.Contains(out, "inconsistent") {
+		t.Errorf("inconsistent data should fail: %v\n%s", err, out)
+	}
+}
+
+func TestRelmergeCLIMigrate(t *testing.T) {
+	bin := buildTool(t, "relmerge")
+	out, err := run(t, bin, "-fig3", "-merge", "COURSE,OFFER,TEACH,ASSIST",
+		"-name", "COURSE2", "-remove", "all", "-migrate")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"INSERT INTO COURSE2",
+		"LEFT OUTER JOIN OFFER m1 ON m1.O_C_NR = k.C_NR",
+		"DROP TABLE ASSIST;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRelmergeCLIErrors(t *testing.T) {
+	bin := buildTool(t, "relmerge")
+	if out, err := run(t, bin); err == nil {
+		t.Errorf("no input should fail:\n%s", out)
+	}
+	if out, err := run(t, bin, "-fig3", "-merge", "COURSE,NOPE"); err == nil {
+		t.Errorf("unknown member should fail:\n%s", out)
+	}
+	if out, err := run(t, bin, "-fig3", "-out", "oracle"); err == nil {
+		t.Errorf("unknown dialect should fail:\n%s", out)
+	}
+}
+
+func TestSDTCLI(t *testing.T) {
+	bin := buildTool(t, "sdt")
+	// Option (i): plain translation to DB2 DDL.
+	out, err := run(t, bin, "-fig7", "-dialect", "db2")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "CREATE TABLE OFFER") || !strings.Contains(out, "FOREIGN KEY") {
+		t.Errorf("DDL output wrong:\n%s", out)
+	}
+	// Option (ii): auto-merge, fewer tables.
+	out2, err := run(t, bin, "-fig7", "-dialect", "db2", "-merge", "auto")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	if !strings.Contains(out2, "-- merging OFFER, TEACH, ASSIST") {
+		t.Errorf("auto-merge note missing:\n%s", out2)
+	}
+	if !strings.Contains(out2, "CREATE TABLE OFFERp") {
+		t.Errorf("merged table missing:\n%s", out2)
+	}
+	if strings.Contains(out2, "CREATE TABLE TEACH ") {
+		t.Errorf("TEACH should be merged away:\n%s", out2)
+	}
+
+	// The figure 4-style explicit merge needs triggers in SYBASE...
+	out3, err := run(t, bin, "-fig7", "-dialect", "sybase",
+		"-merge", "COURSE,OFFER,TEACH", "-name", "COURSE2", "-remove", "none")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out3)
+	}
+	if !strings.Contains(out3, "CREATE TRIGGER") {
+		t.Errorf("sybase triggers missing:\n%s", out3)
+	}
+	// ...and is refused by DB2 (exit code 2, unsupported list on stderr).
+	out4, err := run(t, bin, "-fig7", "-dialect", "db2",
+		"-merge", "COURSE,OFFER,TEACH", "-name", "COURSE2", "-remove", "none")
+	if err == nil {
+		t.Errorf("DB2 should refuse the figure 4 schema:\n%s", out4)
+	}
+	if !strings.Contains(out4, "cannot maintain") {
+		t.Errorf("unsupported-constraint report missing:\n%s", out4)
+	}
+}
+
+func TestSDTCLIAdvise(t *testing.T) {
+	bin := buildTool(t, "sdt")
+	out, err := run(t, bin, "-fig7", "-advise", "-queries", "COURSE=100", "-inserts", "COURSE=2")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "COURSE,OFFER,TEACH,ASSIST") || !strings.Contains(out, "advice") {
+		t.Errorf("advise output:\n%s", out)
+	}
+	if out, err := run(t, bin, "-fig7", "-advise", "-queries", "garbage"); err == nil {
+		t.Errorf("bad frequency should fail:\n%s", out)
+	}
+}
+
+func TestSDTCLITeoreyBaseline(t *testing.T) {
+	bin := buildTool(t, "sdt")
+	dir := t.TempDir()
+	eerFile := filepath.Join(dir, "fig1.eer")
+	os.WriteFile(eerFile, []byte(`
+entity PROJECT prefix PJ attrs (PJ.NR project_nr) id (PJ.NR) copybase (NR)
+entity EMPLOYEE prefix E attrs (E.SSN ssn) id (E.SSN) copybase (SSN)
+relationship WORKS prefix W parts (EMPLOYEE many, PROJECT one) attrs (W.DATE date)
+relationship MANAGES prefix M parts (EMPLOYEE many, PROJECT one)
+`), 0o644)
+	out, err := run(t, bin, "-eer", eerFile, "-teorey", "-out", "paper")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "EMPLOYEE(E.SSN*, W.NR, W.DATE, M.NR)") {
+		t.Errorf("Teorey folding wrong:\n%s", out)
+	}
+	if strings.Contains(out, "⊑") && strings.Contains(out, "W.DATE ⊑") {
+		t.Errorf("Teorey baseline must not generate null-existence constraints:\n%s", out)
+	}
+}
+
+func TestBenchreportCLI(t *testing.T) {
+	bin := buildTool(t, "benchreport")
+	out, err := run(t, bin, "-only", "E10")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "true (Rk=OFFER)") {
+		t.Errorf("E10 table wrong:\n%s", out)
+	}
+	if out, err := run(t, bin, "-only", "NOPE"); err == nil {
+		t.Errorf("unknown experiment should fail:\n%s", out)
+	}
+}

@@ -1,0 +1,188 @@
+// Command sdt reproduces the Schema Definition and Translation tool the
+// paper describes in section 6 (reference [12]): given an EER schema, it
+// generates the corresponding relational schema definition for a target
+// DBMS dialect, with two options:
+//
+//	(i)  one relation-scheme per EER object-set (no merging), or
+//	(ii) merging, reducing the number of relation-schemes — either every
+//	     Prop. 5.2-safe cluster (-merge auto) or an explicit merge set.
+//
+// Usage:
+//
+//	sdt -eer schema.eer -dialect db2                  # option (i)
+//	sdt -eer schema.eer -dialect sybase -merge auto   # option (ii), planned
+//	sdt -eer schema.eer -merge OFFER,TEACH,ASSIST -name "OFFER'" -remove all
+//	sdt -fig7 -merge auto -out paper                  # built-in figure 7 demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/ddl"
+	"repro/internal/eer"
+	"repro/internal/schema"
+	"repro/internal/sdl"
+	"repro/internal/translate"
+)
+
+func main() {
+	var (
+		eerPath    = flag.String("eer", "", "path to an EER schema file (- for stdin)")
+		useFig7    = flag.Bool("fig7", false, "use the paper's figure 7 EER schema as input")
+		dialect    = flag.String("dialect", "sybase", "target dialect: db2, sybase, or ingres")
+		mergeList  = flag.String("merge", "", "merge option: 'auto' for all Prop. 5.2 clusters, or a comma-separated merge set")
+		name       = flag.String("name", "MERGED", "name for an explicit merged relation-scheme")
+		removeList = flag.String("remove", "all", "members whose key copies to remove ('all', 'none', or a list)")
+		out        = flag.String("out", "ddl", "output: ddl, sdl, or paper")
+		baseline   = flag.Bool("teorey", false, "use the Teorey-style translation baseline instead (no null constraints)")
+		advise     = flag.Bool("advise", false, "price every merge cluster under the workload and print recommendations instead of DDL")
+		queries    = flag.String("queries", "", "profile-query frequencies for -advise, as ROOT=FREQ,... pairs")
+		inserts    = flag.String("inserts", "", "insert frequencies for -advise, as ROOT=FREQ,... pairs")
+	)
+	flag.Parse()
+
+	es, err := loadEER(*eerPath, *useFig7)
+	if err != nil {
+		fatal(err)
+	}
+	var rs *schema.Schema
+	if *baseline {
+		rs, err = translate.Teorey(es)
+	} else {
+		rs, err = translate.MS(es)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *advise {
+		w := advisor.Workload{
+			ProfileQueries: parseFreqs(*queries),
+			Inserts:        parseFreqs(*inserts),
+		}
+		recs, err := advisor.Advise(rs, w, advisor.DefaultCostModel())
+		if err != nil {
+			fatal(err)
+		}
+		if len(recs) == 0 {
+			fmt.Println("no mergeable clusters found")
+			return
+		}
+		fmt.Print(advisor.Report(recs))
+		return
+	}
+
+	switch {
+	case *mergeList == "":
+		// Option (i): one relation-scheme per object-set.
+	case *mergeList == "auto":
+		clusters := core.Prop52Clusters(rs)
+		for _, c := range clusters {
+			fmt.Printf("-- merging %s (key-relation %s)\n", strings.Join(c, ", "), c[0])
+		}
+		rs, _, err = core.ApplyPlan(rs, clusters)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		m, err := core.Merge(rs, splitList(*mergeList), *name)
+		if err != nil {
+			fatal(err)
+		}
+		switch *removeList {
+		case "all":
+			m.RemoveAll()
+		case "none", "":
+		default:
+			for _, member := range splitList(*removeList) {
+				if err := m.Remove(member); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		rs = m.Schema
+	}
+
+	switch *out {
+	case "paper":
+		fmt.Print(rs.String())
+	case "sdl":
+		fmt.Print(sdl.PrintSchema(rs))
+	case "ddl":
+		d, err := ddl.ParseDialect(*dialect)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := ddl.Generate(rs, ddl.Options{Dialect: d})
+		fmt.Print(text)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		fatal(fmt.Errorf("sdt: unknown output %q", *out))
+	}
+}
+
+func loadEER(path string, fig7 bool) (*eer.Schema, error) {
+	if fig7 {
+		return eer.Fig7(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("sdt: need -eer FILE or -fig7")
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sdl.ParseEER(string(data))
+}
+
+// parseFreqs parses "ROOT=FREQ,ROOT=FREQ" pairs.
+func parseFreqs(s string) map[string]float64 {
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			fatal(fmt.Errorf("sdt: bad frequency %q (want ROOT=FREQ)", part))
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			fatal(fmt.Errorf("sdt: bad frequency %q: %v", part, err))
+		}
+		out[name] = f
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

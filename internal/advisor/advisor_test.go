@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+func TestClustersFig3(t *testing.T) {
+	s := figures.Fig3()
+	clusters := Clusters(s)
+	// PERSON absorbs FACULTY and STUDENT; COURSE absorbs OFFER, TEACH, ASSIST.
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	want := map[string][]string{
+		"PERSON": {"PERSON", "FACULTY", "STUDENT"},
+		"COURSE": {"COURSE", "OFFER", "TEACH", "ASSIST"},
+	}
+	for _, c := range clusters {
+		w, ok := want[c[0]]
+		if !ok {
+			t.Errorf("unexpected cluster root %s", c[0])
+			continue
+		}
+		if !schema.EqualAttrSets(c, w) {
+			t.Errorf("cluster %s = %v, want %v", c[0], c, w)
+		}
+		if c[0] != w[0] {
+			t.Errorf("root should come first: %v", c)
+		}
+	}
+}
+
+func TestClustersDisjoint(t *testing.T) {
+	s := figures.Fig3()
+	seen := map[string]bool{}
+	for _, c := range Clusters(s) {
+		for _, n := range c {
+			if seen[n] {
+				t.Errorf("%s in two clusters", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestAdviseQueryHeavyMerges(t *testing.T) {
+	s := figures.Fig3()
+	recs, err := Advise(s, Workload{
+		ProfileQueries: map[string]float64{"COURSE": 100, "PERSON": 100},
+		Inserts:        map[string]float64{"COURSE": 1, "PERSON": 1},
+	}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	for _, r := range recs {
+		if !r.Merge {
+			t.Errorf("query-heavy workload should recommend merging %v (benefit %.1f)", r.Cluster, r.NetBenefit)
+		}
+		if r.MergedQueryCost >= r.BaseQueryCost {
+			t.Errorf("merged query must be cheaper: %+v", r)
+		}
+	}
+	// Both figure 3 clusters keep procedural constraints: COURSE is the
+	// figure 6 regime, and PERSON's specializations are single-attribute and
+	// externally referenced (TEACH→FACULTY, ASSIST→STUDENT), so their copies
+	// are not removable and the references become non-key-based.
+	for _, r := range recs {
+		if r.OnlyNNA || r.ProceduralConstraints == 0 {
+			t.Errorf("cluster %v should need triggers: %+v", r.Cluster, r)
+		}
+	}
+
+	// An only-NNA cluster for contrast: the star schema.
+	star, err := translate.MS(workload.StarEER(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Advise(star, Workload{ProfileQueries: map[string]float64{"E0": 10}}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !recs[0].OnlyNNA || recs[0].ProceduralConstraints != 0 {
+		t.Errorf("star cluster should be only-NNA: %+v", recs)
+	}
+}
+
+func TestAdviseInsertHeavyAvoidsTriggerClusters(t *testing.T) {
+	// A chain schema merges into a trigger-laden relation; with a write-only
+	// workload the advisor must keep it split, while the star (only-NNA,
+	// cheaper merged insert than n separate inserts) still merges.
+	chain, err := translate.MS(workload.ChainEER(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Advise(chain, Workload{
+		Inserts: map[string]float64{"E0": 1000},
+	}, CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Merge {
+		t.Errorf("write-heavy chain should stay split: %+v", recs[0])
+	}
+
+	star, err := translate.MS(workload.StarEER(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Advise(star, Workload{
+		Inserts: map[string]float64{"E0": 1000},
+	}, CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !recs[0].Merge {
+		t.Errorf("only-NNA star should merge even write-heavy: %+v", recs)
+	}
+}
+
+func TestAdviseSkipsUnmergeableClusters(t *testing.T) {
+	s := figures.Fig3()
+	// Make TEACH's non-key attribute nullable: the Def. 4.1 assumption fails
+	// for the COURSE cluster, so only the PERSON cluster is priced.
+	s.Nulls[6] = schema.NNA("TEACH", "T.C.NR")
+	recs, err := Advise(s, Workload{}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Cluster[0] == "COURSE" {
+			t.Errorf("COURSE cluster should be skipped: %+v", r)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	s := figures.Fig3()
+	recs, err := Advise(s, Workload{
+		ProfileQueries: map[string]float64{"COURSE": 10},
+	}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Report(recs)
+	if !strings.Contains(out, "COURSE,OFFER,TEACH,ASSIST") || !strings.Contains(out, "MERGE") {
+		t.Errorf("report:\n%s", out)
+	}
+	if !strings.Contains(out, "keep split") {
+		t.Errorf("PERSON cluster with no workload should not merge:\n%s", out)
+	}
+}
+
+func TestAdviseInvalidSchema(t *testing.T) {
+	s := schema.New()
+	s.Nulls = append(s.Nulls, schema.NNA("X", "A"))
+	if _, err := Advise(s, Workload{}, DefaultCostModel()); err == nil {
+		t.Error("invalid schema should be rejected")
+	}
+}

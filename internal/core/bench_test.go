@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eer"
+	"repro/internal/figures"
+	"repro/internal/state"
+	"repro/internal/translate"
+)
+
+// starSchema builds the relational star of n relationship-sets without
+// importing the workload package (which depends on core).
+func starSchema(b *testing.B, n int) ([]string, *MergedScheme, func() *MergedScheme) {
+	b.Helper()
+	es := eer.New()
+	es.Entities = append(es.Entities, &eer.EntitySet{
+		Name: "E0", Prefix: "E0",
+		OwnAttrs:  []eer.Attr{{Name: "E0.ID", Domain: "e0"}},
+		ID:        []string{"E0.ID"},
+		CopyBases: []string{"ID"},
+	})
+	for i := 1; i <= n; i++ {
+		tn := fmt.Sprintf("T%d", i)
+		es.Entities = append(es.Entities, &eer.EntitySet{
+			Name: tn, Prefix: tn,
+			OwnAttrs: []eer.Attr{{Name: tn + ".ID", Domain: fmt.Sprintf("t%d", i)}},
+			ID:       []string{tn + ".ID"},
+		})
+		es.Relationships = append(es.Relationships, &eer.RelationshipSet{
+			Name: fmt.Sprintf("R%d", i), Prefix: fmt.Sprintf("R%d", i),
+			Parts: []eer.Participant{
+				{Object: "E0", Card: eer.Many},
+				{Object: tn, Card: eer.One},
+			},
+		})
+	}
+	s, err := translate.MS(es)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"E0"}
+	for i := 1; i <= n; i++ {
+		names = append(names, fmt.Sprintf("R%d", i))
+	}
+	mk := func() *MergedScheme {
+		m, err := Merge(s, names, "MERGED")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	return names, mk(), mk
+}
+
+func BenchmarkMergeStar(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		_, _, mk := starSchema(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mk()
+			}
+		})
+	}
+}
+
+func BenchmarkRemoveAllStar(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		_, _, mk := starSchema(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := mk()
+				b.StartTimer()
+				m.RemoveAll()
+				b.StopTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkMapState(b *testing.B) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, rows := range []int{50, 500} {
+		db := state.MustGenerate(s, rng, state.GenOptions{Rows: rows})
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MapState(db)
+			}
+		})
+	}
+}
+
+func BenchmarkUnmapState(b *testing.B) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RemoveAll()
+	rng := rand.New(rand.NewSource(5))
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 200})
+	mapped := m.MapState(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.UnmapState(mapped)
+	}
+}
+
+func BenchmarkIsRemovable(b *testing.B) {
+	m, err := Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := m.IsRemovable("TEACH"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// A member-to-member inclusion dependency whose left side is NOT the
+// referencing member's primary key (the Z ≠ Kj case of Def. 4.1 step 3(e)):
+// the sound treatment keeps the dependency as a rewritten internal
+// dependency rather than generating an (unsound) null-existence constraint.
+func TestMergeNonKeyInternalIND(t *testing.T) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("COURSE",
+		[]schema.Attribute{{Name: "C.NR", Domain: "cnr"}}, []string{"C.NR"}))
+	// PREREQ: each course's prerequisite, a non-key reference to COURSE.
+	s.AddScheme(schema.NewScheme("PREREQ",
+		[]schema.Attribute{
+			{Name: "PR.C.NR", Domain: "cnr"},
+			{Name: "PR.REQ", Domain: "cnr"},
+		}, []string{"PR.C.NR"}))
+	s.INDs = []schema.IND{
+		schema.NewIND("PREREQ", []string{"PR.C.NR"}, "COURSE", []string{"C.NR"}),
+		// Non-key left side into a member's key.
+		schema.NewIND("PREREQ", []string{"PR.REQ"}, "COURSE", []string{"C.NR"}),
+	}
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("COURSE", "C.NR"),
+		schema.NNA("PREREQ", "PR.C.NR", "PR.REQ"),
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Merge(s, []string{"COURSE", "PREREQ"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The key-based internal dependency is absorbed (step 4c); the non-key
+	// one survives as an internal self-dependency COURSE'[PR.REQ] ⊆
+	// COURSE'[C.NR] (which is key-based for the merged scheme).
+	if len(m.Schema.INDs) != 1 {
+		t.Fatalf("INDs = %v", m.Schema.INDs)
+	}
+	ind := m.Schema.INDs[0]
+	if ind.Left != "COURSE'" || ind.Right != "COURSE'" ||
+		!schema.EqualAttrSets(ind.LeftAttrs, []string{"PR.REQ"}) ||
+		!schema.EqualAttrSets(ind.RightAttrs, []string{"C.NR"}) {
+		t.Errorf("internal dependency = %v", ind)
+	}
+	if !ind.KeyBased(m.Schema) {
+		t.Error("the rewritten self-dependency targets Km and is key-based")
+	}
+	// No null-existence constraint was generated for the non-key dependency
+	// (only the TE and NS from the standard steps).
+	for _, nc := range m.Schema.NullsOf("COURSE'") {
+		if ne, ok := nc.(schema.NullExistence); ok && !ne.IsNNA() {
+			t.Errorf("unexpected null-existence constraint %v", ne)
+		}
+	}
+
+	// Round trip on a self-referential state: c2's prerequisite is c1.
+	db := state.New(s)
+	add := func(rel string, vals ...string) {
+		tup := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			tup[i] = relation.NewString(v)
+		}
+		db.Relation(rel).Add(tup)
+	}
+	add("COURSE", "c1")
+	add("COURSE", "c2")
+	add("PREREQ", "c2", "c1")
+	if err := state.Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+	mapped := m.MapState(db)
+	if err := state.Consistent(m.Schema, mapped); err != nil {
+		t.Fatalf("mapped state inconsistent: %v\n%s", err, mapped)
+	}
+	if !m.RoundTrip(db) {
+		t.Error("round trip failed")
+	}
+
+	// The PREREQ key copy is removable; the internal dependency's left side
+	// is untouched (PR.REQ is not the key copy).
+	if err := m.Remove("PREREQ"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Schema.INDs) != 1 || !schema.EqualAttrSets(m.Schema.INDs[0].LeftAttrs, []string{"PR.REQ"}) {
+		t.Errorf("post-remove INDs = %v", m.Schema.INDs)
+	}
+	if !m.RoundTrip(db) {
+		t.Error("round trip after remove failed")
+	}
+}
+
+// Merging in a different member order changes Xm's layout but nothing
+// semantic: same constraints, same round trips.
+func TestMergeOrderInsensitiveSemantics(t *testing.T) {
+	a, err := Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Merge(figures.Fig3(), []string{"TEACH", "COURSE", "OFFER"}, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KeyRelation != b.KeyRelation {
+		t.Errorf("key-relation differs: %s vs %s", a.KeyRelation, b.KeyRelation)
+	}
+	if !a.Schema.SameConstraints(b.Schema) {
+		t.Error("constraint sets must not depend on member order")
+	}
+	rng := rand.New(rand.NewSource(8))
+	db := state.MustGenerate(figures.Fig3(), rng, state.GenOptions{Rows: 6})
+	ra := a.MapState(db).Relation("M")
+	rb := b.MapState(db).Relation("M")
+	if !ra.EqualUpToOrder(rb) {
+		t.Error("mapped relations must agree up to column order")
+	}
+}

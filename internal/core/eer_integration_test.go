@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/eer"
+	"repro/internal/nullcon"
+	"repro/internal/schema"
+	"repro/internal/translate"
+)
+
+// E8 — the four figure 8 structures: the EER-level conditions of §5.2
+// predict exactly whether the merged relational representation needs general
+// null constraints (8i, 8ii) or only nulls-not-allowed constraints
+// (8iii, 8iv).
+func TestFig8StructuresEndToEnd(t *testing.T) {
+	cases := []struct {
+		name     string
+		es       *eer.Schema
+		object   string
+		others   []string
+		cond     func(*eer.Schema, string, []string) error
+		wantOnly bool // only-NNA expected after Merge + RemoveAll
+	}{
+		{
+			name: "8i-hierarchy-multiattr", es: eer.Fig8i(),
+			object: "VEHICLE", others: []string{"CAR", "TRUCK"},
+			cond:     (*eer.Schema).CheckCondition1,
+			wantOnly: false,
+		},
+		{
+			name: "8ii-relationships-with-attrs", es: eer.Fig8ii(),
+			object: "EMPLOYEE", others: []string{"WORKS", "BELONGS"},
+			cond:     (*eer.Schema).CheckCondition2,
+			wantOnly: false,
+		},
+		{
+			name: "8iii-hierarchy-single-attr", es: eer.Fig8iii(),
+			object: "PERSON", others: []string{"FACULTY", "STUDENT"},
+			cond:     (*eer.Schema).CheckCondition1,
+			wantOnly: true,
+		},
+		{
+			name: "8iv-attrless-relationships", es: eer.Fig8iv(),
+			object: "COURSE", others: []string{"OFFER", "TEACH"},
+			cond:     (*eer.Schema).CheckCondition2,
+			wantOnly: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			condErr := c.cond(c.es, c.object, c.others)
+			if c.wantOnly && condErr != nil {
+				t.Fatalf("EER condition should hold: %v", condErr)
+			}
+			if !c.wantOnly && condErr == nil {
+				t.Fatal("EER condition should fail")
+			}
+
+			rs, err := translate.MS(c.es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := append([]string{c.object}, c.others...)
+			// The relational-level Prop. 5.2 agrees with the EER condition.
+			if _, ok := Prop52(rs, names); ok != c.wantOnly {
+				t.Errorf("Prop52 = %v, want %v", ok, c.wantOnly)
+			}
+			m, err := Merge(rs, names, "MERGED")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.RemoveAll()
+			got := nullcon.OnlyNNA(m.Schema.NullsOf("MERGED"))
+			if got != c.wantOnly {
+				t.Errorf("only-NNA = %v, want %v; constraints: %v",
+					got, c.wantOnly, m.Schema.NullsOf("MERGED"))
+			}
+			if !AllBCNF(m.Schema) {
+				t.Error("merged schema should stay BCNF")
+			}
+		})
+	}
+}
+
+// The figure 8(ii) case reproduces the paper's §1 WORKS example inside the
+// merged relation: NS(W.NR, W.DATE) implies the DATE ⊑ NR null-existence
+// restriction the Teorey translation misses.
+func TestFig8iiRetainsDateNRConstraint(t *testing.T) {
+	rs, err := translate.MS(eer.Fig8ii())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(rs, []string{"EMPLOYEE", "WORKS", "BELONGS"}, "EMPLOYEE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll()
+	date2nr := schema.NewNullExistence("EMPLOYEE'", []string{"W.DATE"}, []string{"W.NR"})
+	if !nullcon.Implied(m.Schema.NullsOf("EMPLOYEE'"), date2nr) {
+		t.Errorf("merged constraints must imply %v; got %v", date2nr, m.Schema.NullsOf("EMPLOYEE'"))
+	}
+}

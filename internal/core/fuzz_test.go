@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nullcon"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// randomCluster builds a random baseline schema in the paper's form: a root
+// relation-scheme, a random tree of key-compatible dependents hanging off it
+// (each referencing its parent's key), a few external target entities
+// referenced by non-key foreign keys, and optionally an external scheme
+// referencing a random cluster member (which flips Prop. 5.1(i)). All
+// attributes are NNA. It returns the schema and the merge set.
+func randomCluster(rng *rand.Rand) (*schema.Schema, []string) {
+	s := schema.New()
+	keyDom := "kd"
+
+	// External targets.
+	nTargets := 1 + rng.Intn(3)
+	var targets []string
+	for i := 0; i < nTargets; i++ {
+		name := fmt.Sprintf("X%d", i)
+		attr := fmt.Sprintf("X%d.ID", i)
+		s.AddScheme(schema.NewScheme(name,
+			[]schema.Attribute{{Name: attr, Domain: fmt.Sprintf("xd%d", i)}}, []string{attr}))
+		s.Nulls = append(s.Nulls, schema.NNA(name, attr))
+		targets = append(targets, name)
+	}
+
+	// Root.
+	s.AddScheme(schema.NewScheme("R0",
+		[]schema.Attribute{{Name: "R0.K", Domain: keyDom}}, []string{"R0.K"}))
+	s.Nulls = append(s.Nulls, schema.NNA("R0", "R0.K"))
+	members := []string{"R0"}
+
+	// Dependents.
+	n := 1 + rng.Intn(5)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("D%d", i)
+		keyAttr := fmt.Sprintf("D%d.K", i)
+		parent := members[rng.Intn(len(members))]
+		parentScheme := s.Scheme(parent)
+		attrs := []schema.Attribute{{Name: keyAttr, Domain: keyDom}}
+		nnaList := []string{keyAttr}
+		// 0–2 non-key attributes; some are foreign keys to targets.
+		for j := 0; j < rng.Intn(3); j++ {
+			an := fmt.Sprintf("D%d.A%d", i, j)
+			if rng.Intn(2) == 0 {
+				tgt := targets[rng.Intn(len(targets))]
+				tgtScheme := s.Scheme(tgt)
+				attrs = append(attrs, schema.Attribute{Name: an, Domain: tgtScheme.Attrs[0].Domain})
+				s.INDs = append(s.INDs, schema.NewIND(name, []string{an}, tgt, tgtScheme.PrimaryKey))
+			} else {
+				attrs = append(attrs, schema.Attribute{Name: an, Domain: fmt.Sprintf("ad%d_%d", i, j)})
+			}
+			nnaList = append(nnaList, an)
+		}
+		s.AddScheme(schema.NewScheme(name, attrs, []string{keyAttr}))
+		s.Nulls = append(s.Nulls, schema.NNA(name, nnaList...))
+		s.INDs = append(s.INDs, schema.NewIND(name, []string{keyAttr}, parent, parentScheme.PrimaryKey))
+		members = append(members, name)
+	}
+
+	// Optionally an external scheme referencing a random member's key.
+	if rng.Intn(3) == 0 {
+		victim := members[1+rng.Intn(len(members)-1)]
+		vs := s.Scheme(victim)
+		s.AddScheme(schema.NewScheme("EXT",
+			[]schema.Attribute{{Name: "EXT.K", Domain: keyDom}}, []string{"EXT.K"}))
+		s.Nulls = append(s.Nulls, schema.NNA("EXT", "EXT.K"))
+		s.INDs = append(s.INDs, schema.NewIND("EXT", []string{"EXT.K"}, victim, vs.PrimaryKey))
+	}
+	return s, members
+}
+
+// The fuzz property suite: on randomized cluster schemas, Merge + RemoveAll
+// must (a) produce a valid BCNF schema, (b) preserve information capacity on
+// generated states, and (c) agree with the Prop. 5.1(i) prediction.
+func TestMergeRandomizedSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 120; trial++ {
+		s, members := randomCluster(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid schema: %v", trial, err)
+		}
+		kb, _ := Prop51(s, members)
+
+		m, err := Merge(s, members, "MERGED")
+		if err != nil {
+			t.Fatalf("trial %d: merge failed: %v\n%s", trial, err, s)
+		}
+		if got := AllINDsKeyBased(m.Schema); got != kb {
+			t.Fatalf("trial %d: Prop51(i)=%v but output key-based=%v\n%s", trial, kb, got, s)
+		}
+		if !AllBCNF(m.Schema) {
+			t.Fatalf("trial %d: merged schema not BCNF\n%s", trial, m.Schema)
+		}
+		m.RemoveAll()
+		if err := m.Schema.Validate(); err != nil {
+			t.Fatalf("trial %d: post-remove schema invalid: %v", trial, err)
+		}
+		if !AllBCNF(m.Schema) {
+			t.Fatalf("trial %d: post-remove schema not BCNF", trial)
+		}
+
+		// Round trip on a couple of generated states with ragged sizes.
+		for rep := 0; rep < 2; rep++ {
+			rows := map[string]int{}
+			for _, name := range members {
+				rows[name] = 1 + rng.Intn(6)
+			}
+			db, err := state.Generate(s, rng, state.GenOptions{Rows: 6, RowsPer: rows})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			mapped := m.MapState(db)
+			if err := state.Consistent(m.Schema, mapped); err != nil {
+				t.Fatalf("trial %d: mapped state inconsistent: %v\nschema:\n%s\nmerged:\n%s\nstate:\n%s",
+					trial, err, s, m.Schema, db)
+			}
+			if !m.RoundTrip(db) {
+				t.Fatalf("trial %d: round trip failed\nschema:\n%s\nstate:\n%s", trial, s, db)
+			}
+		}
+
+		// When Prop. 5.2 certifies the set, the constraints must be only-NNA.
+		if _, ok := Prop52(s, members); ok {
+			if !nullcon.OnlyNNA(m.Schema.NullsOf("MERGED")) {
+				t.Fatalf("trial %d: Prop52 certified but constraints not only-NNA: %v",
+					trial, m.Schema.NullsOf("MERGED"))
+			}
+		}
+	}
+}
+
+// Sub-cluster merges: random contiguous subsets of the cluster must also
+// merge and round-trip (the key-relation may then be synthetic).
+func TestMergeRandomizedSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42424242))
+	for trial := 0; trial < 60; trial++ {
+		s, members := randomCluster(rng)
+		if len(members) < 3 {
+			continue
+		}
+		// A random subset of size ≥ 2 that may exclude the root.
+		var subset []string
+		for _, name := range members {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, name)
+			}
+		}
+		if len(subset) < 2 {
+			subset = members[len(members)-2:]
+		}
+		m, err := Merge(s, subset, "MERGED")
+		if err != nil {
+			t.Fatalf("trial %d: merge of %v failed: %v", trial, subset, err)
+		}
+		db, err := state.Generate(s, rng, state.GenOptions{Rows: 5})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.RoundTrip(db) {
+			t.Fatalf("trial %d: subset %v round trip failed (synthetic=%v)\n%s",
+				trial, subset, m.Synthetic, s)
+		}
+		if err := state.Consistent(m.Schema, m.MapState(db)); err != nil {
+			t.Fatalf("trial %d: subset %v mapped state inconsistent: %v", trial, subset, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// MapState applies the forward state mapping of the merge — η of Definition
+// 4.1 composed with the μ projections of every Remove applied so far — to a
+// database state of the original schema RS, producing a state of the current
+// rewritten schema.
+//
+// η is computed exactly as the paper defines it: r_m starts as the
+// key-relation's relation (or, for a synthetic key-relation, the union of
+// the renamed key projections of the members) and is outer-equi-joined with
+// each remaining member's relation on Km = Ki; each Remove then projects out
+// the removed attributes.
+func (m *MergedScheme) MapState(db *state.DB) *state.DB {
+	memberSet := make(map[string]bool, len(m.Members))
+	for _, mb := range m.Members {
+		memberSet[mb.Name] = true
+	}
+	out := &state.DB{Relations: make(map[string]*relation.Relation, len(db.Relations))}
+	for name, r := range db.Relations {
+		if !memberSet[name] {
+			out.Set(name, r.Clone())
+		}
+	}
+
+	var rm *relation.Relation
+	if m.Synthetic {
+		rm = relation.New(m.Km...)
+		for _, mb := range m.Members {
+			proj := db.Relation(mb.Name).Project(mb.Key).Rename(mb.Key, m.Km)
+			rm = rm.Union(proj)
+		}
+	} else {
+		rm = db.Relation(m.KeyRelation).Clone()
+	}
+	for _, mb := range m.Members {
+		if mb.Name == m.KeyRelation {
+			continue
+		}
+		rm = rm.OuterEquiJoin(db.Relation(mb.Name), relation.JoinSpec{Left: m.Km, Right: mb.Key})
+	}
+
+	// μ chain: project onto the current (possibly reduced) Xm.
+	rm = rm.Project(m.Schema.Scheme(m.Name).AttrNames())
+	out.Set(m.Name, rm)
+	return out
+}
+
+// UnmapState applies the inverse state mapping — the μ′ reconstructions of
+// the removals in reverse order, followed by η′ — to a database state of the
+// current rewritten schema, producing a state of the original schema RS.
+//
+// μ′ restores a removed key copy Yj by outer-equi-joining r_m with
+// rename(π_Km(π↓_{Km ∪ (Xi−Yj)}(r_m)), Km ← Yj) on Km = Yj: a tuple whose
+// surviving member attributes are total regains Yj = Km, all others get null
+// Yj. η′ recovers each member's relation as the total projection π↓_Xi(r_m).
+func (m *MergedScheme) UnmapState(db *state.DB) *state.DB {
+	out := &state.DB{Relations: make(map[string]*relation.Relation, len(db.Relations))}
+	for name, r := range db.Relations {
+		if name != m.Name {
+			out.Set(name, r.Clone())
+		}
+	}
+	r := db.Relation(m.Name).Clone()
+	for i := len(m.removals) - 1; i >= 0; i-- {
+		rec := m.removals[i]
+		remaining := schema.DiffAttrs(rec.member.Attrs, rec.yj)
+		right := r.TotalProject(schema.UnionAttrs(m.Km, remaining)).
+			Project(m.Km).
+			Rename(m.Km, rec.yj)
+		r = r.OuterEquiJoin(right, relation.JoinSpec{Left: m.Km, Right: rec.yj})
+	}
+	r = r.Project(m.FullAttrs)
+	for _, mb := range m.Members {
+		out.Set(mb.Name, r.TotalProject(mb.Attrs))
+	}
+	return out
+}
+
+// RoundTrip reports whether η′∘η (with the removal mappings composed in) is
+// the identity on the given state of the original schema — the
+// information-capacity direction of Props. 4.1/4.2 exercised empirically.
+func (m *MergedScheme) RoundTrip(db *state.DB) bool {
+	return m.UnmapState(m.MapState(db)).Equal(db)
+}
+
+// RoundTripMerged reports whether η∘η′ is the identity on the given state of
+// the rewritten schema — the converse direction of Definition 2.1's third
+// condition.
+func (m *MergedScheme) RoundTripMerged(db *state.DB) bool {
+	return m.MapState(m.UnmapState(db)).Equal(db)
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+func str(s string) relation.Value { return relation.NewString(s) }
+
+// A small hand-built consistent state of figure 3.
+func fig3State(t *testing.T) *state.DB {
+	t.Helper()
+	s := figures.Fig3()
+	db := state.New(s)
+	add := func(rel string, vals ...relation.Value) {
+		db.Relation(rel).Add(relation.Tuple(vals))
+	}
+	add("PERSON", str("p1"))
+	add("PERSON", str("p2"))
+	add("PERSON", str("p3"))
+	add("FACULTY", str("p1"))
+	add("STUDENT", str("p2"))
+	add("STUDENT", str("p3"))
+	add("COURSE", str("c1"))
+	add("COURSE", str("c2"))
+	add("COURSE", str("c3"))
+	add("DEPARTMENT", str("math"))
+	add("DEPARTMENT", str("cs"))
+	add("OFFER", str("c1"), str("math"))
+	add("OFFER", str("c2"), str("cs"))
+	add("TEACH", str("c1"), str("p1"))
+	add("ASSIST", str("c1"), str("p2"))
+	add("ASSIST", str("c2"), str("p3"))
+	if err := state.Consistent(s, db); err != nil {
+		t.Fatalf("fixture state inconsistent: %v", err)
+	}
+	return db
+}
+
+// η produces exactly the expected merged relation for the fixture:
+// COURSE”(C.NR, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN, A.C.NR, A.S.SSN).
+func TestEtaExactContents(t *testing.T) {
+	m := mergeFig5(t)
+	db := fig3State(t)
+	out := m.MapState(db)
+
+	rm := out.Relation("COURSE''")
+	want := relation.New("C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN", "A.C.NR", "A.S.SSN")
+	nul := relation.Null()
+	want.Add(relation.Tuple{str("c1"), str("c1"), str("math"), str("c1"), str("p1"), str("c1"), str("p2")})
+	want.Add(relation.Tuple{str("c2"), str("c2"), str("cs"), nul, nul, str("c2"), str("p3")})
+	want.Add(relation.Tuple{str("c3"), nul, nul, nul, nul, nul, nul})
+	if !rm.Equal(want) {
+		t.Errorf("η(r) =\n%v\nwant\n%v", rm, want)
+	}
+
+	// Non-member relations pass through.
+	if !out.Relation("PERSON").Equal(db.Relation("PERSON")) {
+		t.Error("PERSON should pass through η unchanged")
+	}
+	// Members are gone from the mapped state.
+	if out.Relation("OFFER") != nil {
+		t.Error("OFFER should not exist in the merged state")
+	}
+
+	// The mapped state is consistent with RS' (Prop. 4.1 condition 1).
+	if err := state.Consistent(m.Schema, out); err != nil {
+		t.Errorf("η(r) inconsistent with RS': %v", err)
+	}
+}
+
+func TestEtaPrimeInverse(t *testing.T) {
+	m := mergeFig5(t)
+	db := fig3State(t)
+	if !m.RoundTrip(db) {
+		back := m.UnmapState(m.MapState(db))
+		t.Errorf("η′∘η ≠ id:\noriginal:\n%s\nround-trip:\n%s", db, back)
+	}
+}
+
+// Prop. 4.1 (information capacity), forward direction, property-tested over
+// randomized consistent states, including states where the outer joins leave
+// many nulls.
+func TestMergeRoundTripProperty(t *testing.T) {
+	s := figures.Fig3()
+	mergeSets := [][]string{
+		{"COURSE", "OFFER", "TEACH"},
+		{"COURSE", "OFFER", "TEACH", "ASSIST"},
+		{"PERSON", "FACULTY", "STUDENT"},
+		{"OFFER", "TEACH", "ASSIST"},
+		{"COURSE", "OFFER"},
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, names := range mergeSets {
+		m, err := Merge(s, names, "MERGED")
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		for trial := 0; trial < 15; trial++ {
+			db := state.MustGenerate(s, rng, state.GenOptions{
+				Rows:    7,
+				RowsPer: map[string]int{"OFFER": 4, "TEACH": 2, "ASSIST": 3, "FACULTY": 4, "STUDENT": 5},
+			})
+			mapped := m.MapState(db)
+			if err := state.Consistent(m.Schema, mapped); err != nil {
+				t.Fatalf("%v trial %d: η(r) inconsistent: %v", names, trial, err)
+			}
+			if !m.RoundTrip(db) {
+				t.Fatalf("%v trial %d: η′∘η ≠ id", names, trial)
+			}
+		}
+	}
+}
+
+// Prop. 4.2: round trip with removals composed in (μ′∘μ and η′∘η together).
+func TestRemoveRoundTripProperty(t *testing.T) {
+	s := figures.Fig3()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.RemoveAll()
+		db := state.MustGenerate(s, rng, state.GenOptions{
+			Rows:    7,
+			RowsPer: map[string]int{"OFFER": 4, "TEACH": 2, "ASSIST": 3},
+		})
+		mapped := m.MapState(db)
+		if err := state.Consistent(m.Schema, mapped); err != nil {
+			t.Fatalf("trial %d: mapped state inconsistent after removes: %v", trial, err)
+		}
+		if !m.RoundTrip(db) {
+			back := m.UnmapState(m.MapState(db))
+			t.Fatalf("trial %d: round trip failed\noriginal:\n%s\nback:\n%s", trial, db, back)
+		}
+	}
+}
+
+// The converse direction of Definition 2.1 condition 3: η∘η′ is the identity
+// on consistent states of the merged schema.
+func TestMergedRoundTripConverse(t *testing.T) {
+	m := mergeFig5(t)
+	db := fig3State(t)
+	mapped := m.MapState(db)
+	if !m.RoundTripMerged(mapped) {
+		t.Error("η∘η′ ≠ id on an η-image state")
+	}
+
+	// A hand-built consistent RS' state that is not an η image of the
+	// fixture: includes a course with only an ASSIST part — legal under the
+	// constraint set (A.C.NR, A.S.SSN total requires O.C.NR, O.D.NAME total,
+	// so give it an OFFER part too).
+	m2 := mergeFig5(t)
+	db2 := state.New(m2.Schema)
+	nul := relation.Null()
+	db2.Relation("PERSON").Add(relation.Tuple{str("p1")})
+	db2.Relation("FACULTY").Add(relation.Tuple{str("p1")})
+	db2.Relation("STUDENT").Add(relation.Tuple{str("p1")})
+	db2.Relation("DEPARTMENT").Add(relation.Tuple{str("d")})
+	db2.Relation("COURSE''").Add(relation.Tuple{str("c1"), str("c1"), str("d"), nul, nul, str("c1"), str("p1")})
+	db2.Relation("COURSE''").Add(relation.Tuple{str("c2"), nul, nul, nul, nul, nul, nul})
+	if err := state.Consistent(m2.Schema, db2); err != nil {
+		t.Fatalf("hand-built RS' state inconsistent: %v", err)
+	}
+	if !m2.RoundTripMerged(db2) {
+		t.Error("η∘η′ ≠ id on a hand-built consistent RS' state")
+	}
+}
+
+// After RemoveAll, the merged relation is narrower but reconstructs the same
+// original state: the removed copies carry no information (Prop. 4.2).
+func TestRemoveShrinksWithoutInformationLoss(t *testing.T) {
+	db := fig3State(t)
+
+	wide := mergeFig5(t)
+	narrow := mergeFig5(t)
+	narrow.RemoveAll()
+
+	wideRel := wide.MapState(db).Relation("COURSE''")
+	narrowRel := narrow.MapState(db).Relation("COURSE''")
+	if narrowRel.Arity() >= wideRel.Arity() {
+		t.Errorf("arity %d should shrink below %d", narrowRel.Arity(), wideRel.Arity())
+	}
+	if !wide.UnmapState(wide.MapState(db)).Equal(narrow.UnmapState(narrow.MapState(db))) {
+		t.Error("wide and narrow reconstructions disagree")
+	}
+}
+
+// Synthetic key-relation round trip (figure 2 without the link).
+func TestSyntheticKeyRoundTrip(t *testing.T) {
+	s := figures.Fig2(false)
+	m, err := Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := state.New(s)
+	db.Relation("OFFER").Add(relation.Tuple{str("c1"), str("math")})
+	db.Relation("OFFER").Add(relation.Tuple{str("c2"), str("cs")})
+	db.Relation("TEACH").Add(relation.Tuple{str("c2"), str("smith")})
+	db.Relation("TEACH").Add(relation.Tuple{str("c3"), str("jones")})
+	if err := state.Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+	mapped := m.MapState(db)
+	rm := mapped.Relation("ASSIGN")
+	if rm.Len() != 3 {
+		t.Errorf("ASSIGN should have 3 tuples (c1, c2, c3), got\n%v", rm)
+	}
+	if err := state.Consistent(m.Schema, mapped); err != nil {
+		t.Errorf("mapped synthetic state inconsistent: %v", err)
+	}
+	if !m.RoundTrip(db) {
+		t.Error("synthetic-key round trip failed")
+	}
+
+	// And with the OFFER copy removed.
+	if err := m.Remove("OFFER"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.RoundTrip(db) {
+		t.Error("synthetic-key round trip failed after Remove")
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/schema"
+)
+
+// nullKeys returns the canonical keys of the null constraints attached to
+// one scheme, as a set.
+func nullKeys(s *schema.Schema, name string) map[string]bool {
+	out := make(map[string]bool)
+	for _, nc := range s.NullsOf(name) {
+		out[nc.Key()] = true
+	}
+	return out
+}
+
+func indKeys(s *schema.Schema) map[string]bool {
+	out := make(map[string]bool)
+	for _, ind := range s.INDs {
+		out[ind.Key()] = true
+	}
+	return out
+}
+
+func wantExactly(t *testing.T, label string, got map[string]bool, want []string) {
+	t.Helper()
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("%s: missing %s", label, w)
+		}
+	}
+	if len(got) != len(want) {
+		var keys []string
+		for k := range got {
+			keys = append(keys, k)
+		}
+		t.Errorf("%s: got %d items, want %d:\n  got  %s", label, len(got), len(want), strings.Join(keys, "\n  got  "))
+	}
+}
+
+// E4 — Figure 4: Merge(COURSE, OFFER, TEACH) on the figure 3 schema.
+func TestFig4Merge(t *testing.T) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Synthetic || m.KeyRelation != "COURSE" {
+		t.Fatalf("key-relation = %q (synthetic=%v), want COURSE", m.KeyRelation, m.Synthetic)
+	}
+	rm := m.Schema.Scheme("COURSE'")
+	if rm == nil {
+		t.Fatal("merged scheme missing")
+	}
+	wantAttrs := []string{"C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN"}
+	if !schema.EqualAttrLists(rm.AttrNames(), wantAttrs) {
+		t.Errorf("Xm = %v, want %v", rm.AttrNames(), wantAttrs)
+	}
+	if !schema.EqualAttrLists(rm.PrimaryKey, []string{"C.NR"}) {
+		t.Errorf("Km = %v", rm.PrimaryKey)
+	}
+	// Members gone, others untouched.
+	for _, gone := range []string{"COURSE", "OFFER", "TEACH"} {
+		if m.Schema.Scheme(gone) != nil {
+			t.Errorf("member %s should be replaced", gone)
+		}
+	}
+	for _, stay := range []string{"PERSON", "FACULTY", "STUDENT", "DEPARTMENT", "ASSIST"} {
+		if m.Schema.Scheme(stay) == nil {
+			t.Errorf("scheme %s should remain", stay)
+		}
+	}
+
+	// Inclusion dependencies: figure 4's (1), (2), (8) unchanged + (9)–(11).
+	wantExactly(t, "fig4 INDs", indKeys(m.Schema), []string{
+		schema.NewIND("FACULTY", []string{"F.SSN"}, "PERSON", []string{"P.SSN"}).Key(),
+		schema.NewIND("STUDENT", []string{"S.SSN"}, "PERSON", []string{"P.SSN"}).Key(),
+		schema.NewIND("ASSIST", []string{"A.S.SSN"}, "STUDENT", []string{"S.SSN"}).Key(),
+		schema.NewIND("COURSE'", []string{"O.D.NAME"}, "DEPARTMENT", []string{"D.NAME"}).Key(),
+		schema.NewIND("COURSE'", []string{"T.F.SSN"}, "FACULTY", []string{"F.SSN"}).Key(),
+		schema.NewIND("ASSIST", []string{"A.C.NR"}, "COURSE'", []string{"O.C.NR"}).Key(),
+	})
+
+	// Null constraints on COURSE': figure 4's (9)–(14).
+	wantExactly(t, "fig4 nulls", nullKeys(m.Schema, "COURSE'"), []string{
+		schema.NNA("COURSE'", "C.NR").Key(),
+		schema.NewNullSync("COURSE'", "O.C.NR", "O.D.NAME").Key(),
+		schema.NewNullSync("COURSE'", "T.C.NR", "T.F.SSN").Key(),
+		schema.NewNullExistence("COURSE'", []string{"T.C.NR", "T.F.SSN"}, []string{"O.C.NR", "O.D.NAME"}).Key(),
+		schema.NewTotalEquality("COURSE'", []string{"C.NR"}, []string{"O.C.NR"}).Key(),
+		schema.NewTotalEquality("COURSE'", []string{"C.NR"}, []string{"T.C.NR"}).Key(),
+	})
+
+	// Unmerged schemes keep their NNA constraints.
+	for _, stay := range []string{"PERSON", "FACULTY", "STUDENT", "DEPARTMENT", "ASSIST"} {
+		if len(m.Schema.NullsOf(stay)) != 1 {
+			t.Errorf("%s should keep its single NNA constraint", stay)
+		}
+	}
+
+	// Prop. 4.1(ii): BCNF preserved.
+	if !AllBCNF(m.Schema) {
+		t.Error("merged schema should be in BCNF")
+	}
+	// Figure 4's schema has a non-key-based dependency (11).
+	if AllINDsKeyBased(m.Schema) {
+		t.Error("ASSIST[A.C.NR] ⊆ COURSE'[O.C.NR] is not key-based")
+	}
+}
+
+// E5 — Figure 5: Merge(COURSE, OFFER, TEACH, ASSIST).
+func TestFig5Merge(t *testing.T) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := m.Schema.Scheme("COURSE''")
+	wantAttrs := []string{"C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN", "A.C.NR", "A.S.SSN"}
+	if !schema.EqualAttrLists(rm.AttrNames(), wantAttrs) {
+		t.Errorf("Xm = %v, want %v", rm.AttrNames(), wantAttrs)
+	}
+
+	// Figure 5's inclusion dependencies (9)–(11) plus the untouched (1), (2).
+	wantExactly(t, "fig5 INDs", indKeys(m.Schema), []string{
+		schema.NewIND("FACULTY", []string{"F.SSN"}, "PERSON", []string{"P.SSN"}).Key(),
+		schema.NewIND("STUDENT", []string{"S.SSN"}, "PERSON", []string{"P.SSN"}).Key(),
+		schema.NewIND("COURSE''", []string{"O.D.NAME"}, "DEPARTMENT", []string{"D.NAME"}).Key(),
+		schema.NewIND("COURSE''", []string{"T.F.SSN"}, "FACULTY", []string{"F.SSN"}).Key(),
+		schema.NewIND("COURSE''", []string{"A.S.SSN"}, "STUDENT", []string{"S.SSN"}).Key(),
+	})
+	// All key-based now (Prop. 5.1(i) holds for this merge set).
+	if !AllINDsKeyBased(m.Schema) {
+		t.Error("figure 5's dependencies are all key-based")
+	}
+
+	// Null constraints on COURSE'': figure 5's (9)–(17).
+	wantExactly(t, "fig5 nulls", nullKeys(m.Schema, "COURSE''"), []string{
+		schema.NNA("COURSE''", "C.NR").Key(),
+		schema.NewNullSync("COURSE''", "O.C.NR", "O.D.NAME").Key(),
+		schema.NewNullSync("COURSE''", "T.C.NR", "T.F.SSN").Key(),
+		schema.NewNullSync("COURSE''", "A.C.NR", "A.S.SSN").Key(),
+		schema.NewNullExistence("COURSE''", []string{"T.C.NR", "T.F.SSN"}, []string{"O.C.NR", "O.D.NAME"}).Key(),
+		schema.NewNullExistence("COURSE''", []string{"A.C.NR", "A.S.SSN"}, []string{"O.C.NR", "O.D.NAME"}).Key(),
+		schema.NewTotalEquality("COURSE''", []string{"C.NR"}, []string{"O.C.NR"}).Key(),
+		schema.NewTotalEquality("COURSE''", []string{"C.NR"}, []string{"T.C.NR"}).Key(),
+		schema.NewTotalEquality("COURSE''", []string{"C.NR"}, []string{"A.C.NR"}).Key(),
+	})
+	if !AllBCNF(m.Schema) {
+		t.Error("figure 5's schema should be in BCNF")
+	}
+}
+
+// E2 — Figure 2 with the linking dependency: OFFER is the key-relation.
+func TestFig2MergeLinked(t *testing.T) {
+	s := figures.Fig2(true)
+	m, err := Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Synthetic || m.KeyRelation != "OFFER" {
+		t.Fatalf("key-relation = %q, want OFFER", m.KeyRelation)
+	}
+	rm := m.Schema.Scheme("ASSIGN")
+	if !schema.EqualAttrLists(rm.AttrNames(), []string{"O.CN", "O.DN", "T.CN", "T.FN"}) {
+		t.Errorf("Xm = %v", rm.AttrNames())
+	}
+	wantExactly(t, "fig2 nulls", nullKeys(m.Schema, "ASSIGN"), []string{
+		schema.NNA("ASSIGN", "O.CN", "O.DN").Key(),
+		schema.NewNullSync("ASSIGN", "T.CN", "T.FN").Key(),
+		schema.NewTotalEquality("ASSIGN", []string{"O.CN"}, []string{"T.CN"}).Key(),
+	})
+	if len(m.Schema.INDs) != 0 {
+		t.Errorf("internal dependency should be removed, got %v", m.Schema.INDs)
+	}
+}
+
+// E2 — Figure 2 without the link: no key-relation exists, so Merge
+// synthesizes one and generates the part-null constraint of step 3(d).
+func TestFig2MergeSynthetic(t *testing.T) {
+	s := figures.Fig2(false)
+	m, err := Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Synthetic || m.KeyRelation != "" {
+		t.Fatal("expected a synthetic key-relation")
+	}
+	rm := m.Schema.Scheme("ASSIGN")
+	if !schema.EqualAttrLists(rm.AttrNames(), []string{"ASSIGN.K1", "O.CN", "O.DN", "T.CN", "T.FN"}) {
+		t.Errorf("Xm = %v", rm.AttrNames())
+	}
+	if !schema.EqualAttrLists(rm.PrimaryKey, []string{"ASSIGN.K1"}) {
+		t.Errorf("Km = %v", rm.PrimaryKey)
+	}
+	if rm.Domain("ASSIGN.K1") != figures.DomCourseNr {
+		t.Errorf("synthetic key domain = %q", rm.Domain("ASSIGN.K1"))
+	}
+	wantExactly(t, "fig2 synthetic nulls", nullKeys(m.Schema, "ASSIGN"), []string{
+		schema.NNA("ASSIGN", "ASSIGN.K1").Key(),
+		schema.NewNullSync("ASSIGN", "O.CN", "O.DN").Key(),
+		schema.NewNullSync("ASSIGN", "T.CN", "T.FN").Key(),
+		schema.NewPartNull("ASSIGN", []string{"O.CN", "O.DN"}, []string{"T.CN", "T.FN"}).Key(),
+		schema.NewTotalEquality("ASSIGN", []string{"ASSIGN.K1"}, []string{"O.CN"}).Key(),
+		schema.NewTotalEquality("ASSIGN", []string{"ASSIGN.K1"}, []string{"T.CN"}).Key(),
+	})
+}
+
+// The §1 example: merging EMPLOYEE and MANAGES of figure 1's RS yields
+// EMPLOYEE'(SSN, NR) with SSN non-null, NR nullable, and — after Remove —
+// no other null constraints.
+func TestSection1EmployeeManagesMerge(t *testing.T) {
+	s := figures.Fig1RS()
+	m, err := Merge(s, []string{"EMPLOYEE", "MANAGES"}, "EMPLOYEE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KeyRelation != "EMPLOYEE" {
+		t.Fatalf("key-relation = %q", m.KeyRelation)
+	}
+	if err := m.Remove("MANAGES"); err != nil {
+		t.Fatalf("M.SSN should be removable: %v", err)
+	}
+	rm := m.Schema.Scheme("EMPLOYEE'")
+	if !schema.EqualAttrLists(rm.AttrNames(), []string{"E.SSN", "M.NR"}) {
+		t.Errorf("Xm = %v, want [E.SSN M.NR]", rm.AttrNames())
+	}
+	wantExactly(t, "EMPLOYEE' nulls", nullKeys(m.Schema, "EMPLOYEE'"), []string{
+		schema.NNA("EMPLOYEE'", "E.SSN").Key(),
+	})
+	if m.Schema.AllowsNull("EMPLOYEE'", "E.SSN") {
+		t.Error("SSN must not allow nulls")
+	}
+	if !m.Schema.AllowsNull("EMPLOYEE'", "M.NR") {
+		t.Error("NR must allow nulls")
+	}
+	// The foreign key MANAGES[M.NR] ⊆ PROJECT[PJ.NR] survives on EMPLOYEE'.
+	found := false
+	for _, ind := range m.Schema.INDsFrom("EMPLOYEE'") {
+		if ind.Right == "PROJECT" && schema.EqualAttrSets(ind.LeftAttrs, []string{"M.NR"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EMPLOYEE'[M.NR] ⊆ PROJECT[PJ.NR] missing")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	s := figures.Fig3()
+	cases := []struct {
+		name    string
+		members []string
+		merged  string
+	}{
+		{"single member", []string{"COURSE"}, "X"},
+		{"unknown member", []string{"COURSE", "NOPE"}, "X"},
+		{"duplicate member", []string{"COURSE", "COURSE"}, "X"},
+		{"incompatible keys", []string{"COURSE", "PERSON"}, "X"},
+		{"name collision", []string{"COURSE", "OFFER"}, "PERSON"},
+	}
+	for _, c := range cases {
+		if _, err := Merge(s, c.members, c.merged); err == nil {
+			t.Errorf("%s: Merge should fail", c.name)
+		}
+	}
+
+	// Nullable member attributes violate the Def. 4.1 assumption.
+	s2 := figures.Fig2(true)
+	s2.Nulls = []schema.NullConstraint{schema.NNA("OFFER", "O.CN", "O.DN"), schema.NNA("TEACH", "T.CN")}
+	if _, err := Merge(s2, []string{"OFFER", "TEACH"}, "ASSIGN"); err == nil {
+		t.Error("nullable member attribute should be rejected")
+	}
+}
+
+func TestMergeDoesNotMutateInput(t *testing.T) {
+	s := figures.Fig3()
+	before := s.String()
+	if _, err := Merge(s, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'"); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != before {
+		t.Error("Merge must not mutate its input schema")
+	}
+}
+
+func TestMergeCarriesCandidateKeys(t *testing.T) {
+	s := figures.Fig2(true)
+	// Make TEACH one-to-one: T.FN is an additional candidate key.
+	s.Scheme("TEACH").CandidateKeys = [][]string{{"T.FN"}}
+	m, err := Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := m.Schema.Scheme("ASSIGN")
+	if len(rm.CandidateKeys) != 1 || !schema.EqualAttrSets(rm.CandidateKeys[0], []string{"T.FN"}) {
+		t.Errorf("candidate keys = %v", rm.CandidateKeys)
+	}
+	// T.FN allows nulls in ASSIGN: a nullable candidate key (Prop. 5.1(ii)).
+	nks := NullableCandidateKeys(m.Schema, "ASSIGN")
+	if len(nks) != 1 {
+		t.Errorf("NullableCandidateKeys = %v", nks)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/figures"
+	"repro/internal/normalize"
+	"repro/internal/schema"
+)
+
+// Removal order does not matter: removing the three key copies of the
+// figure 5 merge in any order yields identical schemas.
+func TestRemoveOrderIndependence(t *testing.T) {
+	orders := [][]string{
+		{"OFFER", "TEACH", "ASSIST"},
+		{"ASSIST", "OFFER", "TEACH"},
+		{"TEACH", "ASSIST", "OFFER"},
+	}
+	var reference *schema.Schema
+	for _, order := range orders {
+		m, err := Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, member := range order {
+			if err := m.Remove(member); err != nil {
+				t.Fatalf("order %v: Remove(%s): %v", order, member, err)
+			}
+		}
+		if reference == nil {
+			reference = m.Schema
+			continue
+		}
+		if !m.Schema.SameConstraints(reference) {
+			t.Errorf("order %v produced different constraints", order)
+		}
+		if !schema.EqualAttrSets(m.Schema.Scheme("COURSE''").AttrNames(),
+			reference.Scheme("COURSE''").AttrNames()) {
+			t.Errorf("order %v produced different attributes", order)
+		}
+	}
+}
+
+// The two directions of the introduction meet: BCNF normalization splits a
+// denormalized relation into fragments, but those fragments have DIFFERENT
+// primary keys (COURSE vs FACULTY), so the paper's merge — which requires
+// pairwise-compatible primary keys — correctly refuses to undo the split.
+// Recombining split fragments is the job of joins (Reassemble), not Merge.
+func TestNormalizeFragmentsNotMergeable(t *testing.T) {
+	res, err := normalize.BCNF("TEACHES", []schema.Attribute{
+		{Name: "COURSE", Domain: "cnr"},
+		{Name: "FACULTY", Domain: "fid"},
+		{Name: "OFFICE", Domain: "office"},
+	}, []fd.Dep{
+		fd.NewDep([]string{"COURSE"}, []string{"FACULTY"}),
+		fd.NewDep([]string{"FACULTY"}, []string{"OFFICE"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 {
+		t.Fatalf("fragments = %v", res.Fragments)
+	}
+	_, err = Merge(res.Schema, res.Fragments, "RECOMBINED")
+	if err == nil {
+		t.Fatal("fragments with incompatible keys must not merge")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Prop52Clusters plans merges over a whole schema: it returns disjoint merge
+// sets, each satisfying the conditions of Proposition 5.2 (so each merges to
+// a relation-scheme maintainable with only nulls-not-allowed constraints).
+// Clusters are grown greedily around each scheme in declaration order: a
+// scheme acts as the key-relation Rk, and every not-yet-consumed scheme
+// satisfying the per-member conditions joins its cluster. Only clusters with
+// at least two members are returned, key-relation first.
+func Prop52Clusters(s *schema.Schema) [][]string {
+	used := make(map[string]bool)
+	var out [][]string
+	for _, rk := range s.Relations {
+		if used[rk.Name] {
+			continue
+		}
+		cluster := []string{rk.Name}
+		for _, ri := range s.Relations {
+			if ri.Name == rk.Name || used[ri.Name] {
+				continue
+			}
+			if prop52With(s, []string{rk.Name, ri.Name}, rk.Name) {
+				cluster = append(cluster, ri.Name)
+			}
+		}
+		if len(cluster) < 2 {
+			continue
+		}
+		for _, n := range cluster {
+			used[n] = true
+		}
+		out = append(out, cluster)
+	}
+	return out
+}
+
+// ApplyPlan merges every cluster in order, naming each merged scheme after
+// its key-relation with a trailing prime, and removes all removable key
+// copies. It returns the rewritten schema and the merge records.
+func ApplyPlan(s *schema.Schema, clusters [][]string) (*schema.Schema, []*MergedScheme, error) {
+	cur := s
+	var merges []*MergedScheme
+	for _, cluster := range clusters {
+		name := cluster[0] + "'"
+		for cur.Scheme(name) != nil {
+			name += "'"
+		}
+		m, err := Merge(cur, cluster, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: merging %v: %w", cluster, err)
+		}
+		m.RemoveAll()
+		merges = append(merges, m)
+		cur = m.Schema
+	}
+	return cur, merges, nil
+}

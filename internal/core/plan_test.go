@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/nullcon"
+	"repro/internal/schema"
+)
+
+func TestProp52ClustersFig3(t *testing.T) {
+	s := figures.Fig3()
+	clusters := Prop52Clusters(s)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want exactly the OFFER cluster", clusters)
+	}
+	if clusters[0][0] != "OFFER" || !schema.EqualAttrSets(clusters[0], []string{"OFFER", "TEACH", "ASSIST"}) {
+		t.Errorf("cluster = %v, want OFFER-rooted {OFFER, TEACH, ASSIST}", clusters[0])
+	}
+}
+
+func TestProp52ClustersDisjoint(t *testing.T) {
+	// Two independent stars must give two disjoint clusters.
+	s := schema.New()
+	mk := func(name, dom string, key string, extra ...schema.Attribute) {
+		attrs := append([]schema.Attribute{{Name: key, Domain: dom}}, extra...)
+		s.AddScheme(schema.NewScheme(name, attrs, []string{key}))
+		s.Nulls = append(s.Nulls, schema.NNA(name, schema.AttrNames(attrs)...))
+	}
+	mk("A", "da", "A.ID")
+	mk("A1", "da", "A1.ID", schema.Attribute{Name: "A1.X", Domain: "xa"})
+	mk("B", "db", "B.ID")
+	mk("B1", "db", "B1.ID", schema.Attribute{Name: "B1.X", Domain: "xb"})
+	s.INDs = []schema.IND{
+		schema.NewIND("A1", []string{"A1.ID"}, "A", []string{"A.ID"}),
+		schema.NewIND("B1", []string{"B1.ID"}, "B", []string{"B.ID"}),
+	}
+	clusters := Prop52Clusters(s)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	seen := map[string]bool{}
+	for _, c := range clusters {
+		for _, n := range c {
+			if seen[n] {
+				t.Errorf("scheme %s in two clusters", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestApplyPlanFig3(t *testing.T) {
+	s := figures.Fig3()
+	out, merges, err := ApplyPlan(s, Prop52Clusters(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != 1 {
+		t.Fatalf("merges = %d", len(merges))
+	}
+	merged := out.Scheme("OFFER'")
+	if merged == nil {
+		t.Fatal("OFFER' missing")
+	}
+	if !schema.EqualAttrLists(merged.AttrNames(), []string{"O.C.NR", "O.D.NAME", "T.F.SSN", "A.S.SSN"}) {
+		t.Errorf("OFFER' = %v", merged.AttrNames())
+	}
+	if !nullcon.OnlyNNA(out.NullsOf("OFFER'")) {
+		t.Errorf("plan output should be only-NNA, got %v", out.NullsOf("OFFER'"))
+	}
+	// 8 schemes collapse to 6.
+	if len(out.Relations) != 6 {
+		t.Errorf("%d relations, want 6", len(out.Relations))
+	}
+	if err := out.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPlanNameCollision(t *testing.T) {
+	s := figures.Fig3()
+	// Occupy the OFFER' name to force the planner to prime twice.
+	s.AddScheme(schema.NewScheme("OFFER'",
+		[]schema.Attribute{{Name: "X.ID", Domain: "x"}}, []string{"X.ID"}))
+	s.Nulls = append(s.Nulls, schema.NNA("OFFER'", "X.ID"))
+	out, _, err := ApplyPlan(s, Prop52Clusters(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme("OFFER''") == nil {
+		t.Error("collision should produce OFFER''")
+	}
+}

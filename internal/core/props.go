@@ -1,0 +1,198 @@
+package core
+
+import (
+	"repro/internal/fd"
+	"repro/internal/keyrel"
+	"repro/internal/schema"
+)
+
+// Prop51 evaluates the two syntactic conditions of Proposition 5.1 on the
+// original schema for a prospective merge set:
+//
+//	keyBasedOnly — after Merge, I' contains only key-based inclusion
+//	dependencies iff no relation-scheme of R̄ that is not a key-relation of R̄
+//	is referenced (in its primary key) by an inclusion dependency from
+//	outside R̄;
+//
+//	nonNullKeys — the key attributes (candidate keys) of Rm are all
+//	non-null iff every member that is not a key-relation has a unique
+//	(primary) key, i.e. no additional candidate keys.
+func Prop51(s *schema.Schema, names []string) (keyBasedOnly, nonNullKeys bool) {
+	inSet := make(map[string]bool, len(names))
+	for _, n := range names {
+		inSet[n] = true
+	}
+	keyBasedOnly, nonNullKeys = true, true
+	for _, n := range names {
+		if keyrel.IsKeyRelation(s, n, names) {
+			continue
+		}
+		rs := s.Scheme(n)
+		if rs == nil {
+			return false, false
+		}
+		for _, ind := range s.INDsInto(n) {
+			if !inSet[ind.Left] && schema.OverlapAttrs(ind.RightAttrs, rs.PrimaryKey) {
+				keyBasedOnly = false
+			}
+		}
+		if len(rs.CandidateKeys) > 0 {
+			nonNullKeys = false
+		}
+	}
+	return keyBasedOnly, nonNullKeys
+}
+
+// AllINDsKeyBased reports whether every inclusion dependency of the schema
+// is key-based (a referential integrity constraint) — the post-merge check
+// corresponding to Prop. 5.1(i).
+func AllINDsKeyBased(s *schema.Schema) bool {
+	for _, ind := range s.INDs {
+		if !ind.KeyBased(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// NullableCandidateKeys returns the candidate keys of the named scheme that
+// contain an attribute allowed to be null — the keys Prop. 5.1(ii) warns
+// cannot be maintained by DBMSs that consider all nulls identical.
+func NullableCandidateKeys(s *schema.Schema, name string) [][]string {
+	rs := s.Scheme(name)
+	if rs == nil {
+		return nil
+	}
+	var out [][]string
+	for _, ck := range rs.CandidateKeys {
+		for _, a := range ck {
+			if s.AllowsNull(name, a) {
+				out = append(out, ck)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Prop52 evaluates the conditions of Proposition 5.2 on the original schema:
+// whether the merge set contains a relation-scheme Rk such that, for every
+// other member Ri:
+//
+//	(1) Ri[Ki] ⊆ Rk[Kk] belongs to I (Rk is a direct key-relation);
+//	(2) Ri has exactly one non-primary-key attribute;
+//	(3) Ri is not referenced by any inclusion dependency;
+//	(4) every other inclusion dependency from Ri is key-based, and if it maps
+//	    Ri's own key to some Rj[Kj] then Rk[Kk] ⊆ Rj[Kj] also belongs to I.
+//
+// When the conditions hold, Merge followed by RemoveAll yields a null
+// constraint set consisting only of nulls-not-allowed constraints. The
+// function returns the qualifying key-relation ("" and false when none).
+func Prop52(s *schema.Schema, names []string) (string, bool) {
+	for _, rk := range names {
+		if prop52With(s, names, rk) {
+			return rk, true
+		}
+	}
+	return "", false
+}
+
+func prop52With(s *schema.Schema, names []string, rk string) bool {
+	rkScheme := s.Scheme(rk)
+	if rkScheme == nil {
+		return false
+	}
+	for _, n := range names {
+		if n == rk {
+			continue
+		}
+		ri := s.Scheme(n)
+		if ri == nil {
+			return false
+		}
+		// (1)
+		found := false
+		for _, ind := range s.INDsFrom(n) {
+			if ind.Right == rk &&
+				schema.EqualAttrSets(ind.LeftAttrs, ri.PrimaryKey) &&
+				schema.EqualAttrSets(ind.RightAttrs, rkScheme.PrimaryKey) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		// (2)
+		if len(schema.DiffAttrs(ri.AttrNames(), ri.PrimaryKey)) != 1 {
+			return false
+		}
+		// (3)
+		if len(s.INDsInto(n)) > 0 {
+			return false
+		}
+		// (4)
+		for _, ind := range s.INDsFrom(n) {
+			if ind.Right == rk && schema.EqualAttrSets(ind.LeftAttrs, ri.PrimaryKey) {
+				continue // the (1) dependency
+			}
+			if ind.Right == n || !ind.KeyBased(s) {
+				return false
+			}
+			if schema.EqualAttrSets(ind.LeftAttrs, ri.PrimaryKey) {
+				// Key copy as foreign key: Rk needs the same dependency.
+				ok := false
+				for _, other := range s.INDsFrom(rk) {
+					if other.Right == ind.Right &&
+						schema.EqualAttrSets(other.LeftAttrs, rkScheme.PrimaryKey) &&
+						schema.EqualAttrLists(other.RightAttrs, ind.RightAttrs) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SchemeDeps collects the functional dependencies relevant to the BCNF
+// analysis of one scheme: its declared FDs plus, for every total-equality
+// constraint Y =⊥ Z of the scheme, the bidirectional dependencies Y → Z and
+// Z → Y (Klug-style equality axioms; on the total subtuples where the
+// constraint bites, each side determines the other).
+func SchemeDeps(s *schema.Schema, name string) []fd.Dep {
+	var deps []fd.Dep
+	for _, f := range s.FDsOf(name) {
+		deps = append(deps, fd.NewDep(f.LHS, f.RHS))
+	}
+	for _, nc := range s.NullsOf(name) {
+		if te, ok := nc.(schema.TotalEquality); ok {
+			deps = append(deps, fd.NewDep(te.Y, te.Z), fd.NewDep(te.Z, te.Y))
+		}
+	}
+	return deps
+}
+
+// IsSchemeBCNF reports whether the named scheme is in BCNF under SchemeDeps.
+func IsSchemeBCNF(s *schema.Schema, name string) bool {
+	rs := s.Scheme(name)
+	if rs == nil {
+		return false
+	}
+	return fd.IsBCNF(rs.AttrNames(), SchemeDeps(s, name))
+}
+
+// AllBCNF reports whether every relation-scheme of the schema is in BCNF —
+// the normal-form preservation claim of Prop. 4.1(ii).
+func AllBCNF(s *schema.Schema) bool {
+	for _, rs := range s.Relations {
+		if !IsSchemeBCNF(s, rs.Name) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/nullcon"
+	"repro/internal/schema"
+)
+
+// E10 — Prop. 5.1(i): the syntactic condition agrees with inspection of the
+// merge output on the paper's own examples.
+func TestProp51KeyBasedCondition(t *testing.T) {
+	s := figures.Fig3()
+
+	// Figure 4's merge set: OFFER (not a key-relation of the set) is
+	// referenced by ASSIST from outside → non-key-based dependency expected.
+	kb, _ := Prop51(s, []string{"COURSE", "OFFER", "TEACH"})
+	if kb {
+		t.Error("Prop51(i) should fail for the figure 4 merge set")
+	}
+	m4, _ := Merge(s, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if AllINDsKeyBased(m4.Schema) {
+		t.Error("figure 4's output should contain a non-key-based dependency")
+	}
+
+	// Figure 5's merge set: ASSIST joins the set → all key-based.
+	kb, _ = Prop51(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"})
+	if !kb {
+		t.Error("Prop51(i) should hold for the figure 5 merge set")
+	}
+	m5, _ := Merge(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if !AllINDsKeyBased(m5.Schema) {
+		t.Error("figure 5's output should be all key-based")
+	}
+}
+
+// E10 — Prop. 5.1(i) agreement over many merge sets: the pre-merge condition
+// predicts exactly whether the output contains non-key-based dependencies.
+func TestProp51AgreesWithMergeOutput(t *testing.T) {
+	mergeSets := [][]string{
+		{"COURSE", "OFFER"},
+		{"COURSE", "OFFER", "TEACH"},
+		{"COURSE", "OFFER", "TEACH", "ASSIST"},
+		{"COURSE", "OFFER", "ASSIST"},
+		{"OFFER", "TEACH"},
+		{"OFFER", "TEACH", "ASSIST"},
+		{"PERSON", "FACULTY"},
+		{"PERSON", "FACULTY", "STUDENT"},
+	}
+	for _, names := range mergeSets {
+		s := figures.Fig3()
+		kb, _ := Prop51(s, names)
+		m, err := Merge(s, names, "MERGED")
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		if got := AllINDsKeyBased(m.Schema); got != kb {
+			t.Errorf("%v: Prop51(i)=%v but output key-based=%v", names, kb, got)
+		}
+	}
+}
+
+// Prop. 5.1(ii): extra candidate keys on a non-key-relation member produce
+// nullable candidate keys in the merged scheme.
+func TestProp51NonNullKeys(t *testing.T) {
+	s := figures.Fig3()
+	if _, nn := Prop51(s, []string{"COURSE", "OFFER", "TEACH"}); !nn {
+		t.Error("figure 3 members have unique keys: Prop51(ii) should hold")
+	}
+	s.Scheme("TEACH").CandidateKeys = [][]string{{"T.F.SSN"}}
+	if _, nn := Prop51(s, []string{"COURSE", "OFFER", "TEACH"}); nn {
+		t.Error("an extra candidate key on TEACH should fail Prop51(ii)")
+	}
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(NullableCandidateKeys(m.Schema, "COURSE'")) == 0 {
+		t.Error("merged scheme should carry a nullable candidate key")
+	}
+	// Extra candidate keys on the key-relation itself are harmless: they stay
+	// under the Xk NNA constraint.
+	s2 := figures.Fig3()
+	s2.AddScheme(schema.NewScheme("CODE",
+		[]schema.Attribute{
+			{Name: "CD.NR", Domain: figures.DomCourseNr},
+			{Name: "CD.ALT", Domain: "alt_code"},
+		}, []string{"CD.NR"}))
+	s2.Relations[len(s2.Relations)-1].CandidateKeys = [][]string{{"CD.ALT"}}
+	s2.Nulls = append(s2.Nulls, schema.NNA("CODE", "CD.NR", "CD.ALT"))
+	s2.INDs = append(s2.INDs, schema.NewIND("CODE", []string{"CD.NR"}, "COURSE", []string{"C.NR"}))
+	if _, nn := Prop51(s2, []string{"COURSE", "CODE"}); nn {
+		t.Error("CODE is not a key-relation of {COURSE, CODE}; its extra key fails Prop51(ii)")
+	}
+	if _, nn := Prop51(s2, []string{"CODE", "COURSE"}); nn {
+		t.Error("order must not matter")
+	}
+}
+
+// E10 — Prop. 5.2 on the paper's examples: {OFFER, TEACH, ASSIST} qualifies
+// with key-relation OFFER; adding COURSE to the set disqualifies it.
+func TestProp52OnFig3(t *testing.T) {
+	s := figures.Fig3()
+	rk, ok := Prop52(s, []string{"OFFER", "TEACH", "ASSIST"})
+	if !ok || rk != "OFFER" {
+		t.Fatalf("Prop52({OFFER,TEACH,ASSIST}) = %q, %v; want OFFER, true", rk, ok)
+	}
+	if _, ok := Prop52(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}); ok {
+		t.Error("Prop52 should fail when COURSE joins the set (TEACH has no dependency into COURSE)")
+	}
+	if _, ok := Prop52(s, []string{"COURSE", "OFFER", "TEACH"}); ok {
+		t.Error("Prop52 should fail for the figure 4 set")
+	}
+	// {PERSON, FACULTY, STUDENT}: FACULTY and STUDENT have zero non-key
+	// attributes, failing condition (2).
+	if _, ok := Prop52(s, []string{"PERSON", "FACULTY", "STUDENT"}); ok {
+		t.Error("single-attribute members fail Prop52 condition (2)")
+	}
+}
+
+// Prop. 5.2's conclusion, verified mechanically: merge sets satisfying the
+// conditions reduce to only-NNA constraint sets after Merge + RemoveAll, and
+// the §5.2 counterexample retains general null constraints.
+func TestProp52ConclusionHolds(t *testing.T) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"OFFER", "TEACH", "ASSIST"}, "OFFER'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := m.RemoveAll()
+	if len(removed) != 2 {
+		t.Fatalf("RemoveAll removed %v, want TEACH and ASSIST copies", removed)
+	}
+	if !nullcon.OnlyNNA(m.Schema.NullsOf("OFFER'")) {
+		t.Errorf("Prop52 conclusion: expected only NNA constraints, got %v", m.Schema.NullsOf("OFFER'"))
+	}
+	rm := m.Schema.Scheme("OFFER'")
+	if !schema.EqualAttrLists(rm.AttrNames(), []string{"O.C.NR", "O.D.NAME", "T.F.SSN", "A.S.SSN"}) {
+		t.Errorf("OFFER' = %v", rm.AttrNames())
+	}
+	// NNA covers exactly Xk = {O.C.NR, O.D.NAME}.
+	nna := m.Schema.NNAAttrs("OFFER'")
+	if !nna["O.C.NR"] || !nna["O.D.NAME"] || nna["T.F.SSN"] || nna["A.S.SSN"] {
+		t.Errorf("NNA attrs = %v", nna)
+	}
+
+	// Counterexample: the figure 5/6 merge (COURSE in the set) keeps
+	// null-existence constraints (figure 6's constraints 2 and 3).
+	m2, err := Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RemoveAll()
+	if nullcon.OnlyNNA(m2.Schema.NullsOf("COURSE''")) {
+		t.Error("the figure 6 schema requires general null-existence constraints")
+	}
+}
+
+// The Prop. 5.2(4) proviso: a member whose key is also a foreign key to an
+// external scheme qualifies only when the key-relation shares the dependency.
+func TestProp52Condition4Proviso(t *testing.T) {
+	build := func(withCounterpart bool) *schema.Schema {
+		s := figures.Fig2(true)
+		s.AddScheme(schema.NewScheme("CATALOG",
+			[]schema.Attribute{{Name: "CAT.CN", Domain: figures.DomCourseNr}},
+			[]string{"CAT.CN"}))
+		s.Nulls = append(s.Nulls, schema.NNA("CATALOG", "CAT.CN"))
+		s.INDs = append(s.INDs, schema.NewIND("TEACH", []string{"T.CN"}, "CATALOG", []string{"CAT.CN"}))
+		if withCounterpart {
+			s.INDs = append(s.INDs, schema.NewIND("OFFER", []string{"O.CN"}, "CATALOG", []string{"CAT.CN"}))
+		}
+		return s
+	}
+	if _, ok := Prop52(build(false), []string{"OFFER", "TEACH"}); ok {
+		t.Error("missing Rk counterpart should fail condition (4)")
+	}
+	rk, ok := Prop52(build(true), []string{"OFFER", "TEACH"})
+	if !ok || rk != "OFFER" {
+		t.Errorf("Prop52 with counterpart = %q, %v", rk, ok)
+	}
+	// Mechanical confirmation of the conclusion.
+	m, err := Merge(build(true), []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll()
+	if !nullcon.OnlyNNA(m.Schema.NullsOf("ASSIGN")) {
+		t.Errorf("expected only NNA, got %v", m.Schema.NullsOf("ASSIGN"))
+	}
+}
+
+// Prop. 5.2 condition (3): a member referenced by any dependency disqualifies.
+func TestProp52Condition3(t *testing.T) {
+	s := figures.Fig2(true)
+	s.AddScheme(schema.NewScheme("EVAL",
+		[]schema.Attribute{
+			{Name: "E.CN", Domain: figures.DomCourseNr},
+			{Name: "E.SCORE", Domain: "score"},
+		}, []string{"E.CN"}))
+	s.Nulls = append(s.Nulls, schema.NNA("EVAL", "E.CN", "E.SCORE"))
+	s.INDs = append(s.INDs, schema.NewIND("EVAL", []string{"E.CN"}, "TEACH", []string{"T.CN"}))
+	if _, ok := Prop52(s, []string{"OFFER", "TEACH"}); ok {
+		t.Error("TEACH referenced by EVAL should fail condition (3)")
+	}
+}
+
+func TestSchemeDepsAndBCNF(t *testing.T) {
+	s := figures.Fig3()
+	m, err := Merge(s, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := SchemeDeps(m.Schema, "COURSE'")
+	// Key dependency + 2 total-equality pairs (bidirectional).
+	if len(deps) != 5 {
+		t.Errorf("SchemeDeps = %d deps, want 5 (1 key + 2×2 TE)", len(deps))
+	}
+	if !IsSchemeBCNF(m.Schema, "COURSE'") {
+		t.Error("COURSE' should be BCNF")
+	}
+	if IsSchemeBCNF(m.Schema, "NOPE") {
+		t.Error("unknown scheme is not BCNF")
+	}
+	// A deliberately broken scheme: a non-key FD whose LHS is not a
+	// candidate key (B → C with key A).
+	bad := schema.New()
+	bad.AddScheme(schema.NewScheme("R", []schema.Attribute{
+		{Name: "A", Domain: "d"}, {Name: "B", Domain: "d"}, {Name: "C", Domain: "d"},
+	}, []string{"A"}))
+	bad.FDs = append(bad.FDs, schema.NewFD("R", []string{"B"}, []string{"C"}))
+	if IsSchemeBCNF(bad, "R") {
+		t.Error("B → C with key A violates BCNF")
+	}
+	if AllBCNF(bad) {
+		t.Error("AllBCNF should detect the violation")
+	}
+}

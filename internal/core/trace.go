@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Trace returns a human-readable account of what Merge and each Remove did,
+// step by step in the numbering of Definitions 4.1 and 4.3 — the explanation
+// a schema designer needs to audit the rewrite. Lines are appended as the
+// procedures run.
+func (m *MergedScheme) Trace() []string {
+	return append([]string(nil), m.trace...)
+}
+
+func (m *MergedScheme) tracef(format string, args ...any) {
+	m.trace = append(m.trace, fmt.Sprintf(format, args...))
+}
+
+// traceMerge records the Definition 4.1 provenance after the schema rewrite
+// is complete.
+func (m *MergedScheme) traceMerge() {
+	if m.Synthetic {
+		m.tracef("Def 3.1: no member satisfies Prop 3.1; synthesized key-relation with key (%s)", joinAttrList(m.Km))
+	} else {
+		m.tracef("Prop 3.1: %s is a key-relation of the merge set", m.KeyRelation)
+	}
+	m.tracef("Def 4.1 step 1: %s(%s) with key (%s)", m.Name, joinAttrList(m.FullAttrs), joinAttrList(m.Km))
+	m.tracef("Def 4.1 step 2: key dependencies of the members replaced by %s: %s → Xm", m.Name, joinAttrList(m.Km))
+	m.tracef("Def 4.1 step 3(a): nulls-not-allowed on Xk: ∅ ⊑ %s", joinAttrList(m.Xk))
+	for _, mb := range m.Members {
+		if mb.Name == m.KeyRelation {
+			continue
+		}
+		m.tracef("Def 4.1 step 3(b): total-equality %s =⊥ %s (member %s)", joinAttrList(m.Km), joinAttrList(mb.Key), mb.Name)
+		if len(mb.Attrs) > 1 {
+			m.tracef("Def 4.1 step 3(c): null-synchronization NS(%s) (member %s)", joinAttrList(mb.Attrs), mb.Name)
+		}
+	}
+	if m.Synthetic {
+		m.tracef("Def 4.1 step 3(d): part-null constraint over the %d member attribute sets", len(m.Members))
+	}
+	for _, nc := range m.Schema.NullsOf(m.Name) {
+		if ne, ok := nc.(schema.NullExistence); ok && !ne.IsNNA() {
+			m.tracef("Def 4.1 step 3(e): null-existence %s ⊑ %s (from the member-to-member inclusion dependency)",
+				joinAttrList(ne.Y), joinAttrList(ne.Z))
+		}
+	}
+	internalDropped := 0
+	for _, ind := range m.original.INDs {
+		if m.Member(ind.Left) != nil && m.Member(ind.Right) != nil {
+			internalDropped++
+		}
+	}
+	m.tracef("Def 4.1 step 4: inclusion dependencies rewritten (%d internal dependencies absorbed, %d remain)",
+		internalDropped, len(m.Schema.INDs))
+}
+
+// traceRemove records a Definition 4.3 application.
+func (m *MergedScheme) traceRemove(mb *Member) {
+	m.tracef("Def 4.3 Remove(%s): dropped the key copy of %s from Xm (step 1), re-expressed dependencies via (%s) (steps 2–3), dropped %s =⊥ %s and simplified the null constraints (step 4)",
+		joinAttrList(mb.Key), mb.Name, joinAttrList(m.Km), joinAttrList(m.Km), joinAttrList(mb.Key))
+}
+
+func joinAttrList(attrs []string) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func TestTraceFig6(t *testing.T) {
+	m := mergeFig5(t)
+	m.RemoveAll()
+	trace := strings.Join(m.Trace(), "\n")
+	for _, want := range []string{
+		"Prop 3.1: COURSE is a key-relation",
+		"Def 4.1 step 1: COURSE''(C.NR,O.C.NR,O.D.NAME,T.C.NR,T.F.SSN,A.C.NR,A.S.SSN) with key (C.NR)",
+		"Def 4.1 step 3(a): nulls-not-allowed on Xk: ∅ ⊑ C.NR",
+		"Def 4.1 step 3(b): total-equality C.NR =⊥ O.C.NR (member OFFER)",
+		"Def 4.1 step 3(c): null-synchronization NS(T.C.NR,T.F.SSN) (member TEACH)",
+		"Def 4.1 step 3(e): null-existence T.C.NR,T.F.SSN ⊑ O.C.NR,O.D.NAME",
+		"Def 4.1 step 4: inclusion dependencies rewritten (3 internal dependencies absorbed, 5 remain)",
+		"Def 4.3 Remove(O.C.NR)",
+		"Def 4.3 Remove(T.C.NR)",
+		"Def 4.3 Remove(A.C.NR)",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q in:\n%s", want, trace)
+		}
+	}
+}
+
+func TestTraceSynthetic(t *testing.T) {
+	m, err := Merge(figures.Fig2(false), []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := strings.Join(m.Trace(), "\n")
+	for _, want := range []string{
+		"synthesized key-relation with key (ASSIGN.K1)",
+		"Def 4.1 step 3(d): part-null constraint over the 2 member attribute sets",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q in:\n%s", want, trace)
+		}
+	}
+}
+
+func TestTraceIsACopy(t *testing.T) {
+	m := mergeFig5(t)
+	tr := m.Trace()
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	tr[0] = "mutated"
+	if m.Trace()[0] == "mutated" {
+		t.Error("Trace must return a copy")
+	}
+}

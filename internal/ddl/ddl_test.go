@@ -1,0 +1,202 @@
+package ddl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/schema"
+)
+
+func TestParseDialect(t *testing.T) {
+	for name, want := range map[string]Dialect{"db2": DB2, "SYBASE": Sybase, "Ingres": Ingres} {
+		got, err := ParseDialect(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDialect(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseDialect("oracle"); err == nil {
+		t.Error("unknown dialect should fail")
+	}
+	if DB2.String() != "db2" || Sybase.String() != "sybase" || Ingres.String() != "ingres" {
+		t.Error("Dialect.String")
+	}
+}
+
+func TestGenerateFig3DB2(t *testing.T) {
+	// Figure 3 is fully declarative: key-based INDs and NNA only.
+	out, err := Generate(figures.Fig3(), Options{Dialect: DB2})
+	if err != nil {
+		t.Fatalf("figure 3 should be DB2-expressible: %v", err)
+	}
+	for _, want := range []string{
+		"CREATE TABLE OFFER",
+		"O_C_NR",
+		"NOT NULL",
+		"PRIMARY KEY (O_C_NR)",
+		"ALTER TABLE TEACH ADD FOREIGN KEY (T_C_NR) REFERENCES OFFER (O_C_NR);",
+		"ALTER TABLE FACULTY ADD FOREIGN KEY (F_SSN) REFERENCES PERSON (P_SSN);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	if strings.Contains(out, "TRIGGER") || strings.Contains(out, "RULE") {
+		t.Error("DB2 output must not contain procedural objects")
+	}
+}
+
+func TestGenerateFig4DB2Unsupported(t *testing.T) {
+	// Figure 4's merged schema needs general null constraints and a
+	// non-key-based dependency: DB2 must refuse with a precise list.
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(m.Schema, Options{Dialect: DB2})
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UnsupportedError, got %v", err)
+	}
+	if out == "" {
+		t.Error("the declarative part should still be emitted")
+	}
+	joined := strings.Join(ue.Items, "\n")
+	if !strings.Contains(joined, "ASSIST[A.C.NR] ⊆ COURSE'[O.C.NR]") {
+		t.Errorf("unsupported list should name the non-key-based dependency:\n%s", joined)
+	}
+	if !strings.Contains(joined, "NS(") || !strings.Contains(joined, "=⊥") {
+		t.Errorf("unsupported list should name the null constraints:\n%s", joined)
+	}
+}
+
+func TestGenerateFig4Sybase(t *testing.T) {
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(m.Schema, Options{Dialect: Sybase})
+	if err != nil {
+		t.Fatalf("SYBASE handles procedural constraints: %v", err)
+	}
+	for _, want := range []string{
+		"CREATE TRIGGER trg_COURSEp_nulls ON COURSEp FOR INSERT, UPDATE",
+		"ROLLBACK TRANSACTION",
+		"CREATE TRIGGER trg_ASSIST_ref_A_C_NR ON ASSIST",
+		"NOT EXISTS (SELECT * FROM COURSEp t WHERE t.O_C_NR = inserted.A_C_NR)",
+		"CREATE TRIGGER trg_COURSEp_refd_O_C_NR ON COURSEp FOR DELETE, UPDATE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SYBASE output", want)
+		}
+	}
+}
+
+func TestGenerateFig4Ingres(t *testing.T) {
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(m.Schema, Options{Dialect: Ingres})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CREATE RULE r_COURSEp_null_1 AFTER INSERT, UPDATE OF COURSEp",
+		"EXECUTE PROCEDURE",
+		"CREATE PROCEDURE p_ind_1",
+		"RAISE ERROR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in INGRES output", want)
+		}
+	}
+}
+
+func TestGenerateFig6DB2AfterRemove(t *testing.T) {
+	// After RemoveAll, figure 6 still has two null-existence constraints, so
+	// DB2 still refuses — but the Prop. 5.2 merge set reduces to pure NNA
+	// and passes.
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll()
+	if _, err := Generate(m.Schema, Options{Dialect: DB2}); err == nil {
+		t.Error("figure 6 keeps general null constraints; DB2 must refuse")
+	}
+
+	m2, err := core.Merge(figures.Fig3(), []string{"OFFER", "TEACH", "ASSIST"}, "OFFER'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RemoveAll()
+	out, err := Generate(m2.Schema, Options{Dialect: DB2})
+	if err != nil {
+		t.Fatalf("the Prop. 5.2 merge should be DB2-expressible: %v", err)
+	}
+	if !strings.Contains(out, "CREATE TABLE OFFERp") {
+		t.Error("merged table missing")
+	}
+}
+
+func TestNullableCandidateKeyWarning(t *testing.T) {
+	s := figures.Fig2(true)
+	s.Scheme("TEACH").CandidateKeys = [][]string{{"T.FN"}}
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(m.Schema, Options{Dialect: Sybase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "WARNING: candidate key (T_FN)") {
+		t.Error("nullable candidate key should produce a warning comment")
+	}
+	// A non-null candidate key becomes a UNIQUE constraint.
+	s2 := figures.Fig2(true)
+	s2.Scheme("OFFER").CandidateKeys = [][]string{{"O.DN"}}
+	out2, err := Generate(s2, Options{Dialect: DB2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "ALTER TABLE OFFER ADD UNIQUE (O_DN);") {
+		t.Error("non-null candidate key should become UNIQUE")
+	}
+}
+
+func TestTypeMap(t *testing.T) {
+	out, err := Generate(figures.Fig3(), Options{
+		Dialect: DB2,
+		TypeMap: map[string]string{figures.DomSSN: "CHAR(9)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CHAR(9)") {
+		t.Error("TypeMap not applied")
+	}
+	if !strings.Contains(out, "VARCHAR(64)") {
+		t.Error("default type not applied to unmapped domains")
+	}
+}
+
+func TestGenerateInvalidSchema(t *testing.T) {
+	s := schema.New()
+	s.Nulls = append(s.Nulls, schema.NNA("MISSING", "A"))
+	if _, err := Generate(s, Options{Dialect: DB2}); err == nil {
+		t.Error("invalid schema should be rejected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, _ := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	a, _ := Generate(m.Schema, Options{Dialect: Sybase})
+	b, _ := Generate(m.Schema, Options{Dialect: Sybase})
+	if a != b {
+		t.Error("output must be deterministic")
+	}
+}

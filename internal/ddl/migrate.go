@@ -1,0 +1,120 @@
+package ddl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// MigrationSQL emits the data-migration script for a merge: the SQL
+// realization of the paper's state mapping η (Definition 4.1) followed by
+// the μ projections of any removals. The merged table is populated from the
+// member tables by a chain of outer joins on the (renamed) primary keys, and
+// the member tables are dropped:
+//
+//	INSERT INTO COURSE2 (...)
+//	SELECT ... FROM COURSE k
+//	LEFT OUTER JOIN OFFER m1 ON m1.O_C_NR = k.C_NR
+//	LEFT OUTER JOIN TEACH m2 ON m2.T_C_NR = k.C_NR ...
+//
+// Because the key-relation covers every member's key values (Prop. 3.1),
+// left outer joins from it realize the paper's full outer-equi-join exactly;
+// for a synthetic key-relation the key universe is materialized first as a
+// UNION of the members' key projections.
+func MigrationSQL(m *core.MergedScheme) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- Migration for Merge(%s) → %s\n", strings.Join(memberNames(m), ", "), sqlName(m.Name))
+	fmt.Fprintf(&b, "-- Realizes the state mapping η of Definition 4.1")
+	if n := len(m.Removals()); n > 0 {
+		fmt.Fprintf(&b, " (with %d removal projection(s) composed in)", n)
+	}
+	b.WriteString("\n\n")
+
+	removed := make(map[string]bool)
+	for _, yj := range m.Removals() {
+		for _, a := range yj {
+			removed[a] = true
+		}
+	}
+
+	// The driving table: the key-relation, or a materialized key universe.
+	driver := "k"
+	if m.Synthetic {
+		b.WriteString("-- Synthetic key-relation: materialize the key universe first.\n")
+		fmt.Fprintf(&b, "CREATE TABLE %s_keys (%s);\n", sqlName(m.Name), sqlNameList(m.Km))
+		for _, mb := range m.Members {
+			fmt.Fprintf(&b, "INSERT INTO %s_keys SELECT DISTINCT %s FROM %s;\n",
+				sqlName(m.Name), sqlNameList(mb.Key), sqlName(mb.Name))
+		}
+		b.WriteString("\n")
+	}
+
+	// Column list: the merged scheme's current attributes.
+	cur := m.Schema.Scheme(m.Name)
+	var cols, exprs []string
+	alias := make(map[string]string) // member name -> join alias
+	if m.KeyRelation != "" {
+		alias[m.KeyRelation] = "k"
+	}
+	i := 0
+	for _, mb := range m.Members {
+		if mb.Name == m.KeyRelation {
+			continue
+		}
+		i++
+		alias[mb.Name] = fmt.Sprintf("m%d", i)
+	}
+	owner := make(map[string]string) // attribute -> alias
+	for _, mb := range m.Members {
+		for _, a := range mb.Attrs {
+			owner[a] = alias[mb.Name]
+		}
+	}
+	if m.Synthetic {
+		for _, k := range m.Km {
+			owner[k] = "kk"
+		}
+	}
+	for _, a := range cur.AttrNames() {
+		cols = append(cols, sqlName(a))
+		exprs = append(exprs, owner[a]+"."+sqlName(a))
+	}
+
+	fmt.Fprintf(&b, "INSERT INTO %s (%s)\nSELECT %s\n", sqlName(m.Name),
+		strings.Join(cols, ", "), strings.Join(exprs, ", "))
+	if m.Synthetic {
+		fmt.Fprintf(&b, "FROM %s_keys kk\n", sqlName(m.Name))
+		driver = "kk"
+	} else {
+		fmt.Fprintf(&b, "FROM %s k\n", sqlName(m.KeyRelation))
+	}
+	for _, mb := range m.Members {
+		if mb.Name == m.KeyRelation {
+			continue
+		}
+		var conds []string
+		for j := range mb.Key {
+			conds = append(conds, fmt.Sprintf("%s.%s = %s.%s",
+				alias[mb.Name], sqlName(mb.Key[j]), driver, sqlName(m.Km[j])))
+		}
+		fmt.Fprintf(&b, "LEFT OUTER JOIN %s %s ON %s\n", sqlName(mb.Name), alias[mb.Name], strings.Join(conds, " AND "))
+	}
+	b.WriteString(";\n\n")
+
+	if m.Synthetic {
+		fmt.Fprintf(&b, "DROP TABLE %s_keys;\n", sqlName(m.Name))
+	}
+	for _, mb := range m.Members {
+		fmt.Fprintf(&b, "DROP TABLE %s;\n", sqlName(mb.Name))
+	}
+	return b.String()
+}
+
+func memberNames(m *core.MergedScheme) []string {
+	out := make([]string, len(m.Members))
+	for i, mb := range m.Members {
+		out[i] = mb.Name
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package ddl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+)
+
+func TestMigrationSQLFig6(t *testing.T) {
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll()
+	out := MigrationSQL(m)
+	for _, want := range []string{
+		"INSERT INTO COURSEpp (C_NR, O_D_NAME, T_F_SSN, A_S_SSN)",
+		"SELECT k.C_NR, m1.O_D_NAME, m2.T_F_SSN, m3.A_S_SSN",
+		"FROM COURSE k",
+		"LEFT OUTER JOIN OFFER m1 ON m1.O_C_NR = k.C_NR",
+		"LEFT OUTER JOIN TEACH m2 ON m2.T_C_NR = k.C_NR",
+		"LEFT OUTER JOIN ASSIST m3 ON m3.A_C_NR = k.C_NR",
+		"DROP TABLE COURSE;",
+		"DROP TABLE ASSIST;",
+		"3 removal projection(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMigrationSQLWithoutRemovals(t *testing.T) {
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MigrationSQL(m)
+	// The key copies survive without removals.
+	if !strings.Contains(out, "m1.O_C_NR") || !strings.Contains(out, "m2.T_C_NR") {
+		t.Errorf("key copies missing from column list:\n%s", out)
+	}
+	if strings.Contains(out, "removal projection") {
+		t.Error("no removals should be mentioned")
+	}
+}
+
+func TestMigrationSQLSynthetic(t *testing.T) {
+	m, err := core.Merge(figures.Fig2(false), []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MigrationSQL(m)
+	for _, want := range []string{
+		"CREATE TABLE ASSIGN_keys (ASSIGN_K1);",
+		"INSERT INTO ASSIGN_keys SELECT DISTINCT O_CN FROM OFFER;",
+		"INSERT INTO ASSIGN_keys SELECT DISTINCT T_CN FROM TEACH;",
+		"FROM ASSIGN_keys kk",
+		"LEFT OUTER JOIN OFFER m1 ON m1.O_CN = kk.ASSIGN_K1",
+		"LEFT OUTER JOIN TEACH m2 ON m2.T_CN = kk.ASSIGN_K1",
+		"DROP TABLE ASSIGN_keys;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMigrationSQLDeterministic(t *testing.T) {
+	m, _ := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if MigrationSQL(m) != MigrationSQL(m) {
+		t.Error("must be deterministic")
+	}
+}

@@ -1,0 +1,149 @@
+// Package diff compares two relational schemas and reports the differences
+// — the "what did merging change" view the SDT workflow needs when choosing
+// between design options (i) and (ii) of section 6.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Kind classifies a change.
+type Kind string
+
+// The change kinds.
+const (
+	SchemeAdded   Kind = "scheme+"
+	SchemeRemoved Kind = "scheme-"
+	SchemeChanged Kind = "scheme~"
+	INDAdded      Kind = "ind+"
+	INDRemoved    Kind = "ind-"
+	NullAdded     Kind = "null+"
+	NullRemoved   Kind = "null-"
+	FDAdded       Kind = "fd+"
+	FDRemoved     Kind = "fd-"
+)
+
+// Change is one difference between the schemas.
+type Change struct {
+	Kind   Kind
+	Detail string
+}
+
+// String renders the change.
+func (c Change) String() string { return fmt.Sprintf("%-8s %s", c.Kind, c.Detail) }
+
+// Schemas computes the differences from old to new, in a deterministic
+// order: scheme changes (by name), then FDs, inclusion dependencies, and
+// null constraints (by canonical key).
+func Schemas(old, new *schema.Schema) []Change {
+	var out []Change
+
+	oldSchemes := schemeMap(old)
+	newSchemes := schemeMap(new)
+	for _, name := range sortedKeys(oldSchemes) {
+		if _, ok := newSchemes[name]; !ok {
+			out = append(out, Change{SchemeRemoved, oldSchemes[name].String()})
+		}
+	}
+	for _, name := range sortedKeys(newSchemes) {
+		o, ok := oldSchemes[name]
+		if !ok {
+			out = append(out, Change{SchemeAdded, newSchemes[name].String()})
+			continue
+		}
+		n := newSchemes[name]
+		if !schema.EqualAttrLists(schema.AttrNames(o.Attrs), schema.AttrNames(n.Attrs)) ||
+			!schema.EqualAttrLists(o.PrimaryKey, n.PrimaryKey) {
+			out = append(out, Change{SchemeChanged, fmt.Sprintf("%s → %s", o, n)})
+		}
+	}
+
+	out = append(out, setDiff(fdKeys(old), fdKeys(new), FDRemoved, FDAdded)...)
+	out = append(out, setDiff(indMap(old), indMap(new), INDRemoved, INDAdded)...)
+	out = append(out, setDiff(nullMap(old), nullMap(new), NullRemoved, NullAdded)...)
+	return out
+}
+
+// Format renders the changes one per line (empty string when identical).
+func Format(changes []Change) string {
+	if len(changes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range changes {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func schemeMap(s *schema.Schema) map[string]*schema.RelationScheme {
+	out := make(map[string]*schema.RelationScheme, len(s.Relations))
+	for _, rs := range s.Relations {
+		out[rs.Name] = rs
+	}
+	return out
+}
+
+func fdKeys(s *schema.Schema) map[string]string {
+	out := make(map[string]string, len(s.FDs))
+	for _, fd := range s.FDs {
+		out[fd.Key()] = fd.String()
+	}
+	return out
+}
+
+func indMap(s *schema.Schema) map[string]string {
+	out := make(map[string]string, len(s.INDs))
+	for _, ind := range s.INDs {
+		out[ind.Key()] = ind.String()
+	}
+	return out
+}
+
+func nullMap(s *schema.Schema) map[string]string {
+	out := make(map[string]string, len(s.Nulls))
+	for _, nc := range s.Nulls {
+		out[nc.Key()] = nc.String()
+	}
+	return out
+}
+
+// setDiff reports removed (in old, not new) then added (in new, not old),
+// each sorted by display string.
+func setDiff(old, new map[string]string, removed, added Kind) []Change {
+	var out []Change
+	var gone, fresh []string
+	for k, display := range old {
+		if _, ok := new[k]; !ok {
+			gone = append(gone, display)
+		}
+	}
+	for k, display := range new {
+		if _, ok := old[k]; !ok {
+			fresh = append(fresh, display)
+		}
+	}
+	sort.Strings(gone)
+	sort.Strings(fresh)
+	for _, d := range gone {
+		out = append(out, Change{removed, d})
+	}
+	for _, d := range fresh {
+		out = append(out, Change{added, d})
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

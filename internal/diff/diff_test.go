@@ -1,0 +1,68 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/schema"
+)
+
+func TestIdenticalSchemasNoChanges(t *testing.T) {
+	if got := Schemas(figures.Fig3(), figures.Fig3()); len(got) != 0 {
+		t.Errorf("changes = %v", got)
+	}
+	if Format(nil) != "" {
+		t.Error("Format(nil)")
+	}
+}
+
+func TestFig4Diff(t *testing.T) {
+	old := figures.Fig3()
+	m, err := core.Merge(old, []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(Schemas(old, m.Schema))
+	for _, want := range []string{
+		"scheme-  COURSE(C.NR*)",
+		"scheme-  OFFER(O.C.NR*, O.D.NAME)",
+		"scheme-  TEACH(T.C.NR*, T.F.SSN)",
+		"scheme+  COURSE'(C.NR*, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN)",
+		"ind-     OFFER[O.C.NR] ⊆ COURSE[C.NR]",
+		"ind+     COURSE'[O.D.NAME] ⊆ DEPARTMENT[D.NAME]",
+		"null+    COURSE': NS(O.C.NR,O.D.NAME)",
+		"null+    COURSE': C.NR =⊥ O.C.NR",
+		"null-    COURSE: ∅ ⊑ C.NR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Untouched schemes do not appear.
+	if strings.Contains(out, "PERSON(") {
+		t.Errorf("PERSON should not appear:\n%s", out)
+	}
+}
+
+func TestSchemeChanged(t *testing.T) {
+	old := figures.Fig2(true)
+	new := figures.Fig2(true)
+	new.Scheme("OFFER").Attrs = append(new.Scheme("OFFER").Attrs,
+		schema.Attribute{Name: "O.EXTRA", Domain: "x"})
+	out := Format(Schemas(old, new))
+	if !strings.Contains(out, "scheme~") || !strings.Contains(out, "O.EXTRA") {
+		t.Errorf("changed scheme not reported:\n%s", out)
+	}
+}
+
+func TestDiffDeterministic(t *testing.T) {
+	old := figures.Fig3()
+	m, _ := core.Merge(old, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "X")
+	a := Format(Schemas(old, m.Schema))
+	b := Format(Schemas(old, m.Schema))
+	if a != b {
+		t.Error("diff must be deterministic")
+	}
+}

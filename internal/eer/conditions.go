@@ -1,0 +1,127 @@
+package eer
+
+import (
+	"fmt"
+)
+
+// CheckCondition1 verifies condition (1) of section 5.2: the entity-set and
+// the given specialization entity-sets can be represented by a single
+// relation-scheme involving only nulls-not-allowed constraints, provided
+// every specialization
+//
+//	(a) has no specializations of its own and is directly generalized only
+//	    by the given entity-set,
+//	(b) is not involved in relationship-sets or weak entity-sets, and
+//	(c) has exactly one (not inherited) attribute of its own.
+//
+// This is the figure 8(iii) structure. A nil error means the condition
+// holds.
+func (s *Schema) CheckCondition1(entity string, specs []string) error {
+	if s.Entity(entity) == nil {
+		return fmt.Errorf("eer: unknown entity-set %s", entity)
+	}
+	for _, sp := range specs {
+		e := s.Entity(sp)
+		if e == nil {
+			return fmt.Errorf("eer: unknown entity-set %s", sp)
+		}
+		// (a)
+		if len(s.Children(sp)) > 0 {
+			return fmt.Errorf("eer: condition (1a) fails: %s has specializations of its own", sp)
+		}
+		parents := s.Parents(sp)
+		if len(parents) != 1 || parents[0] != entity {
+			return fmt.Errorf("eer: condition (1a) fails: %s is not generalized only by %s", sp, entity)
+		}
+		// (b)
+		if len(s.RelationshipsOf(sp)) > 0 {
+			return fmt.Errorf("eer: condition (1b) fails: %s participates in a relationship-set", sp)
+		}
+		if len(s.WeakDependents(sp)) > 0 {
+			return fmt.Errorf("eer: condition (1b) fails: %s owns a weak entity-set", sp)
+		}
+		// (c)
+		if len(e.OwnAttrs) != 1 {
+			return fmt.Errorf("eer: condition (1c) fails: %s has %d own attributes, want exactly 1", sp, len(e.OwnAttrs))
+		}
+	}
+	return nil
+}
+
+// CheckCondition2 verifies condition (2) of section 5.2: the object-set and
+// the given binary many-to-one relationship-sets (in which the object-set
+// participates with Many cardinality) can be represented by a single
+// relation-scheme involving only nulls-not-allowed constraints, provided
+// every relationship-set
+//
+//	(a) has no attributes,
+//	(b) is not involved in any other relationship-set, and
+//	(c) associates the object-set with entity-sets that are not weak and
+//	    have single-attribute identifiers.
+//
+// This is the figure 8(iv) structure. A nil error means the condition holds.
+func (s *Schema) CheckCondition2(object string, rels []string) error {
+	if !s.IsObject(object) {
+		return fmt.Errorf("eer: unknown object-set %s", object)
+	}
+	for _, rn := range rels {
+		r := s.Relationship(rn)
+		if r == nil {
+			return fmt.Errorf("eer: unknown relationship-set %s", rn)
+		}
+		many, one, ok := r.IsBinaryManyToOne()
+		if !ok {
+			return fmt.Errorf("eer: condition (2) fails: %s is not binary many-to-one", rn)
+		}
+		if many.Object != object {
+			return fmt.Errorf("eer: condition (2) fails: %s does not involve %s with Many cardinality", rn, object)
+		}
+		// (a)
+		if len(r.OwnAttrs) > 0 {
+			return fmt.Errorf("eer: condition (2a) fails: %s has attributes", rn)
+		}
+		// (b)
+		if len(s.RelationshipsOf(rn)) > 0 {
+			return fmt.Errorf("eer: condition (2b) fails: %s is involved in another relationship-set", rn)
+		}
+		if len(s.WeakDependents(rn)) > 0 {
+			return fmt.Errorf("eer: condition (2b) fails: %s owns a weak entity-set", rn)
+		}
+		// (c)
+		target := s.Entity(one.Object)
+		if target == nil {
+			return fmt.Errorf("eer: condition (2c) fails: %s associates %s with %s, which is not an entity-set", rn, object, one.Object)
+		}
+		if target.Weak {
+			return fmt.Errorf("eer: condition (2c) fails: %s is weak", one.Object)
+		}
+		if len(s.identifierArity(target)) != 1 {
+			return fmt.Errorf("eer: condition (2c) fails: %s has a composite identifier", one.Object)
+		}
+	}
+	return nil
+}
+
+// identifierArity returns the (inherited) identifier attribute names of an
+// entity-set — for a specialization, the parent chain is followed.
+func (s *Schema) identifierArity(e *EntitySet) []string {
+	if len(e.ID) > 0 {
+		return e.ID
+	}
+	if e.Weak {
+		owner := s.Entity(e.Owner)
+		if owner == nil {
+			return nil
+		}
+		return append(s.identifierArity(owner), e.Discriminator...)
+	}
+	parents := s.Parents(e.Name)
+	if len(parents) == 0 {
+		return nil
+	}
+	parent := s.Entity(parents[0])
+	if parent == nil {
+		return nil
+	}
+	return s.identifierArity(parent)
+}

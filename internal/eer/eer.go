@@ -1,0 +1,361 @@
+// Package eer models the Extended Entity-Relationship schemas of
+// Markowitz–Shoshani (reference [11] of Markowitz, ICDE 1992): entity-sets
+// (including weak entity-sets), relationship-sets whose participants may be
+// entity-sets or other relationship-sets, ISA generalization, and attributes
+// with null-value restrictions. It also implements the structural conditions
+// of section 5.2 of the paper — the figure 8 recognizers characterizing when
+// multiple object-sets can be represented by a single relation-scheme with
+// only nulls-not-allowed constraints.
+package eer
+
+import (
+	"fmt"
+)
+
+// Cardinality of a relationship participant.
+type Cardinality int
+
+// Participation cardinalities. In a binary many-to-one relationship-set the
+// "many" side contributes the key of the relationship's relational
+// translation.
+const (
+	One Cardinality = iota
+	Many
+)
+
+// String renders the cardinality.
+func (c Cardinality) String() string {
+	if c == One {
+		return "1"
+	}
+	return "M"
+}
+
+// Attr is an EER attribute: its relational name (the paper assigns globally
+// unique qualified names at translation time, so the name is declared here),
+// a domain, and a null-value restriction (Nullable false translates to a
+// nulls-not-allowed constraint).
+type Attr struct {
+	Name     string
+	Domain   string
+	Nullable bool
+	// MultiValued marks a set-valued attribute: the relational translation
+	// gives it its own relation-scheme keyed by the owner's identifier copy
+	// plus the value (the Markowitz–Shoshani treatment of multi-valued EER
+	// attributes). Identifier attributes cannot be multi-valued.
+	MultiValued bool
+}
+
+// EntitySet is an entity-set. A root entity-set declares its identifier
+// among its own attributes; a specialization entity-set (one that appears as
+// the child of an ISA link) declares no identifier and inherits it from its
+// parent(s). A weak entity-set names its owner and declares a discriminator:
+// its identifier is the owner's identifier copy plus the discriminator.
+type EntitySet struct {
+	Name string
+	// Prefix qualifies inherited identifier copies (e.g. FACULTY with prefix
+	// "F" copies PERSON's identifier base "SSN" as "F.SSN").
+	Prefix string
+	// OwnAttrs are the entity-set's own (not inherited) attributes.
+	OwnAttrs []Attr
+	// ID names the identifier attributes (subset of OwnAttrs) for root
+	// entity-sets; empty for specializations.
+	ID []string
+	// CopyBases optionally overrides, per identifier attribute, the base
+	// name used when another object-set copies this identifier (defaults to
+	// the identifier attribute names). E.g. PERSON's P.SSN has copy base
+	// "SSN" so FACULTY's copy is "F.SSN", not "F.P.SSN".
+	CopyBases []string
+	// Weak marks a weak entity-set; Owner names the identifying owner and
+	// Discriminator the own attributes extending the owner's identifier.
+	Weak          bool
+	Owner         string
+	Discriminator []string
+}
+
+// Participant is one leg of a relationship-set: an object-set (entity-set or
+// relationship-set) with a cardinality.
+type Participant struct {
+	Object string
+	Card   Cardinality
+}
+
+// RelationshipSet is a relationship-set over two or more participants, with
+// optional attributes of its own.
+type RelationshipSet struct {
+	Name     string
+	Prefix   string
+	Parts    []Participant
+	OwnAttrs []Attr
+}
+
+// ManyParticipants returns the participants with Many cardinality.
+func (r *RelationshipSet) ManyParticipants() []Participant {
+	var out []Participant
+	for _, p := range r.Parts {
+		if p.Card == Many {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsBinaryManyToOne reports whether the relationship-set is binary with
+// exactly one Many and one One participant, returning them.
+func (r *RelationshipSet) IsBinaryManyToOne() (many, one Participant, ok bool) {
+	if len(r.Parts) != 2 {
+		return Participant{}, Participant{}, false
+	}
+	a, b := r.Parts[0], r.Parts[1]
+	switch {
+	case a.Card == Many && b.Card == One:
+		return a, b, true
+	case a.Card == One && b.Card == Many:
+		return b, a, true
+	default:
+		return Participant{}, Participant{}, false
+	}
+}
+
+// ISA is a generalization link: Child is a specialization of Parent.
+type ISA struct {
+	Child  string
+	Parent string
+}
+
+// Schema is an EER schema: entity-sets, relationship-sets, and ISA links,
+// in declaration order.
+type Schema struct {
+	Entities      []*EntitySet
+	Relationships []*RelationshipSet
+	ISAs          []ISA
+}
+
+// New returns an empty EER schema.
+func New() *Schema { return &Schema{} }
+
+// Entity returns the named entity-set, or nil.
+func (s *Schema) Entity(name string) *EntitySet {
+	for _, e := range s.Entities {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Relationship returns the named relationship-set, or nil.
+func (s *Schema) Relationship(name string) *RelationshipSet {
+	for _, r := range s.Relationships {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// IsObject reports whether the name denotes any object-set.
+func (s *Schema) IsObject(name string) bool {
+	return s.Entity(name) != nil || s.Relationship(name) != nil
+}
+
+// Parents returns the generalization parents of the entity-set.
+func (s *Schema) Parents(child string) []string {
+	var out []string
+	for _, isa := range s.ISAs {
+		if isa.Child == child {
+			out = append(out, isa.Parent)
+		}
+	}
+	return out
+}
+
+// Children returns the direct specializations of the entity-set.
+func (s *Schema) Children(parent string) []string {
+	var out []string
+	for _, isa := range s.ISAs {
+		if isa.Parent == parent {
+			out = append(out, isa.Child)
+		}
+	}
+	return out
+}
+
+// RelationshipsOf returns the relationship-sets in which the object-set
+// participates.
+func (s *Schema) RelationshipsOf(object string) []*RelationshipSet {
+	var out []*RelationshipSet
+	for _, r := range s.Relationships {
+		for _, p := range r.Parts {
+			if p.Object == object {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WeakDependents returns the weak entity-sets owned by the object-set.
+func (s *Schema) WeakDependents(owner string) []*EntitySet {
+	var out []*EntitySet
+	for _, e := range s.Entities {
+		if e.Weak && e.Owner == owner {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsSpecialization reports whether the entity-set has a generalization
+// parent.
+func (s *Schema) IsSpecialization(name string) bool {
+	return len(s.Parents(name)) > 0
+}
+
+// Validate checks structural well-formedness of the EER schema.
+func (s *Schema) Validate() error {
+	names := make(map[string]bool)
+	for _, e := range s.Entities {
+		if e.Name == "" {
+			return fmt.Errorf("eer: entity-set with empty name")
+		}
+		if names[e.Name] {
+			return fmt.Errorf("eer: duplicate object-set %s", e.Name)
+		}
+		names[e.Name] = true
+		if err := s.validateEntity(e); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.Relationships {
+		if r.Name == "" {
+			return fmt.Errorf("eer: relationship-set with empty name")
+		}
+		if names[r.Name] {
+			return fmt.Errorf("eer: duplicate object-set %s", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for _, r := range s.Relationships {
+		if len(r.Parts) < 2 {
+			return fmt.Errorf("eer: relationship-set %s needs at least two participants", r.Name)
+		}
+		for _, p := range r.Parts {
+			if !s.IsObject(p.Object) {
+				return fmt.Errorf("eer: relationship-set %s references unknown object-set %s", r.Name, p.Object)
+			}
+			if p.Object == r.Name {
+				return fmt.Errorf("eer: relationship-set %s cannot participate in itself", r.Name)
+			}
+		}
+		if len(r.ManyParticipants()) == 0 {
+			return fmt.Errorf("eer: relationship-set %s has no Many participant (unsupported)", r.Name)
+		}
+	}
+	for _, isa := range s.ISAs {
+		if s.Entity(isa.Child) == nil || s.Entity(isa.Parent) == nil {
+			return fmt.Errorf("eer: ISA %s → %s references unknown entity-set", isa.Child, isa.Parent)
+		}
+		if isa.Child == isa.Parent {
+			return fmt.Errorf("eer: ISA %s is self-referential", isa.Child)
+		}
+	}
+	if cycle := s.isaCycle(); cycle != "" {
+		return fmt.Errorf("eer: generalization cycle through %s", cycle)
+	}
+	return nil
+}
+
+func (s *Schema) validateEntity(e *EntitySet) error {
+	attrNames := make(map[string]bool, len(e.OwnAttrs))
+	for _, a := range e.OwnAttrs {
+		if a.Name == "" || a.Domain == "" {
+			return fmt.Errorf("eer: entity-set %s has an attribute without name or domain", e.Name)
+		}
+		if attrNames[a.Name] {
+			return fmt.Errorf("eer: entity-set %s duplicates attribute %s", e.Name, a.Name)
+		}
+		attrNames[a.Name] = true
+	}
+	isSpec := s.IsSpecialization(e.Name)
+	switch {
+	case e.Weak:
+		if s.Entity(e.Owner) == nil {
+			return fmt.Errorf("eer: weak entity-set %s has unknown owner %s", e.Name, e.Owner)
+		}
+		if len(e.Discriminator) == 0 {
+			return fmt.Errorf("eer: weak entity-set %s needs a discriminator", e.Name)
+		}
+		for _, d := range e.Discriminator {
+			if !attrNames[d] {
+				return fmt.Errorf("eer: weak entity-set %s discriminator %s is not an own attribute", e.Name, d)
+			}
+		}
+	case isSpec:
+		if len(e.ID) > 0 {
+			return fmt.Errorf("eer: specialization entity-set %s must inherit its identifier", e.Name)
+		}
+		if e.Prefix == "" {
+			return fmt.Errorf("eer: specialization entity-set %s needs a prefix for its identifier copy", e.Name)
+		}
+	default:
+		if len(e.ID) == 0 {
+			return fmt.Errorf("eer: root entity-set %s has no identifier", e.Name)
+		}
+		for _, id := range e.ID {
+			if !attrNames[id] {
+				return fmt.Errorf("eer: entity-set %s identifier %s is not an own attribute", e.Name, id)
+			}
+		}
+		for _, id := range e.ID {
+			for _, a := range e.OwnAttrs {
+				if a.Name != id {
+					continue
+				}
+				if a.Nullable {
+					return fmt.Errorf("eer: identifier attribute %s of %s cannot be nullable", id, e.Name)
+				}
+				if a.MultiValued {
+					return fmt.Errorf("eer: identifier attribute %s of %s cannot be multi-valued", id, e.Name)
+				}
+			}
+		}
+		if len(e.CopyBases) != 0 && len(e.CopyBases) != len(e.ID) {
+			return fmt.Errorf("eer: entity-set %s CopyBases must match its identifier arity", e.Name)
+		}
+	}
+	return nil
+}
+
+func (s *Schema) isaCycle() string {
+	const (
+		unseen = iota
+		open
+		done
+	)
+	color := make(map[string]int)
+	var visit func(string) string
+	visit = func(n string) string {
+		switch color[n] {
+		case open:
+			return n
+		case done:
+			return ""
+		}
+		color[n] = open
+		for _, p := range s.Parents(n) {
+			if c := visit(p); c != "" {
+				return c
+			}
+		}
+		color[n] = done
+		return ""
+	}
+	for _, e := range s.Entities {
+		if c := visit(e.Name); c != "" {
+			return c
+		}
+	}
+	return ""
+}

@@ -1,0 +1,307 @@
+package eer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFixturesValidate(t *testing.T) {
+	for name, s := range map[string]*Schema{
+		"fig1": Fig1(), "fig7": Fig7(),
+		"fig8i": Fig8i(), "fig8ii": Fig8ii(), "fig8iii": Fig8iii(), "fig8iv": Fig8iv(),
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := Fig7()
+	if s.Entity("PERSON") == nil || s.Entity("OFFER") != nil {
+		t.Error("Entity lookup")
+	}
+	if s.Relationship("OFFER") == nil || s.Relationship("PERSON") != nil {
+		t.Error("Relationship lookup")
+	}
+	if !s.IsObject("PERSON") || !s.IsObject("OFFER") || s.IsObject("NOPE") {
+		t.Error("IsObject")
+	}
+	if got := s.Parents("FACULTY"); len(got) != 1 || got[0] != "PERSON" {
+		t.Errorf("Parents = %v", got)
+	}
+	if got := s.Children("PERSON"); len(got) != 2 {
+		t.Errorf("Children = %v", got)
+	}
+	if got := s.RelationshipsOf("OFFER"); len(got) != 2 {
+		t.Errorf("RelationshipsOf(OFFER) = %d, want TEACH and ASSIST", len(got))
+	}
+	if !s.IsSpecialization("FACULTY") || s.IsSpecialization("PERSON") {
+		t.Error("IsSpecialization")
+	}
+}
+
+func TestBinaryManyToOne(t *testing.T) {
+	s := Fig7()
+	many, one, ok := s.Relationship("OFFER").IsBinaryManyToOne()
+	if !ok || many.Object != "COURSE" || one.Object != "DEPARTMENT" {
+		t.Errorf("OFFER = %v/%v/%v", many, one, ok)
+	}
+	// Reversed declaration order also works.
+	r := &RelationshipSet{Parts: []Participant{
+		{Object: "B", Card: One}, {Object: "A", Card: Many},
+	}}
+	many, one, ok = r.IsBinaryManyToOne()
+	if !ok || many.Object != "A" || one.Object != "B" {
+		t.Error("reversed order")
+	}
+	mm := &RelationshipSet{Parts: []Participant{
+		{Object: "A", Card: Many}, {Object: "B", Card: Many},
+	}}
+	if _, _, ok := mm.IsBinaryManyToOne(); ok {
+		t.Error("many-to-many is not many-to-one")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	id := []Attr{{Name: "E.ID", Domain: "d"}}
+	cases := []struct {
+		name string
+		mk   func() *Schema
+	}{
+		{"duplicate object", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+			}
+			return s
+		}},
+		{"root without identifier", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id}}
+			return s
+		}},
+		{"identifier not own attr", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id, ID: []string{"X"}}}
+			return s
+		}},
+		{"nullable identifier", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E",
+				OwnAttrs: []Attr{{Name: "E.ID", Domain: "d", Nullable: true}},
+				ID:       []string{"E.ID"}}}
+			return s
+		}},
+		{"specialization with identifier", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+				{Name: "F", Prefix: "F", OwnAttrs: []Attr{{Name: "F.ID", Domain: "d"}}, ID: []string{"F.ID"}},
+			}
+			s.ISAs = []ISA{{Child: "F", Parent: "E"}}
+			return s
+		}},
+		{"specialization without prefix", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+				{Name: "F"},
+			}
+			s.ISAs = []ISA{{Child: "F", Parent: "E"}}
+			return s
+		}},
+		{"ISA cycle", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "A", Prefix: "A"},
+				{Name: "B", Prefix: "B"},
+			}
+			s.ISAs = []ISA{{Child: "A", Parent: "B"}, {Child: "B", Parent: "A"}}
+			return s
+		}},
+		{"self ISA", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}}}
+			s.ISAs = []ISA{{Child: "E", Parent: "E"}}
+			return s
+		}},
+		{"relationship with one participant", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}}}
+			s.Relationships = []*RelationshipSet{{Name: "R", Prefix: "R",
+				Parts: []Participant{{Object: "E", Card: Many}}}}
+			return s
+		}},
+		{"relationship unknown participant", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}}}
+			s.Relationships = []*RelationshipSet{{Name: "R", Prefix: "R",
+				Parts: []Participant{{Object: "E", Card: Many}, {Object: "X", Card: One}}}}
+			return s
+		}},
+		{"relationship without many side", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+				{Name: "F", OwnAttrs: []Attr{{Name: "F.ID", Domain: "d"}}, ID: []string{"F.ID"}},
+			}
+			s.Relationships = []*RelationshipSet{{Name: "R", Prefix: "R",
+				Parts: []Participant{{Object: "E", Card: One}, {Object: "F", Card: One}}}}
+			return s
+		}},
+		{"weak with unknown owner", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "W", Prefix: "W", Weak: true, Owner: "X",
+				OwnAttrs: []Attr{{Name: "W.D", Domain: "d"}}, Discriminator: []string{"W.D"}}}
+			return s
+		}},
+		{"weak without discriminator", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{
+				{Name: "E", OwnAttrs: id, ID: []string{"E.ID"}},
+				{Name: "W", Prefix: "W", Weak: true, Owner: "E"},
+			}
+			return s
+		}},
+		{"copybases arity mismatch", func() *Schema {
+			s := New()
+			s.Entities = []*EntitySet{{Name: "E", OwnAttrs: id, ID: []string{"E.ID"},
+				CopyBases: []string{"A", "B"}}}
+			return s
+		}},
+	}
+	for _, c := range cases {
+		if err := c.mk().Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+}
+
+// §5.2 condition (1) — figure 8(iii) holds, figure 8(i) fails on (1c).
+func TestCondition1(t *testing.T) {
+	if err := Fig8iii().CheckCondition1("PERSON", []string{"FACULTY", "STUDENT"}); err != nil {
+		t.Errorf("figure 8(iii) should satisfy condition (1): %v", err)
+	}
+	err := Fig8i().CheckCondition1("VEHICLE", []string{"CAR", "TRUCK"})
+	if err == nil || !strings.Contains(err.Error(), "(1c)") {
+		t.Errorf("figure 8(i) should fail condition (1c), got %v", err)
+	}
+
+	// (1b): a specialization participating in a relationship.
+	s := Fig8iii()
+	s.Entities = append(s.Entities, &EntitySet{
+		Name: "DEPARTMENT", Prefix: "D",
+		OwnAttrs: []Attr{{Name: "D.NAME", Domain: domDeptName}},
+		ID:       []string{"D.NAME"},
+	})
+	s.Relationships = []*RelationshipSet{{
+		Name: "ADVISES", Prefix: "AD",
+		Parts: []Participant{
+			{Object: "FACULTY", Card: Many},
+			{Object: "DEPARTMENT", Card: One},
+		},
+	}}
+	err = s.CheckCondition1("PERSON", []string{"FACULTY", "STUDENT"})
+	if err == nil || !strings.Contains(err.Error(), "(1b)") {
+		t.Errorf("want (1b) failure, got %v", err)
+	}
+
+	// (1a): a nested specialization.
+	s2 := Fig8iii()
+	s2.Entities = append(s2.Entities, &EntitySet{
+		Name: "GRAD", Prefix: "G",
+		OwnAttrs: []Attr{{Name: "G.PROGRAM", Domain: "program"}},
+	})
+	s2.ISAs = append(s2.ISAs, ISA{Child: "GRAD", Parent: "STUDENT"})
+	err = s2.CheckCondition1("PERSON", []string{"FACULTY", "STUDENT"})
+	if err == nil || !strings.Contains(err.Error(), "(1a)") {
+		t.Errorf("want (1a) failure, got %v", err)
+	}
+
+	if Fig8iii().CheckCondition1("NOPE", nil) == nil {
+		t.Error("unknown entity")
+	}
+	if Fig8iii().CheckCondition1("PERSON", []string{"NOPE"}) == nil {
+		t.Error("unknown specialization")
+	}
+}
+
+// §5.2 condition (2) — figure 8(iv) holds, figure 8(ii) fails on (2a).
+func TestCondition2(t *testing.T) {
+	if err := Fig8iv().CheckCondition2("COURSE", []string{"OFFER", "TEACH"}); err != nil {
+		t.Errorf("figure 8(iv) should satisfy condition (2): %v", err)
+	}
+	err := Fig8ii().CheckCondition2("EMPLOYEE", []string{"WORKS", "BELONGS"})
+	if err == nil || !strings.Contains(err.Error(), "(2a)") {
+		t.Errorf("figure 8(ii) should fail condition (2a), got %v", err)
+	}
+
+	// Figure 7: OFFER with TEACH and ASSIST satisfies condition (2) — the
+	// paper's §5.2 example — but COURSE with OFFER/TEACH/ASSIST does not
+	// (TEACH involves OFFER, not COURSE).
+	fig7 := Fig7()
+	if err := fig7.CheckCondition2("OFFER", []string{"TEACH", "ASSIST"}); err != nil {
+		t.Errorf("figure 7 OFFER/TEACH/ASSIST should satisfy condition (2): %v", err)
+	}
+	if fig7.CheckCondition2("COURSE", []string{"OFFER", "TEACH", "ASSIST"}) == nil {
+		t.Error("COURSE with TEACH should fail condition (2)")
+	}
+	// OFFER alone under COURSE is fine... except OFFER is itself involved in
+	// TEACH and ASSIST, failing (2b).
+	err = fig7.CheckCondition2("COURSE", []string{"OFFER"})
+	if err == nil || !strings.Contains(err.Error(), "(2b)") {
+		t.Errorf("want (2b) failure for OFFER, got %v", err)
+	}
+
+	// (2c): a weak one-side entity.
+	s := Fig8iv()
+	s.Entities = append(s.Entities, &EntitySet{
+		Name: "SECTION", Prefix: "SEC", Weak: true, Owner: "DEPARTMENT",
+		OwnAttrs:      []Attr{{Name: "SEC.NR", Domain: "secnr"}},
+		Discriminator: []string{"SEC.NR"},
+	})
+	s.Relationships = append(s.Relationships, &RelationshipSet{
+		Name: "HOSTS", Prefix: "H",
+		Parts: []Participant{
+			{Object: "COURSE", Card: Many},
+			{Object: "SECTION", Card: One},
+		},
+	})
+	err = s.CheckCondition2("COURSE", []string{"HOSTS"})
+	if err == nil || !strings.Contains(err.Error(), "(2c)") {
+		t.Errorf("want (2c) failure, got %v", err)
+	}
+
+	if Fig8iv().CheckCondition2("NOPE", nil) == nil {
+		t.Error("unknown object")
+	}
+	if Fig8iv().CheckCondition2("COURSE", []string{"NOPE"}) == nil {
+		t.Error("unknown relationship")
+	}
+}
+
+func TestWeakDependentsAndIdentifier(t *testing.T) {
+	s := New()
+	s.Entities = []*EntitySet{
+		{Name: "B", Prefix: "B", OwnAttrs: []Attr{{Name: "B.N", Domain: "d"}}, ID: []string{"B.N"}, CopyBases: []string{"N"}},
+		{Name: "R", Prefix: "R", Weak: true, Owner: "B",
+			OwnAttrs: []Attr{{Name: "R.NR", Domain: "e"}}, Discriminator: []string{"R.NR"}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WeakDependents("B"); len(got) != 1 || got[0].Name != "R" {
+		t.Errorf("WeakDependents = %v", got)
+	}
+	if got := s.identifierArity(s.Entity("R")); len(got) != 2 {
+		t.Errorf("weak identifier arity = %v", got)
+	}
+}
+
+func TestCardinalityString(t *testing.T) {
+	if One.String() != "1" || Many.String() != "M" {
+		t.Error("Cardinality.String")
+	}
+}

@@ -1,0 +1,264 @@
+package eer
+
+// Paper fixtures: the EER schemas of figures 1, 7, and 8 of Markowitz
+// (ICDE 1992). Domain names match the figures package so the relational
+// translations line up with the figure 3 fixture.
+
+const (
+	domSSN      = "ssn"
+	domCourseNr = "course_nr"
+	domDeptName = "dept_name"
+	domProjNr   = "project_nr"
+	domDate     = "date"
+)
+
+// Fig1 builds the ER schema of figure 1(i): EMPLOYEE and PROJECT entity-sets
+// with the WORKS (many-to-one, with a DATE attribute) and MANAGES
+// (many-to-one) relationship-sets.
+func Fig1() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "PROJECT", Prefix: "PJ",
+			OwnAttrs: []Attr{{Name: "PJ.NR", Domain: domProjNr}},
+			ID:       []string{"PJ.NR"},
+			// Copies of PROJECT's identifier appear as <prefix>.NR.
+			CopyBases: []string{"NR"},
+		},
+		{
+			Name: "EMPLOYEE", Prefix: "E",
+			OwnAttrs:  []Attr{{Name: "E.SSN", Domain: domSSN}},
+			ID:        []string{"E.SSN"},
+			CopyBases: []string{"SSN"},
+		},
+	}
+	s.Relationships = []*RelationshipSet{
+		{
+			Name: "WORKS", Prefix: "W",
+			Parts: []Participant{
+				{Object: "EMPLOYEE", Card: Many},
+				{Object: "PROJECT", Card: One},
+			},
+			OwnAttrs: []Attr{{Name: "W.DATE", Domain: domDate}},
+		},
+		{
+			Name: "MANAGES", Prefix: "M",
+			Parts: []Participant{
+				{Object: "EMPLOYEE", Card: Many},
+				{Object: "PROJECT", Card: One},
+			},
+		},
+	}
+	return s
+}
+
+// Fig7 builds the EER schema of figure 7: the university schema whose
+// Markowitz–Shoshani relational translation is exactly figure 3. PERSON is
+// generalized into FACULTY and STUDENT; OFFER is a many-to-one
+// relationship-set from COURSE to DEPARTMENT; TEACH and ASSIST are
+// many-to-one relationship-sets from OFFER (a relationship-set participant)
+// to FACULTY and STUDENT respectively.
+func Fig7() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "PERSON", Prefix: "P",
+			OwnAttrs:  []Attr{{Name: "P.SSN", Domain: domSSN}},
+			ID:        []string{"P.SSN"},
+			CopyBases: []string{"SSN"},
+		},
+		{Name: "FACULTY", Prefix: "F"},
+		{Name: "STUDENT", Prefix: "S"},
+		{
+			Name: "COURSE", Prefix: "C",
+			OwnAttrs: []Attr{{Name: "C.NR", Domain: domCourseNr}},
+			ID:       []string{"C.NR"},
+		},
+		{
+			Name: "DEPARTMENT", Prefix: "D",
+			OwnAttrs: []Attr{{Name: "D.NAME", Domain: domDeptName}},
+			ID:       []string{"D.NAME"},
+		},
+	}
+	s.ISAs = []ISA{
+		{Child: "FACULTY", Parent: "PERSON"},
+		{Child: "STUDENT", Parent: "PERSON"},
+	}
+	s.Relationships = []*RelationshipSet{
+		{
+			Name: "OFFER", Prefix: "O",
+			Parts: []Participant{
+				{Object: "COURSE", Card: Many},
+				{Object: "DEPARTMENT", Card: One},
+			},
+		},
+		{
+			Name: "TEACH", Prefix: "T",
+			Parts: []Participant{
+				{Object: "OFFER", Card: Many},
+				{Object: "FACULTY", Card: One},
+			},
+		},
+		{
+			Name: "ASSIST", Prefix: "A",
+			Parts: []Participant{
+				{Object: "OFFER", Card: Many},
+				{Object: "STUDENT", Card: One},
+			},
+		},
+	}
+	return s
+}
+
+// Fig8i builds the figure 8(i) structure: a generalization hierarchy whose
+// specialization entity-sets have several own attributes each, so a
+// single-relation representation needs general null constraints
+// (condition (1c) of section 5.2 fails).
+func Fig8i() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "VEHICLE", Prefix: "V",
+			OwnAttrs:  []Attr{{Name: "V.VIN", Domain: "vin"}},
+			ID:        []string{"V.VIN"},
+			CopyBases: []string{"VIN"},
+		},
+		{
+			Name: "CAR", Prefix: "CAR",
+			OwnAttrs: []Attr{
+				{Name: "CAR.DOORS", Domain: "count"},
+				{Name: "CAR.TRUNK", Domain: "volume"},
+			},
+		},
+		{
+			Name: "TRUCK", Prefix: "TRK",
+			OwnAttrs: []Attr{
+				{Name: "TRK.AXLES", Domain: "count"},
+				{Name: "TRK.PAYLOAD", Domain: "weight"},
+			},
+		},
+	}
+	s.ISAs = []ISA{
+		{Child: "CAR", Parent: "VEHICLE"},
+		{Child: "TRUCK", Parent: "VEHICLE"},
+	}
+	return s
+}
+
+// Fig8ii builds the figure 8(ii) structure: an entity-set involved with Many
+// cardinality in binary many-to-one relationship-sets that carry attributes,
+// so a single-relation representation needs general null constraints
+// (condition (2a) of section 5.2 fails).
+func Fig8ii() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "EMPLOYEE", Prefix: "E",
+			OwnAttrs:  []Attr{{Name: "E.SSN", Domain: domSSN}},
+			ID:        []string{"E.SSN"},
+			CopyBases: []string{"SSN"},
+		},
+		{
+			Name: "PROJECT", Prefix: "PJ",
+			OwnAttrs:  []Attr{{Name: "PJ.NR", Domain: domProjNr}},
+			ID:        []string{"PJ.NR"},
+			CopyBases: []string{"NR"},
+		},
+		{
+			Name: "DEPARTMENT", Prefix: "D",
+			OwnAttrs: []Attr{{Name: "D.NAME", Domain: domDeptName}},
+			ID:       []string{"D.NAME"},
+		},
+	}
+	s.Relationships = []*RelationshipSet{
+		{
+			Name: "WORKS", Prefix: "W",
+			Parts: []Participant{
+				{Object: "EMPLOYEE", Card: Many},
+				{Object: "PROJECT", Card: One},
+			},
+			OwnAttrs: []Attr{{Name: "W.DATE", Domain: domDate}},
+		},
+		{
+			Name: "BELONGS", Prefix: "B",
+			Parts: []Participant{
+				{Object: "EMPLOYEE", Card: Many},
+				{Object: "DEPARTMENT", Card: One},
+			},
+			OwnAttrs: []Attr{{Name: "B.SINCE", Domain: domDate}},
+		},
+	}
+	return s
+}
+
+// Fig8iii builds the figure 8(iii) structure: a generalization hierarchy
+// whose specializations each have exactly one own attribute, no further
+// specializations, and no relationship participation — representable by a
+// single relation with only nulls-not-allowed constraints (condition (1)).
+func Fig8iii() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "PERSON", Prefix: "P",
+			OwnAttrs:  []Attr{{Name: "P.SSN", Domain: domSSN}},
+			ID:        []string{"P.SSN"},
+			CopyBases: []string{"SSN"},
+		},
+		{
+			Name: "FACULTY", Prefix: "F",
+			OwnAttrs: []Attr{{Name: "F.RANK", Domain: "rank"}},
+		},
+		{
+			Name: "STUDENT", Prefix: "S",
+			OwnAttrs: []Attr{{Name: "S.YEAR", Domain: "year"}},
+		},
+	}
+	s.ISAs = []ISA{
+		{Child: "FACULTY", Parent: "PERSON"},
+		{Child: "STUDENT", Parent: "PERSON"},
+	}
+	return s
+}
+
+// Fig8iv builds the figure 8(iv) structure: an entity-set involved with Many
+// cardinality in attribute-less binary many-to-one relationship-sets whose
+// one-side entity-sets are strong with single-attribute identifiers —
+// representable by a single relation with only nulls-not-allowed constraints
+// (condition (2)).
+func Fig8iv() *Schema {
+	s := New()
+	s.Entities = []*EntitySet{
+		{
+			Name: "COURSE", Prefix: "C",
+			OwnAttrs: []Attr{{Name: "C.NR", Domain: domCourseNr}},
+			ID:       []string{"C.NR"},
+		},
+		{
+			Name: "DEPARTMENT", Prefix: "D",
+			OwnAttrs: []Attr{{Name: "D.NAME", Domain: domDeptName}},
+			ID:       []string{"D.NAME"},
+		},
+		{
+			Name: "FACULTY", Prefix: "F",
+			OwnAttrs: []Attr{{Name: "F.SSN", Domain: domSSN}},
+			ID:       []string{"F.SSN"},
+		},
+	}
+	s.Relationships = []*RelationshipSet{
+		{
+			Name: "OFFER", Prefix: "O",
+			Parts: []Participant{
+				{Object: "COURSE", Card: Many},
+				{Object: "DEPARTMENT", Card: One},
+			},
+		},
+		{
+			Name: "TEACH", Prefix: "T",
+			Parts: []Participant{
+				{Object: "COURSE", Card: Many},
+				{Object: "FACULTY", Card: One},
+			},
+		},
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+func str(s string) relation.Value { return relation.NewString(s) }
+
+func tup(vals ...any) relation.Tuple {
+	out := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			out[i] = relation.Null()
+		case string:
+			out[i] = relation.NewString(x)
+		default:
+			panic("bad test value")
+		}
+	}
+	return out
+}
+
+func openFig3(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(figures.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	db := openFig3(t)
+	if err := db.Insert("COURSE", tup("c1")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.GetByKey("COURSE", tup("c1"))
+	if !ok || !got.Identical(tup("c1")) {
+		t.Error("GetByKey after insert")
+	}
+	if _, ok := db.GetByKey("COURSE", tup("c2")); ok {
+		t.Error("missing key should not be found")
+	}
+	if db.Count("COURSE") != 1 {
+		t.Error("Count")
+	}
+}
+
+func TestInsertNotNull(t *testing.T) {
+	db := openFig3(t)
+	err := db.Insert("COURSE", tup(nil))
+	if err == nil || !strings.Contains(err.Error(), "NOT NULL") {
+		t.Errorf("want NOT NULL violation, got %v", err)
+	}
+}
+
+func TestInsertDuplicateKey(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	if err := db.Insert("OFFER", tup("c1", "math")); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("DEPARTMENT", tup("cs"))
+	err := db.Insert("OFFER", tup("c1", "cs"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Errorf("want duplicate key violation, got %v", err)
+	}
+}
+
+func TestInsertForeignKey(t *testing.T) {
+	db := openFig3(t)
+	err := db.Insert("OFFER", tup("c1", "math"))
+	if err == nil {
+		t.Fatal("dangling foreign key should be rejected")
+	}
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	if err := db.Insert("OFFER", tup("c1", "math")); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats.TriggerFirings
+	if before != 0 {
+		t.Errorf("figure 3 is fully declarative; no triggers should fire, got %d", before)
+	}
+}
+
+func TestDeleteRestrict(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("OFFER", tup("c1", "math"))
+	err := db.Delete("COURSE", tup("c1"))
+	if err == nil || !strings.Contains(err.Error(), "restricted") {
+		t.Errorf("want restricted delete, got %v", err)
+	}
+	if err := db.Delete("OFFER", tup("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("COURSE", tup("c1")); err != nil {
+		t.Fatalf("after removing the referencing tuple the delete should pass: %v", err)
+	}
+	if err := db.Delete("COURSE", tup("c1")); err == nil {
+		t.Error("deleting a missing tuple should fail")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("DEPARTMENT", tup("cs"))
+	db.Insert("OFFER", tup("c1", "math"))
+	if err := db.Update("OFFER", tup("c1"), tup("c1", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.GetByKey("OFFER", tup("c1"))
+	if !got.Identical(tup("c1", "cs")) {
+		t.Errorf("update not applied: %v", got)
+	}
+	// Updating to a dangling FK rolls back.
+	if err := db.Update("OFFER", tup("c1"), tup("c1", "physics")); err == nil {
+		t.Fatal("dangling FK update should fail")
+	}
+	got, _ = db.GetByKey("OFFER", tup("c1"))
+	if !got.Identical(tup("c1", "cs")) {
+		t.Errorf("failed update must roll back, got %v", got)
+	}
+	// Updating a referenced key is restricted.
+	db.Insert("PERSON", tup("p1"))
+	db.Insert("FACULTY", tup("p1"))
+	if err := db.Update("PERSON", tup("p1"), tup("p9")); err == nil {
+		t.Error("updating a referenced key should be restricted")
+	}
+}
+
+func TestProceduralNullConstraints(t *testing.T) {
+	// The figure 6 schema: COURSE'' carries null-existence constraints that
+	// must be enforced procedurally.
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, "COURSE''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll()
+	db := MustOpen(m.Schema)
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("PERSON", tup("p1"))
+	db.Insert("FACULTY", tup("p1"))
+
+	// A course with a TEACH part but no OFFER part violates
+	// T.F.SSN ⊑ O.D.NAME.
+	err = db.Insert("COURSE''", tup("c1", nil, "p1", nil))
+	if err == nil || !strings.Contains(err.Error(), "⊑") {
+		t.Fatalf("want null-existence violation, got %v", err)
+	}
+	if db.Stats.TriggerFirings == 0 {
+		t.Error("procedural constraint should count as a trigger firing")
+	}
+	// With the OFFER part present it passes.
+	if err := db.Insert("COURSE''", tup("c1", "math", "p1", nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonKeyBasedINDTrigger(t *testing.T) {
+	// Figure 4's schema: ASSIST[A.C.NR] ⊆ COURSE'[O.C.NR] is non-key-based.
+	m, err := core.Merge(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"}, "COURSE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := MustOpen(m.Schema)
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("PERSON", tup("p2"))
+	db.Insert("STUDENT", tup("p2"))
+	// COURSE' rows: c1 with an OFFER part, c2 without.
+	if err := db.Insert("COURSE'", tup("c1", "c1", "math", nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("COURSE'", tup("c2", nil, nil, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	fires := db.Stats.TriggerFirings
+	// ASSIST referencing c1 (an offered course) passes.
+	if err := db.Insert("ASSIST", tup("c1", "p2")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats.TriggerFirings <= fires {
+		t.Error("non-key-based dependency must fire a trigger")
+	}
+	// ASSIST referencing c2 (not offered: O.C.NR is null) fails.
+	if err := db.Insert("ASSIST", tup("c2", "p2")); err == nil {
+		t.Error("referencing a null O.C.NR should fail the inclusion dependency")
+	}
+	// ASSIST referencing an unknown course fails.
+	if err := db.Insert("ASSIST", tup("c9", "p2")); err == nil {
+		t.Error("dangling non-key-based reference should fail")
+	}
+}
+
+func TestLoadAndSnapshot(t *testing.T) {
+	s := figures.Fig3()
+	rng := rand.New(rand.NewSource(31))
+	st := state.MustGenerate(s, rng, state.GenOptions{Rows: 10})
+	db := MustOpen(s)
+	if err := db.Load(st); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if !snap.Equal(st) {
+		t.Error("snapshot should equal the loaded state")
+	}
+	if err := state.Consistent(s, snap); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	st := db.Stats
+	if st.Inserts != 1 || st.DeclarativeChecks == 0 || st.IndexLookups == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	db.Stats.Reset()
+	if db.Stats.Inserts != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := openFig3(t)
+	if err := db.Insert("NOPE", tup("x")); err == nil {
+		t.Error("unknown relation insert")
+	}
+	if err := db.Insert("COURSE", tup("a", "b")); err == nil {
+		t.Error("arity mismatch")
+	}
+	if err := db.Delete("NOPE", tup("x")); err == nil {
+		t.Error("unknown relation delete")
+	}
+	if err := db.Update("NOPE", tup("x"), tup("y")); err == nil {
+		t.Error("unknown relation update")
+	}
+	if err := db.Update("COURSE", tup("missing"), tup("x")); err == nil {
+		t.Error("updating a missing tuple")
+	}
+	if db.Relation("NOPE") != nil || db.Count("NOPE") != 0 {
+		t.Error("unknown relation accessors")
+	}
+	if err := db.Scan("NOPE", nil, func(relation.Tuple) {}); err == nil {
+		t.Error("unknown relation scan")
+	}
+}
+
+func TestScan(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("COURSE", tup("c2"))
+	var seen int
+	db.Scan("COURSE", func(tp relation.Tuple) bool {
+		return tp[0].AsString() == "c2"
+	}, func(relation.Tuple) { seen++ })
+	if seen != 1 {
+		t.Errorf("Scan matched %d", seen)
+	}
+	if db.Stats.TuplesScanned != 2 {
+		t.Errorf("TuplesScanned = %d", db.Stats.TuplesScanned)
+	}
+}

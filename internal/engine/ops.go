@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+// GetByKey returns the tuple of the named relation with the given primary
+// key value (in primary-key attribute order), or false.
+func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[name]
+	if t == nil {
+		return nil, false
+	}
+	db.Stats.Lookups++
+	db.Stats.IndexLookups++
+	tup, ok := t.pk[key.EncodeKey()]
+	return tup, ok
+}
+
+// Scan visits every tuple of the relation satisfying the predicate,
+// accounting each visited tuple.
+func (db *DB) Scan(name string, pred func(relation.Tuple) bool, visit func(relation.Tuple)) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("engine: unknown relation %s", name)
+	}
+	for _, tup := range t.rel.Tuples() {
+		db.Stats.TuplesScanned++
+		if pred == nil || pred(tup) {
+			visit(tup)
+		}
+	}
+	return nil
+}
+
+// Delete removes the tuple with the given primary key, enforcing referential
+// integrity on the referenced side: any inclusion dependency pointing at
+// this relation restricts the delete when a referencing tuple exists
+// (a trigger-style check; key-based dependencies probe the referencing
+// relation's secondary index, which may require a one-time build scan).
+func (db *DB) Delete(name string, key relation.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("engine: unknown relation %s", name)
+	}
+	tup, ok := t.pk[key.EncodeKey()]
+	if !ok {
+		return fmt.Errorf("engine: no %s tuple with key %v", name, key)
+	}
+	for _, ind := range db.indsInto[name] {
+		db.Stats.TriggerFirings++
+		referenced := projectAttrs(t, tup, ind.RightAttrs)
+		if !referenced.IsTotal() {
+			continue
+		}
+		src := db.tables[ind.Left]
+		idx := db.secondaryIndex(src, ind.LeftAttrs)
+		db.Stats.IndexLookups++
+		for _, ref := range idx[referenced.EncodeKey()] {
+			if src.rel.Contains(ref) {
+				return fmt.Errorf("engine: delete from %s restricted by %s", name, ind)
+			}
+		}
+	}
+	db.remove(t, tup)
+	db.Stats.Deletes++
+	return nil
+}
+
+// Update replaces the tuple with the given primary key by the new tuple
+// (which may change the key), enforcing the same constraints as
+// Delete+Insert without intermediate visibility.
+func (db *DB) Update(name string, key relation.Tuple, newTup relation.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[name]
+	if t == nil {
+		return fmt.Errorf("engine: unknown relation %s", name)
+	}
+	old, ok := t.pk[key.EncodeKey()]
+	if !ok {
+		return fmt.Errorf("engine: no %s tuple with key %v", name, key)
+	}
+	// Remove, try to insert, roll back on failure.
+	db.remove(t, old)
+	if err := db.checkDeclarative(t, newTup); err != nil {
+		db.apply(t, old)
+		return err
+	}
+	if err := db.fireInsertTriggers(t, newTup); err != nil {
+		db.apply(t, old)
+		return err
+	}
+	// Referenced-side integrity for the vanishing old values.
+	for _, ind := range db.indsInto[name] {
+		db.Stats.TriggerFirings++
+		oldRef := projectAttrs(t, old, ind.RightAttrs)
+		newRef := projectAttrs(t, newTup, ind.RightAttrs)
+		if !oldRef.IsTotal() || oldRef.Identical(newRef) {
+			continue
+		}
+		src := db.tables[ind.Left]
+		idx := db.secondaryIndex(src, ind.LeftAttrs)
+		db.Stats.IndexLookups++
+		if len(idx[oldRef.EncodeKey()]) > 0 {
+			stillReferenced := false
+			for _, ref := range idx[oldRef.EncodeKey()] {
+				if src.rel.Contains(ref) {
+					stillReferenced = true
+					break
+				}
+			}
+			if stillReferenced {
+				db.apply(t, old)
+				return fmt.Errorf("engine: update of %s restricted by %s", name, ind)
+			}
+		}
+	}
+	db.apply(t, newTup)
+	db.Stats.Updates++
+	return nil
+}
+
+func (db *DB) remove(t *table, tup relation.Tuple) {
+	if db.inTxn {
+		db.undo = append(db.undo, undoOp{table: t, tuple: tup})
+	}
+	db.physicalRemove(t, tup)
+}
+
+// physicalRemove mutates the table without undo logging.
+func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
+	t.rel.Remove(tup)
+	delete(t.pk, t.keyOfIncoming(tup))
+	for key, idx := range t.secondary {
+		attrs := splitSecondary(key)
+		sub := projectAttrs(t, tup, attrs)
+		if !sub.IsTotal() {
+			continue
+		}
+		bucket := idx[sub.EncodeKey()]
+		for i, cand := range bucket {
+			if cand.Identical(tup) {
+				bucket[i] = bucket[len(bucket)-1]
+				idx[sub.EncodeKey()] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+	}
+}
+
+// Load bulk-inserts a consistent database state, relation by relation in an
+// order that respects inclusion dependencies. It fails on the first
+// violation.
+func (db *DB) Load(st *state.DB) error {
+	order, err := db.loadOrder()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		r := st.Relation(name)
+		if r == nil {
+			continue
+		}
+		src := r
+		// Reorder columns if needed.
+		if !sameAttrs(src.Attrs(), db.tables[name].rel.Attrs()) {
+			src = src.Project(db.tables[name].rel.Attrs())
+		}
+		for _, tup := range src.Tuples() {
+			if err := db.Insert(name, tup); err != nil {
+				return fmt.Errorf("engine: loading %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// loadOrder topologically orders relations so referenced relations load
+// before referencing ones (cycles rejected).
+func (db *DB) loadOrder() ([]string, error) {
+	deg := make(map[string]int, len(db.Schema.Relations))
+	succ := make(map[string][]string)
+	for _, rs := range db.Schema.Relations {
+		deg[rs.Name] = 0
+	}
+	for _, ind := range db.Schema.INDs {
+		if ind.Left == ind.Right {
+			continue
+		}
+		succ[ind.Right] = append(succ[ind.Right], ind.Left)
+		deg[ind.Left]++
+	}
+	var queue, order []string
+	for _, rs := range db.Schema.Relations {
+		if deg[rs.Name] == 0 {
+			queue = append(queue, rs.Name)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range succ[n] {
+			if deg[m]--; deg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(db.Schema.Relations) {
+		return nil, fmt.Errorf("engine: cyclic inclusion dependencies; cannot bulk-load")
+	}
+	return order, nil
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot exports the current contents as a state.DB (deep copy).
+func (db *DB) Snapshot() *state.DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := &state.DB{Relations: make(map[string]*relation.Relation, len(db.tables))}
+	for name, t := range db.tables {
+		out.Set(name, t.rel.Clone())
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/sdl"
+)
+
+// SaveFile writes the engine's current contents to a file in the data DSL
+// (insert statements, deterministic order), so a database can be inspected,
+// versioned, or reloaded.
+func (db *DB) SaveFile(path string) error {
+	text := sdl.PrintState(db.Schema, db.Snapshot())
+	return os.WriteFile(path, []byte(text), 0o644)
+}
+
+// LoadFile parses a data-DSL file and bulk-loads it, enforcing every
+// constraint. Loading happens inside an atomic batch: a violation anywhere
+// leaves the engine unchanged.
+func (db *DB) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := sdl.ParseState(db.Schema, string(data))
+	if err != nil {
+		return err
+	}
+	return db.RunAtomic(func() error {
+		if err := db.Load(st); err != nil {
+			return fmt.Errorf("engine: loading %s: %w", path, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("COURSE", tup("c2"))
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("OFFER", tup("c1", "math"))
+
+	path := filepath.Join(t.TempDir(), "uni.data")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := MustOpen(figures.Fig3())
+	if err := db2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Snapshot().Equal(db.Snapshot()) {
+		t.Error("save/load round trip changed contents")
+	}
+
+	// Saved files are deterministic.
+	path2 := filepath.Join(t.TempDir(), "uni2.data")
+	if err := db2.SaveFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("saved files should be identical")
+	}
+}
+
+func TestLoadFileAtomicOnViolation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.data")
+	// The second insert dangles (no COURSE c9).
+	os.WriteFile(path, []byte(`
+insert COURSE (c1)
+insert DEPARTMENT (math)
+insert OFFER (c9, math)
+`), 0o644)
+	db := openFig3(t)
+	if err := db.LoadFile(path); err == nil {
+		t.Fatal("dangling reference should fail the load")
+	}
+	if db.Count("COURSE") != 0 || db.Count("DEPARTMENT") != 0 {
+		t.Error("failed load must leave the engine empty (atomic)")
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	db := openFig3(t)
+	if err := db.LoadFile(filepath.Join(t.TempDir(), "missing.data")); err == nil {
+		t.Error("missing file")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.data")
+	os.WriteFile(path, []byte("not a statement"), 0o644)
+	if err := db.LoadFile(path); err == nil {
+		t.Error("unparseable file")
+	}
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Related is one hop of a foreign-key chase: the dependency followed and the
+// referenced tuple (nil when the foreign key was null).
+type Related struct {
+	From   string
+	To     string
+	FK     []string
+	Tuple  relation.Tuple
+	IsNull bool
+}
+
+// FetchWithReferences returns the tuple with the given primary key together
+// with every tuple it references through the schema's inclusion dependencies
+// (one indexed lookup per dependency — the navigational "join" the paper's
+// merging technique is designed to avoid when the referenced data is merged
+// in). Non-key-based dependencies are chased through the referenced
+// relation's secondary index.
+func (db *DB) FetchWithReferences(name string, key relation.Tuple) (relation.Tuple, []Related, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[name]
+	if t == nil {
+		return nil, nil, fmt.Errorf("engine: unknown relation %s", name)
+	}
+	db.Stats.Lookups++
+	db.Stats.IndexLookups++
+	tup, ok := t.pk[key.EncodeKey()]
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: no %s tuple with key %v", name, key)
+	}
+	var related []Related
+	for _, ind := range db.indsFrom[name] {
+		rel := Related{From: name, To: ind.Right, FK: ind.LeftAttrs}
+		fk := projectAttrs(t, tup, ind.LeftAttrs)
+		if !fk.IsTotal() {
+			rel.IsNull = true
+			related = append(related, rel)
+			continue
+		}
+		target := db.tables[ind.Right]
+		if ind.KeyBased(db.Schema) {
+			db.Stats.Lookups++
+			db.Stats.IndexLookups++
+			if hit, ok := target.pk[orderAsKey(target, ind.RightAttrs, fk)]; ok {
+				rel.Tuple = hit
+			}
+		} else {
+			idx := db.secondaryIndex(target, ind.RightAttrs)
+			db.Stats.Lookups++
+			db.Stats.IndexLookups++
+			if hits := idx[fk.EncodeKey()]; len(hits) > 0 {
+				rel.Tuple = hits[0]
+			}
+		}
+		related = append(related, rel)
+	}
+	return tup, related, nil
+}

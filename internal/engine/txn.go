@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// undoOp reverses one physical mutation.
+type undoOp struct {
+	table  *table
+	tuple  relation.Tuple
+	insert bool // true: the mutation was an apply (undo = remove)
+}
+
+// Begin starts a transaction: subsequent mutations are recorded in an undo
+// log until Commit or Rollback. Transactions do not nest. This mirrors the
+// trigger semantics of the SYBASE DDL the ddl package emits — a constraint
+// violation inside a batch can ROLLBACK TRANSACTION the whole batch.
+func (db *DB) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inTxn {
+		return fmt.Errorf("engine: transaction already open")
+	}
+	db.inTxn = true
+	db.undo = db.undo[:0]
+	return nil
+}
+
+// Commit ends the transaction, keeping its effects.
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTxn {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	db.inTxn = false
+	db.undo = nil
+	return nil
+}
+
+// Rollback ends the transaction, reversing every mutation it made, most
+// recent first.
+func (db *DB) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTxn {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	db.inTxn = false
+	for i := len(db.undo) - 1; i >= 0; i-- {
+		op := db.undo[i]
+		// Reverse directly on the physical structures (no logging).
+		if op.insert {
+			db.physicalRemove(op.table, op.tuple)
+		} else {
+			db.physicalApply(op.table, op.tuple)
+		}
+	}
+	db.undo = nil
+	return nil
+}
+
+// InTxn reports whether a transaction is open.
+func (db *DB) InTxn() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inTxn
+}
+
+// RunAtomic executes fn inside a transaction, rolling back if fn returns an
+// error and committing otherwise.
+func (db *DB) RunAtomic(fn func() error) error {
+	if err := db.Begin(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		if rbErr := db.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	return db.Commit()
+}

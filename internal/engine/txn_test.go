@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTransactionCommit(t *testing.T) {
+	db := openFig3(t)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.InTxn() {
+		t.Fatal("InTxn")
+	}
+	db.Insert("COURSE", tup("c1"))
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("COURSE") != 1 || db.InTxn() {
+		t.Error("commit should keep effects and close the transaction")
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c0"))
+	before := db.Snapshot()
+
+	db.Begin()
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("OFFER", tup("c1", "math"))
+	db.Delete("COURSE", tup("c0"))
+	if err := db.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Snapshot().Equal(before) {
+		t.Errorf("rollback should restore the snapshot:\n%s\nvs\n%s", db.Snapshot(), before)
+	}
+	// Indexes stay coherent: re-inserting works, lookups agree.
+	if _, ok := db.GetByKey("COURSE", tup("c0")); !ok {
+		t.Error("c0 should be back")
+	}
+	if _, ok := db.GetByKey("COURSE", tup("c1")); ok {
+		t.Error("c1 should be gone")
+	}
+	if err := db.Insert("COURSE", tup("c1")); err != nil {
+		t.Errorf("re-insert after rollback: %v", err)
+	}
+}
+
+func TestTransactionRollbackUpdate(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	db.Insert("DEPARTMENT", tup("cs"))
+	db.Insert("OFFER", tup("c1", "math"))
+	before := db.Snapshot()
+
+	db.Begin()
+	if err := db.Update("OFFER", tup("c1"), tup("c1", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	db.Rollback()
+	if !db.Snapshot().Equal(before) {
+		t.Error("rollback should undo the update")
+	}
+}
+
+func TestRunAtomic(t *testing.T) {
+	db := openFig3(t)
+	boom := errors.New("boom")
+	err := db.RunAtomic(func() error {
+		db.Insert("COURSE", tup("c1"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if db.Count("COURSE") != 0 {
+		t.Error("failed atomic batch should leave no trace")
+	}
+
+	if err := db.RunAtomic(func() error {
+		return db.Insert("COURSE", tup("c2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("COURSE") != 1 {
+		t.Error("successful atomic batch should commit")
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := openFig3(t)
+	if err := db.Commit(); err == nil {
+		t.Error("commit without begin")
+	}
+	if err := db.Rollback(); err == nil {
+		t.Error("rollback without begin")
+	}
+	db.Begin()
+	if err := db.Begin(); err == nil {
+		t.Error("nested begin")
+	}
+	db.Rollback()
+}
+
+// The batch-with-violation pattern the SYBASE triggers implement: the whole
+// batch rolls back when a constraint fires mid-way.
+func TestAtomicBatchWithConstraintViolation(t *testing.T) {
+	db := openFig3(t)
+	db.Insert("COURSE", tup("c1"))
+	db.Insert("DEPARTMENT", tup("math"))
+	before := db.Snapshot()
+
+	err := db.RunAtomic(func() error {
+		if err := db.Insert("OFFER", tup("c1", "math")); err != nil {
+			return err
+		}
+		// Dangling FK: fires the referential check.
+		return db.Insert("TEACH", tup("c9", "p9"))
+	})
+	if err == nil {
+		t.Fatal("batch should fail")
+	}
+	if !db.Snapshot().Equal(before) {
+		t.Error("failed batch must leave no partial effects")
+	}
+}

@@ -1,0 +1,60 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func chainDeps(n int) ([]string, []Dep) {
+	var attrs []string
+	var deps []Dep
+	for i := 0; i <= n; i++ {
+		attrs = append(attrs, fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < n; i++ {
+		deps = append(deps, NewDep([]string{attrs[i]}, []string{attrs[i+1]}))
+	}
+	return attrs, deps
+}
+
+func BenchmarkClosure(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		attrs, deps := chainDeps(n)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Closure(attrs[:1], deps)
+			}
+		})
+	}
+}
+
+func BenchmarkCandidateKeys(b *testing.B) {
+	attrs, deps := chainDeps(10)
+	for i := 0; i < b.N; i++ {
+		CandidateKeys(attrs, deps)
+	}
+}
+
+func BenchmarkMinimalCover(b *testing.B) {
+	_, deps := chainDeps(12)
+	// Add redundancy.
+	deps = append(deps, NewDep([]string{"A0"}, []string{"A5"}), NewDep([]string{"A2"}, []string{"A9"}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinimalCover(deps)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	attrs, deps := chainDeps(10)
+	for i := 0; i < b.N; i++ {
+		Synthesize(attrs, deps)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	attrs, deps := chainDeps(6)
+	for i := 0; i < b.N; i++ {
+		Decompose(attrs, deps)
+	}
+}

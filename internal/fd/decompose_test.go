@@ -1,0 +1,105 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestDecomposeAlreadyBCNF(t *testing.T) {
+	u := split("A,B,C")
+	deps := []Dep{dep("A", "B,C")}
+	out := Decompose(u, deps)
+	if len(out) != 1 || !schema.EqualAttrSets(out[0], u) {
+		t.Errorf("Decompose = %v, want the universe unchanged", out)
+	}
+}
+
+func TestDecomposeClassicViolation(t *testing.T) {
+	// A → B, B → C with universe ABC: B → C violates BCNF; the classic
+	// decomposition is {B,C} and {A,B}.
+	u := split("A,B,C")
+	deps := []Dep{dep("A", "B"), dep("B", "C")}
+	out := Decompose(u, deps)
+	if len(out) != 2 {
+		t.Fatalf("Decompose = %v", out)
+	}
+	want := map[string]bool{"A,B": true, "B,C": true}
+	for _, s := range out {
+		if !want[join(s)] {
+			t.Errorf("unexpected scheme %v", s)
+		}
+	}
+}
+
+func TestDecomposeOutputIsBCNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	attrs := split("A,B,C,D,E")
+	for trial := 0; trial < 60; trial++ {
+		var deps []Dep
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			deps = append(deps, Dep{
+				LHS: randomSubset(rng, attrs, 1+rng.Intn(2)),
+				RHS: randomSubset(rng, attrs, 1+rng.Intn(2)),
+			})
+		}
+		out := Decompose(attrs, deps)
+		cover := MinimalCover(deps)
+		covered := map[string]bool{}
+		for _, s := range out {
+			proj := ProjectDeps(s, cover)
+			if !IsBCNF(s, proj) {
+				t.Fatalf("trial %d: scheme %v not BCNF under %v (deps %v)", trial, s, proj, deps)
+			}
+			for _, a := range s {
+				covered[a] = true
+			}
+		}
+		// Attribute preservation.
+		for _, a := range attrs {
+			if !covered[a] {
+				t.Fatalf("trial %d: attribute %s lost (deps %v, out %v)", trial, a, deps, out)
+			}
+		}
+	}
+}
+
+// The introduction's contrast: normalization splits (more relations),
+// merging recombines (fewer). The TEACH/OFFER universe with COURSE → F, D
+// is one BCNF relation; an unnormalized design with a transitive dependency
+// splits into two.
+func TestDecomposeVsMergeDirection(t *testing.T) {
+	// COURSE → FACULTY, FACULTY → OFFICE: decomposing gives 2 schemes.
+	u := split("COURSE,FACULTY,OFFICE")
+	deps := []Dep{dep("COURSE", "FACULTY"), dep("FACULTY", "OFFICE")}
+	out := Decompose(u, deps)
+	if len(out) != 2 {
+		t.Fatalf("Decompose = %v, want a split", out)
+	}
+	// While the synthesis path over key-equivalent deps gives 1 (the
+	// merging direction of the paper's introduction).
+	synth := Synthesize(split("COURSE,FACULTY,DEPARTMENT"), []Dep{
+		dep("COURSE", "FACULTY"), dep("COURSE", "DEPARTMENT"),
+	})
+	if len(synth) != 1 {
+		t.Fatalf("Synthesize = %v, want a single merged scheme", synth)
+	}
+}
+
+func TestProjectDeps(t *testing.T) {
+	deps := []Dep{dep("A", "B"), dep("B", "C")}
+	proj := ProjectDeps(split("A,C"), deps)
+	// A → C holds transitively on the projection.
+	if !Implies(proj, dep("A", "C")) {
+		t.Errorf("projection should imply A → C: %v", proj)
+	}
+	// Nothing about B survives.
+	for _, d := range proj {
+		for _, a := range append(append([]string{}, d.LHS...), d.RHS...) {
+			if a == "B" {
+				t.Errorf("projection mentions B: %v", proj)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package fd implements classical functional-dependency theory: attribute
+// closure, implication, candidate-key enumeration, minimal covers, and the
+// Boyce-Codd Normal Form test used by Proposition 4.1(ii) of Markowitz
+// (ICDE 1992). It also implements a Bernstein-style synthesis algorithm with
+// equivalent-key merging — the early merging technique the paper's
+// introduction criticizes for disregarding null restrictions.
+package fd
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Dep is a functional dependency LHS → RHS over some attribute universe.
+type Dep struct {
+	LHS []string
+	RHS []string
+}
+
+// NewDep builds a dependency.
+func NewDep(lhs, rhs []string) Dep { return Dep{LHS: lhs, RHS: rhs} }
+
+// Trivial reports whether RHS ⊆ LHS.
+func (d Dep) Trivial() bool { return schema.SubsetOf(d.RHS, d.LHS) }
+
+// Key returns a canonical identity string.
+func (d Dep) Key() string {
+	return join(schema.NormalizeAttrs(d.LHS)) + "->" + join(schema.NormalizeAttrs(d.RHS))
+}
+
+func join(attrs []string) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}
+
+// Closure computes the attribute closure attrs⁺ under deps.
+func Closure(attrs []string, deps []Dep) []string {
+	closed := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		closed[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			if allIn(d.LHS, closed) {
+				for _, a := range d.RHS {
+					if !closed[a] {
+						closed[a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closed))
+	for a := range closed {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allIn(attrs []string, set map[string]bool) bool {
+	for _, a := range attrs {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether deps ⊨ d (via attribute closure).
+func Implies(deps []Dep, d Dep) bool {
+	return schema.SubsetOf(d.RHS, Closure(d.LHS, deps))
+}
+
+// EquivalentSets reports whether X and Y determine each other under deps.
+func EquivalentSets(x, y []string, deps []Dep) bool {
+	return schema.SubsetOf(y, Closure(x, deps)) && schema.SubsetOf(x, Closure(y, deps))
+}
+
+// IsSuperkey reports whether attrs functionally determine the universe.
+func IsSuperkey(attrs, universe []string, deps []Dep) bool {
+	return schema.SubsetOf(universe, Closure(attrs, deps))
+}
+
+// IsKey reports whether attrs is a minimal superkey of the universe.
+func IsKey(attrs, universe []string, deps []Dep) bool {
+	if !IsSuperkey(attrs, universe, deps) {
+		return false
+	}
+	for i := range attrs {
+		reduced := without(attrs, i)
+		if IsSuperkey(reduced, universe, deps) {
+			return false
+		}
+	}
+	return true
+}
+
+func without(attrs []string, i int) []string {
+	out := make([]string, 0, len(attrs)-1)
+	out = append(out, attrs[:i]...)
+	out = append(out, attrs[i+1:]...)
+	return out
+}
+
+// CandidateKeys enumerates all candidate keys of the universe under deps,
+// in canonical order. The search starts from the universe and shrinks, which
+// is exponential in the worst case but fine at schema-design scale.
+func CandidateKeys(universe []string, deps []Dep) [][]string {
+	u := schema.NormalizeAttrs(universe)
+	var keys [][]string
+	seen := make(map[string]bool)
+
+	// Attributes in no RHS must be in every key; use them to prune.
+	inRHS := make(map[string]bool)
+	for _, d := range deps {
+		for _, a := range d.RHS {
+			if !schema.ContainsAttr(d.LHS, a) {
+				inRHS[a] = true
+			}
+		}
+	}
+	var mandatory []string
+	for _, a := range u {
+		if !inRHS[a] {
+			mandatory = append(mandatory, a)
+		}
+	}
+
+	var search func(current []string)
+	search = func(current []string) {
+		key := join(schema.NormalizeAttrs(current))
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		minimal := true
+		for i := range current {
+			if schema.ContainsAttr(mandatory, current[i]) {
+				continue
+			}
+			reduced := without(current, i)
+			if IsSuperkey(reduced, u, deps) {
+				minimal = false
+				search(reduced)
+			}
+		}
+		if minimal {
+			ck := schema.NormalizeAttrs(current)
+			ckKey := "k:" + join(ck)
+			if !seen[ckKey] {
+				seen[ckKey] = true
+				keys = append(keys, ck)
+			}
+		}
+	}
+	search(u)
+
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return join(keys[i]) < join(keys[j])
+	})
+	return keys
+}
+
+// IsBCNF reports whether a relation-scheme over the universe with the given
+// dependencies is in Boyce-Codd Normal Form: every nontrivial dependency has
+// a superkey left-hand side.
+func IsBCNF(universe []string, deps []Dep) bool {
+	return FirstBCNFViolation(universe, deps) == nil
+}
+
+// FirstBCNFViolation returns a nontrivial dependency whose LHS is not a
+// superkey, or nil if the scheme is in BCNF. Violations are searched among
+// the given dependencies and all their implied projections with single-
+// attribute RHS (sufficient for the BCNF test).
+func FirstBCNFViolation(universe []string, deps []Dep) *Dep {
+	for _, d := range deps {
+		if d.Trivial() {
+			continue
+		}
+		if !IsSuperkey(d.LHS, universe, deps) {
+			v := d
+			return &v
+		}
+	}
+	return nil
+}
+
+// MinimalCover computes a minimal (canonical) cover of deps: singleton
+// right-hand sides, no extraneous LHS attributes, no redundant dependencies.
+// Output order is canonical.
+func MinimalCover(deps []Dep) []Dep {
+	// Split RHS into singletons.
+	var g []Dep
+	for _, d := range deps {
+		for _, a := range d.RHS {
+			if schema.ContainsAttr(d.LHS, a) {
+				continue // trivial component
+			}
+			g = append(g, Dep{LHS: schema.NormalizeAttrs(d.LHS), RHS: []string{a}})
+		}
+	}
+	// Remove extraneous LHS attributes.
+	for i := range g {
+		for changed := true; changed; {
+			changed = false
+			for j := 0; j < len(g[i].LHS); j++ {
+				reduced := without(g[i].LHS, j)
+				if len(reduced) == 0 {
+					continue
+				}
+				if schema.SubsetOf(g[i].RHS, Closure(reduced, g)) {
+					g[i].LHS = reduced
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Remove redundant dependencies.
+	var out []Dep
+	for i := range g {
+		rest := make([]Dep, 0, len(g)-1)
+		rest = append(rest, out...)
+		rest = append(rest, g[i+1:]...)
+		if !Implies(rest, g[i]) {
+			out = append(out, g[i])
+		}
+	}
+	// Deduplicate and order canonically.
+	seen := make(map[string]bool, len(out))
+	dedup := out[:0]
+	for _, d := range out {
+		if !seen[d.Key()] {
+			seen[d.Key()] = true
+			dedup = append(dedup, d)
+		}
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].Key() < dedup[j].Key() })
+	return dedup
+}

@@ -1,0 +1,246 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func dep(lhs, rhs string) Dep {
+	return Dep{LHS: split(lhs), RHS: split(rhs)}
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	return append(out, cur)
+}
+
+func TestClosure(t *testing.T) {
+	deps := []Dep{dep("A", "B"), dep("B", "C"), dep("C,D", "E")}
+	got := Closure([]string{"A"}, deps)
+	if !schema.EqualAttrSets(got, []string{"A", "B", "C"}) {
+		t.Errorf("Closure(A) = %v", got)
+	}
+	got = Closure([]string{"A", "D"}, deps)
+	if !schema.EqualAttrSets(got, []string{"A", "B", "C", "D", "E"}) {
+		t.Errorf("Closure(A,D) = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	deps := []Dep{dep("A", "B"), dep("B", "C")}
+	if !Implies(deps, dep("A", "C")) {
+		t.Error("transitivity")
+	}
+	if Implies(deps, dep("C", "A")) {
+		t.Error("reverse should not be implied")
+	}
+	if !Implies(nil, dep("A,B", "A")) {
+		t.Error("trivial dependency always implied")
+	}
+}
+
+func TestEquivalentSets(t *testing.T) {
+	deps := []Dep{dep("A", "B"), dep("B", "A")}
+	if !EquivalentSets([]string{"A"}, []string{"B"}, deps) {
+		t.Error("A and B are equivalent")
+	}
+	if EquivalentSets([]string{"A"}, []string{"C"}, deps) {
+		t.Error("A and C are not equivalent")
+	}
+}
+
+func TestCandidateKeysSimple(t *testing.T) {
+	u := split("A,B,C")
+	deps := []Dep{dep("A", "B"), dep("B", "C")}
+	keys := CandidateKeys(u, deps)
+	if len(keys) != 1 || !schema.EqualAttrSets(keys[0], []string{"A"}) {
+		t.Errorf("CandidateKeys = %v", keys)
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	// Classic cycle: A→B, B→C, C→A gives three keys.
+	u := split("A,B,C")
+	deps := []Dep{dep("A", "B"), dep("B", "C"), dep("C", "A")}
+	keys := CandidateKeys(u, deps)
+	if len(keys) != 3 {
+		t.Fatalf("CandidateKeys = %v, want 3 keys", keys)
+	}
+	for _, k := range keys {
+		if len(k) != 1 {
+			t.Errorf("each key should be a single attribute, got %v", k)
+		}
+	}
+}
+
+func TestCandidateKeysComposite(t *testing.T) {
+	u := split("A,B,C,D")
+	deps := []Dep{dep("A,B", "C"), dep("C", "D")}
+	keys := CandidateKeys(u, deps)
+	if len(keys) != 1 || !schema.EqualAttrSets(keys[0], []string{"A", "B"}) {
+		t.Errorf("CandidateKeys = %v", keys)
+	}
+}
+
+func TestCandidateKeysNoDeps(t *testing.T) {
+	keys := CandidateKeys(split("A,B"), nil)
+	if len(keys) != 1 || !schema.EqualAttrSets(keys[0], []string{"A", "B"}) {
+		t.Errorf("with no deps the universe is the only key, got %v", keys)
+	}
+}
+
+func TestIsKeyAndSuperkey(t *testing.T) {
+	u := split("A,B,C")
+	deps := []Dep{dep("A", "B,C")}
+	if !IsSuperkey([]string{"A", "B"}, u, deps) {
+		t.Error("A,B is a superkey")
+	}
+	if IsKey([]string{"A", "B"}, u, deps) {
+		t.Error("A,B is not minimal")
+	}
+	if !IsKey([]string{"A"}, u, deps) {
+		t.Error("A is a key")
+	}
+	if IsKey([]string{"B"}, u, deps) {
+		t.Error("B is not a key")
+	}
+}
+
+func TestIsBCNF(t *testing.T) {
+	u := split("A,B,C")
+	// Key dependency only: BCNF.
+	if !IsBCNF(u, []Dep{dep("A", "B,C")}) {
+		t.Error("key-dependency-only scheme is BCNF")
+	}
+	// B → C with key A: violation.
+	deps := []Dep{dep("A", "B,C"), dep("B", "C")}
+	if IsBCNF(u, deps) {
+		t.Error("B→C violates BCNF")
+	}
+	v := FirstBCNFViolation(u, deps)
+	if v == nil || !schema.EqualAttrSets(v.LHS, []string{"B"}) {
+		t.Errorf("violation = %v", v)
+	}
+	// Trivial dependencies never violate.
+	if !IsBCNF(u, []Dep{dep("A", "B,C"), dep("B,C", "C")}) {
+		t.Error("trivial dependency should not violate BCNF")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	// A→B, B→C, A→C: the third is redundant.
+	deps := []Dep{dep("A", "B"), dep("B", "C"), dep("A", "C")}
+	mc := MinimalCover(deps)
+	if len(mc) != 2 {
+		t.Fatalf("MinimalCover = %v", mc)
+	}
+	for _, d := range deps {
+		if !Implies(mc, d) {
+			t.Errorf("cover fails to imply %v", d)
+		}
+	}
+}
+
+func TestMinimalCoverExtraneousLHS(t *testing.T) {
+	// A→B makes AB→C reducible to A→C.
+	deps := []Dep{dep("A", "B"), dep("A,B", "C")}
+	mc := MinimalCover(deps)
+	for _, d := range mc {
+		if schema.EqualAttrSets(d.RHS, []string{"C"}) && len(d.LHS) != 1 {
+			t.Errorf("LHS not reduced: %v", d)
+		}
+	}
+}
+
+func TestMinimalCoverEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	attrs := split("A,B,C,D,E")
+	for trial := 0; trial < 100; trial++ {
+		var deps []Dep
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			lhs := randomSubset(rng, attrs, 1+rng.Intn(2))
+			rhs := randomSubset(rng, attrs, 1+rng.Intn(2))
+			deps = append(deps, Dep{LHS: lhs, RHS: rhs})
+		}
+		mc := MinimalCover(deps)
+		// Equivalent: each original implied by cover and vice versa.
+		for _, d := range deps {
+			if !Implies(mc, d) {
+				t.Fatalf("trial %d: cover %v does not imply %v", trial, mc, d)
+			}
+		}
+		for _, d := range mc {
+			if !Implies(deps, d) {
+				t.Fatalf("trial %d: original %v does not imply cover member %v", trial, deps, d)
+			}
+		}
+	}
+}
+
+func TestCandidateKeysDetermineUniverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	attrs := split("A,B,C,D,E")
+	for trial := 0; trial < 100; trial++ {
+		var deps []Dep
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			deps = append(deps, Dep{
+				LHS: randomSubset(rng, attrs, 1+rng.Intn(2)),
+				RHS: randomSubset(rng, attrs, 1+rng.Intn(3)),
+			})
+		}
+		keys := CandidateKeys(attrs, deps)
+		if len(keys) == 0 {
+			t.Fatalf("trial %d: no candidate keys", trial)
+		}
+		for _, k := range keys {
+			if !IsSuperkey(k, attrs, deps) {
+				t.Fatalf("trial %d: key %v is not a superkey", trial, k)
+			}
+			if !IsKey(k, attrs, deps) {
+				t.Fatalf("trial %d: key %v is not minimal", trial, k)
+			}
+		}
+	}
+}
+
+func randomSubset(rng *rand.Rand, attrs []string, n int) []string {
+	perm := rng.Perm(len(attrs))
+	if n > len(attrs) {
+		n = len(attrs)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = attrs[perm[i]]
+	}
+	return schema.NormalizeAttrs(out)
+}
+
+func TestDepKeyCanonical(t *testing.T) {
+	if dep("B,A", "C").Key() != dep("A,B", "C").Key() {
+		t.Error("Dep.Key should normalize")
+	}
+	if dep("A", "B").Key() == dep("B", "A").Key() {
+		t.Error("direction matters")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	if !dep("A,B", "A").Trivial() || dep("A", "B").Trivial() {
+		t.Error("Trivial")
+	}
+}

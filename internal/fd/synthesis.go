@@ -1,0 +1,117 @@
+package fd
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// SynthScheme is a relation-scheme produced by the synthesis algorithm: an
+// attribute set with one or more equivalent keys. The merging of schemes
+// with equivalent keys is the step of Beeri–Bernstein–Goodman [1] the paper's
+// introduction discusses (TEACH + OFFER → ASSIGN).
+type SynthScheme struct {
+	Attrs []string
+	Keys  [][]string
+}
+
+// Synthesize runs a Bernstein-style 3NF synthesis over the universe and
+// dependencies:
+//
+//  1. compute a minimal cover;
+//  2. partition dependencies into groups with equivalent left-hand sides
+//     (the relation-merging step: groups whose keys determine each other are
+//     combined into a single scheme);
+//  3. emit one scheme per group, carrying all equivalent keys;
+//  4. if no scheme contains a candidate key of the whole universe, add one;
+//  5. add a single-attribute scheme for any attribute mentioned in no
+//     dependency, so the universe is covered.
+//
+// The output deliberately carries *no* null constraints: demonstrating that
+// omission — merged schemes whose tuples need partial nulls to retain the
+// information capacity of the originals — is the point of the paper's
+// critique, and tests exercise it.
+func Synthesize(universe []string, deps []Dep) []SynthScheme {
+	cover := MinimalCover(deps)
+
+	// Group dependencies by equivalent LHS.
+	type group struct {
+		keys  [][]string
+		attrs []string
+	}
+	var groups []*group
+	for _, d := range cover {
+		placed := false
+		for _, g := range groups {
+			if EquivalentSets(d.LHS, g.keys[0], cover) {
+				if !containsKey(g.keys, d.LHS) {
+					g.keys = append(g.keys, schema.NormalizeAttrs(d.LHS))
+				}
+				g.attrs = schema.UnionAttrs(g.attrs, d.LHS, d.RHS)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{
+				keys:  [][]string{schema.NormalizeAttrs(d.LHS)},
+				attrs: schema.UnionAttrs(d.LHS, d.RHS),
+			})
+		}
+	}
+
+	var out []SynthScheme
+	for _, g := range groups {
+		// Every equivalent key's attributes belong to the scheme.
+		attrs := g.attrs
+		for _, k := range g.keys {
+			attrs = schema.UnionAttrs(attrs, k)
+		}
+		out = append(out, SynthScheme{Attrs: schema.NormalizeAttrs(attrs), Keys: g.keys})
+	}
+
+	// Ensure some scheme contains a candidate key of the universe.
+	cks := CandidateKeys(universe, cover)
+	if len(cks) > 0 {
+		covered := false
+		for _, s := range out {
+			for _, ck := range cks {
+				if schema.SubsetOf(ck, s.Attrs) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if !covered {
+			out = append(out, SynthScheme{Attrs: cks[0], Keys: [][]string{cks[0]}})
+		}
+	}
+
+	// Cover attributes mentioned nowhere.
+	mentioned := make(map[string]bool)
+	for _, s := range out {
+		for _, a := range s.Attrs {
+			mentioned[a] = true
+		}
+	}
+	for _, a := range schema.NormalizeAttrs(universe) {
+		if !mentioned[a] {
+			out = append(out, SynthScheme{Attrs: []string{a}, Keys: [][]string{{a}}})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return join(out[i].Attrs) < join(out[j].Attrs) })
+	return out
+}
+
+func containsKey(keys [][]string, k []string) bool {
+	for _, existing := range keys {
+		if schema.EqualAttrSets(existing, k) {
+			return true
+		}
+	}
+	return false
+}

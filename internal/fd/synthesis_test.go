@@ -1,0 +1,126 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// The paper's introduction example: TEACH(COURSE, FACULTY) and
+// OFFER(COURSE, DEPARTMENT), both with key COURSE, are merged by the
+// synthesis algorithm into ASSIGN(COURSE, FACULTY, DEPARTMENT).
+func TestSynthesizeMergesEquivalentKeys(t *testing.T) {
+	u := []string{"COURSE", "FACULTY", "DEPARTMENT"}
+	deps := []Dep{
+		NewDep([]string{"COURSE"}, []string{"FACULTY"}),
+		NewDep([]string{"COURSE"}, []string{"DEPARTMENT"}),
+	}
+	schemes := Synthesize(u, deps)
+	if len(schemes) != 1 {
+		t.Fatalf("Synthesize = %v, want a single merged ASSIGN scheme", schemes)
+	}
+	got := schemes[0]
+	if !schema.EqualAttrSets(got.Attrs, u) {
+		t.Errorf("merged attrs = %v", got.Attrs)
+	}
+	if len(got.Keys) != 1 || !schema.EqualAttrSets(got.Keys[0], []string{"COURSE"}) {
+		t.Errorf("merged keys = %v", got.Keys)
+	}
+}
+
+func TestSynthesizeEquivalentKeysRecorded(t *testing.T) {
+	// A↔B equivalence: one scheme with both keys.
+	u := []string{"A", "B", "C"}
+	deps := []Dep{
+		NewDep([]string{"A"}, []string{"B"}),
+		NewDep([]string{"B"}, []string{"A"}),
+		NewDep([]string{"A"}, []string{"C"}),
+	}
+	schemes := Synthesize(u, deps)
+	if len(schemes) != 1 {
+		t.Fatalf("Synthesize = %v", schemes)
+	}
+	if len(schemes[0].Keys) != 2 {
+		t.Errorf("keys = %v, want both A and B", schemes[0].Keys)
+	}
+}
+
+func TestSynthesizeSeparateGroups(t *testing.T) {
+	u := []string{"A", "B", "C", "D"}
+	deps := []Dep{
+		NewDep([]string{"A"}, []string{"B"}),
+		NewDep([]string{"C"}, []string{"D"}),
+	}
+	schemes := Synthesize(u, deps)
+	if len(schemes) != 3 {
+		// {A,B}, {C,D}, and a key scheme {A,C} since neither contains a
+		// candidate key of the universe.
+		t.Fatalf("Synthesize = %v, want 3 schemes", schemes)
+	}
+	foundKeyScheme := false
+	for _, s := range schemes {
+		if schema.EqualAttrSets(s.Attrs, []string{"A", "C"}) {
+			foundKeyScheme = true
+		}
+	}
+	if !foundKeyScheme {
+		t.Errorf("missing universe-key scheme in %v", schemes)
+	}
+}
+
+func TestSynthesizeCoversLoneAttributes(t *testing.T) {
+	u := []string{"A", "B", "Z"}
+	deps := []Dep{NewDep([]string{"A"}, []string{"B"})}
+	schemes := Synthesize(u, deps)
+	covered := make(map[string]bool)
+	for _, s := range schemes {
+		for _, a := range s.Attrs {
+			covered[a] = true
+		}
+	}
+	for _, a := range u {
+		if !covered[a] {
+			t.Errorf("attribute %s not covered by %v", a, schemes)
+		}
+	}
+}
+
+func TestSynthesizeOutputIsBCNFForKeyDeps(t *testing.T) {
+	// When the input contains only future key dependencies, each synthesized
+	// scheme is in BCNF wrt the projected cover.
+	u := []string{"A", "B", "C", "D", "E"}
+	deps := []Dep{
+		NewDep([]string{"A"}, []string{"B", "C"}),
+		NewDep([]string{"D"}, []string{"E"}),
+	}
+	for _, s := range Synthesize(u, deps) {
+		var proj []Dep
+		for _, d := range MinimalCover(deps) {
+			if schema.SubsetOf(d.LHS, s.Attrs) && schema.SubsetOf(d.RHS, s.Attrs) {
+				proj = append(proj, d)
+			}
+		}
+		if !IsBCNF(s.Attrs, proj) {
+			t.Errorf("scheme %v not BCNF under %v", s, proj)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	u := []string{"A", "B", "C", "D"}
+	deps := []Dep{
+		NewDep([]string{"A"}, []string{"B"}),
+		NewDep([]string{"C"}, []string{"D"}),
+		NewDep([]string{"B"}, []string{"A"}),
+	}
+	a := Synthesize(u, deps)
+	b := Synthesize(u, deps)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic scheme count")
+	}
+	for i := range a {
+		if !schema.EqualAttrLists(a[i].Attrs, b[i].Attrs) {
+			t.Fatalf("nondeterministic output: %v vs %v", a, b)
+		}
+	}
+}

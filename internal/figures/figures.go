@@ -1,0 +1,162 @@
+// Package figures builds the worked schemas of Markowitz (ICDE 1992) —
+// figures 1, 2, and 3 — as reusable fixtures for tests, benchmarks, and
+// examples. The expected outputs of figures 4–6 are encoded in the core
+// package's tests, which apply Merge and Remove to the figure 3 schema.
+package figures
+
+import (
+	"repro/internal/schema"
+)
+
+// Domain names shared by the figures.
+const (
+	DomSSN      = "ssn"
+	DomCourseNr = "course_nr"
+	DomDeptName = "dept_name"
+	DomProjNr   = "project_nr"
+	DomDate     = "date"
+)
+
+func attr(name, domain string) schema.Attribute {
+	return schema.Attribute{Name: name, Domain: domain}
+}
+
+// Fig1RS builds the BCNF relational schema RS of figure 1(ii), the
+// Markowitz–Shoshani translation of the ER schema of figure 1(i):
+// PROJECT, EMPLOYEE, WORKS (with nullable DATE guarded by a null-existence
+// constraint — see Fig1NullExistence), and MANAGES.
+func Fig1RS() *schema.Schema {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("PROJECT",
+		[]schema.Attribute{attr("PJ.NR", DomProjNr)}, []string{"PJ.NR"}))
+	s.AddScheme(schema.NewScheme("EMPLOYEE",
+		[]schema.Attribute{attr("E.SSN", DomSSN)}, []string{"E.SSN"}))
+	s.AddScheme(schema.NewScheme("WORKS",
+		[]schema.Attribute{attr("W.SSN", DomSSN), attr("W.NR", DomProjNr), attr("W.DATE", DomDate)},
+		[]string{"W.SSN"}))
+	s.AddScheme(schema.NewScheme("MANAGES",
+		[]schema.Attribute{attr("M.SSN", DomSSN), attr("M.NR", DomProjNr)},
+		[]string{"M.SSN"}))
+	s.INDs = []schema.IND{
+		schema.NewIND("WORKS", []string{"W.NR"}, "PROJECT", []string{"PJ.NR"}),
+		schema.NewIND("WORKS", []string{"W.SSN"}, "EMPLOYEE", []string{"E.SSN"}),
+		schema.NewIND("MANAGES", []string{"M.NR"}, "PROJECT", []string{"PJ.NR"}),
+		schema.NewIND("MANAGES", []string{"M.SSN"}, "EMPLOYEE", []string{"E.SSN"}),
+	}
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("PROJECT", "PJ.NR"),
+		schema.NNA("EMPLOYEE", "E.SSN"),
+		schema.NNA("WORKS", "W.SSN", "W.NR", "W.DATE"),
+		schema.NNA("MANAGES", "M.SSN", "M.NR"),
+	}
+	return s
+}
+
+// Fig1RSPrime builds the relational schema RS' of figure 1(iii), the
+// Teorey–Yang–Fry style translation that the paper criticizes: WORKS folds
+// the relationship into EMPLOYEE's relation with nullable NR and DATE, and —
+// crucially — no null-existence constraint tying DATE to NR, so RS' admits
+// states inconsistent with the ER semantics (an employee with an assignment
+// DATE but no PROJECT).
+func Fig1RSPrime() *schema.Schema {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("PROJECT",
+		[]schema.Attribute{attr("PJ.NR", DomProjNr)}, []string{"PJ.NR"}))
+	s.AddScheme(schema.NewScheme("WORKS",
+		[]schema.Attribute{attr("W.SSN", DomSSN), attr("W.NR", DomProjNr), attr("W.DATE", DomDate)},
+		[]string{"W.SSN"}))
+	s.AddScheme(schema.NewScheme("MANAGES",
+		[]schema.Attribute{attr("M.SSN", DomSSN), attr("M.NR", DomProjNr)},
+		[]string{"M.SSN"}))
+	s.INDs = []schema.IND{
+		schema.NewIND("WORKS", []string{"W.NR"}, "PROJECT", []string{"PJ.NR"}),
+		schema.NewIND("MANAGES", []string{"M.NR"}, "PROJECT", []string{"PJ.NR"}),
+		schema.NewIND("MANAGES", []string{"M.SSN"}, "WORKS", []string{"W.SSN"}),
+	}
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("PROJECT", "PJ.NR"),
+		schema.NNA("WORKS", "W.SSN"), // NR and DATE allow nulls, unconstrained
+		schema.NNA("MANAGES", "M.SSN", "M.NR"),
+	}
+	return s
+}
+
+// Fig1NullExistence is the constraint the paper says RS' needs to match the
+// ER semantics: WORKS: W.DATE ⊑ W.NR ("non-null DATE requires non-null NR").
+func Fig1NullExistence() schema.NullExistence {
+	return schema.NewNullExistence("WORKS", []string{"W.DATE"}, []string{"W.NR"})
+}
+
+// Fig2 builds the two-scheme merge example of figure 2:
+// OFFER(O.CN*, O.DN) and TEACH(T.CN*, T.FN). When linked is true the schema
+// also carries TEACH[T.CN] ⊆ OFFER[O.CN], which by Prop. 3.1 makes OFFER a
+// key-relation of {OFFER, TEACH}; without it the set has no key-relation and
+// Merge must synthesize one.
+func Fig2(linked bool) *schema.Schema {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("OFFER",
+		[]schema.Attribute{attr("O.CN", DomCourseNr), attr("O.DN", DomDeptName)},
+		[]string{"O.CN"}))
+	s.AddScheme(schema.NewScheme("TEACH",
+		[]schema.Attribute{attr("T.CN", DomCourseNr), attr("T.FN", DomSSN)},
+		[]string{"T.CN"}))
+	if linked {
+		s.INDs = []schema.IND{
+			schema.NewIND("TEACH", []string{"T.CN"}, "OFFER", []string{"O.CN"}),
+		}
+	}
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("OFFER", "O.CN", "O.DN"),
+		schema.NNA("TEACH", "T.CN", "T.FN"),
+	}
+	return s
+}
+
+// Fig3 builds the full university schema of figure 3: eight relation-schemes,
+// eight key-based inclusion dependencies, and eight nulls-not-allowed
+// constraints. It is the input of the Merge examples of figures 4 and 5 and
+// the Remove example of figure 6, and is the relational translation of the
+// EER schema of figure 7.
+func Fig3() *schema.Schema {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("PERSON",
+		[]schema.Attribute{attr("P.SSN", DomSSN)}, []string{"P.SSN"}))
+	s.AddScheme(schema.NewScheme("FACULTY",
+		[]schema.Attribute{attr("F.SSN", DomSSN)}, []string{"F.SSN"}))
+	s.AddScheme(schema.NewScheme("STUDENT",
+		[]schema.Attribute{attr("S.SSN", DomSSN)}, []string{"S.SSN"}))
+	s.AddScheme(schema.NewScheme("COURSE",
+		[]schema.Attribute{attr("C.NR", DomCourseNr)}, []string{"C.NR"}))
+	s.AddScheme(schema.NewScheme("DEPARTMENT",
+		[]schema.Attribute{attr("D.NAME", DomDeptName)}, []string{"D.NAME"}))
+	s.AddScheme(schema.NewScheme("OFFER",
+		[]schema.Attribute{attr("O.C.NR", DomCourseNr), attr("O.D.NAME", DomDeptName)},
+		[]string{"O.C.NR"}))
+	s.AddScheme(schema.NewScheme("TEACH",
+		[]schema.Attribute{attr("T.C.NR", DomCourseNr), attr("T.F.SSN", DomSSN)},
+		[]string{"T.C.NR"}))
+	s.AddScheme(schema.NewScheme("ASSIST",
+		[]schema.Attribute{attr("A.C.NR", DomCourseNr), attr("A.S.SSN", DomSSN)},
+		[]string{"A.C.NR"}))
+	s.INDs = []schema.IND{
+		schema.NewIND("FACULTY", []string{"F.SSN"}, "PERSON", []string{"P.SSN"}),
+		schema.NewIND("STUDENT", []string{"S.SSN"}, "PERSON", []string{"P.SSN"}),
+		schema.NewIND("OFFER", []string{"O.C.NR"}, "COURSE", []string{"C.NR"}),
+		schema.NewIND("OFFER", []string{"O.D.NAME"}, "DEPARTMENT", []string{"D.NAME"}),
+		schema.NewIND("TEACH", []string{"T.C.NR"}, "OFFER", []string{"O.C.NR"}),
+		schema.NewIND("TEACH", []string{"T.F.SSN"}, "FACULTY", []string{"F.SSN"}),
+		schema.NewIND("ASSIST", []string{"A.C.NR"}, "OFFER", []string{"O.C.NR"}),
+		schema.NewIND("ASSIST", []string{"A.S.SSN"}, "STUDENT", []string{"S.SSN"}),
+	}
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("PERSON", "P.SSN"),
+		schema.NNA("FACULTY", "F.SSN"),
+		schema.NNA("STUDENT", "S.SSN"),
+		schema.NNA("COURSE", "C.NR"),
+		schema.NNA("DEPARTMENT", "D.NAME"),
+		schema.NNA("OFFER", "O.C.NR", "O.D.NAME"),
+		schema.NNA("TEACH", "T.C.NR", "T.F.SSN"),
+		schema.NNA("ASSIST", "A.C.NR", "A.S.SSN"),
+	}
+	return s
+}

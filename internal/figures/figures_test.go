@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"testing"
+)
+
+func TestFixturesValidate(t *testing.T) {
+	for name, s := range map[string]interface{ Validate() error }{
+		"fig1-rs":       Fig1RS(),
+		"fig1-rs-prime": Fig1RSPrime(),
+		"fig2-linked":   Fig2(true),
+		"fig2-unlinked": Fig2(false),
+		"fig3":          Fig3(),
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	s := Fig3()
+	if len(s.Relations) != 8 || len(s.INDs) != 8 || len(s.Nulls) != 8 {
+		t.Errorf("figure 3: %d/%d/%d, want 8/8/8",
+			len(s.Relations), len(s.INDs), len(s.Nulls))
+	}
+	for _, ind := range s.INDs {
+		if !ind.KeyBased(s) {
+			t.Errorf("%s should be key-based", ind)
+		}
+	}
+}
+
+func TestFig1NullExistence(t *testing.T) {
+	ne := Fig1NullExistence()
+	if ne.Scheme != "WORKS" || len(ne.Y) != 1 || ne.Y[0] != "W.DATE" {
+		t.Errorf("constraint = %v", ne)
+	}
+}
+
+func TestFig2Variants(t *testing.T) {
+	if len(Fig2(true).INDs) != 1 || len(Fig2(false).INDs) != 0 {
+		t.Error("linked variant carries exactly the TEACH→OFFER dependency")
+	}
+}

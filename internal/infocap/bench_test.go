@@ -1,0 +1,33 @@
+package infocap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+)
+
+func BenchmarkEnumerateFig2(b *testing.B) {
+	s := figures.Fig2(true)
+	opts := EnumOptions{DomainSize: 2, MaxTuples: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateStates(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckEquivalenceFig2(b *testing.B) {
+	s := figures.Fig2(true)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := EnumOptions{DomainSize: 2, MaxTuples: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckEquivalence(s, m.Schema, m.MapState, m.UnmapState, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

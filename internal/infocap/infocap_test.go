@@ -1,0 +1,236 @@
+package infocap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eer"
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+	"repro/internal/translate"
+)
+
+func TestEnumerateSingleRelation(t *testing.T) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R",
+		[]schema.Attribute{{Name: "A", Domain: "d"}}, []string{"A"}))
+	s.Nulls = append(s.Nulls, schema.NNA("R", "A"))
+
+	// Domain size 2, max 2 tuples: ∅, {a0}, {a1}, {a0,a1} = 4 states.
+	states, err := EnumerateStates(s, EnumOptions{DomainSize: 2, MaxTuples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 4 {
+		t.Fatalf("states = %d, want 4", len(states))
+	}
+}
+
+func TestEnumerateRespectsKeyDependency(t *testing.T) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R",
+		[]schema.Attribute{{Name: "A", Domain: "d"}, {Name: "B", Domain: "e"}},
+		[]string{"A"}))
+	s.Nulls = append(s.Nulls, schema.NNA("R", "A", "B"))
+	// Key A over domain sizes (2, 2): per key value 2 choices of B; relations
+	// with unique keys: ∅(1) + singletons(4) + two-tuple with distinct keys
+	// (2×2=4) = 9.
+	n, err := CountStates(s, EnumOptions{DomainSize: 2, MaxTuples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("states = %d, want 9", n)
+	}
+}
+
+func TestEnumerateRespectsINDs(t *testing.T) {
+	s := figures.Fig2(true)
+	states, err := EnumerateStates(s, EnumOptions{DomainSize: 1, MaxTuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OFFER ∈ {∅, {(c,d)}}; TEACH ∈ {∅, {(c,f)}} but TEACH ⊆ OFFER:
+	// (∅,∅), ({o},∅), ({o},{t}) = 3 states.
+	if len(states) != 3 {
+		t.Fatalf("states = %d, want 3", len(states))
+	}
+	for _, st := range states {
+		if err := state.Consistent(s, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxStatesGuard(t *testing.T) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R",
+		[]schema.Attribute{{Name: "A", Domain: "d"}}, []string{"A"}))
+	s.Nulls = append(s.Nulls, schema.NNA("R", "A"))
+	if _, err := EnumerateStates(s, EnumOptions{DomainSize: 3, MaxTuples: 3, MaxStates: 2}); err == nil {
+		t.Error("MaxStates guard should trip")
+	}
+}
+
+// Prop. 4.1 verified exhaustively: the figure 2 merge is an information-
+// capacity equivalence over the entire bounded state space.
+func TestMergeEquivalenceExhaustive(t *testing.T) {
+	s := figures.Fig2(true)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckEquivalence(s, m.Schema, m.MapState, m.UnmapState,
+		EnumOptions{DomainSize: 2, MaxTuples: 2})
+	if err != nil {
+		t.Fatalf("figure 2 merge should be an exact equivalence: %v", err)
+	}
+}
+
+// Prop. 4.2 verified exhaustively: equivalence still holds with the Remove
+// mapping composed in.
+func TestRemoveEquivalenceExhaustive(t *testing.T) {
+	s := figures.Fig2(true)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("TEACH"); err != nil {
+		t.Fatal(err)
+	}
+	err = CheckEquivalence(s, m.Schema, m.MapState, m.UnmapState,
+		EnumOptions{DomainSize: 2, MaxTuples: 2})
+	if err != nil {
+		t.Fatalf("figure 2 merge+remove should be an exact equivalence: %v", err)
+	}
+}
+
+// The synthetic-key merge is also an exact equivalence (the part-null
+// constraint is what makes the inverse total).
+func TestSyntheticMergeEquivalenceExhaustive(t *testing.T) {
+	s := figures.Fig2(false)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckEquivalence(s, m.Schema, m.MapState, m.UnmapState,
+		EnumOptions{DomainSize: 1, MaxTuples: 2})
+	if err != nil {
+		t.Fatalf("synthetic-key merge should be an exact equivalence: %v", err)
+	}
+}
+
+// Dropping the part-null constraint breaks the equivalence: the merged
+// schema gains states (an all-null non-key part) with no preimage.
+func TestPartNullIsLoadBearing(t *testing.T) {
+	s := figures.Fig2(false)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weaker []schema.NullConstraint
+	for _, nc := range m.Schema.Nulls {
+		if _, isPN := nc.(schema.PartNull); !isPN {
+			weaker = append(weaker, nc)
+		}
+	}
+	m.Schema.Nulls = weaker
+	err = CheckEquivalence(s, m.Schema, m.MapState, m.UnmapState,
+		EnumOptions{DomainSize: 1, MaxTuples: 2})
+	if err == nil {
+		t.Fatal("without the part-null constraint the schemas must NOT be equivalent")
+	}
+	if !strings.Contains(err.Error(), "state counts differ") {
+		t.Errorf("expected a state-count mismatch, got: %v", err)
+	}
+	witness, err2 := FindUnreachable(s, m.Schema, m.MapState, EnumOptions{DomainSize: 1, MaxTuples: 2})
+	if err2 != nil || witness == nil {
+		t.Fatalf("expected an unreachable witness state, got %v / %v", witness, err2)
+	}
+}
+
+// E1, exhaustively: the Teorey translation RS' of figure 1 admits strictly
+// more states than the faithful translation RS — the anomaly is a capacity
+// gap, not just one bad tuple.
+func TestTeoreyCapacityGap(t *testing.T) {
+	rs, err := translate.MS(eer.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	teorey, err := translate.Teorey(eer.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EnumOptions{DomainSize: 1, MaxTuples: 1}
+	nRS, err := CountStates(rs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTeorey, err := CountStates(teorey, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nTeorey <= nRS {
+		t.Fatalf("RS' should have strictly more states: RS=%d RS'=%d", nRS, nTeorey)
+	}
+	// Adding the paper's null constraints closes part of the gap: the DATE
+	// anomaly states disappear.
+	teorey.Nulls = append(teorey.Nulls,
+		schema.NewNullExistence("EMPLOYEE", []string{"W.DATE"}, []string{"W.NR"}),
+		schema.NewNullExistence("EMPLOYEE", []string{"M.NR"}, []string{"E.SSN"}))
+	nFixed, err := CountStates(teorey, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nFixed >= nTeorey {
+		t.Fatalf("null constraints should remove states: before=%d after=%d", nTeorey, nFixed)
+	}
+}
+
+func TestCheckEquivalenceDetectsBadMappings(t *testing.T) {
+	s := figures.Fig2(true)
+	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EnumOptions{DomainSize: 1, MaxTuples: 1}
+
+	// A lossy Φ (drops TEACH) breaks injectivity or the round trip.
+	lossy := func(db *state.DB) *state.DB {
+		out := state.New(m.Schema)
+		out.Set("ASSIGN", m.MapState(db).Relation("ASSIGN").Select(func(relation.Tuple) bool { return false }))
+		return out
+	}
+	if err := CheckEquivalence(s, m.Schema, lossy, m.UnmapState, opts); err == nil {
+		t.Error("lossy mapping should fail")
+	}
+
+	// A value-inventing Φ fails data preservation.
+	inventing := func(db *state.DB) *state.DB {
+		out := m.MapState(db)
+		r := out.Relation("ASSIGN")
+		r.Add(relation.Tuple{
+			relation.NewString("invented"), relation.NewString("invented"),
+			relation.Null(), relation.Null(),
+		})
+		return out
+	}
+	if err := CheckEquivalence(s, m.Schema, inventing, m.UnmapState, opts); err == nil {
+		t.Error("value-inventing mapping should fail")
+	}
+}
+
+func TestDomainValueDeterministic(t *testing.T) {
+	if !DomainValue("d", 0).Identical(DomainValue("d", 0)) {
+		t.Error("DomainValue must be deterministic")
+	}
+	if DomainValue("d", 0).Identical(DomainValue("d", 1)) {
+		t.Error("distinct indexes must differ")
+	}
+	if DomainValue("d", 0).Identical(DomainValue("e", 0)) {
+		t.Error("distinct domains must differ")
+	}
+}

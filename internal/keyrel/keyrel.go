@@ -1,0 +1,136 @@
+// Package keyrel implements key-relations (Definition 3.1) and the Refkey
+// recursion of Proposition 3.1 of Markowitz (ICDE 1992). A key-relation of a
+// merge set R̄ is a relation-scheme whose primary-key values cover, in every
+// consistent database state, the union of the primary-key values of all
+// members of R̄; Proposition 3.1 characterizes when a member of R̄ is itself a
+// key-relation, via a recursion over key-based inclusion dependencies.
+package keyrel
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// Refkey returns the members Ri of names (other than root) whose primary key
+// is included in root's primary key by an inclusion dependency of I:
+// Refkey(Ro, R̄) = { Ri ∈ R̄ | Ri[Ki] ⊆ Ro[Ko] ∈ I }.
+func Refkey(s *schema.Schema, root string, names []string) []string {
+	ro := s.Scheme(root)
+	if ro == nil {
+		return nil
+	}
+	inSet := toSet(names)
+	var out []string
+	for _, ind := range s.INDs {
+		if ind.Right != root || ind.Left == root || !inSet[ind.Left] {
+			continue
+		}
+		ri := s.Scheme(ind.Left)
+		if ri == nil {
+			continue
+		}
+		// The IND must go from Ri's own primary key into Ro's primary key.
+		if schema.EqualAttrSets(ind.LeftAttrs, ri.PrimaryKey) &&
+			schema.EqualAttrSets(ind.RightAttrs, ro.PrimaryKey) {
+			out = append(out, ind.Left)
+		}
+	}
+	sort.Strings(out)
+	return dedup(out)
+}
+
+// RefkeyStar computes the transitive closure Refkey*(Ro, R̄) of Prop. 3.1.
+func RefkeyStar(s *schema.Schema, root string, names []string) []string {
+	visited := map[string]bool{root: true}
+	var out []string
+	queue := Refkey(s, root, names)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		out = append(out, n)
+		queue = append(queue, Refkey(s, n, names)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsKeyRelation reports whether root satisfies the Prop. 3.1 condition for
+// the merge set: R̄ = {Ro} ∪ Refkey*(Ro, R̄).
+func IsKeyRelation(s *schema.Schema, root string, names []string) bool {
+	if s.Scheme(root) == nil || !toSet(names)[root] {
+		return false
+	}
+	covered := append([]string{root}, RefkeyStar(s, root, names)...)
+	return schema.EqualAttrSets(covered, names)
+}
+
+// Find returns the members of names that are key-relations of the set, in
+// sorted order; the first is the canonical choice for Merge.
+func Find(s *schema.Schema, names []string) []string {
+	var out []string
+	for _, n := range names {
+		if IsKeyRelation(s, n, names) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeyUnion computes ∪_{Ri ∈ names} rename(π_{Ki}(r_i), Ki ← target) over a
+// database state: the key values a key-relation must cover (Definition 3.1).
+// The target attribute names give the result's header and must be compatible
+// with each member's primary key, position-wise.
+func KeyUnion(s *schema.Schema, db *state.DB, names []string, target []string) *relation.Relation {
+	out := relation.New(target...)
+	for _, n := range names {
+		rs := s.Scheme(n)
+		r := db.Relation(n)
+		if rs == nil || r == nil {
+			continue
+		}
+		proj := r.Project(rs.PrimaryKey).Rename(rs.PrimaryKey, target)
+		out = out.Union(proj)
+	}
+	return out
+}
+
+// HoldsInState checks Definition 3.1 semantically for one database state:
+// π_{Ko}(r_o) equals the union of the renamed key projections of the merge
+// set. Prop. 3.1 guarantees this for every consistent state exactly when
+// IsKeyRelation holds.
+func HoldsInState(s *schema.Schema, db *state.DB, root string, names []string) bool {
+	ro := s.Scheme(root)
+	if ro == nil {
+		return false
+	}
+	have := db.Relation(root).Project(ro.PrimaryKey)
+	want := KeyUnion(s, db, names, ro.PrimaryKey)
+	return have.Equal(want)
+}
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+func dedup(sorted []string) []string {
+	j := 0
+	for i, n := range sorted {
+		if i == 0 || n != sorted[i-1] {
+			sorted[j] = n
+			j++
+		}
+	}
+	return sorted[:j]
+}

@@ -1,0 +1,144 @@
+package keyrel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+func TestRefkeyFig3(t *testing.T) {
+	s := figures.Fig3()
+	all := []string{"COURSE", "OFFER", "TEACH", "ASSIST"}
+	if got := Refkey(s, "COURSE", all); !schema.EqualAttrSets(got, []string{"OFFER"}) {
+		t.Errorf("Refkey(COURSE) = %v, want [OFFER]", got)
+	}
+	if got := Refkey(s, "OFFER", all); !schema.EqualAttrSets(got, []string{"ASSIST", "TEACH"}) {
+		t.Errorf("Refkey(OFFER) = %v, want [ASSIST TEACH]", got)
+	}
+	if got := Refkey(s, "TEACH", all); len(got) != 0 {
+		t.Errorf("Refkey(TEACH) = %v, want empty", got)
+	}
+	// Members outside the merge set are ignored.
+	if got := Refkey(s, "COURSE", []string{"COURSE", "TEACH"}); len(got) != 0 {
+		t.Errorf("Refkey restricted = %v, want empty (OFFER outside set)", got)
+	}
+}
+
+func TestRefkeyStarFig3(t *testing.T) {
+	s := figures.Fig3()
+	all := []string{"COURSE", "OFFER", "TEACH", "ASSIST"}
+	got := RefkeyStar(s, "COURSE", all)
+	if !schema.EqualAttrSets(got, []string{"ASSIST", "OFFER", "TEACH"}) {
+		t.Errorf("RefkeyStar(COURSE) = %v", got)
+	}
+}
+
+func TestIsKeyRelationFig3(t *testing.T) {
+	s := figures.Fig3()
+	cases := []struct {
+		root  string
+		names []string
+		want  bool
+	}{
+		// Figure 4's merge set: COURSE is the key-relation.
+		{"COURSE", []string{"COURSE", "OFFER", "TEACH"}, true},
+		// Figure 5's merge set.
+		{"COURSE", []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, true},
+		// OFFER does not cover COURSE (no COURSE[C.NR] ⊆ OFFER[O.C.NR]).
+		{"OFFER", []string{"COURSE", "OFFER", "TEACH"}, false},
+		// The §5.2 merge set {OFFER, TEACH, ASSIST}: OFFER is key-relation.
+		{"OFFER", []string{"OFFER", "TEACH", "ASSIST"}, true},
+		{"TEACH", []string{"OFFER", "TEACH", "ASSIST"}, false},
+		// A singleton set is its own key-relation.
+		{"COURSE", []string{"COURSE"}, true},
+		// Root outside the set never qualifies.
+		{"PERSON", []string{"COURSE", "OFFER"}, false},
+	}
+	for _, c := range cases {
+		if got := IsKeyRelation(s, c.root, c.names); got != c.want {
+			t.Errorf("IsKeyRelation(%s, %v) = %v, want %v", c.root, c.names, got, c.want)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := figures.Fig3()
+	if got := Find(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}); len(got) != 1 || got[0] != "COURSE" {
+		t.Errorf("Find = %v, want [COURSE]", got)
+	}
+	// {PERSON, FACULTY, STUDENT}: PERSON covers both via INDs.
+	if got := Find(s, []string{"PERSON", "FACULTY", "STUDENT"}); len(got) != 1 || got[0] != "PERSON" {
+		t.Errorf("Find = %v, want [PERSON]", got)
+	}
+	// {OFFER, TEACH} without COURSE: OFFER qualifies.
+	if got := Find(s, []string{"OFFER", "TEACH"}); len(got) != 1 || got[0] != "OFFER" {
+		t.Errorf("Find = %v, want [OFFER]", got)
+	}
+	// Figure 2 without the linking IND: no key-relation exists.
+	if got := Find(figures.Fig2(false), []string{"OFFER", "TEACH"}); len(got) != 0 {
+		t.Errorf("Find on unlinked fig 2 = %v, want none", got)
+	}
+}
+
+// Prop. 3.1, semantic direction: when the syntactic condition holds, the
+// key-relation's key projection equals the key union in every generated
+// consistent state.
+func TestProp31HoldsOnGeneratedStates(t *testing.T) {
+	s := figures.Fig3()
+	names := []string{"COURSE", "OFFER", "TEACH", "ASSIST"}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		db := state.MustGenerate(s, rng, state.GenOptions{Rows: 6})
+		if !HoldsInState(s, db, "COURSE", names) {
+			t.Fatalf("trial %d: Definition 3.1 fails for COURSE on a consistent state:\n%s", trial, db)
+		}
+	}
+}
+
+// Prop. 3.1, converse direction: when the condition fails, some consistent
+// state violates Definition 3.1 (OFFER does not cover COURSE's keys).
+func TestProp31FailsWhenConditionFails(t *testing.T) {
+	s := figures.Fig3()
+	names := []string{"COURSE", "OFFER", "TEACH"}
+	rng := rand.New(rand.NewSource(13))
+	violated := false
+	for trial := 0; trial < 40 && !violated; trial++ {
+		// Force OFFER strictly smaller than COURSE so some COURSE key has no
+		// OFFER tuple — then OFFER's key projection cannot cover the union.
+		db := state.MustGenerate(s, rng, state.GenOptions{
+			Rows:    6,
+			RowsPer: map[string]int{"OFFER": 3},
+		})
+		if !HoldsInState(s, db, "OFFER", names) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("expected some consistent state where OFFER fails Definition 3.1 for {COURSE, OFFER, TEACH}")
+	}
+}
+
+func TestKeyUnion(t *testing.T) {
+	s := figures.Fig3()
+	rng := rand.New(rand.NewSource(17))
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 5})
+	union := KeyUnion(s, db, []string{"COURSE", "OFFER"}, []string{"K"})
+	// Every OFFER key is a COURSE key, so the union equals COURSE's keys.
+	course := db.Relation("COURSE").Project([]string{"C.NR"}).Rename([]string{"C.NR"}, []string{"K"})
+	if !union.Equal(course) {
+		t.Errorf("KeyUnion = %v, want %v", union, course)
+	}
+}
+
+func TestRefkeyUnknownRoot(t *testing.T) {
+	s := figures.Fig3()
+	if Refkey(s, "NOPE", []string{"COURSE"}) != nil {
+		t.Error("unknown root should yield nil")
+	}
+	if IsKeyRelation(s, "NOPE", []string{"NOPE"}) {
+		t.Error("unknown scheme never a key-relation")
+	}
+}

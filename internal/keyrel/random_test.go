@@ -1,0 +1,107 @@
+package keyrel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// randomTree builds a random key-compatible dependency tree: a root R0 and
+// dependents each referencing a random earlier member's key.
+func randomTree(rng *rand.Rand) (*schema.Schema, []string) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R0",
+		[]schema.Attribute{{Name: "R0.K", Domain: "kd"}}, []string{"R0.K"}))
+	s.Nulls = append(s.Nulls, schema.NNA("R0", "R0.K"))
+	members := []string{"R0"}
+	n := 1 + rng.Intn(5)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("D%d", i)
+		keyAttr := fmt.Sprintf("D%d.K", i)
+		parent := members[rng.Intn(len(members))]
+		s.AddScheme(schema.NewScheme(name,
+			[]schema.Attribute{{Name: keyAttr, Domain: "kd"}}, []string{keyAttr}))
+		s.Nulls = append(s.Nulls, schema.NNA(name, keyAttr))
+		s.INDs = append(s.INDs, schema.NewIND(name, []string{keyAttr},
+			parent, s.Scheme(parent).PrimaryKey))
+		members = append(members, name)
+	}
+	return s, members
+}
+
+// Prop. 3.1, both directions, randomized: the syntactic condition holds for
+// a member iff Definition 3.1's key-coverage equation holds on generated
+// consistent states (with ragged relation sizes so subset relationships are
+// strict).
+func TestProp31SyntacticSemanticAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 60; trial++ {
+		s, members := randomTree(rng)
+		rows := map[string]int{}
+		for i, name := range members {
+			// Strictly shrinking sizes downstream make coverage failures
+			// observable.
+			rows[name] = 8 - i
+			if rows[name] < 1 {
+				rows[name] = 1
+			}
+		}
+		db, err := state.Generate(s, rng, state.GenOptions{Rows: 8, RowsPer: rows})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, root := range members {
+			syntactic := IsKeyRelation(s, root, members)
+			semantic := HoldsInState(s, db, root, members)
+			if syntactic && !semantic {
+				t.Fatalf("trial %d: %s passes Prop 3.1 but fails Def 3.1 on a consistent state\n%s\n%s",
+					trial, root, s, db)
+			}
+			// The converse can coincide by accident on small states (a
+			// non-key-relation may still cover all keys in one particular
+			// state), so only the sound direction is asserted per state.
+		}
+		// R0 is always a key-relation of the full tree.
+		if !IsKeyRelation(s, "R0", members) {
+			t.Fatalf("trial %d: R0 must be a key-relation", trial)
+		}
+	}
+}
+
+// The converse direction in aggregate: a member that fails the syntactic
+// condition must fail Definition 3.1 on SOME consistent state (searched over
+// several generations).
+func TestProp31ConverseInAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 20; trial++ {
+		s, members := randomTree(rng)
+		if len(members) < 3 {
+			continue
+		}
+		for _, root := range members[1:] { // dependents never cover R0
+			if IsKeyRelation(s, root, members) {
+				continue
+			}
+			violated := false
+			for rep := 0; rep < 30 && !violated; rep++ {
+				rows := map[string]int{}
+				for i, name := range members {
+					rows[name] = 2 + (len(members)-i)*2
+				}
+				db, err := state.Generate(s, rng, state.GenOptions{Rows: 8, RowsPer: rows})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !HoldsInState(s, db, root, members) {
+					violated = true
+				}
+			}
+			if !violated {
+				t.Fatalf("trial %d: %s fails Prop 3.1 but no witness state found", trial, root)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package normalize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+func attrsOf(names string, dom string) []schema.Attribute {
+	var out []schema.Attribute
+	cur := ""
+	for _, r := range names + "," {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, schema.Attribute{Name: cur, Domain: dom + "_" + cur})
+			}
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	return out
+}
+
+func TestBCNFAlreadyNormalized(t *testing.T) {
+	res, err := BCNF("R", attrsOf("K,A,B", "d"), []fd.Dep{
+		fd.NewDep([]string{"K"}, []string{"A", "B"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 {
+		t.Fatalf("fragments = %v", res.Fragments)
+	}
+	rs := res.Schema.Scheme(res.Fragments[0])
+	if !schema.EqualAttrSets(rs.PrimaryKey, []string{res.Fragments[0] + ".K"}) {
+		t.Errorf("key = %v", rs.PrimaryKey)
+	}
+}
+
+func TestBCNFTransitiveSplit(t *testing.T) {
+	// COURSE → FACULTY → OFFICE: splits into (FACULTY, OFFICE) and
+	// (COURSE, FACULTY) with the dependency linking them.
+	res, err := BCNF("TEACHES", attrsOf("COURSE,FACULTY,OFFICE", "d"), []fd.Dep{
+		fd.NewDep([]string{"COURSE"}, []string{"FACULTY"}),
+		fd.NewDep([]string{"FACULTY"}, []string{"OFFICE"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 2 {
+		t.Fatalf("fragments = %v\n%s", res.Fragments, res.Schema)
+	}
+	for _, fname := range res.Fragments {
+		src := res.Source[fname]
+		proj := fd.ProjectDeps(src, res.deps)
+		if !fd.IsBCNF(src, proj) {
+			t.Errorf("fragment %s not BCNF", fname)
+		}
+	}
+	if len(res.Schema.INDs) != 1 {
+		t.Fatalf("INDs = %v", res.Schema.INDs)
+	}
+	if !res.Schema.INDs[0].KeyBased(res.Schema) {
+		t.Error("linking dependency should be key-based")
+	}
+}
+
+func TestBCNFErrors(t *testing.T) {
+	if _, err := BCNF("R", nil, nil); err == nil {
+		t.Error("no attributes")
+	}
+	if _, err := BCNF("R", []schema.Attribute{{Name: "A"}}, nil); err == nil {
+		t.Error("missing domain")
+	}
+	if _, err := BCNF("R", attrsOf("A", "d"), []fd.Dep{fd.NewDep([]string{"Z"}, []string{"A"})}); err == nil {
+		t.Error("unknown attribute in dependency")
+	}
+}
+
+// Lossless join: Reassemble(Split(r)) = r for relations satisfying the
+// dependencies — randomized.
+func TestLosslessJoinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	attrs := attrsOf("A,B,C,D", "d")
+	names := schema.AttrNames(attrs)
+	for trial := 0; trial < 80; trial++ {
+		var deps []fd.Dep
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			lhs := names[rng.Intn(len(names))]
+			rhs := names[rng.Intn(len(names))]
+			if lhs == rhs {
+				continue
+			}
+			deps = append(deps, fd.NewDep([]string{lhs}, []string{rhs}))
+		}
+		res, err := BCNF("R", attrs, deps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Random relation satisfying the dependencies: assign each attribute
+		// a function of its determining value chain by rejection sampling.
+		src := relation.New(names...)
+		for row := 0; row < 12; row++ {
+			tup := make(relation.Tuple, len(names))
+			for i := range tup {
+				tup[i] = relation.NewString(fmt.Sprintf("v%d", rng.Intn(3)))
+			}
+			src.Add(tup)
+			ok := true
+			for _, d := range deps {
+				if !(schema.FD{Scheme: "R", LHS: d.LHS, RHS: d.RHS}).Satisfied(src) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				src.Remove(tup)
+			}
+		}
+		back := res.Reassemble(res.Split(src))
+		if !back.Equal(src) {
+			t.Fatalf("trial %d: lossless join failed (deps %v)\nsrc:\n%s\nback:\n%s",
+				trial, deps, src, back)
+		}
+	}
+}
+
+// The split data is consistent with the produced schema (keys, INDs, NNA).
+func TestSplitStateConsistent(t *testing.T) {
+	res, err := BCNF("TEACHES", attrsOf("COURSE,FACULTY,OFFICE", "d"), []fd.Dep{
+		fd.NewDep([]string{"COURSE"}, []string{"FACULTY"}),
+		fd.NewDep([]string{"FACULTY"}, []string{"OFFICE"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := relation.New("COURSE", "FACULTY", "OFFICE")
+	add := func(vals ...string) {
+		tup := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			tup[i] = relation.NewString(v)
+		}
+		src.Add(tup)
+	}
+	add("c1", "smith", "o101")
+	add("c2", "smith", "o101")
+	add("c3", "jones", "o202")
+	db := res.Split(src)
+	if err := state.Consistent(res.Schema, db); err != nil {
+		t.Fatalf("split state inconsistent: %v\n%s", err, db)
+	}
+	if !res.Reassemble(db).Equal(src) {
+		t.Error("reassembly failed")
+	}
+	// The split removed redundancy: the FACULTY→OFFICE fragment has one row
+	// per faculty, not per course.
+	for _, fname := range res.Fragments {
+		if schema.EqualAttrSets(res.Source[fname], []string{"FACULTY", "OFFICE"}) {
+			if db.Relation(fname).Len() != 2 {
+				t.Errorf("faculty fragment has %d rows, want 2", db.Relation(fname).Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package nullcon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Completeness of null-existence implication: whenever Implied reports
+// false, a single-tuple countermodel exists — total exactly on the closure
+// of the candidate's left-hand side — that satisfies every constraint in the
+// set and violates the candidate. This mirrors the classical Armstrong
+// completeness argument for FDs, which the paper invokes for null-existence
+// constraints ("inference axioms ... have the form of the inference axioms
+// for functional dependencies").
+func TestExistenceImplicationCompleteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	attrs := []string{"A", "B", "C", "D", "E"}
+	for trial := 0; trial < 300; trial++ {
+		var set []schema.NullConstraint
+		var nes []schema.NullExistence
+		for i := 0; i < rng.Intn(4); i++ {
+			ne := schema.NewNullExistence("R", randSubset(rng, attrs), randSubset(rng, attrs))
+			set = append(set, ne)
+			nes = append(nes, ne)
+		}
+		cand := schema.NewNullExistence("R", randSubset(rng, attrs), randSubset(rng, attrs))
+		if Implied(set, cand) {
+			continue
+		}
+		// Countermodel: one tuple, total exactly on closure(Y).
+		closure := CloseExistence("R", nes, cand.Y)
+		inClosure := make(map[string]bool, len(closure))
+		for _, a := range closure {
+			inClosure[a] = true
+		}
+		r := relation.New(attrs...)
+		tup := make(relation.Tuple, len(attrs))
+		for i, a := range attrs {
+			if inClosure[a] {
+				tup[i] = relation.NewString("v")
+			} else {
+				tup[i] = relation.Null()
+			}
+		}
+		r.Add(tup)
+		for _, nc := range set {
+			if !nc.Satisfied(r) {
+				t.Fatalf("trial %d: countermodel violates set member %v (set %v)", trial, nc, set)
+			}
+		}
+		if cand.Satisfied(r) {
+			t.Fatalf("trial %d: countermodel fails to violate %v (closure %v)", trial, cand, closure)
+		}
+	}
+}
+
+// Completeness of total-equality implication: whenever Implied reports
+// false, the tuple assigning one fresh value per equivalence class satisfies
+// the set and violates the candidate.
+func TestTotalEqualityImplicationCompleteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	attrs := []string{"A", "B", "C", "D", "E"}
+	for trial := 0; trial < 300; trial++ {
+		var set []schema.NullConstraint
+		var tes []schema.TotalEquality
+		for i := 0; i < rng.Intn(4); i++ {
+			a, b := attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))]
+			te := schema.NewTotalEquality("R", []string{a}, []string{b})
+			set = append(set, te)
+			tes = append(tes, te)
+		}
+		a, b := attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))]
+		cand := schema.NewTotalEquality("R", []string{a}, []string{b})
+		if Implied(set, cand) {
+			continue
+		}
+		eq := NewEqClasses("R", tes)
+		r := relation.New(attrs...)
+		tup := make(relation.Tuple, len(attrs))
+		classValue := make(map[string]relation.Value)
+		next := 0
+		for i, at := range attrs {
+			// One value per equivalence class.
+			root := at
+			for _, other := range attrs {
+				if eq.Same(at, other) && other < root {
+					root = other
+				}
+			}
+			v, ok := classValue[root]
+			if !ok {
+				v = relation.NewString(fmt.Sprintf("c%d", next))
+				next++
+				classValue[root] = v
+			}
+			tup[i] = v
+		}
+		r.Add(tup)
+		for _, nc := range set {
+			if !nc.Satisfied(r) {
+				t.Fatalf("trial %d: countermodel violates set member %v", trial, nc)
+			}
+		}
+		if cand.Satisfied(r) {
+			t.Fatalf("trial %d: countermodel fails to violate %v (set %v)", trial, cand, set)
+		}
+	}
+}
+
+// Soundness of Simplify: the simplified set is equivalent to the original —
+// every dropped constraint is implied by the survivors, checked semantically
+// on random relations.
+func TestSimplifyEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	attrs := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 150; trial++ {
+		var set []schema.NullConstraint
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				set = append(set, schema.NewNullExistence("R", randSubset(rng, attrs), randSubset(rng, attrs)))
+			case 1:
+				set = append(set, schema.NewNullSync("R", randSubset(rng, attrs)...))
+			case 2:
+				set = append(set, schema.NewTotalEquality("R",
+					[]string{attrs[rng.Intn(len(attrs))]}, []string{attrs[rng.Intn(len(attrs))]}))
+			}
+		}
+		simplified := Simplify(set)
+		// Random relations: original and simplified must agree.
+		for rel := 0; rel < 15; rel++ {
+			r := relation.New(attrs...)
+			for row := 0; row < 1+rng.Intn(3); row++ {
+				tup := make(relation.Tuple, len(attrs))
+				for i := range tup {
+					switch rng.Intn(3) {
+					case 0:
+						tup[i] = relation.Null()
+					default:
+						tup[i] = relation.NewString(fmt.Sprintf("v%d", rng.Intn(2)))
+					}
+				}
+				r.Add(tup)
+			}
+			origOK := allSatisfied(set, r)
+			simpOK := allSatisfied(simplified, r)
+			if origOK != simpOK {
+				t.Fatalf("trial %d: Simplify changed semantics on %v\noriginal %v → %v\nsimplified %v → %v",
+					trial, r, set, origOK, simplified, simpOK)
+			}
+		}
+	}
+}
+
+func allSatisfied(set []schema.NullConstraint, r *relation.Relation) bool {
+	for _, nc := range set {
+		if !nc.Satisfied(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,290 @@
+// Package nullcon implements inference and simplification for the null
+// constraints of Markowitz (ICDE 1992), section 3:
+//
+//   - null-existence constraints Y ⊑ Z obey inference axioms of the same form
+//     as the Armstrong axioms for functional dependencies (reflexivity,
+//     augmentation, transitivity), so implication reduces to an
+//     attribute-closure computation;
+//   - total-equality constraints Y =⊥ Z obey axioms analogous to Klug's
+//     equality-constraint axioms (reflexivity, symmetry, transitivity), so
+//     implication reduces to an equivalence-class computation over attribute
+//     pairs;
+//   - part-null constraints PN(Y1,…,Ym) are compared by subsumption (a PN
+//     constraint is weaker when each of its sets contains some set of the
+//     stronger constraint).
+//
+// The three families do not interact with each other (section 3), so
+// implication is decided family-by-family.
+package nullcon
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Classify splits a constraint list into its three reasoning families,
+// expanding null-synchronization sets into their null-existence members.
+func Classify(nulls []schema.NullConstraint) (nes []schema.NullExistence, pns []schema.PartNull, tes []schema.TotalEquality) {
+	for _, nc := range nulls {
+		switch c := nc.(type) {
+		case schema.NullExistence:
+			nes = append(nes, c)
+		case schema.NullSync:
+			nes = append(nes, c.Expand()...)
+		case schema.PartNull:
+			pns = append(pns, c)
+		case schema.TotalEquality:
+			tes = append(tes, c)
+		}
+	}
+	return nes, pns, tes
+}
+
+// CloseExistence computes the set of attributes forced total whenever the
+// attributes of y are total, under the given null-existence constraints of a
+// single scheme — the analogue of FD attribute closure. Constraints attached
+// to other schemes are ignored.
+func CloseExistence(scheme string, nes []schema.NullExistence, y []string) []string {
+	closed := make(map[string]bool, len(y))
+	for _, a := range y {
+		closed[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ne := range nes {
+			if ne.Scheme != scheme {
+				continue
+			}
+			if !allIn(ne.Y, closed) {
+				continue
+			}
+			for _, a := range ne.Z {
+				if !closed[a] {
+					closed[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closed))
+	for a := range closed {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allIn(attrs []string, set map[string]bool) bool {
+	for _, a := range attrs {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// ImpliesExistence reports whether the null-existence constraints imply ne.
+func ImpliesExistence(nes []schema.NullExistence, ne schema.NullExistence) bool {
+	return schema.SubsetOf(ne.Z, CloseExistence(ne.Scheme, nes, ne.Y))
+}
+
+// TotalAttrs returns the attributes of the scheme forced total
+// unconditionally (the closure of the empty set — everything reachable from
+// nulls-not-allowed constraints).
+func TotalAttrs(scheme string, nes []schema.NullExistence) []string {
+	return CloseExistence(scheme, nes, nil)
+}
+
+// EqClasses is a union-find over qualified attribute names, built from
+// total-equality constraints; two attributes are in the same class iff their
+// equality is derivable by reflexivity, symmetry, and transitivity.
+type EqClasses struct {
+	parent map[string]string
+}
+
+// NewEqClasses builds the equivalence classes for one scheme's total-equality
+// constraints (pairing attributes position-wise).
+func NewEqClasses(scheme string, tes []schema.TotalEquality) *EqClasses {
+	eq := &EqClasses{parent: make(map[string]string)}
+	for _, te := range tes {
+		if te.Scheme != scheme {
+			continue
+		}
+		for i := range te.Y {
+			if i < len(te.Z) {
+				eq.union(te.Y[i], te.Z[i])
+			}
+		}
+	}
+	return eq
+}
+
+func (eq *EqClasses) find(a string) string {
+	p, ok := eq.parent[a]
+	if !ok {
+		eq.parent[a] = a
+		return a
+	}
+	if p == a {
+		return a
+	}
+	root := eq.find(p)
+	eq.parent[a] = root
+	return root
+}
+
+func (eq *EqClasses) union(a, b string) {
+	ra, rb := eq.find(a), eq.find(b)
+	if ra != rb {
+		// Deterministic root choice.
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		eq.parent[rb] = ra
+	}
+}
+
+// Same reports whether the attributes are provably equal.
+func (eq *EqClasses) Same(a, b string) bool {
+	return a == b || eq.find(a) == eq.find(b)
+}
+
+// ImpliesTotalEquality reports whether the total-equality constraints imply
+// te (each positional pair must be in the same class).
+func ImpliesTotalEquality(tes []schema.TotalEquality, te schema.TotalEquality) bool {
+	if len(te.Y) != len(te.Z) {
+		return false
+	}
+	eq := NewEqClasses(te.Scheme, tes)
+	for i := range te.Y {
+		if !eq.Same(te.Y[i], te.Z[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsumesPartNull reports whether part-null constraint strong implies weak:
+// same scheme, and every set of weak contains some set of strong (a tuple
+// with a total strong-set subtuple has a total subtuple inside the weak set
+// that contains it).
+func SubsumesPartNull(strong, weak schema.PartNull) bool {
+	if strong.Scheme != weak.Scheme {
+		return false
+	}
+	for _, ws := range weak.Sets {
+		found := false
+		for _, ss := range strong.Sets {
+			if schema.SubsetOf(ss, ws) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Trivial reports whether the constraint is satisfied by every relation:
+// a null-existence constraint with Z ⊆ Y; a null-synchronization set over at
+// most one attribute; a part-null constraint with an empty member set (the
+// empty subtuple is vacuously total); a total-equality constraint pairing
+// each attribute with itself.
+func Trivial(nc schema.NullConstraint) bool {
+	switch c := nc.(type) {
+	case schema.NullExistence:
+		return schema.SubsetOf(c.Z, c.Y)
+	case schema.NullSync:
+		return len(schema.NormalizeAttrs(c.Y)) <= 1
+	case schema.PartNull:
+		if len(c.Sets) == 0 {
+			return true
+		}
+		for _, set := range c.Sets {
+			if len(set) == 0 {
+				return true
+			}
+		}
+		return false
+	case schema.TotalEquality:
+		for i := range c.Y {
+			if i >= len(c.Z) || c.Y[i] != c.Z[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Simplify removes trivial constraints, duplicates, and constraints implied
+// by the rest of the set, returning a deterministic minimal-ish cover. The
+// input order is preserved for surviving constraints.
+func Simplify(nulls []schema.NullConstraint) []schema.NullConstraint {
+	// Pass 1: drop trivial and exact duplicates.
+	var pruned []schema.NullConstraint
+	seen := make(map[string]bool)
+	for _, nc := range nulls {
+		if Trivial(nc) || seen[nc.Key()] {
+			continue
+		}
+		seen[nc.Key()] = true
+		pruned = append(pruned, nc)
+	}
+	// Pass 2: drop constraints implied by the remaining set.
+	var out []schema.NullConstraint
+	for i, nc := range pruned {
+		rest := make([]schema.NullConstraint, 0, len(pruned)-1)
+		rest = append(rest, out...)
+		rest = append(rest, pruned[i+1:]...)
+		if !Implied(rest, nc) {
+			out = append(out, nc)
+		}
+	}
+	return out
+}
+
+// Implied reports whether the constraint set implies nc, family-by-family.
+// Null-synchronization sets are handled through their null-existence
+// expansion on both sides.
+func Implied(nulls []schema.NullConstraint, nc schema.NullConstraint) bool {
+	nes, pns, tes := Classify(nulls)
+	switch c := nc.(type) {
+	case schema.NullExistence:
+		return ImpliesExistence(nes, c)
+	case schema.NullSync:
+		for _, ne := range c.Expand() {
+			if !ImpliesExistence(nes, ne) {
+				return false
+			}
+		}
+		return true
+	case schema.PartNull:
+		for _, pn := range pns {
+			if SubsumesPartNull(pn, c) {
+				return true
+			}
+		}
+		return false
+	case schema.TotalEquality:
+		return ImpliesTotalEquality(tes, c)
+	default:
+		return false
+	}
+}
+
+// OnlyNNA reports whether every constraint in the set is a nulls-not-allowed
+// constraint — the declaratively-maintainable case of Proposition 5.2.
+func OnlyNNA(nulls []schema.NullConstraint) bool {
+	for _, nc := range nulls {
+		ne, ok := nc.(schema.NullExistence)
+		if !ok || !ne.IsNNA() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package nullcon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+func ne(y, z []string) schema.NullExistence {
+	return schema.NewNullExistence("R", y, z)
+}
+
+func TestCloseExistence(t *testing.T) {
+	nes := []schema.NullExistence{
+		ne([]string{"A"}, []string{"B"}),
+		ne([]string{"B"}, []string{"C"}),
+		schema.NewNullExistence("OTHER", []string{"A"}, []string{"Z"}),
+	}
+	got := CloseExistence("R", nes, []string{"A"})
+	if !schema.EqualAttrSets(got, []string{"A", "B", "C"}) {
+		t.Errorf("CloseExistence = %v (other-scheme constraints must be ignored)", got)
+	}
+}
+
+func TestImpliesExistenceAxioms(t *testing.T) {
+	base := []schema.NullExistence{ne([]string{"A"}, []string{"B"})}
+	// Reflexivity.
+	if !ImpliesExistence(nil, ne([]string{"A", "B"}, []string{"A"})) {
+		t.Error("reflexivity")
+	}
+	// Augmentation: A ⊑ B implies A,C ⊑ B,C.
+	if !ImpliesExistence(base, ne([]string{"A", "C"}, []string{"B", "C"})) {
+		t.Error("augmentation")
+	}
+	// Transitivity.
+	chain := []schema.NullExistence{
+		ne([]string{"A"}, []string{"B"}),
+		ne([]string{"B"}, []string{"C"}),
+	}
+	if !ImpliesExistence(chain, ne([]string{"A"}, []string{"C"})) {
+		t.Error("transitivity")
+	}
+	// Non-implication.
+	if ImpliesExistence(base, ne([]string{"B"}, []string{"A"})) {
+		t.Error("converse should not be implied")
+	}
+}
+
+func TestTotalAttrsFromNNA(t *testing.T) {
+	nes := []schema.NullExistence{
+		schema.NNA("R", "A"),
+		ne([]string{"A"}, []string{"B"}),
+	}
+	got := TotalAttrs("R", nes)
+	if !schema.EqualAttrSets(got, []string{"A", "B"}) {
+		t.Errorf("TotalAttrs = %v: NNA on A plus A ⊑ B forces B total", got)
+	}
+}
+
+func TestEqClasses(t *testing.T) {
+	tes := []schema.TotalEquality{
+		schema.NewTotalEquality("R", []string{"A"}, []string{"B"}),
+		schema.NewTotalEquality("R", []string{"B"}, []string{"C"}),
+	}
+	eq := NewEqClasses("R", tes)
+	if !eq.Same("A", "C") {
+		t.Error("transitivity through B")
+	}
+	if !eq.Same("C", "A") {
+		t.Error("symmetry")
+	}
+	if !eq.Same("D", "D") {
+		t.Error("reflexivity")
+	}
+	if eq.Same("A", "D") {
+		t.Error("unconnected attributes")
+	}
+}
+
+func TestImpliesTotalEquality(t *testing.T) {
+	tes := []schema.TotalEquality{
+		schema.NewTotalEquality("R", []string{"A", "X"}, []string{"B", "Y"}),
+	}
+	if !ImpliesTotalEquality(tes, schema.NewTotalEquality("R", []string{"B"}, []string{"A"})) {
+		t.Error("single-pair symmetry")
+	}
+	if !ImpliesTotalEquality(tes, schema.NewTotalEquality("R", []string{"A", "X"}, []string{"B", "Y"})) {
+		t.Error("identity")
+	}
+	if ImpliesTotalEquality(tes, schema.NewTotalEquality("R", []string{"A"}, []string{"Y"})) {
+		t.Error("cross-position pairs are not implied")
+	}
+	if ImpliesTotalEquality(tes, schema.NewTotalEquality("R", []string{"A"}, []string{"B", "Y"})) {
+		t.Error("arity mismatch")
+	}
+}
+
+func TestSubsumesPartNull(t *testing.T) {
+	strong := schema.NewPartNull("R", []string{"A"}, []string{"C"})
+	weak := schema.NewPartNull("R", []string{"A", "B"}, []string{"C", "D"})
+	if !SubsumesPartNull(strong, weak) {
+		t.Error("smaller sets subsume supersets")
+	}
+	if SubsumesPartNull(weak, strong) {
+		t.Error("not the converse")
+	}
+	other := schema.NewPartNull("S", []string{"A"})
+	if SubsumesPartNull(other, weak) {
+		t.Error("different schemes never subsume")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	cases := []struct {
+		nc   schema.NullConstraint
+		want bool
+	}{
+		{ne([]string{"A", "B"}, []string{"A"}), true},
+		{ne([]string{"A"}, []string{"B"}), false},
+		{schema.NNA("R", "A"), false},
+		{schema.NewNullSync("R", "A"), true},
+		{schema.NewNullSync("R", "A", "A"), true},
+		{schema.NewNullSync("R", "A", "B"), false},
+		{schema.NewPartNull("R"), true},
+		{schema.NewPartNull("R", []string{}), true},
+		{schema.NewPartNull("R", []string{"A"}), false},
+		{schema.NewTotalEquality("R", []string{"A"}, []string{"A"}), true},
+		{schema.NewTotalEquality("R", []string{"A"}, []string{"B"}), false},
+	}
+	for _, c := range cases {
+		if got := Trivial(c.nc); got != c.want {
+			t.Errorf("Trivial(%v) = %v, want %v", c.nc, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyDropsTrivialAndImplied(t *testing.T) {
+	nulls := []schema.NullConstraint{
+		schema.NewNullSync("R", "A"),                               // trivial
+		ne([]string{"A"}, []string{"B"}),                           // kept
+		ne([]string{"B"}, []string{"C"}),                           // kept
+		ne([]string{"A"}, []string{"C"}),                           // implied transitively
+		ne([]string{"A"}, []string{"B"}),                           // duplicate
+		schema.NewTotalEquality("R", []string{"A"}, []string{"A"}), // trivial
+	}
+	out := Simplify(nulls)
+	if len(out) != 2 {
+		t.Fatalf("Simplify = %v, want 2 constraints", out)
+	}
+}
+
+func TestSimplifyFigure6Shape(t *testing.T) {
+	// After Remove strips O.C.NR, T.C.NR, A.C.NR from figure 5's constraint
+	// set, simplification must yield exactly figure 6's three constraints.
+	nulls := []schema.NullConstraint{
+		schema.NNA("COURSE2", "C.NR"),
+		schema.NewNullSync("COURSE2", "O.D.NAME"),
+		schema.NewNullSync("COURSE2", "T.F.SSN"),
+		schema.NewNullSync("COURSE2", "A.S.SSN"),
+		schema.NewNullExistence("COURSE2", []string{"T.F.SSN"}, []string{"O.D.NAME"}),
+		schema.NewNullExistence("COURSE2", []string{"A.S.SSN"}, []string{"O.D.NAME"}),
+	}
+	out := Simplify(nulls)
+	want := map[string]bool{
+		schema.NNA("COURSE2", "C.NR").Key():                                                 true,
+		schema.NewNullExistence("COURSE2", []string{"T.F.SSN"}, []string{"O.D.NAME"}).Key(): true,
+		schema.NewNullExistence("COURSE2", []string{"A.S.SSN"}, []string{"O.D.NAME"}).Key(): true,
+	}
+	if len(out) != len(want) {
+		t.Fatalf("Simplify = %v, want figure 6's 3 constraints", out)
+	}
+	for _, nc := range out {
+		if !want[nc.Key()] {
+			t.Errorf("unexpected constraint %v", nc)
+		}
+	}
+}
+
+func TestImpliedMixedFamilies(t *testing.T) {
+	nulls := []schema.NullConstraint{
+		schema.NewNullSync("R", "A", "B"),
+		schema.NewPartNull("R", []string{"A"}),
+		schema.NewTotalEquality("R", []string{"A"}, []string{"B"}),
+	}
+	// NS(A,B) expands to A ⊑ {A,B} and B ⊑ {A,B}; so A ⊑ B is implied.
+	if !Implied(nulls, ne([]string{"A"}, []string{"B"})) {
+		t.Error("NS expansion should imply member NE constraints")
+	}
+	if !Implied(nulls, schema.NewNullSync("R", "A", "B")) {
+		t.Error("NS implies itself via expansion")
+	}
+	if !Implied(nulls, schema.NewPartNull("R", []string{"A", "C"})) {
+		t.Error("PN subsumption")
+	}
+	if Implied(nulls, schema.NewPartNull("R", []string{"C"})) {
+		t.Error("unrelated PN not implied")
+	}
+	if !Implied(nulls, schema.NewTotalEquality("R", []string{"B"}, []string{"A"})) {
+		t.Error("TE symmetry")
+	}
+	if Implied(nulls, schema.NewTotalEquality("R", []string{"A"}, []string{"C"})) {
+		t.Error("unrelated TE not implied")
+	}
+}
+
+func TestOnlyNNA(t *testing.T) {
+	if !OnlyNNA([]schema.NullConstraint{schema.NNA("R", "A"), schema.NNA("S", "B")}) {
+		t.Error("all-NNA set")
+	}
+	if OnlyNNA([]schema.NullConstraint{schema.NNA("R", "A"), ne([]string{"A"}, []string{"B"})}) {
+		t.Error("general NE is not NNA")
+	}
+	if OnlyNNA([]schema.NullConstraint{schema.NewNullSync("R", "A", "B")}) {
+		t.Error("NS is not NNA")
+	}
+	if !OnlyNNA(nil) {
+		t.Error("empty set is vacuously all-NNA")
+	}
+}
+
+// Property: implication is sound — if the set implies nc, then every relation
+// satisfying the set satisfies nc. Randomized over small relations.
+func TestImplicationSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	attrs := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 200; trial++ {
+		// Random NE constraint set.
+		var nulls []schema.NullConstraint
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			nulls = append(nulls, ne(randSubset(rng, attrs), randSubset(rng, attrs)))
+		}
+		candidate := ne(randSubset(rng, attrs), randSubset(rng, attrs))
+		if !Implied(nulls, candidate) {
+			continue
+		}
+		// Build random relations; all must satisfy candidate whenever they
+		// satisfy every member of nulls.
+		for rel := 0; rel < 20; rel++ {
+			r := relation.New(attrs...)
+			for row := 0; row < 1+rng.Intn(4); row++ {
+				tup := make(relation.Tuple, len(attrs))
+				for i := range tup {
+					if rng.Intn(2) == 0 {
+						tup[i] = relation.Null()
+					} else {
+						tup[i] = relation.NewInt(int64(rng.Intn(3)))
+					}
+				}
+				r.Add(tup)
+			}
+			all := true
+			for _, nc := range nulls {
+				if !nc.Satisfied(r) {
+					all = false
+					break
+				}
+			}
+			if all && !candidate.Satisfied(r) {
+				t.Fatalf("unsound implication: %v implied by %v but violated by %v", candidate, nulls, r)
+			}
+		}
+	}
+}
+
+func randSubset(rng *rand.Rand, attrs []string) []string {
+	var out []string
+	for _, a := range attrs {
+		if rng.Intn(2) == 0 {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, attrs[rng.Intn(len(attrs))])
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package relation
+
+import "fmt"
+
+// Project returns π_W(r): the projection of r onto the named attributes, in
+// the given order, with duplicate result tuples removed.
+func (r *Relation) Project(attrs []string) *Relation {
+	ps := r.Positions(attrs)
+	out := New(attrs...)
+	for _, t := range r.tuples {
+		out.Add(t.Project(ps))
+	}
+	return out
+}
+
+// TotalProject returns π↓_W(r): the subset of total tuples of the projection
+// of r onto W (Definition in section 2 of the paper). This is the operator
+// the inverse state mappings η′ and μ′ are built from.
+func (r *Relation) TotalProject(attrs []string) *Relation {
+	ps := r.Positions(attrs)
+	out := New(attrs...)
+	for _, t := range r.tuples {
+		sub := t.Project(ps)
+		if sub.IsTotal() {
+			out.Add(sub)
+		}
+	}
+	return out
+}
+
+// Rename returns rename(r; W ← Y): the relation equal to r with the
+// attributes of W renamed, position-wise, to the attributes of Y. W and Y
+// must have equal length and every attribute of W must occur in r.
+func (r *Relation) Rename(from, to []string) *Relation {
+	if len(from) != len(to) {
+		panic(fmt.Sprintf("relation: rename arity mismatch %d vs %d", len(from), len(to)))
+	}
+	mapping := make(map[string]string, len(from))
+	for i := range from {
+		if !r.Has(from[i]) {
+			panic(fmt.Sprintf("relation: rename of unknown attribute %q", from[i]))
+		}
+		mapping[from[i]] = to[i]
+	}
+	attrs := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		if n, ok := mapping[a]; ok {
+			attrs[i] = n
+		} else {
+			attrs[i] = a
+		}
+	}
+	out := New(attrs...)
+	for _, t := range r.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Select returns σ_pred(r): the tuples of r satisfying the predicate.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.attrs...)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s. The relations must have identical attribute lists.
+func (r *Relation) Union(s *Relation) *Relation {
+	r.mustMatch(s)
+	out := r.Clone()
+	for _, t := range s.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Difference returns r − s. The relations must have identical attribute lists.
+func (r *Relation) Difference(s *Relation) *Relation {
+	r.mustMatch(s)
+	out := New(r.attrs...)
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Intersect returns r ∩ s. The relations must have identical attribute lists.
+func (r *Relation) Intersect(s *Relation) *Relation {
+	r.mustMatch(s)
+	out := New(r.attrs...)
+	for _, t := range r.tuples {
+		if s.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+func (r *Relation) mustMatch(s *Relation) {
+	if len(r.attrs) != len(s.attrs) {
+		panic("relation: attribute lists differ in arity")
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != s.attrs[i] {
+			panic(fmt.Sprintf("relation: attribute lists differ: %v vs %v", r.attrs, s.attrs))
+		}
+	}
+}
+
+// JoinSpec names the join columns: left[i] is equated with right[i].
+type JoinSpec struct {
+	Left  []string
+	Right []string
+}
+
+// EquiJoin returns the equi-join of r and s on the spec: the set of tuples t
+// over attrs(r) ++ attrs(s) with t[attrs(r)] ∈ r, t[attrs(s)] ∈ s, and
+// t[Left] = t[Right], where the equality is join equality (nulls match
+// nothing). Attribute lists must be disjoint, which holds for the globally
+// unique names of the paper's schemas.
+func (r *Relation) EquiJoin(s *Relation, on JoinSpec) *Relation {
+	checkSpec(on)
+	out := New(joinAttrs(r, s)...)
+	lp := r.Positions(on.Left)
+	rp := s.Positions(on.Right)
+	index := buildJoinIndex(s, rp)
+	for _, lt := range r.tuples {
+		key, ok := joinKey(lt, lp)
+		if !ok {
+			continue
+		}
+		for _, rt := range index[key] {
+			out.Add(concatTuples(lt, rt))
+		}
+	}
+	return out
+}
+
+// OuterEquiJoin returns the outer-equi-join of r and s on the spec, exactly
+// as defined in section 2 of the paper: the union of
+//
+//	r1 = the equi-join of r and s;
+//	r2 = tuples with a null^|attrs(r)| left part for each s-tuple with no
+//	     join partner in r;
+//	r3 = tuples with a null^|attrs(s)| right part for each r-tuple with no
+//	     join partner in s.
+//
+// Note that an s-tuple whose join columns contain a null has no partner by
+// definition (null matches nothing) and therefore lands in r2; symmetrically
+// for r-tuples and r3.
+func (r *Relation) OuterEquiJoin(s *Relation, on JoinSpec) *Relation {
+	checkSpec(on)
+	out := New(joinAttrs(r, s)...)
+	lp := r.Positions(on.Left)
+	rp := s.Positions(on.Right)
+	index := buildJoinIndex(s, rp)
+	matchedRight := make(map[string]bool)
+
+	for _, lt := range r.tuples {
+		matched := false
+		if key, ok := joinKey(lt, lp); ok {
+			for _, rt := range index[key] {
+				out.Add(concatTuples(lt, rt))
+				matchedRight[rt.EncodeKey()] = true
+				matched = true
+			}
+		}
+		if !matched { // r3
+			out.Add(concatTuples(lt, NullTuple(len(s.attrs))))
+		}
+	}
+	for _, rt := range s.tuples { // r2
+		if !matchedRight[rt.EncodeKey()] {
+			out.Add(concatTuples(NullTuple(len(r.attrs)), rt))
+		}
+	}
+	return out
+}
+
+func checkSpec(on JoinSpec) {
+	if len(on.Left) != len(on.Right) {
+		panic(fmt.Sprintf("relation: join spec arity mismatch %d vs %d", len(on.Left), len(on.Right)))
+	}
+	if len(on.Left) == 0 {
+		panic("relation: empty join spec")
+	}
+}
+
+func joinAttrs(r, s *Relation) []string {
+	attrs := make([]string, 0, len(r.attrs)+len(s.attrs))
+	attrs = append(attrs, r.attrs...)
+	for _, a := range s.attrs {
+		if r.Has(a) {
+			panic(fmt.Sprintf("relation: join attribute lists overlap on %q", a))
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs
+}
+
+// joinKey encodes the join columns of t; ok is false if any column is null
+// (such a tuple matches nothing under join equality).
+func joinKey(t Tuple, ps []int) (string, bool) {
+	sub := t.Project(ps)
+	for _, v := range sub {
+		if v.IsNull() {
+			return "", false
+		}
+	}
+	return sub.EncodeKey(), true
+}
+
+func buildJoinIndex(s *Relation, ps []int) map[string][]Tuple {
+	index := make(map[string][]Tuple, s.Len())
+	for _, t := range s.tuples {
+		if key, ok := joinKey(t, ps); ok {
+			index[key] = append(index[key], t)
+		}
+	}
+	return index
+}
+
+func concatTuples(a, b Tuple) Tuple {
+	t := make(Tuple, 0, len(a)+len(b))
+	t = append(t, a...)
+	t = append(t, b...)
+	return t
+}

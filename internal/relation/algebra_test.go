@@ -1,0 +1,242 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProject(t *testing.T) {
+	r := FromTuples([]string{"A", "B", "C"},
+		ints(1, 2, 3), ints(1, 2, 4), ints(5, 6, 7))
+	p := r.Project([]string{"A", "B"})
+	want := FromTuples([]string{"A", "B"}, ints(1, 2), ints(5, 6))
+	if !p.Equal(want) {
+		t.Errorf("Project = %v, want %v", p, want)
+	}
+}
+
+func TestTotalProject(t *testing.T) {
+	r := New("A", "B")
+	r.Add(Tuple{NewInt(1), NewInt(2)})
+	r.Add(Tuple{NewInt(3), Null()})
+	r.Add(Tuple{Null(), Null()})
+
+	tp := r.TotalProject([]string{"A", "B"})
+	if tp.Len() != 1 || !tp.Contains(ints(1, 2)) {
+		t.Errorf("TotalProject over all attrs = %v", tp)
+	}
+	// Projecting onto A keeps the (3, ⊥) tuple's A but drops the all-null one.
+	ta := r.TotalProject([]string{"A"})
+	want := FromTuples([]string{"A"}, ints(1), ints(3))
+	if !ta.Equal(want) {
+		t.Errorf("TotalProject(A) = %v, want %v", ta, want)
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := FromTuples([]string{"A", "B"}, ints(1, 2))
+	rn := r.Rename([]string{"A"}, []string{"X"})
+	if rn.Attrs()[0] != "X" || rn.Attrs()[1] != "B" {
+		t.Errorf("Rename attrs = %v", rn.Attrs())
+	}
+	if !rn.Contains(ints(1, 2)) {
+		t.Error("Rename should preserve tuples")
+	}
+	// Original untouched.
+	if r.Attrs()[0] != "A" {
+		t.Error("Rename must not mutate the receiver")
+	}
+}
+
+func TestRenamePanics(t *testing.T) {
+	r := New("A")
+	if !panics(func() { r.Rename([]string{"Z"}, []string{"X"}) }) {
+		t.Error("renaming unknown attribute should panic")
+	}
+	if !panics(func() { r.Rename([]string{"A"}, []string{"X", "Y"}) }) {
+		t.Error("arity mismatch should panic")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := FromTuples([]string{"A"}, ints(1), ints(2), ints(3))
+	got := r.Select(func(tp Tuple) bool { return tp[0].AsInt() >= 2 })
+	want := FromTuples([]string{"A"}, ints(2), ints(3))
+	if !got.Equal(want) {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestUnionDifferenceIntersect(t *testing.T) {
+	a := FromTuples([]string{"A"}, ints(1), ints(2))
+	b := FromTuples([]string{"A"}, ints(2), ints(3))
+	if u := a.Union(b); u.Len() != 3 {
+		t.Errorf("Union = %v", u)
+	}
+	if d := a.Difference(b); !d.Equal(FromTuples([]string{"A"}, ints(1))) {
+		t.Errorf("Difference = %v", d)
+	}
+	if x := a.Intersect(b); !x.Equal(FromTuples([]string{"A"}, ints(2))) {
+		t.Errorf("Intersect = %v", x)
+	}
+	if !panics(func() { a.Union(FromTuples([]string{"B"}, ints(1))) }) {
+		t.Error("Union with mismatched attrs should panic")
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	// The paper's figure 2 shapes: TEACH(T.CN, T.FN) ⋈ OFFER(O.CN, O.DN).
+	teach := FromTuples([]string{"T.CN", "T.FN"},
+		strs("c1", "smith"), strs("c2", "jones"))
+	offer := FromTuples([]string{"O.CN", "O.DN"},
+		strs("c1", "math"), strs("c3", "cs"))
+	j := teach.EquiJoin(offer, JoinSpec{Left: []string{"T.CN"}, Right: []string{"O.CN"}})
+	want := FromTuples([]string{"T.CN", "T.FN", "O.CN", "O.DN"},
+		strs("c1", "smith", "c1", "math"))
+	if !j.Equal(want) {
+		t.Errorf("EquiJoin = %v, want %v", j, want)
+	}
+}
+
+func TestEquiJoinNullsNeverMatch(t *testing.T) {
+	l := New("A", "B")
+	l.Add(Tuple{Null(), NewInt(1)})
+	r := New("C", "D")
+	r.Add(Tuple{Null(), NewInt(2)})
+	j := l.EquiJoin(r, JoinSpec{Left: []string{"A"}, Right: []string{"C"}})
+	if j.Len() != 0 {
+		t.Errorf("null join keys must not match, got %v", j)
+	}
+}
+
+func TestOuterEquiJoinThreeParts(t *testing.T) {
+	// r has keys {1, 2}; s has keys {2, 3}. Expect: one matched tuple,
+	// one r3 tuple (r key 1 with null right part), one r2 tuple (s key 3
+	// with null left part).
+	r := FromTuples([]string{"A", "B"}, ints(1, 10), ints(2, 20))
+	s := FromTuples([]string{"C", "D"}, ints(2, 200), ints(3, 300))
+	j := r.OuterEquiJoin(s, JoinSpec{Left: []string{"A"}, Right: []string{"C"}})
+
+	want := New("A", "B", "C", "D")
+	want.Add(Tuple{NewInt(2), NewInt(20), NewInt(2), NewInt(200)}) // r1
+	want.Add(Tuple{NewInt(1), NewInt(10), Null(), Null()})         // r3
+	want.Add(Tuple{Null(), Null(), NewInt(3), NewInt(300)})        // r2
+	if !j.Equal(want) {
+		t.Errorf("OuterEquiJoin = %v, want %v", j, want)
+	}
+}
+
+func TestOuterEquiJoinNullKeysGoUnmatched(t *testing.T) {
+	r := New("A", "B")
+	r.Add(Tuple{Null(), NewInt(1)})
+	s := New("C", "D")
+	s.Add(Tuple{Null(), NewInt(2)})
+	j := r.OuterEquiJoin(s, JoinSpec{Left: []string{"A"}, Right: []string{"C"}})
+	// Both tuples are unmatched: one r3 and one r2.
+	want := New("A", "B", "C", "D")
+	want.Add(Tuple{Null(), NewInt(1), Null(), Null()})
+	want.Add(Tuple{Null(), Null(), Null(), NewInt(2)})
+	if !j.Equal(want) {
+		t.Errorf("OuterEquiJoin = %v, want %v", j, want)
+	}
+}
+
+func TestOuterEquiJoinEmptySides(t *testing.T) {
+	r := FromTuples([]string{"A"}, ints(1))
+	empty := New("B")
+	j := r.OuterEquiJoin(empty, JoinSpec{Left: []string{"A"}, Right: []string{"B"}})
+	want := New("A", "B")
+	want.Add(Tuple{NewInt(1), Null()})
+	if !j.Equal(want) {
+		t.Errorf("outer join with empty right = %v", j)
+	}
+	j2 := empty.OuterEquiJoin(r.Rename([]string{"A"}, []string{"C"}), JoinSpec{Left: []string{"B"}, Right: []string{"C"}})
+	want2 := New("B", "C")
+	want2.Add(Tuple{Null(), NewInt(1)})
+	if !j2.Equal(want2) {
+		t.Errorf("outer join with empty left = %v", j2)
+	}
+}
+
+func TestJoinAttributeOverlapPanics(t *testing.T) {
+	a := New("A", "B")
+	b := New("B", "C")
+	if !panics(func() { a.EquiJoin(b, JoinSpec{Left: []string{"A"}, Right: []string{"C"}}) }) {
+		t.Error("overlapping attribute names should panic")
+	}
+	if !panics(func() { a.EquiJoin(New("C"), JoinSpec{Left: []string{"A", "B"}, Right: []string{"C"}}) }) {
+		t.Error("spec arity mismatch should panic")
+	}
+	if !panics(func() { a.EquiJoin(New("C"), JoinSpec{}) }) {
+		t.Error("empty spec should panic")
+	}
+}
+
+// Property: for relations without nulls in the join columns, the outer join
+// restricted to total tuples equals the inner join (r2/r3 carry nulls).
+func TestOuterJoinTotalPartIsInnerJoinProperty(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		l := New("A", "B")
+		for i, v := range ls {
+			l.Add(ints(int64(v%8), int64(i)))
+		}
+		r := New("C", "D")
+		for i, v := range rs {
+			r.Add(ints(int64(v%8), int64(100+i)))
+		}
+		spec := JoinSpec{Left: []string{"A"}, Right: []string{"C"}}
+		outer := l.OuterEquiJoin(r, spec)
+		inner := l.EquiJoin(r, spec)
+		totals := outer.Select(func(tp Tuple) bool { return tp.IsTotal() })
+		return totals.Equal(inner)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every tuple of l is recoverable from the outer join by total
+// projection onto l's attributes — the informal information-preservation
+// argument behind the paper's η/η′ mappings.
+func TestOuterJoinPreservesLeftProperty(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		l := New("A", "B")
+		for i, v := range ls {
+			l.Add(ints(int64(v%8), int64(i)))
+		}
+		r := New("C", "D")
+		for i, v := range rs {
+			r.Add(ints(int64(v%8), int64(100+i)))
+		}
+		spec := JoinSpec{Left: []string{"A"}, Right: []string{"C"}}
+		outer := l.OuterEquiJoin(r, spec)
+		back := outer.TotalProject([]string{"A", "B"})
+		return back.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection is idempotent and order-insensitive wrt duplicates.
+func TestProjectIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		r := New("A", "B", "C")
+		for i := 0; i < rng.Intn(30); i++ {
+			r.Add(ints(int64(rng.Intn(5)), int64(rng.Intn(5)), int64(rng.Intn(5))))
+		}
+		p1 := r.Project([]string{"B", "A"})
+		p2 := p1.Project([]string{"B", "A"})
+		if !p1.Equal(p2) {
+			t.Fatalf("projection not idempotent: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func panics(f func()) (did bool) {
+	defer func() { did = recover() != nil }()
+	f()
+	return
+}

@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func buildPair(n int) (*Relation, *Relation) {
+	l := New("A", "B")
+	r := New("C", "D")
+	for i := 0; i < n; i++ {
+		l.Add(Tuple{NewInt(int64(i)), NewInt(int64(i * 10))})
+		if i%2 == 0 {
+			r.Add(Tuple{NewInt(int64(i)), NewInt(int64(i * 100))})
+		} else {
+			r.Add(Tuple{NewInt(int64(i + n)), NewInt(int64(i * 100))})
+		}
+	}
+	return l, r
+}
+
+func BenchmarkAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := New("A", "B")
+		for j := 0; j < 100; j++ {
+			r.Add(Tuple{NewInt(int64(j)), NewInt(int64(j))})
+		}
+	}
+}
+
+func BenchmarkEquiJoin(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		l, r := buildPair(n)
+		spec := JoinSpec{Left: []string{"A"}, Right: []string{"C"}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.EquiJoin(r, spec)
+			}
+		})
+	}
+}
+
+func BenchmarkOuterEquiJoin(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		l, r := buildPair(n)
+		spec := JoinSpec{Left: []string{"A"}, Right: []string{"C"}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.OuterEquiJoin(r, spec)
+			}
+		})
+	}
+}
+
+func BenchmarkTotalProject(b *testing.B) {
+	r := New("A", "B", "C")
+	for i := 0; i < 1000; i++ {
+		t := Tuple{NewInt(int64(i)), NewInt(int64(i)), NewInt(int64(i))}
+		if i%3 == 0 {
+			t[1] = Null()
+		}
+		r.Add(t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TotalProject([]string{"A", "B"})
+	}
+}
+
+func BenchmarkEncodeKey(b *testing.B) {
+	t := Tuple{NewInt(42), NewString("course-17"), Null(), NewFloat(2.5)}
+	for i := 0; i < b.N; i++ {
+		_ = t.EncodeKey()
+	}
+}

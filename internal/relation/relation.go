@@ -1,0 +1,197 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory relation: a set of tuples over an ordered list of
+// attribute names. Attribute names must be unique within a relation; in
+// schemas produced by the merging technique they are globally unique
+// qualified names such as "O.C.NR".
+//
+// Relations have set semantics: Add deduplicates under Identical equality
+// (all nulls identical), matching the paper's model where a relation is a set
+// of tuples.
+type Relation struct {
+	attrs  []string
+	pos    map[string]int
+	tuples []Tuple
+	seen   map[string]int // tuple encoding -> index in tuples
+}
+
+// New returns an empty relation over the given attribute list. It panics if
+// the attribute list contains duplicates, because downstream algebra assumes
+// positional lookup by name is unambiguous.
+func New(attrs ...string) *Relation {
+	r := &Relation{
+		attrs: append([]string(nil), attrs...),
+		pos:   make(map[string]int, len(attrs)),
+		seen:  make(map[string]int),
+	}
+	for i, a := range r.attrs {
+		if _, dup := r.pos[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q", a))
+		}
+		r.pos[a] = i
+	}
+	return r
+}
+
+// FromTuples builds a relation over attrs containing the given tuples.
+func FromTuples(attrs []string, tuples ...Tuple) *Relation {
+	r := New(attrs...)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Attrs returns the attribute list (do not mutate).
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuple slice (do not mutate tuples in place).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Position returns the index of the named attribute, or -1 if absent.
+func (r *Relation) Position(attr string) int {
+	if p, ok := r.pos[attr]; ok {
+		return p
+	}
+	return -1
+}
+
+// Positions resolves a list of attribute names to positions. It panics on an
+// unknown attribute: callers validate attribute sets against schemas first,
+// so an unknown name here is a programming error.
+func (r *Relation) Positions(attrs []string) []int {
+	ps := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			panic(fmt.Sprintf("relation: unknown attribute %q (have %v)", a, r.attrs))
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// Has reports whether the relation names the attribute.
+func (r *Relation) Has(attr string) bool {
+	_, ok := r.pos[attr]
+	return ok
+}
+
+// Add inserts a tuple (set semantics). It reports whether the tuple was new.
+// It panics on an arity mismatch.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("relation: tuple arity %d does not match relation arity %d", len(t), len(r.attrs)))
+	}
+	key := t.EncodeKey()
+	if _, dup := r.seen[key]; dup {
+		return false
+	}
+	r.seen[key] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains reports whether the relation contains a tuple identical to t.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	_, ok := r.seen[t.EncodeKey()]
+	return ok
+}
+
+// Remove deletes the tuple identical to t, reporting whether it was present.
+func (r *Relation) Remove(t Tuple) bool {
+	key := t.EncodeKey()
+	i, ok := r.seen[key]
+	if !ok {
+		return false
+	}
+	last := len(r.tuples) - 1
+	if i != last {
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.seen[moved.EncodeKey()] = i
+	}
+	r.tuples = r.tuples[:last]
+	delete(r.seen, key)
+	return true
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.attrs...)
+	for _, t := range r.tuples {
+		c.Add(t.Clone())
+	}
+	return c
+}
+
+// Equal reports set equality with s: same attribute list (order-sensitive)
+// and the same set of tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if len(r.attrs) != len(s.attrs) || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != s.attrs[i] {
+			return false
+		}
+	}
+	for key := range r.seen {
+		if _, ok := s.seen[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToOrder reports whether r and s contain the same tuples when s's
+// attributes are reordered to match r's. Returns false if the attribute sets
+// differ.
+func (r *Relation) EqualUpToOrder(s *Relation) bool {
+	if len(r.attrs) != len(s.attrs) || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, a := range r.attrs {
+		if !s.Has(a) {
+			return false
+		}
+	}
+	reordered := s.Project(r.attrs)
+	return r.Equal(reordered)
+}
+
+// Sorted returns the tuples in canonical order (for deterministic output).
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the relation as a small table, tuples in canonical order.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(strings.Join(r.attrs, ", "))
+	b.WriteString(")")
+	for _, t := range r.Sorted() {
+		b.WriteString("\n  ")
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

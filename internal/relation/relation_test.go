@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func ints(vs ...int64) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = NewInt(v)
+	}
+	return t
+}
+
+func strs(vs ...string) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		if v == "⊥" {
+			t[i] = Null()
+		} else {
+			t[i] = NewString(v)
+		}
+	}
+	return t
+}
+
+func TestNewRejectsDuplicateAttrs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attribute should panic")
+		}
+	}()
+	New("A", "A")
+}
+
+func TestAddSetSemantics(t *testing.T) {
+	r := New("A", "B")
+	if !r.Add(ints(1, 2)) {
+		t.Error("first add should be new")
+	}
+	if r.Add(ints(1, 2)) {
+		t.Error("duplicate add should report false")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	// Tuples with nulls deduplicate too (all nulls identical).
+	r.Add(Tuple{NewInt(1), Null()})
+	if r.Add(Tuple{NewInt(1), Null()}) {
+		t.Error("null-bearing duplicate should dedupe")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestAddArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch should panic")
+		}
+	}()
+	New("A").Add(ints(1, 2))
+}
+
+func TestContainsRemove(t *testing.T) {
+	r := New("A", "B")
+	r.Add(ints(1, 2))
+	r.Add(ints(3, 4))
+	r.Add(ints(5, 6))
+	if !r.Contains(ints(3, 4)) {
+		t.Error("Contains(3,4)")
+	}
+	if r.Contains(ints(9, 9)) {
+		t.Error("Contains(9,9) should be false")
+	}
+	if !r.Remove(ints(3, 4)) {
+		t.Error("Remove(3,4) should succeed")
+	}
+	if r.Remove(ints(3, 4)) {
+		t.Error("second Remove should fail")
+	}
+	if r.Len() != 2 || !r.Contains(ints(1, 2)) || !r.Contains(ints(5, 6)) {
+		t.Error("Remove corrupted relation")
+	}
+	// Removing the last tuple then re-adding must work (swap-delete path).
+	if !r.Remove(ints(5, 6)) || !r.Add(ints(5, 6)) {
+		t.Error("remove/re-add of last tuple")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	r := New("A", "B", "C")
+	got := r.Positions([]string{"C", "A"})
+	if got[0] != 2 || got[1] != 0 {
+		t.Errorf("Positions = %v", got)
+	}
+	if r.Position("B") != 1 || r.Position("Z") != -1 {
+		t.Error("Position lookup")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown attribute in Positions should panic")
+		}
+	}()
+	r.Positions([]string{"Z"})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := New("A")
+	r.Add(ints(1))
+	c := r.Clone()
+	c.Add(ints(2))
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromTuples([]string{"A", "B"}, ints(1, 2), ints(3, 4))
+	b := FromTuples([]string{"A", "B"}, ints(3, 4), ints(1, 2))
+	if !a.Equal(b) {
+		t.Error("insertion order must not matter")
+	}
+	c := FromTuples([]string{"A", "B"}, ints(1, 2))
+	if a.Equal(c) {
+		t.Error("different cardinality")
+	}
+	d := FromTuples([]string{"B", "A"}, ints(1, 2), ints(3, 4))
+	if a.Equal(d) {
+		t.Error("different attribute order must not be Equal")
+	}
+	if !a.EqualUpToOrder(a.Project([]string{"B", "A"}).Project([]string{"B", "A"}).Rename([]string{"B", "A"}, []string{"B", "A"})) {
+		t.Error("EqualUpToOrder after reorder")
+	}
+}
+
+func TestEqualUpToOrder(t *testing.T) {
+	a := FromTuples([]string{"A", "B"}, ints(1, 2))
+	b := FromTuples([]string{"B", "A"}, ints(2, 1))
+	if !a.EqualUpToOrder(b) {
+		t.Error("EqualUpToOrder should reorder columns")
+	}
+	c := FromTuples([]string{"B", "C"}, ints(2, 1))
+	if a.EqualUpToOrder(c) {
+		t.Error("different attribute sets")
+	}
+}
+
+func TestSortedDeterminism(t *testing.T) {
+	r := FromTuples([]string{"A"}, ints(3), ints(1), ints(2))
+	s := r.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Compare(s[i]) >= 0 {
+			t.Errorf("Sorted not ascending: %v", s)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := FromTuples([]string{"A", "B"}, strs("x", "⊥"))
+	out := r.String()
+	if !strings.Contains(out, "(A, B)") || !strings.Contains(out, "⟨x, ⊥⟩") {
+		t.Errorf("String = %q", out)
+	}
+}

@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestTupleTotality(t *testing.T) {
+	total := Tuple{NewInt(1), NewString("a")}
+	partial := Tuple{NewInt(1), Null()}
+	allNull := Tuple{Null(), Null()}
+	empty := Tuple{}
+
+	if !total.IsTotal() || total.IsAllNull() {
+		t.Error("total tuple misclassified")
+	}
+	if partial.IsTotal() || partial.IsAllNull() {
+		t.Error("partial tuple misclassified")
+	}
+	if allNull.IsTotal() || !allNull.IsAllNull() {
+		t.Error("all-null tuple misclassified")
+	}
+	if !empty.IsTotal() || !empty.IsAllNull() {
+		t.Error("empty tuple should be vacuously total and all-null")
+	}
+}
+
+func TestTupleIdentical(t *testing.T) {
+	a := Tuple{NewInt(1), Null()}
+	b := Tuple{NewInt(1), Null()}
+	c := Tuple{NewInt(1), NewInt(2)}
+	if !a.Identical(b) {
+		t.Error("tuples with matching nulls should be identical")
+	}
+	if a.Identical(c) {
+		t.Error("differing tuples should not be identical")
+	}
+	if a.Identical(Tuple{NewInt(1)}) {
+		t.Error("differing arity should not be identical")
+	}
+}
+
+func TestTupleEqualTotal(t *testing.T) {
+	a := Tuple{NewInt(1), NewString("x")}
+	if !a.EqualTotal(Tuple{NewInt(1), NewString("x")}) {
+		t.Error("total equal tuples")
+	}
+	if a.EqualTotal(Tuple{NewInt(1), Null()}) {
+		t.Error("null component breaks EqualTotal")
+	}
+	withNull := Tuple{Null()}
+	if withNull.EqualTotal(Tuple{Null()}) {
+		t.Error("null vs null is not EqualTotal")
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	tp := Tuple{NewInt(1), NewInt(2), NewInt(3)}
+	got := tp.Project([]int{2, 0})
+	want := Tuple{NewInt(3), NewInt(1)}
+	if !got.Identical(want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := Tuple{NewInt(1), NewInt(2)}
+	b := Tuple{NewInt(1), NewInt(3)}
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("Compare order wrong")
+	}
+	short := Tuple{NewInt(1)}
+	if short.Compare(a) >= 0 {
+		t.Error("shorter prefix should sort first")
+	}
+}
+
+func TestNullTuple(t *testing.T) {
+	nt := NullTuple(3)
+	if len(nt) != 3 || !nt.IsAllNull() {
+		t.Errorf("NullTuple(3) = %v", nt)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{NewInt(1)}
+	c := a.Clone()
+	c[0] = NewInt(9)
+	if a[0].AsInt() != 1 {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{NewInt(1), Null()}.String()
+	if got != "⟨1, ⊥⟩" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEncodeKeyDistinguishesArityAndPosition(t *testing.T) {
+	a := Tuple{NewString("ab"), NewString("c")}
+	b := Tuple{NewString("a"), NewString("bc")}
+	if a.EncodeKey() == b.EncodeKey() {
+		t.Error("encoding must be injective across value boundaries")
+	}
+	if (Tuple{Null()}).EncodeKey() != (Tuple{Null()}).EncodeKey() {
+		t.Error("all nulls must encode identically")
+	}
+}

@@ -1,0 +1,267 @@
+// Package relation implements the value, tuple, and relation model of
+// Markowitz (ICDE 1992), together with the relational-algebra operators the
+// paper's merging technique is defined in terms of: projection, total
+// projection, renaming, equi-join, and the three-part outer-equi-join of
+// section 2.
+//
+// Relations are in-memory sets of tuples over a fixed list of globally
+// qualified attribute names. Null values are first-class: a Value is a tagged
+// union whose null member compares equal to nothing under join semantics
+// (Equal) but is identical to every other null under set semantics
+// (Identical), mirroring the "all null values are identical" behaviour of the
+// 1992-era DBMSs discussed in section 5.1 of the paper.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the members of the Value union.
+type Kind uint8
+
+// The value kinds supported by the engine. KindNull is the zero value, so an
+// uninitialised Value is null.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable relational value: a string, integer, float, boolean,
+// or the distinguished null. The zero Value is null.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// String returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsString returns the string payload. It panics if the value is not a string.
+func (v Value) AsString() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// AsInt returns the integer payload. It panics if the value is not an int.
+func (v Value) AsInt() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// AsFloat returns the float payload. It panics if the value is not a float.
+func (v Value) AsFloat() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// AsBool returns the boolean payload. It panics if the value is not a bool.
+func (v Value) AsBool() bool {
+	v.mustBe(KindBool)
+	return v.b
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("relation: value is %s, not %s", v.kind, k))
+	}
+}
+
+// Equal implements join-condition equality: two values are equal iff both are
+// non-null, of the same kind, and carry the same payload. In particular
+// Equal(Null(), Null()) is false, matching the semantics of the equi-join
+// condition t[Y] = t'[Z] in the paper, which is only defined over non-null
+// subtuples.
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindNull || w.kind == KindNull {
+		return false
+	}
+	return v.Identical(w)
+}
+
+// Identical implements set-membership equality: nulls are identical to each
+// other, and non-null values are identical iff they have the same kind and
+// payload. This is the equality used for tuple deduplication and for the
+// "all nulls are identical" key-maintenance behaviour of section 5.1.
+func (v Value) Identical(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == w.s
+	case KindInt:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f || (math.IsNaN(v.f) && math.IsNaN(w.f))
+	case KindBool:
+		return v.b == w.b
+	default:
+		return false
+	}
+}
+
+// Compare imposes a total order used for canonical relation rendering:
+// null < bool < int < float < string, with payload order within a kind.
+// Mixed int/float values are ordered by kind, not numerically, because
+// attribute domains never mix kinds in a well-formed database state.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		return int(kindRank(v.kind)) - int(kindRank(w.kind))
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return boolCompare(v.b, w.b)
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case v.f < w.f:
+			return -1
+		case v.f > w.f:
+			return 1
+		case v.f == w.f:
+			return 0
+		}
+		// NaN ordering: NaN sorts before all numbers, NaN == NaN.
+		vn, wn := math.IsNaN(v.f), math.IsNaN(w.f)
+		switch {
+		case vn && wn:
+			return 0
+		case vn:
+			return -1
+		default:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	default:
+		return 0
+	}
+}
+
+func kindRank(k Kind) uint8 {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt:
+		return 2
+	case KindFloat:
+		return 3
+	case KindString:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func boolCompare(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// String renders the value for display; null renders as "⊥".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "⊥"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// appendEncoded appends an injective byte encoding of the value, used for
+// hashing tuples under set semantics (so all nulls encode identically).
+func (v Value) appendEncoded(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindString:
+		dst = append(dst, strconv.Itoa(len(v.s))...)
+		dst = append(dst, ':')
+		dst = append(dst, v.s...)
+	case KindInt:
+		dst = strconv.AppendInt(dst, v.i, 10)
+		dst = append(dst, ';')
+	case KindFloat:
+		dst = strconv.AppendUint(dst, math.Float64bits(v.f), 16)
+		dst = append(dst, ';')
+	case KindBool:
+		if v.b {
+			dst = append(dst, '1')
+		} else {
+			dst = append(dst, '0')
+		}
+	}
+	return dst
+}

@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		null bool
+		str  string
+	}{
+		{Null(), KindNull, true, "⊥"},
+		{NewString("abc"), KindString, false, "abc"},
+		{NewInt(-42), KindInt, false, "-42"},
+		{NewFloat(2.5), KindFloat, false, "2.5"},
+		{NewBool(true), KindBool, false, "true"},
+		{NewBool(false), KindBool, false, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.IsNull() != c.null {
+			t.Errorf("%v: IsNull = %v, want %v", c.v, c.v.IsNull(), c.null)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be null")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if NewString("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if NewInt(7).AsInt() != 7 {
+		t.Error("AsInt")
+	}
+	if NewFloat(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat")
+	}
+	if !NewBool(true).AsBool() {
+		t.Error("AsBool")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsInt on a string should panic")
+		}
+	}()
+	NewString("x").AsInt()
+}
+
+func TestEqualJoinSemantics(t *testing.T) {
+	// Null equals nothing, including null.
+	if Null().Equal(Null()) {
+		t.Error("null Equal null should be false (join semantics)")
+	}
+	if Null().Equal(NewInt(1)) || NewInt(1).Equal(Null()) {
+		t.Error("null Equal non-null should be false")
+	}
+	if !NewInt(1).Equal(NewInt(1)) {
+		t.Error("1 Equal 1 should be true")
+	}
+	if NewInt(1).Equal(NewInt(2)) {
+		t.Error("1 Equal 2 should be false")
+	}
+	if NewInt(1).Equal(NewString("1")) {
+		t.Error("cross-kind Equal should be false")
+	}
+}
+
+func TestIdenticalSetSemantics(t *testing.T) {
+	if !Null().Identical(Null()) {
+		t.Error("null Identical null should be true (set semantics)")
+	}
+	if Null().Identical(NewInt(0)) {
+		t.Error("null Identical 0 should be false")
+	}
+	if !NewString("a").Identical(NewString("a")) {
+		t.Error("identical strings")
+	}
+	if NewFloat(1).Identical(NewInt(1)) {
+		t.Error("cross-kind Identical should be false")
+	}
+	nan := NewFloat(math.NaN())
+	if !nan.Identical(NewFloat(math.NaN())) {
+		t.Error("NaN should be Identical to NaN for set semantics")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		NewBool(false), NewBool(true),
+		NewInt(-1), NewInt(0), NewInt(5),
+		NewFloat(math.NaN()), NewFloat(-2.5), NewFloat(3.5),
+		NewString(""), NewString("a"), NewString("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return NewInt(a).Compare(NewInt(b)) == -NewInt(b).Compare(NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return NewString(a).Compare(NewString(b)) == -NewString(b).Compare(NewString(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingInjectiveProperty(t *testing.T) {
+	// Distinct values encode distinctly; identical values encode identically.
+	f := func(a, b string) bool {
+		ea := string(NewString(a).appendEncoded(nil))
+		eb := string(NewString(b).appendEncoded(nil))
+		return (a == b) == (ea == eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		ea := string(NewInt(a).appendEncoded(nil))
+		eb := string(NewInt(b).appendEncoded(nil))
+		return (a == b) == (ea == eb)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingCrossKindDistinct(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1), NewString("1")},
+		{NewInt(0), NewBool(false)},
+		{NewFloat(0), NewInt(0)},
+		{Null(), NewString("")},
+	}
+	for _, p := range pairs {
+		a := string(p[0].appendEncoded(nil))
+		b := string(p[1].appendEncoded(nil))
+		if a == b {
+			t.Errorf("%v and %v encode identically (%q)", p[0], p[1], a)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNull.String() != "null" || KindString.String() != "string" ||
+		KindInt.String() != "int" || KindFloat.String() != "float" ||
+		KindBool.String() != "bool" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind String")
+	}
+}

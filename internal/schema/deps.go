@@ -1,0 +1,121 @@
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// FD is a functional dependency R: Y → Z over a single relation-scheme.
+// The key dependencies of the paper's F sets are FDs of the form K → X.
+// LHS and RHS are attribute sets (canonical order is not required on input;
+// Key() normalizes).
+type FD struct {
+	Scheme string
+	LHS    []string
+	RHS    []string
+}
+
+// NewFD builds a functional dependency.
+func NewFD(scheme string, lhs, rhs []string) FD {
+	return FD{Scheme: scheme, LHS: lhs, RHS: rhs}
+}
+
+// KeyDependency builds the key dependency K → X for a relation-scheme.
+func KeyDependency(rs *RelationScheme) FD {
+	return FD{Scheme: rs.Name, LHS: append([]string(nil), rs.PrimaryKey...), RHS: rs.AttrNames()}
+}
+
+// Satisfied reports whether r satisfies the FD: any two tuples agreeing on
+// LHS (under Identical equality, so nulls agree with nulls — the behaviour
+// of DBMSs that consider all null values identical, per section 5.1) must
+// agree on RHS.
+func (fd FD) Satisfied(r *relation.Relation) bool {
+	lp := r.Positions(fd.LHS)
+	rp := r.Positions(fd.RHS)
+	seen := make(map[string]relation.Tuple, r.Len())
+	for _, t := range r.Tuples() {
+		key := t.Project(lp).EncodeKey()
+		rhs := t.Project(rp)
+		if prev, ok := seen[key]; ok {
+			if !prev.Identical(rhs) {
+				return false
+			}
+		} else {
+			seen[key] = rhs
+		}
+	}
+	return true
+}
+
+// Key returns a canonical identity string for set comparisons.
+func (fd FD) Key() string {
+	return fd.Scheme + ":" + joinAttrs(NormalizeAttrs(fd.LHS)) + "->" + joinAttrs(NormalizeAttrs(fd.RHS))
+}
+
+// String renders the FD in the paper's notation.
+func (fd FD) String() string {
+	return fmt.Sprintf("%s: %s → %s", fd.Scheme, joinAttrs(fd.LHS), joinAttrs(fd.RHS))
+}
+
+// IND is an inclusion dependency Left[LeftAttrs] ⊆ Right[RightAttrs].
+// The attribute lists are ordered correspondences (position i of LeftAttrs
+// maps to position i of RightAttrs); they must be compatible position-wise.
+// An IND is key-based — a referential integrity constraint [Date 1986] —
+// when RightAttrs is the primary key of the right scheme.
+type IND struct {
+	Left       string
+	LeftAttrs  []string
+	Right      string
+	RightAttrs []string
+}
+
+// NewIND builds an inclusion dependency.
+func NewIND(left string, leftAttrs []string, right string, rightAttrs []string) IND {
+	return IND{Left: left, LeftAttrs: leftAttrs, Right: right, RightAttrs: rightAttrs}
+}
+
+// Satisfied reports whether the pair of relations satisfies the IND under
+// the paper's semantics: π↓_Y(r_left) ⊆ π↓_Z(r_right) (total projections, so
+// tuples with nulls in the foreign key are exempt).
+func (ind IND) Satisfied(left, right *relation.Relation) bool {
+	lproj := left.TotalProject(ind.LeftAttrs)
+	rproj := right.TotalProject(ind.RightAttrs)
+	for _, t := range lproj.Tuples() {
+		if !rproj.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyBased reports whether the IND is key-based in s, i.e. its right side is
+// the primary key of the right scheme (as a set).
+func (ind IND) KeyBased(s *Schema) bool {
+	rs := s.Scheme(ind.Right)
+	return rs != nil && EqualAttrSets(ind.RightAttrs, rs.PrimaryKey)
+}
+
+// Key returns a canonical identity string for set comparisons. The attribute
+// correspondence is order-significant, so no normalization is applied.
+func (ind IND) Key() string {
+	return ind.Left + "[" + joinAttrs(ind.LeftAttrs) + "]<=" + ind.Right + "[" + joinAttrs(ind.RightAttrs) + "]"
+}
+
+// String renders the IND in the paper's notation.
+func (ind IND) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s[%s]", ind.Left, joinAttrs(ind.LeftAttrs), ind.Right, joinAttrs(ind.RightAttrs))
+}
+
+// SubstituteScheme returns a copy with occurrences of scheme old renamed to
+// new on either side.
+func (ind IND) SubstituteScheme(old, new string) IND {
+	out := ind
+	if out.Left == old {
+		out.Left = new
+	}
+	if out.Right == old {
+		out.Right = new
+	}
+	return out
+}

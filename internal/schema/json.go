@@ -1,0 +1,149 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON (de)serialization for schemas: a stable interchange format for the
+// command-line tools (relmerge/sdt -out json). Null constraints are tagged
+// by kind because NullConstraint is an interface.
+
+type schemaJSON struct {
+	Relations []relationJSON `json:"relations"`
+	FDs       []fdJSON       `json:"fds,omitempty"`
+	INDs      []indJSON      `json:"inds,omitempty"`
+	Nulls     []nullJSON     `json:"nulls,omitempty"`
+}
+
+type relationJSON struct {
+	Name          string      `json:"name"`
+	Attrs         []Attribute `json:"attrs"`
+	PrimaryKey    []string    `json:"key"`
+	CandidateKeys [][]string  `json:"candidateKeys,omitempty"`
+}
+
+type fdJSON struct {
+	Scheme string   `json:"scheme"`
+	LHS    []string `json:"lhs"`
+	RHS    []string `json:"rhs"`
+}
+
+type indJSON struct {
+	Left       string   `json:"left"`
+	LeftAttrs  []string `json:"leftAttrs"`
+	Right      string   `json:"right"`
+	RightAttrs []string `json:"rightAttrs"`
+}
+
+type nullJSON struct {
+	Kind   string     `json:"kind"` // nna, nullexist, nullsync, partnull, totaleq
+	Scheme string     `json:"scheme"`
+	Y      []string   `json:"y,omitempty"`
+	Z      []string   `json:"z,omitempty"`
+	Sets   [][]string `json:"sets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{}
+	for _, rs := range s.Relations {
+		out.Relations = append(out.Relations, relationJSON{
+			Name:          rs.Name,
+			Attrs:         rs.Attrs,
+			PrimaryKey:    rs.PrimaryKey,
+			CandidateKeys: rs.CandidateKeys,
+		})
+	}
+	for _, fd := range s.FDs {
+		out.FDs = append(out.FDs, fdJSON{Scheme: fd.Scheme, LHS: fd.LHS, RHS: fd.RHS})
+	}
+	for _, ind := range s.INDs {
+		out.INDs = append(out.INDs, indJSON{
+			Left: ind.Left, LeftAttrs: ind.LeftAttrs,
+			Right: ind.Right, RightAttrs: ind.RightAttrs,
+		})
+	}
+	for _, nc := range s.Nulls {
+		j, err := nullToJSON(nc)
+		if err != nil {
+			return nil, err
+		}
+		out.Nulls = append(out.Nulls, j)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func nullToJSON(nc NullConstraint) (nullJSON, error) {
+	switch c := nc.(type) {
+	case NullExistence:
+		if c.IsNNA() {
+			return nullJSON{Kind: "nna", Scheme: c.Scheme, Z: c.Z}, nil
+		}
+		return nullJSON{Kind: "nullexist", Scheme: c.Scheme, Y: c.Y, Z: c.Z}, nil
+	case NullSync:
+		return nullJSON{Kind: "nullsync", Scheme: c.Scheme, Y: c.Y}, nil
+	case PartNull:
+		return nullJSON{Kind: "partnull", Scheme: c.Scheme, Sets: c.Sets}, nil
+	case TotalEquality:
+		return nullJSON{Kind: "totaleq", Scheme: c.Scheme, Y: c.Y, Z: c.Z}, nil
+	default:
+		return nullJSON{}, fmt.Errorf("schema: unknown null constraint type %T", nc)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded schema is validated.
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	var in schemaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	out := New()
+	for _, r := range in.Relations {
+		rs := NewScheme(r.Name, r.Attrs, r.PrimaryKey)
+		rs.CandidateKeys = r.CandidateKeys
+		out.Relations = append(out.Relations, rs)
+	}
+	if len(in.FDs) > 0 {
+		for _, fd := range in.FDs {
+			out.FDs = append(out.FDs, NewFD(fd.Scheme, fd.LHS, fd.RHS))
+		}
+	} else {
+		// Default: key dependencies only.
+		for _, rs := range out.Relations {
+			out.FDs = append(out.FDs, KeyDependency(rs))
+		}
+	}
+	for _, ind := range in.INDs {
+		out.INDs = append(out.INDs, NewIND(ind.Left, ind.LeftAttrs, ind.Right, ind.RightAttrs))
+	}
+	for _, n := range in.Nulls {
+		nc, err := nullFromJSON(n)
+		if err != nil {
+			return err
+		}
+		out.Nulls = append(out.Nulls, nc)
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("schema: decoded schema invalid: %w", err)
+	}
+	*s = *out
+	return nil
+}
+
+func nullFromJSON(n nullJSON) (NullConstraint, error) {
+	switch n.Kind {
+	case "nna":
+		return NNA(n.Scheme, n.Z...), nil
+	case "nullexist":
+		return NewNullExistence(n.Scheme, n.Y, n.Z), nil
+	case "nullsync":
+		return NewNullSync(n.Scheme, n.Y...), nil
+	case "partnull":
+		return NewPartNull(n.Scheme, n.Sets...), nil
+	case "totaleq":
+		return NewTotalEquality(n.Scheme, n.Y, n.Z), nil
+	default:
+		return nil, fmt.Errorf("schema: unknown null constraint kind %q", n.Kind)
+	}
+}

@@ -1,0 +1,107 @@
+package schema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func jsonFixture(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	s.AddScheme(NewScheme("R",
+		[]Attribute{{Name: "A", Domain: "d"}, {Name: "B", Domain: "e"}, {Name: "C", Domain: "e"}},
+		[]string{"A"}))
+	s.Scheme("R").CandidateKeys = [][]string{{"B"}}
+	s.AddScheme(NewScheme("S",
+		[]Attribute{{Name: "X", Domain: "d"}}, []string{"X"}))
+	s.INDs = append(s.INDs, NewIND("R", []string{"A"}, "S", []string{"X"}))
+	s.Nulls = append(s.Nulls,
+		NNA("R", "A"),
+		NewNullExistence("R", []string{"B"}, []string{"C"}),
+		NewNullSync("R", "B", "C"),
+		NewPartNull("R", []string{"B"}, []string{"C"}),
+		NewTotalEquality("R", []string{"B"}, []string{"C"}),
+		NNA("S", "X"),
+	)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := jsonFixture(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameConstraints(s) {
+		t.Errorf("constraints not preserved:\n%s\nvs\n%s", s, &back)
+	}
+	if !EqualAttrLists(back.SchemeNames(), s.SchemeNames()) {
+		t.Error("scheme order not preserved")
+	}
+	r := back.Scheme("R")
+	if len(r.CandidateKeys) != 1 || !EqualAttrSets(r.CandidateKeys[0], []string{"B"}) {
+		t.Error("candidate keys lost")
+	}
+	if r.Domain("B") != "e" {
+		t.Error("domains lost")
+	}
+	// FDs preserved (key dependencies here).
+	if len(back.FDs) != len(s.FDs) {
+		t.Errorf("FDs = %d, want %d", len(back.FDs), len(s.FDs))
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	s := jsonFixture(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`"kind":"nna"`, `"kind":"nullexist"`, `"kind":"nullsync"`,
+		`"kind":"partnull"`, `"kind":"totaleq"`,
+		`"leftAttrs"`, `"candidateKeys"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in JSON:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONDecodeDefaultsKeyDependencies(t *testing.T) {
+	// Without explicit FDs, key dependencies are synthesized.
+	var s Schema
+	err := json.Unmarshal([]byte(`{
+		"relations": [{"name": "R", "attrs": [{"Name":"A","Domain":"d"}], "key": ["A"]}],
+		"nulls": [{"kind":"nna","scheme":"R","z":["A"]}]
+	}`), &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FDs) != 1 || s.FDs[0].Scheme != "R" {
+		t.Errorf("FDs = %v", s.FDs)
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"relations":[{"name":"R","attrs":[{"Name":"A","Domain":"d"}],"key":["Z"]}]}`,                                          // invalid schema
+		`{"relations":[{"name":"R","attrs":[{"Name":"A","Domain":"d"}],"key":["A"]}],"nulls":[{"kind":"banana","scheme":"R"}]}`, // unknown kind
+	}
+	for _, c := range cases {
+		var s Schema
+		if err := json.Unmarshal([]byte(c), &s); err == nil {
+			t.Errorf("decode of %q should fail", c)
+		}
+	}
+}

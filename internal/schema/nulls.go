@@ -1,0 +1,266 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// NullConstraint is one of the paper's single-tuple restrictions on where and
+// how nulls appear in a relation (section 3): null-existence (including
+// nulls-not-allowed), null-synchronization sets, part-null, and
+// total-equality constraints.
+type NullConstraint interface {
+	// SchemeName is the relation-scheme the constraint is attached to.
+	SchemeName() string
+	// Satisfied reports whether the relation satisfies the constraint.
+	Satisfied(r *relation.Relation) bool
+	// Key is a canonical identity string for set comparisons.
+	Key() string
+	// String renders the constraint in the paper's notation.
+	String() string
+	// SubstituteScheme reattaches the constraint to a renamed scheme.
+	SubstituteScheme(old, new string) NullConstraint
+	// MentionedAttrs lists every attribute the constraint refers to.
+	MentionedAttrs() []string
+}
+
+// NullExistence is R: Y ⊑ Z — for every tuple t, t[Y] total only if t[Z]
+// total ("non-null Y requires non-null Z"). With an empty Y it is a
+// nulls-not-allowed constraint R: ∅ ⊑ Z.
+type NullExistence struct {
+	Scheme string
+	Y      []string
+	Z      []string
+}
+
+// NewNullExistence builds the constraint scheme: Y ⊑ Z.
+func NewNullExistence(scheme string, y, z []string) NullExistence {
+	return NullExistence{Scheme: scheme, Y: y, Z: z}
+}
+
+// NNA builds the nulls-not-allowed constraint scheme: ∅ ⊑ attrs.
+func NNA(scheme string, attrs ...string) NullExistence {
+	return NullExistence{Scheme: scheme, Z: attrs}
+}
+
+// IsNNA reports whether the constraint is a nulls-not-allowed constraint
+// (empty left-hand side).
+func (ne NullExistence) IsNNA() bool { return len(ne.Y) == 0 }
+
+// SchemeName implements NullConstraint.
+func (ne NullExistence) SchemeName() string { return ne.Scheme }
+
+// Satisfied implements NullConstraint: t[Y] total ⇒ t[Z] total for every t.
+func (ne NullExistence) Satisfied(r *relation.Relation) bool {
+	for _, t := range r.Tuples() {
+		if totalOn(r, t, ne.Y) && !totalOn(r, t, ne.Z) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements NullConstraint.
+func (ne NullExistence) Key() string {
+	return "ne:" + ne.Scheme + ":" + joinAttrs(NormalizeAttrs(ne.Y)) + "<=" + joinAttrs(NormalizeAttrs(ne.Z))
+}
+
+// String implements NullConstraint.
+func (ne NullExistence) String() string {
+	lhs := "∅"
+	if len(ne.Y) > 0 {
+		lhs = joinAttrs(ne.Y)
+	}
+	return fmt.Sprintf("%s: %s ⊑ %s", ne.Scheme, lhs, joinAttrs(ne.Z))
+}
+
+// SubstituteScheme implements NullConstraint.
+func (ne NullExistence) SubstituteScheme(old, new string) NullConstraint {
+	if ne.Scheme == old {
+		ne.Scheme = new
+	}
+	return ne
+}
+
+// MentionedAttrs implements NullConstraint.
+func (ne NullExistence) MentionedAttrs() []string { return UnionAttrs(ne.Y, ne.Z) }
+
+// NullSync is the null-synchronization set R: NS(Y) — a bundle of
+// null-existence constraints {R: A ⊑ Y | A ∈ Y}, satisfied iff in every tuple
+// t[Y] is either total or entirely null (never partly null).
+type NullSync struct {
+	Scheme string
+	Y      []string
+}
+
+// NewNullSync builds the constraint scheme: NS(attrs).
+func NewNullSync(scheme string, attrs ...string) NullSync {
+	return NullSync{Scheme: scheme, Y: attrs}
+}
+
+// SchemeName implements NullConstraint.
+func (ns NullSync) SchemeName() string { return ns.Scheme }
+
+// Satisfied implements NullConstraint.
+func (ns NullSync) Satisfied(r *relation.Relation) bool {
+	ps := r.Positions(ns.Y)
+	for _, t := range r.Tuples() {
+		sub := t.Project(ps)
+		if !sub.IsTotal() && !sub.IsAllNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// Expand returns the equivalent set of null-existence constraints
+// {A ⊑ Y | A ∈ Y} from the paper's definition.
+func (ns NullSync) Expand() []NullExistence {
+	out := make([]NullExistence, len(ns.Y))
+	for i, a := range ns.Y {
+		out[i] = NullExistence{Scheme: ns.Scheme, Y: []string{a}, Z: append([]string(nil), ns.Y...)}
+	}
+	return out
+}
+
+// Key implements NullConstraint.
+func (ns NullSync) Key() string {
+	return "ns:" + ns.Scheme + ":" + joinAttrs(NormalizeAttrs(ns.Y))
+}
+
+// String implements NullConstraint.
+func (ns NullSync) String() string {
+	return fmt.Sprintf("%s: NS(%s)", ns.Scheme, joinAttrs(ns.Y))
+}
+
+// SubstituteScheme implements NullConstraint.
+func (ns NullSync) SubstituteScheme(old, new string) NullConstraint {
+	if ns.Scheme == old {
+		ns.Scheme = new
+	}
+	return ns
+}
+
+// MentionedAttrs implements NullConstraint.
+func (ns NullSync) MentionedAttrs() []string { return UnionAttrs(ns.Y) }
+
+// PartNull is R: PN(Y1, …, Ym) — every tuple has at least one total subtuple
+// t[Yj].
+type PartNull struct {
+	Scheme string
+	Sets   [][]string
+}
+
+// NewPartNull builds the constraint scheme: PN(sets...).
+func NewPartNull(scheme string, sets ...[]string) PartNull {
+	return PartNull{Scheme: scheme, Sets: sets}
+}
+
+// SchemeName implements NullConstraint.
+func (pn PartNull) SchemeName() string { return pn.Scheme }
+
+// Satisfied implements NullConstraint.
+func (pn PartNull) Satisfied(r *relation.Relation) bool {
+	for _, t := range r.Tuples() {
+		ok := false
+		for _, set := range pn.Sets {
+			if totalOn(r, t, set) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements NullConstraint.
+func (pn PartNull) Key() string {
+	parts := make([]string, len(pn.Sets))
+	for i, set := range pn.Sets {
+		parts[i] = joinAttrs(NormalizeAttrs(set))
+	}
+	sort.Strings(parts)
+	return "pn:" + pn.Scheme + ":" + strings.Join(parts, "|")
+}
+
+// String implements NullConstraint.
+func (pn PartNull) String() string {
+	parts := make([]string, len(pn.Sets))
+	for i, set := range pn.Sets {
+		parts[i] = "{" + joinAttrs(set) + "}"
+	}
+	return fmt.Sprintf("%s: PN(%s)", pn.Scheme, strings.Join(parts, ", "))
+}
+
+// SubstituteScheme implements NullConstraint.
+func (pn PartNull) SubstituteScheme(old, new string) NullConstraint {
+	if pn.Scheme == old {
+		pn.Scheme = new
+	}
+	return pn
+}
+
+// MentionedAttrs implements NullConstraint.
+func (pn PartNull) MentionedAttrs() []string { return UnionAttrs(pn.Sets...) }
+
+// TotalEquality is R: Y =⊥ Z — in every tuple, t[Y] = t[Z] whenever both
+// subtuples are total. Y and Z are ordered correspondences of compatible
+// attributes (position i of Y pairs with position i of Z).
+type TotalEquality struct {
+	Scheme string
+	Y      []string
+	Z      []string
+}
+
+// NewTotalEquality builds the constraint scheme: Y =⊥ Z.
+func NewTotalEquality(scheme string, y, z []string) TotalEquality {
+	return TotalEquality{Scheme: scheme, Y: y, Z: z}
+}
+
+// SchemeName implements NullConstraint.
+func (te TotalEquality) SchemeName() string { return te.Scheme }
+
+// Satisfied implements NullConstraint.
+func (te TotalEquality) Satisfied(r *relation.Relation) bool {
+	yp := r.Positions(te.Y)
+	zp := r.Positions(te.Z)
+	for _, t := range r.Tuples() {
+		ys, zs := t.Project(yp), t.Project(zp)
+		if ys.IsTotal() && zs.IsTotal() && !ys.EqualTotal(zs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements NullConstraint. Total equality is symmetric, so the two
+// sides are ordered canonically; the positional correspondence is preserved.
+func (te TotalEquality) Key() string {
+	a, b := joinAttrs(te.Y), joinAttrs(te.Z)
+	if a > b {
+		a, b = b, a
+	}
+	return "te:" + te.Scheme + ":" + a + "=" + b
+}
+
+// String implements NullConstraint.
+func (te TotalEquality) String() string {
+	return fmt.Sprintf("%s: %s =⊥ %s", te.Scheme, joinAttrs(te.Y), joinAttrs(te.Z))
+}
+
+// SubstituteScheme implements NullConstraint.
+func (te TotalEquality) SubstituteScheme(old, new string) NullConstraint {
+	if te.Scheme == old {
+		te.Scheme = new
+	}
+	return te
+}
+
+// MentionedAttrs implements NullConstraint.
+func (te TotalEquality) MentionedAttrs() []string { return UnionAttrs(te.Y, te.Z) }

@@ -1,0 +1,242 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func rel(attrs []string, rows ...[]any) *relation.Relation {
+	r := relation.New(attrs...)
+	for _, row := range rows {
+		t := make(relation.Tuple, len(row))
+		for i, v := range row {
+			switch x := v.(type) {
+			case nil:
+				t[i] = relation.Null()
+			case int:
+				t[i] = relation.NewInt(int64(x))
+			case string:
+				t[i] = relation.NewString(x)
+			default:
+				panic("unsupported test value")
+			}
+		}
+		r.Add(t)
+	}
+	return r
+}
+
+func TestNullExistenceSatisfied(t *testing.T) {
+	ne := NewNullExistence("R", []string{"DATE"}, []string{"NR"})
+	// The figure 1(iii) anomaly: WORKS with DATE non-null but NR null.
+	ok := rel([]string{"SSN", "NR", "DATE"},
+		[]any{1, 10, 100},
+		[]any{2, 11, nil},
+		[]any{3, nil, nil})
+	if !ne.Satisfied(ok) {
+		t.Error("constraint should hold")
+	}
+	bad := rel([]string{"SSN", "NR", "DATE"}, []any{1, nil, 100})
+	if ne.Satisfied(bad) {
+		t.Error("non-null DATE with null NR must violate DATE ⊑ NR")
+	}
+}
+
+func TestNNASatisfied(t *testing.T) {
+	nna := NNA("R", "A", "B")
+	if !nna.IsNNA() {
+		t.Error("IsNNA")
+	}
+	if NewNullExistence("R", []string{"A"}, []string{"B"}).IsNNA() {
+		t.Error("non-empty LHS is not NNA")
+	}
+	if !nna.Satisfied(rel([]string{"A", "B"}, []any{1, 2})) {
+		t.Error("total relation satisfies NNA")
+	}
+	if nna.Satisfied(rel([]string{"A", "B"}, []any{1, nil})) {
+		t.Error("null under NNA must violate")
+	}
+}
+
+func TestNullSyncSatisfied(t *testing.T) {
+	ns := NewNullSync("R", "A", "B")
+	if !ns.Satisfied(rel([]string{"A", "B", "C"},
+		[]any{1, 2, 3},
+		[]any{nil, nil, 4})) {
+		t.Error("total or all-null subtuples satisfy NS")
+	}
+	if ns.Satisfied(rel([]string{"A", "B", "C"}, []any{1, nil, 3})) {
+		t.Error("partly null subtuple must violate NS")
+	}
+}
+
+func TestNullSyncExpand(t *testing.T) {
+	ns := NewNullSync("R", "A", "B")
+	exp := ns.Expand()
+	if len(exp) != 2 {
+		t.Fatalf("Expand len = %d", len(exp))
+	}
+	for _, ne := range exp {
+		if ne.Scheme != "R" || len(ne.Y) != 1 || !EqualAttrSets(ne.Z, []string{"A", "B"}) {
+			t.Errorf("Expand member = %v", ne)
+		}
+	}
+	// Semantics agree: the expanded NE set is satisfied iff NS is.
+	part := rel([]string{"A", "B"}, []any{1, nil})
+	allSat := true
+	for _, ne := range exp {
+		if !ne.Satisfied(part) {
+			allSat = false
+		}
+	}
+	if allSat != ns.Satisfied(part) {
+		t.Error("expansion semantics disagree on partly-null relation")
+	}
+}
+
+func TestPartNullSatisfied(t *testing.T) {
+	pn := NewPartNull("R", []string{"A", "B"}, []string{"C", "D"})
+	if !pn.Satisfied(rel([]string{"A", "B", "C", "D"},
+		[]any{1, 2, nil, nil},
+		[]any{nil, nil, 3, 4},
+		[]any{1, 2, 3, 4})) {
+		t.Error("one total side suffices")
+	}
+	if pn.Satisfied(rel([]string{"A", "B", "C", "D"}, []any{1, nil, nil, 4})) {
+		t.Error("no total side must violate PN")
+	}
+}
+
+func TestTotalEqualitySatisfied(t *testing.T) {
+	te := NewTotalEquality("R", []string{"A"}, []string{"B"})
+	if !te.Satisfied(rel([]string{"A", "B"},
+		[]any{1, 1},
+		[]any{2, nil},
+		[]any{nil, 3})) {
+		t.Error("nulls exempt total equality")
+	}
+	if te.Satisfied(rel([]string{"A", "B"}, []any{1, 2})) {
+		t.Error("differing non-null values must violate =⊥")
+	}
+}
+
+func TestTotalEqualityMultiColumn(t *testing.T) {
+	te := NewTotalEquality("R", []string{"A", "B"}, []string{"C", "D"})
+	// Partly-null sides are exempt (neither side total).
+	if !te.Satisfied(rel([]string{"A", "B", "C", "D"}, []any{1, nil, 1, 2})) {
+		t.Error("partly-null left side exempt")
+	}
+	if te.Satisfied(rel([]string{"A", "B", "C", "D"}, []any{1, 2, 1, 3})) {
+		t.Error("component mismatch must violate")
+	}
+}
+
+func TestNullConstraintKeysCanonical(t *testing.T) {
+	// Keys must be order-insensitive for sets, order-sensitive only where the
+	// paper's semantics require a correspondence.
+	a := NewNullExistence("R", []string{"X", "Y"}, []string{"Z"})
+	b := NewNullExistence("R", []string{"Y", "X"}, []string{"Z"})
+	if a.Key() != b.Key() {
+		t.Error("NE key should normalize attr sets")
+	}
+	te1 := NewTotalEquality("R", []string{"A"}, []string{"B"})
+	te2 := NewTotalEquality("R", []string{"B"}, []string{"A"})
+	if te1.Key() != te2.Key() {
+		t.Error("TE key should be symmetric")
+	}
+	pn1 := NewPartNull("R", []string{"A"}, []string{"B"})
+	pn2 := NewPartNull("R", []string{"B"}, []string{"A"})
+	if pn1.Key() != pn2.Key() {
+		t.Error("PN key should be order-insensitive across sets")
+	}
+	ns1 := NewNullSync("R", "A", "B")
+	ns2 := NewNullSync("R", "B", "A")
+	if ns1.Key() != ns2.Key() {
+		t.Error("NS key should normalize")
+	}
+}
+
+func TestNullConstraintStrings(t *testing.T) {
+	cases := []struct {
+		nc   NullConstraint
+		want string
+	}{
+		{NNA("R", "A", "B"), "R: ∅ ⊑ A,B"},
+		{NewNullExistence("R", []string{"X"}, []string{"Y"}), "R: X ⊑ Y"},
+		{NewNullSync("R", "A", "B"), "R: NS(A,B)"},
+		{NewPartNull("R", []string{"A"}, []string{"B", "C"}), "R: PN({A}, {B,C})"},
+		{NewTotalEquality("R", []string{"A"}, []string{"B"}), "R: A =⊥ B"},
+	}
+	for _, c := range cases {
+		if got := c.nc.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSubstituteScheme(t *testing.T) {
+	ncs := []NullConstraint{
+		NNA("R", "A"),
+		NewNullSync("R", "A"),
+		NewPartNull("R", []string{"A"}),
+		NewTotalEquality("R", []string{"A"}, []string{"B"}),
+	}
+	for _, nc := range ncs {
+		got := nc.SubstituteScheme("R", "M")
+		if got.SchemeName() != "M" {
+			t.Errorf("%T SubstituteScheme failed", nc)
+		}
+		unchanged := nc.SubstituteScheme("X", "M")
+		if unchanged.SchemeName() != "R" {
+			t.Errorf("%T SubstituteScheme should ignore other schemes", nc)
+		}
+	}
+}
+
+func TestMentionedAttrs(t *testing.T) {
+	cases := []struct {
+		nc   NullConstraint
+		want []string
+	}{
+		{NewNullExistence("R", []string{"A"}, []string{"B"}), []string{"A", "B"}},
+		{NewNullSync("R", "A", "B"), []string{"A", "B"}},
+		{NewPartNull("R", []string{"A"}, []string{"B"}), []string{"A", "B"}},
+		{NewTotalEquality("R", []string{"A"}, []string{"B"}), []string{"A", "B"}},
+	}
+	for _, c := range cases {
+		if !EqualAttrSets(c.nc.MentionedAttrs(), c.want) {
+			t.Errorf("%v MentionedAttrs = %v", c.nc, c.nc.MentionedAttrs())
+		}
+	}
+}
+
+func TestAttrSetUtilities(t *testing.T) {
+	if got := NormalizeAttrs([]string{"b", "a", "b"}); !EqualAttrLists(got, []string{"a", "b"}) {
+		t.Errorf("NormalizeAttrs = %v", got)
+	}
+	if !EqualAttrSets([]string{"a", "b"}, []string{"b", "a"}) {
+		t.Error("EqualAttrSets order-insensitive")
+	}
+	if EqualAttrSets([]string{"a"}, []string{"a", "b"}) {
+		t.Error("EqualAttrSets size")
+	}
+	if !SubsetOf([]string{"a"}, []string{"a", "b"}) || SubsetOf([]string{"c"}, []string{"a"}) {
+		t.Error("SubsetOf")
+	}
+	if got := UnionAttrs([]string{"a"}, []string{"b", "a"}); !EqualAttrLists(got, []string{"a", "b"}) {
+		t.Errorf("UnionAttrs = %v", got)
+	}
+	if got := DiffAttrs([]string{"a", "b", "c"}, []string{"b"}); !EqualAttrLists(got, []string{"a", "c"}) {
+		t.Errorf("DiffAttrs = %v", got)
+	}
+	if got := IntersectAttrs([]string{"a", "b"}, []string{"b", "c"}); !EqualAttrLists(got, []string{"b"}) {
+		t.Errorf("IntersectAttrs = %v", got)
+	}
+	if !ContainsAttr([]string{"a"}, "a") || ContainsAttr([]string{"a"}, "b") {
+		t.Error("ContainsAttr")
+	}
+	if !OverlapAttrs([]string{"a", "b"}, []string{"b"}) || OverlapAttrs([]string{"a"}, []string{"b"}) {
+		t.Error("OverlapAttrs")
+	}
+}

@@ -1,0 +1,328 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// fig3 builds the paper's figure 3 university schema.
+func fig3(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	add := func(name string, key []string, attrs ...Attribute) {
+		s.AddScheme(NewScheme(name, attrs, key))
+	}
+	ssn := func(n string) Attribute { return Attribute{Name: n, Domain: "ssn"} }
+	cnr := func(n string) Attribute { return Attribute{Name: n, Domain: "course_nr"} }
+	dnm := func(n string) Attribute { return Attribute{Name: n, Domain: "dept_name"} }
+
+	add("PERSON", []string{"P.SSN"}, ssn("P.SSN"))
+	add("FACULTY", []string{"F.SSN"}, ssn("F.SSN"))
+	add("STUDENT", []string{"S.SSN"}, ssn("S.SSN"))
+	add("COURSE", []string{"C.NR"}, cnr("C.NR"))
+	add("DEPARTMENT", []string{"D.NAME"}, dnm("D.NAME"))
+	add("OFFER", []string{"O.C.NR"}, cnr("O.C.NR"), dnm("O.D.NAME"))
+	add("TEACH", []string{"T.C.NR"}, cnr("T.C.NR"), ssn("T.F.SSN"))
+	add("ASSIST", []string{"A.C.NR"}, cnr("A.C.NR"), ssn("A.S.SSN"))
+
+	s.INDs = []IND{
+		NewIND("FACULTY", []string{"F.SSN"}, "PERSON", []string{"P.SSN"}),
+		NewIND("STUDENT", []string{"S.SSN"}, "PERSON", []string{"P.SSN"}),
+		NewIND("OFFER", []string{"O.C.NR"}, "COURSE", []string{"C.NR"}),
+		NewIND("OFFER", []string{"O.D.NAME"}, "DEPARTMENT", []string{"D.NAME"}),
+		NewIND("TEACH", []string{"T.C.NR"}, "OFFER", []string{"O.C.NR"}),
+		NewIND("TEACH", []string{"T.F.SSN"}, "FACULTY", []string{"F.SSN"}),
+		NewIND("ASSIST", []string{"A.C.NR"}, "OFFER", []string{"O.C.NR"}),
+		NewIND("ASSIST", []string{"A.S.SSN"}, "STUDENT", []string{"S.SSN"}),
+	}
+	for _, rs := range s.Relations {
+		s.Nulls = append(s.Nulls, NNA(rs.Name, rs.AttrNames()...))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("figure 3 schema should validate: %v", err)
+	}
+	return s
+}
+
+func TestFig3Validates(t *testing.T) {
+	s := fig3(t)
+	if len(s.Relations) != 8 || len(s.INDs) != 8 || len(s.Nulls) != 8 {
+		t.Fatalf("figure 3: %d schemes, %d INDs, %d null constraints",
+			len(s.Relations), len(s.INDs), len(s.Nulls))
+	}
+	for _, ind := range s.INDs {
+		if !ind.KeyBased(s) {
+			t.Errorf("figure 3 IND %s should be key-based", ind)
+		}
+	}
+}
+
+func TestSchemeLookups(t *testing.T) {
+	s := fig3(t)
+	if s.Scheme("OFFER") == nil || s.Scheme("NOPE") != nil {
+		t.Error("Scheme lookup")
+	}
+	if got := s.SchemeOf("O.D.NAME"); got == nil || got.Name != "OFFER" {
+		t.Error("SchemeOf")
+	}
+	if s.SchemeOf("UNKNOWN") != nil {
+		t.Error("SchemeOf unknown")
+	}
+	if len(s.INDsFrom("TEACH")) != 2 || len(s.INDsInto("OFFER")) != 2 {
+		t.Error("INDsFrom/INDsInto")
+	}
+	if len(s.FDsOf("OFFER")) != 1 || len(s.NullsOf("OFFER")) != 1 {
+		t.Error("FDsOf/NullsOf")
+	}
+	names := s.SchemeNames()
+	if len(names) != 8 || names[0] != "PERSON" {
+		t.Errorf("SchemeNames = %v", names)
+	}
+}
+
+func TestKeyCompatibility(t *testing.T) {
+	s := fig3(t)
+	course, offer, person := s.Scheme("COURSE"), s.Scheme("OFFER"), s.Scheme("PERSON")
+	if !course.KeyCompatible(offer) {
+		t.Error("COURSE and OFFER keys should be compatible (course_nr)")
+	}
+	if course.KeyCompatible(person) {
+		t.Error("COURSE and PERSON keys should be incompatible")
+	}
+}
+
+func TestNNAAttrsAndAllowsNull(t *testing.T) {
+	s := fig3(t)
+	nna := s.NNAAttrs("OFFER")
+	if !nna["O.C.NR"] || !nna["O.D.NAME"] {
+		t.Errorf("NNAAttrs(OFFER) = %v", nna)
+	}
+	if s.AllowsNull("OFFER", "O.C.NR") {
+		t.Error("O.C.NR must not allow nulls")
+	}
+	// A scheme with a partial NNA set.
+	s2 := New()
+	s2.AddScheme(NewScheme("R", []Attribute{{Name: "A", Domain: "d"}, {Name: "B", Domain: "d"}}, []string{"A"}))
+	s2.Nulls = append(s2.Nulls, NNA("R", "A"))
+	if !s2.AllowsNull("R", "B") || s2.AllowsNull("R", "A") {
+		t.Error("AllowsNull with partial NNA")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	d := Attribute{Name: "A", Domain: "d"}
+	cases := []struct {
+		name string
+		mk   func() *Schema
+	}{
+		{"duplicate scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.AddScheme(NewScheme("R", []Attribute{{Name: "B", Domain: "d"}}, []string{"B"}))
+			return s
+		}},
+		{"global attr collision", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.AddScheme(NewScheme("S", []Attribute{d}, []string{"A"}))
+			return s
+		}},
+		{"key outside scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"Z"}))
+			return s
+		}},
+		{"empty key", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, nil))
+			return s
+		}},
+		{"no attributes", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", nil, nil))
+			return s
+		}},
+		{"missing domain", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{{Name: "A"}}, []string{"A"}))
+			return s
+		}},
+		{"FD unknown scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.FDs = append(s.FDs, NewFD("X", []string{"A"}, []string{"A"}))
+			return s
+		}},
+		{"FD attrs outside scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.FDs = append(s.FDs, NewFD("R", []string{"Z"}, []string{"A"}))
+			return s
+		}},
+		{"IND unknown scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.INDs = append(s.INDs, NewIND("R", []string{"A"}, "X", []string{"A"}))
+			return s
+		}},
+		{"IND arity mismatch", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.AddScheme(NewScheme("S", []Attribute{{Name: "B", Domain: "d"}}, []string{"B"}))
+			s.INDs = append(s.INDs, NewIND("R", []string{"A"}, "S", []string{"B", "B"}))
+			return s
+		}},
+		{"IND incompatible domains", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.AddScheme(NewScheme("S", []Attribute{{Name: "B", Domain: "other"}}, []string{"B"}))
+			s.INDs = append(s.INDs, NewIND("R", []string{"A"}, "S", []string{"B"}))
+			return s
+		}},
+		{"null constraint unknown scheme", func() *Schema {
+			s := New()
+			s.Nulls = append(s.Nulls, NNA("X", "A"))
+			return s
+		}},
+		{"null constraint attrs outside scheme", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d}, []string{"A"}))
+			s.Nulls = append(s.Nulls, NNA("R", "Z"))
+			return s
+		}},
+		{"total equality arity mismatch", func() *Schema {
+			s := New()
+			s.AddScheme(NewScheme("R", []Attribute{d, {Name: "B", Domain: "d"}}, []string{"A"}))
+			s.Nulls = append(s.Nulls, NewTotalEquality("R", []string{"A"}, []string{"A", "B"}))
+			return s
+		}},
+	}
+	for _, c := range cases {
+		if err := c.mk().Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := fig3(t)
+	c := s.Clone()
+	c.Scheme("OFFER").Name = "CHANGED"
+	c.INDs[0].Left = "CHANGED"
+	if s.Scheme("OFFER") == nil || s.INDs[0].Left != "FACULTY" {
+		t.Error("Clone must be deep for schemes and INDs")
+	}
+}
+
+func TestRemoveScheme(t *testing.T) {
+	s := fig3(t)
+	s.RemoveScheme("TEACH")
+	if s.Scheme("TEACH") != nil {
+		t.Error("scheme should be gone")
+	}
+	if len(s.FDsOf("TEACH")) != 0 || len(s.NullsOf("TEACH")) != 0 {
+		t.Error("FDs and null constraints should be gone")
+	}
+	// INDs intentionally untouched.
+	if len(s.INDsFrom("TEACH")) != 2 {
+		t.Error("INDs are the caller's responsibility")
+	}
+}
+
+func TestSameConstraints(t *testing.T) {
+	a, b := fig3(t), fig3(t)
+	if !a.SameConstraints(b) {
+		t.Error("identical schemas should have same constraints")
+	}
+	b.Nulls = append(b.Nulls, NewNullSync("OFFER", "O.C.NR", "O.D.NAME"))
+	if a.SameConstraints(b) {
+		t.Error("extra null constraint should be detected")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	out := fig3(t).String()
+	for _, want := range []string{
+		"OFFER(O.C.NR*, O.D.NAME)",
+		"TEACH[T.C.NR] ⊆ OFFER[O.C.NR]",
+		"PERSON: ∅ ⊑ P.SSN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFDSatisfied(t *testing.T) {
+	fd := NewFD("R", []string{"A"}, []string{"B"})
+	r := relation.New("A", "B")
+	r.Add(relation.Tuple{relation.NewInt(1), relation.NewInt(10)})
+	r.Add(relation.Tuple{relation.NewInt(2), relation.NewInt(10)})
+	if !fd.Satisfied(r) {
+		t.Error("FD should hold")
+	}
+	r.Add(relation.Tuple{relation.NewInt(1), relation.NewInt(99)})
+	if fd.Satisfied(r) {
+		t.Error("FD violation undetected")
+	}
+}
+
+func TestFDSatisfiedNullsIdentical(t *testing.T) {
+	// Two tuples with null keys "agree" on the LHS under set semantics, so
+	// they must agree on the RHS — the key-maintenance behaviour of systems
+	// that consider all nulls identical (section 5.1).
+	fd := NewFD("R", []string{"A"}, []string{"B"})
+	r := relation.New("A", "B")
+	r.Add(relation.Tuple{relation.Null(), relation.NewInt(1)})
+	r.Add(relation.Tuple{relation.Null(), relation.NewInt(2)})
+	if fd.Satisfied(r) {
+		t.Error("null keys must collide under identical-null semantics")
+	}
+}
+
+func TestINDSatisfiedTotalSemantics(t *testing.T) {
+	ind := NewIND("L", []string{"A"}, "R", []string{"B"})
+	left := relation.New("A", "X")
+	right := relation.New("B")
+	right.Add(relation.Tuple{relation.NewInt(1)})
+	left.Add(relation.Tuple{relation.NewInt(1), relation.NewInt(0)})
+	if !ind.Satisfied(left, right) {
+		t.Error("IND should hold")
+	}
+	// A null foreign key is exempt (total projection).
+	left.Add(relation.Tuple{relation.Null(), relation.NewInt(0)})
+	if !ind.Satisfied(left, right) {
+		t.Error("null foreign keys are exempt")
+	}
+	left.Add(relation.Tuple{relation.NewInt(2), relation.NewInt(0)})
+	if ind.Satisfied(left, right) {
+		t.Error("dangling foreign key undetected")
+	}
+}
+
+func TestINDHelpers(t *testing.T) {
+	s := fig3(t)
+	ind := s.INDs[4] // TEACH[T.C.NR] ⊆ OFFER[O.C.NR]
+	if !ind.KeyBased(s) {
+		t.Error("key-based")
+	}
+	nonKey := NewIND("TEACH", []string{"T.C.NR"}, "OFFER", []string{"O.D.NAME"})
+	if nonKey.KeyBased(s) {
+		t.Error("O.D.NAME is not OFFER's key")
+	}
+	sub := ind.SubstituteScheme("OFFER", "MERGED")
+	if sub.Right != "MERGED" || sub.Left != "TEACH" {
+		t.Errorf("SubstituteScheme = %v", sub)
+	}
+}
+
+func TestKeyDependency(t *testing.T) {
+	s := fig3(t)
+	fd := KeyDependency(s.Scheme("OFFER"))
+	if fd.Scheme != "OFFER" || !EqualAttrSets(fd.LHS, []string{"O.C.NR"}) ||
+		!EqualAttrSets(fd.RHS, []string{"O.C.NR", "O.D.NAME"}) {
+		t.Errorf("KeyDependency = %v", fd)
+	}
+}

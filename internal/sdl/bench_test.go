@@ -1,0 +1,42 @@
+package sdl
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func BenchmarkParseSchemaFig3(b *testing.B) {
+	text := PrintSchema(figures.Fig3())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSchema(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrintSchemaFig3(b *testing.B) {
+	s := figures.Fig3()
+	for i := 0; i < b.N; i++ {
+		PrintSchema(s)
+	}
+}
+
+func BenchmarkParseEERFig7(b *testing.B) {
+	text := `
+entity PERSON prefix P attrs (P.SSN ssn) id (P.SSN) copybase (SSN)
+specialization FACULTY of PERSON prefix F
+specialization STUDENT of PERSON prefix S
+entity COURSE prefix C attrs (C.NR course_nr) id (C.NR)
+entity DEPARTMENT prefix D attrs (D.NAME dept_name) id (D.NAME)
+relationship OFFER prefix O parts (COURSE many, DEPARTMENT one)
+relationship TEACH prefix T parts (OFFER many, FACULTY one)
+relationship ASSIST prefix A parts (OFFER many, STUDENT one)
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEER(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// ParseState parses a database state for the given schema from the data DSL:
+// one insert statement per tuple, values positional in the scheme's
+// attribute order, the keyword null for a null value:
+//
+//	insert OFFER (c1, math)
+//	insert TEACH (c1, null)
+//
+// The parsed state is NOT consistency-checked; callers decide whether to
+// enforce it (cmd/relmerge reports violations explicitly).
+func ParseState(s *schema.Schema, input string) (*state.DB, error) {
+	lx, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	db := state.New(s)
+	for lx.peek().kind != tokEOF {
+		if err := lx.expect("insert"); err != nil {
+			return nil, err
+		}
+		name, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		rs := s.Scheme(name)
+		if rs == nil {
+			return nil, fmt.Errorf("sdl: insert into unknown relation %s", name)
+		}
+		vals, err := lx.identList("(", ")")
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(rs.Attrs) {
+			return nil, fmt.Errorf("sdl: insert into %s has %d values, scheme has %d attributes",
+				name, len(vals), len(rs.Attrs))
+		}
+		tup := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			if v == "null" {
+				tup[i] = relation.Null()
+			} else {
+				tup[i] = relation.NewString(v)
+			}
+		}
+		db.Relation(name).Add(tup)
+	}
+	return db, nil
+}
+
+// PrintState renders a database state in the data DSL, deterministically
+// (schemes in schema order, tuples in canonical order), so that
+// ParseState(s, PrintState(s, db)) reproduces db.
+func PrintState(s *schema.Schema, db *state.DB) string {
+	var b strings.Builder
+	names := make([]string, 0, len(db.Relations))
+	order := make(map[string]int, len(s.Relations))
+	for i, rs := range s.Relations {
+		order[rs.Name] = i
+	}
+	for n := range db.Relations {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		for _, t := range db.Relations[n].Sorted() {
+			vals := make([]string, len(t))
+			for i, v := range t {
+				if v.IsNull() {
+					vals[i] = "null"
+				} else {
+					vals[i] = v.String()
+				}
+			}
+			fmt.Fprintf(&b, "insert %s (%s)\n", n, strings.Join(vals, ", "))
+		}
+	}
+	return b.String()
+}

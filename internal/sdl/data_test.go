@@ -1,0 +1,86 @@
+package sdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+func TestParseStateBasic(t *testing.T) {
+	s := figures.Fig2(true)
+	db, err := ParseState(s, `
+# two offers, one taught
+insert OFFER (c1, math)
+insert OFFER (c2, cs)
+insert TEACH (c1, smith)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("OFFER").Len() != 2 || db.Relation("TEACH").Len() != 1 {
+		t.Fatalf("parsed state wrong: %s", db)
+	}
+	if err := state.Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStateNulls(t *testing.T) {
+	s := figures.Fig1RSPrime()
+	db, err := ParseState(s, "insert WORKS (e1, null, null)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := db.Relation("WORKS").Tuples()[0]
+	if !tup[1].IsNull() || !tup[2].IsNull() {
+		t.Errorf("nulls not parsed: %v", tup)
+	}
+	if tup[0].IsNull() {
+		t.Error("e1 should be a value")
+	}
+}
+
+func TestParseStateErrors(t *testing.T) {
+	s := figures.Fig2(true)
+	cases := []string{
+		"insert NOPE (a)",        // unknown relation
+		"insert OFFER (a)",       // arity
+		"insert OFFER (a, b, c)", // arity
+		"delete OFFER (a, b)",    // unknown statement
+		"insert OFFER a, b",      // missing parens
+	}
+	for _, c := range cases {
+		if _, err := ParseState(s, c); err == nil {
+			t.Errorf("ParseState(%q) should fail", c)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := figures.Fig2(true)
+	db := state.New(s)
+	db.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("math")})
+	db.Relation("TEACH").Add(relation.Tuple{relation.NewString("c1"), relation.Null()})
+
+	text := PrintState(s, db)
+	if !strings.Contains(text, "insert TEACH (c1, null)") {
+		t.Errorf("PrintState = %q", text)
+	}
+	back, err := ParseState(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(db) {
+		t.Error("state round trip failed")
+	}
+	// Deterministic and ordered by schema declaration.
+	if PrintState(s, back) != text {
+		t.Error("PrintState not idempotent")
+	}
+	if strings.Index(text, "OFFER") > strings.Index(text, "TEACH") {
+		t.Error("schema order not respected")
+	}
+}

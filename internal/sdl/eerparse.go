@@ -1,0 +1,233 @@
+package sdl
+
+import (
+	"fmt"
+
+	"repro/internal/eer"
+)
+
+// ParseEER parses an EER schema from the DSL. The result is validated
+// before being returned.
+func ParseEER(input string) (*eer.Schema, error) {
+	lx, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	s := eer.New()
+	for lx.peek().kind != tokEOF {
+		kw, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "entity":
+			if err := parseEntity(lx, s); err != nil {
+				return nil, err
+			}
+		case "specialization":
+			if err := parseSpecialization(lx, s); err != nil {
+				return nil, err
+			}
+		case "weak":
+			if err := parseWeak(lx, s); err != nil {
+				return nil, err
+			}
+		case "relationship":
+			if err := parseRelationship(lx, s); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sdl: unknown statement %q (want entity, specialization, weak, or relationship)", kw)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sdl: %w", err)
+	}
+	return s, nil
+}
+
+// parseEERAttrs parses: attrs (NAME dom, NAME dom?, ...) — optional clause.
+func parseEERAttrs(lx *lexer) ([]eer.Attr, error) {
+	if !lx.accept("attrs") {
+		return nil, nil
+	}
+	if err := lx.expect("("); err != nil {
+		return nil, err
+	}
+	var out []eer.Attr
+	for {
+		name, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		dom, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		a := eer.Attr{Name: name, Domain: dom}
+		for {
+			if lx.accept("?") {
+				a.Nullable = true
+				continue
+			}
+			if lx.accept("*") {
+				a.MultiValued = true
+				continue
+			}
+			break
+		}
+		out = append(out, a)
+		if lx.accept(")") {
+			return out, nil
+		}
+		if err := lx.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func parsePrefix(lx *lexer) (string, error) {
+	if !lx.accept("prefix") {
+		return "", nil
+	}
+	return lx.ident()
+}
+
+// parseEntity handles:
+//
+//	entity NAME prefix P attrs (A dom, ...) id (A, ...) copybase (X, ...)
+func parseEntity(lx *lexer, s *eer.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	e := &eer.EntitySet{Name: name}
+	if e.Prefix, err = parsePrefix(lx); err != nil {
+		return err
+	}
+	if e.OwnAttrs, err = parseEERAttrs(lx); err != nil {
+		return err
+	}
+	if lx.accept("id") {
+		if e.ID, err = lx.identList("(", ")"); err != nil {
+			return err
+		}
+	}
+	if lx.accept("copybase") {
+		if e.CopyBases, err = lx.identList("(", ")"); err != nil {
+			return err
+		}
+	}
+	s.Entities = append(s.Entities, e)
+	return nil
+}
+
+// parseSpecialization handles:
+//
+//	specialization NAME of PARENT prefix F attrs (A dom, ...)
+func parseSpecialization(lx *lexer, s *eer.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("of"); err != nil {
+		return err
+	}
+	parent, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	e := &eer.EntitySet{Name: name}
+	if e.Prefix, err = parsePrefix(lx); err != nil {
+		return err
+	}
+	if e.OwnAttrs, err = parseEERAttrs(lx); err != nil {
+		return err
+	}
+	s.Entities = append(s.Entities, e)
+	s.ISAs = append(s.ISAs, eer.ISA{Child: name, Parent: parent})
+	return nil
+}
+
+// parseWeak handles:
+//
+//	weak NAME of OWNER prefix W attrs (A dom, ...) discriminator (A, ...)
+func parseWeak(lx *lexer, s *eer.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("of"); err != nil {
+		return err
+	}
+	owner, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	e := &eer.EntitySet{Name: name, Weak: true, Owner: owner}
+	if e.Prefix, err = parsePrefix(lx); err != nil {
+		return err
+	}
+	if e.OwnAttrs, err = parseEERAttrs(lx); err != nil {
+		return err
+	}
+	if err := lx.expect("discriminator"); err != nil {
+		return err
+	}
+	if e.Discriminator, err = lx.identList("(", ")"); err != nil {
+		return err
+	}
+	s.Entities = append(s.Entities, e)
+	return nil
+}
+
+// parseRelationship handles:
+//
+//	relationship NAME prefix R parts (OBJ many, OBJ one, ...) attrs (A dom?, ...)
+func parseRelationship(lx *lexer, s *eer.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	r := &eer.RelationshipSet{Name: name}
+	if r.Prefix, err = parsePrefix(lx); err != nil {
+		return err
+	}
+	if err := lx.expect("parts"); err != nil {
+		return err
+	}
+	if err := lx.expect("("); err != nil {
+		return err
+	}
+	for {
+		obj, err := lx.ident()
+		if err != nil {
+			return err
+		}
+		card, err := lx.ident()
+		if err != nil {
+			return err
+		}
+		p := eer.Participant{Object: obj}
+		switch card {
+		case "many", "M", "m":
+			p.Card = eer.Many
+		case "one", "1":
+			p.Card = eer.One
+		default:
+			return fmt.Errorf("sdl: bad cardinality %q (want many or one)", card)
+		}
+		r.Parts = append(r.Parts, p)
+		if lx.accept(")") {
+			break
+		}
+		if err := lx.expect(","); err != nil {
+			return err
+		}
+	}
+	if r.OwnAttrs, err = parseEERAttrs(lx); err != nil {
+		return err
+	}
+	s.Relationships = append(s.Relationships, r)
+	return nil
+}

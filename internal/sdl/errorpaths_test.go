@@ -1,0 +1,112 @@
+package sdl
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// Exhaustive malformed-input table covering the parser error branches: every
+// statement kind truncated at each clause boundary must fail cleanly (no
+// panic, non-nil error).
+func TestParserErrorBranches(t *testing.T) {
+	schemaCases := []string{
+		"relation",
+		"relation R",
+		"relation R (",
+		"relation R (A",
+		"relation R (A d",
+		"relation R (A d,",
+		"relation R (A d)",
+		"relation R (A d) key",
+		"relation R (A d) key (",
+		"relation R (A d) key (A",
+		"candidate",
+		"candidate R",
+		"ind",
+		"ind L",
+		"ind L[",
+		"ind L[A",
+		"ind L[A]",
+		"ind L[A] <=",
+		"ind L[A] <= R",
+		"ind L[A] <= R[",
+		"nna",
+		"nna R",
+		"nullexist",
+		"nullexist R",
+		"nullexist R (A)",
+		"nullexist R (A) <=",
+		"nullsync",
+		"nullsync R",
+		"partnull",
+		"partnull R {",
+		"partnull R {A",
+		"totaleq",
+		"totaleq R",
+		"totaleq R (A)",
+		"totaleq R (A) =",
+	}
+	for _, c := range schemaCases {
+		if _, err := ParseSchema(c); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", c)
+		}
+	}
+
+	eerCases := []string{
+		"entity",
+		"entity E prefix",
+		"entity E attrs",
+		"entity E attrs (",
+		"entity E attrs (A",
+		"entity E attrs (A d,",
+		"entity E id",
+		"entity E id (",
+		"entity E attrs (A d) id (A) copybase",
+		"specialization",
+		"specialization S",
+		"specialization S of",
+		"weak",
+		"weak W",
+		"weak W of",
+		"weak W of B discriminator",
+		"weak W of B attrs (A d) discriminator (",
+		"relationship",
+		"relationship R",
+		"relationship R parts",
+		"relationship R parts (",
+		"relationship R parts (X",
+		"relationship R parts (X many",
+		"relationship R parts (X many, Y",
+		"relationship R prefix R parts (X many, Y one) attrs (",
+	}
+	for _, c := range eerCases {
+		if _, err := ParseEER(c); err == nil {
+			t.Errorf("ParseEER(%q) should fail", c)
+		}
+	}
+
+	dataCases := []string{
+		"insert",
+		"insert OFFER",
+		"insert OFFER (",
+		"insert OFFER (a",
+	}
+	for _, c := range dataCases {
+		if _, err := ParseState(figuresFig2(), c); err == nil {
+			t.Errorf("ParseState(%q) should fail", c)
+		}
+	}
+}
+
+// figuresFig2 builds a tiny schema for the data-statement cases.
+func figuresFig2() *schema.Schema {
+	s, err := ParseSchema(`
+relation OFFER (O.CN course_nr, O.DN dept_name) key (O.CN)
+nna OFFER (O.CN, O.DN)
+`)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package sdl
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+)
+
+// Native fuzz targets: the parsers must never panic, and anything they
+// accept must survive a print/parse round trip.
+
+func FuzzParseSchema(f *testing.F) {
+	f.Add("relation R (A d) key (A)\nnna R (A)")
+	f.Add(PrintSchema(figures.Fig3()))
+	f.Add("ind A[X] <= B[Y]")
+	f.Add("totaleq R (A) = (B)\npartnull R {A} {B}")
+	f.Add("# comment only")
+	f.Add("relation R (A d, B e) key (A)\nnullexist R (B) <= (A)")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSchema(input)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip.
+		text := PrintSchema(s)
+		back, err := ParseSchema(text)
+		if err != nil {
+			t.Fatalf("printed schema does not re-parse: %v\n%s", err, text)
+		}
+		if !back.SameConstraints(s) {
+			t.Fatalf("round trip changed constraints:\n%s\nvs\n%s", s, back)
+		}
+	})
+}
+
+func FuzzParseEER(f *testing.F) {
+	f.Add("entity E prefix E attrs (E.ID d) id (E.ID)")
+	f.Add(`entity P prefix P attrs (P.ID d) id (P.ID) copybase (ID)
+specialization S of P prefix S
+relationship R prefix R parts (S many, P one)`)
+	f.Add("weak W of B prefix W attrs (W.D d) discriminator (W.D)")
+	f.Fuzz(func(t *testing.T, input string) {
+		es, err := ParseEER(input)
+		if err != nil {
+			return
+		}
+		text := PrintEER(es)
+		if _, err := ParseEER(text); err != nil {
+			t.Fatalf("printed EER schema does not re-parse: %v\n%s", err, text)
+		}
+	})
+}
+
+func FuzzParseState(f *testing.F) {
+	f.Add("insert OFFER (c1, math)")
+	f.Add("insert TEACH (c1, null)")
+	f.Fuzz(func(t *testing.T, input string) {
+		s := figures.Fig2(true)
+		db, err := ParseState(s, input)
+		if err != nil {
+			return
+		}
+		text := PrintState(s, db)
+		back, err := ParseState(s, text)
+		if err != nil {
+			t.Fatalf("printed state does not re-parse: %v\n%s", err, text)
+		}
+		if !back.Equal(db) {
+			t.Fatal("state round trip changed contents")
+		}
+	})
+}

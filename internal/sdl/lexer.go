@@ -1,0 +1,160 @@
+// Package sdl implements a small schema-definition language for the
+// relational schemas (R, F ∪ I ∪ N) and EER schemas of the reproduction —
+// the textual input format of the cmd/relmerge and cmd/sdt tools, written in
+// a notation close to the paper's:
+//
+//	relation OFFER (O.C.NR course_nr, O.D.NAME dept_name) key (O.C.NR)
+//	candidate OFFER (O.D.NAME)
+//	ind TEACH[T.C.NR] <= OFFER[O.C.NR]
+//	nna OFFER (O.C.NR, O.D.NAME)
+//	nullexist COURSE' (T.C.NR, T.F.SSN) <= (O.C.NR, O.D.NAME)
+//	nullsync COURSE' (O.C.NR, O.D.NAME)
+//	partnull ASSIGN {O.CN, O.DN} {T.CN, T.FN}
+//	totaleq COURSE' (C.NR) = (O.C.NR)
+//
+// and for EER schemas:
+//
+//	entity PERSON prefix P attrs (P.SSN ssn) id (P.SSN) copybase (SSN)
+//	specialization FACULTY of PERSON prefix F
+//	weak ROOM of BUILDING prefix R attrs (R.NR roomnr) discriminator (R.NR)
+//	relationship OFFER prefix O parts (COURSE many, DEPARTMENT one)
+//
+// Lines starting with '#' are comments. Attribute names may contain dots and
+// primes, matching the paper's qualified names. In EER attribute lists a
+// trailing '?' on a domain marks the attribute nullable and a trailing '*'
+// marks it multi-valued.
+package sdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokPunct // one of ( ) [ ] { } , = ? or the two-char <=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes the whole input up front; comments and blank lines are
+// skipped.
+type lexer struct {
+	toks []token
+	pos  int
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '.' || r == '_' || r == '\'' || r == '-' || r == '+'
+}
+
+func lex(input string) (*lexer, error) {
+	var toks []token
+	for lineNo, line := range strings.Split(input, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		col := 0
+		runes := []rune(line)
+		for col < len(runes) {
+			r := runes[col]
+			switch {
+			case unicode.IsSpace(r):
+				col++
+			case isIdentRune(r):
+				start := col
+				for col < len(runes) && isIdentRune(runes[col]) {
+					col++
+				}
+				toks = append(toks, token{tokIdent, string(runes[start:col]), lineNo + 1, start + 1})
+			case r == '<' && col+1 < len(runes) && runes[col+1] == '=':
+				toks = append(toks, token{tokPunct, "<=", lineNo + 1, col + 1})
+				col += 2
+			case strings.ContainsRune("()[]{},=?*", r):
+				toks = append(toks, token{tokPunct, string(r), lineNo + 1, col + 1})
+				col++
+			default:
+				return nil, fmt.Errorf("sdl: line %d col %d: unexpected character %q", lineNo+1, col+1, r)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return &lexer{toks: toks}, nil
+}
+
+func (lx *lexer) peek() token { return lx.toks[lx.pos] }
+
+func (lx *lexer) next() token {
+	t := lx.toks[lx.pos]
+	if t.kind != tokEOF {
+		lx.pos++
+	}
+	return t
+}
+
+// accept consumes the next token if it matches the punctuation or keyword.
+func (lx *lexer) accept(text string) bool {
+	if lx.peek().kind != tokEOF && lx.peek().text == text {
+		lx.next()
+		return true
+	}
+	return false
+}
+
+func (lx *lexer) expect(text string) error {
+	t := lx.next()
+	if t.text != text || t.kind == tokEOF {
+		return fmt.Errorf("sdl: line %d: expected %q, found %s", t.line, text, t)
+	}
+	return nil
+}
+
+func (lx *lexer) ident() (string, error) {
+	t := lx.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sdl: line %d: expected identifier, found %s", t.line, t)
+	}
+	return t.text, nil
+}
+
+// identList parses ( A, B, ... ) with the given delimiters; the list may be
+// empty.
+func (lx *lexer) identList(open, close string) ([]string, error) {
+	if err := lx.expect(open); err != nil {
+		return nil, err
+	}
+	var out []string
+	if lx.accept(close) {
+		return out, nil
+	}
+	for {
+		id, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if lx.accept(close) {
+			return out, nil
+		}
+		if err := lx.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}

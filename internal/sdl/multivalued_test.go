@@ -1,0 +1,54 @@
+package sdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/translate"
+)
+
+func TestParseEERMultiValued(t *testing.T) {
+	es, err := ParseEER(`
+entity PERSON prefix P attrs (P.SSN ssn, P.PHONE phone*) id (P.SSN) copybase (SSN)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := es.Entity("PERSON")
+	if !p.OwnAttrs[1].MultiValued {
+		t.Fatal("multi-valued marker lost")
+	}
+	rs, err := translate.MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Scheme("P.PHONE") == nil {
+		t.Error("multi-valued relation missing from translation")
+	}
+
+	// Round trip preserves the marker.
+	text := PrintEER(es)
+	if !strings.Contains(text, "P.PHONE phone*") {
+		t.Errorf("printer lost the marker: %q", text)
+	}
+	back, err := ParseEER(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Entity("PERSON").OwnAttrs[1].MultiValued {
+		t.Error("round trip lost the marker")
+	}
+}
+
+func TestParseEERNullableMultiValuedCombined(t *testing.T) {
+	es, err := ParseEER(`
+entity E prefix E attrs (E.ID d, E.X x?*) id (E.ID)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := es.Entity("E").OwnAttrs[1]
+	if !a.Nullable || !a.MultiValued {
+		t.Errorf("markers = %+v", a)
+	}
+}

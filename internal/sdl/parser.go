@@ -1,0 +1,221 @@
+package sdl
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// ParseSchema parses a relational schema from the DSL. The result is
+// validated before being returned.
+func ParseSchema(input string) (*schema.Schema, error) {
+	lx, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	s := schema.New()
+	for lx.peek().kind != tokEOF {
+		kw, err := lx.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "relation":
+			if err := parseRelation(lx, s); err != nil {
+				return nil, err
+			}
+		case "candidate":
+			if err := parseCandidate(lx, s); err != nil {
+				return nil, err
+			}
+		case "ind":
+			if err := parseIND(lx, s); err != nil {
+				return nil, err
+			}
+		case "nna":
+			name, err := lx.ident()
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := lx.identList("(", ")")
+			if err != nil {
+				return nil, err
+			}
+			s.Nulls = append(s.Nulls, schema.NNA(name, attrs...))
+		case "nullexist":
+			if err := parseNullExist(lx, s); err != nil {
+				return nil, err
+			}
+		case "nullsync":
+			name, err := lx.ident()
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := lx.identList("(", ")")
+			if err != nil {
+				return nil, err
+			}
+			s.Nulls = append(s.Nulls, schema.NewNullSync(name, attrs...))
+		case "partnull":
+			if err := parsePartNull(lx, s); err != nil {
+				return nil, err
+			}
+		case "totaleq":
+			if err := parseTotalEq(lx, s); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sdl: unknown statement %q (want relation, candidate, ind, nna, nullexist, nullsync, partnull, or totaleq)", kw)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sdl: %w", err)
+	}
+	return s, nil
+}
+
+// parseRelation handles:
+//
+//	relation NAME (A dom, B dom, ...) key (A, ...)
+func parseRelation(lx *lexer, s *schema.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("("); err != nil {
+		return err
+	}
+	var attrs []schema.Attribute
+	for {
+		an, err := lx.ident()
+		if err != nil {
+			return err
+		}
+		dom, err := lx.ident()
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, schema.Attribute{Name: an, Domain: dom})
+		if lx.accept(")") {
+			break
+		}
+		if err := lx.expect(","); err != nil {
+			return err
+		}
+	}
+	if err := lx.expect("key"); err != nil {
+		return err
+	}
+	key, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	s.AddScheme(schema.NewScheme(name, attrs, key))
+	return nil
+}
+
+// parseCandidate handles: candidate NAME (A, ...)
+func parseCandidate(lx *lexer, s *schema.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	attrs, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	rs := s.Scheme(name)
+	if rs == nil {
+		return fmt.Errorf("sdl: candidate key for unknown relation %s", name)
+	}
+	rs.CandidateKeys = append(rs.CandidateKeys, attrs)
+	return nil
+}
+
+// parseIND handles: ind LEFT[A, ...] <= RIGHT[B, ...]
+func parseIND(lx *lexer, s *schema.Schema) error {
+	left, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	leftAttrs, err := lx.identList("[", "]")
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("<="); err != nil {
+		return err
+	}
+	right, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	rightAttrs, err := lx.identList("[", "]")
+	if err != nil {
+		return err
+	}
+	s.INDs = append(s.INDs, schema.NewIND(left, leftAttrs, right, rightAttrs))
+	return nil
+}
+
+// parseNullExist handles: nullexist NAME (Y...) <= (Z...)
+func parseNullExist(lx *lexer, s *schema.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	y, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("<="); err != nil {
+		return err
+	}
+	z, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	s.Nulls = append(s.Nulls, schema.NewNullExistence(name, y, z))
+	return nil
+}
+
+// parsePartNull handles: partnull NAME {A, ...} {B, ...} ...
+func parsePartNull(lx *lexer, s *schema.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	var sets [][]string
+	for lx.peek().text == "{" {
+		set, err := lx.identList("{", "}")
+		if err != nil {
+			return err
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("sdl: partnull %s needs at least one attribute set", name)
+	}
+	s.Nulls = append(s.Nulls, schema.NewPartNull(name, sets...))
+	return nil
+}
+
+// parseTotalEq handles: totaleq NAME (Y...) = (Z...)
+func parseTotalEq(lx *lexer, s *schema.Schema) error {
+	name, err := lx.ident()
+	if err != nil {
+		return err
+	}
+	y, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	if err := lx.expect("="); err != nil {
+		return err
+	}
+	z, err := lx.identList("(", ")")
+	if err != nil {
+		return err
+	}
+	s.Nulls = append(s.Nulls, schema.NewTotalEquality(name, y, z))
+	return nil
+}

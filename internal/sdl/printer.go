@@ -1,0 +1,114 @@
+package sdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eer"
+	"repro/internal/schema"
+)
+
+// PrintSchema renders a relational schema in the DSL, so that
+// ParseSchema(PrintSchema(s)) reproduces s (statement order: relations and
+// candidate keys, inclusion dependencies, null constraints).
+func PrintSchema(s *schema.Schema) string {
+	var b strings.Builder
+	for _, rs := range s.Relations {
+		var cols []string
+		for _, a := range rs.Attrs {
+			cols = append(cols, a.Name+" "+a.Domain)
+		}
+		fmt.Fprintf(&b, "relation %s (%s) key (%s)\n",
+			rs.Name, strings.Join(cols, ", "), strings.Join(rs.PrimaryKey, ", "))
+		for _, ck := range rs.CandidateKeys {
+			fmt.Fprintf(&b, "candidate %s (%s)\n", rs.Name, strings.Join(ck, ", "))
+		}
+	}
+	for _, ind := range s.INDs {
+		fmt.Fprintf(&b, "ind %s[%s] <= %s[%s]\n",
+			ind.Left, strings.Join(ind.LeftAttrs, ", "),
+			ind.Right, strings.Join(ind.RightAttrs, ", "))
+	}
+	for _, nc := range s.Nulls {
+		switch c := nc.(type) {
+		case schema.NullExistence:
+			if c.IsNNA() {
+				fmt.Fprintf(&b, "nna %s (%s)\n", c.Scheme, strings.Join(c.Z, ", "))
+			} else {
+				fmt.Fprintf(&b, "nullexist %s (%s) <= (%s)\n",
+					c.Scheme, strings.Join(c.Y, ", "), strings.Join(c.Z, ", "))
+			}
+		case schema.NullSync:
+			fmt.Fprintf(&b, "nullsync %s (%s)\n", c.Scheme, strings.Join(c.Y, ", "))
+		case schema.PartNull:
+			var sets []string
+			for _, set := range c.Sets {
+				sets = append(sets, "{"+strings.Join(set, ", ")+"}")
+			}
+			fmt.Fprintf(&b, "partnull %s %s\n", c.Scheme, strings.Join(sets, " "))
+		case schema.TotalEquality:
+			fmt.Fprintf(&b, "totaleq %s (%s) = (%s)\n",
+				c.Scheme, strings.Join(c.Y, ", "), strings.Join(c.Z, ", "))
+		}
+	}
+	return b.String()
+}
+
+// PrintEER renders an EER schema in the DSL, so that ParseEER(PrintEER(s))
+// reproduces s.
+func PrintEER(s *eer.Schema) string {
+	var b strings.Builder
+	parentOf := make(map[string]string)
+	for _, isa := range s.ISAs {
+		if _, ok := parentOf[isa.Child]; !ok {
+			parentOf[isa.Child] = isa.Parent
+		}
+	}
+	attrsClause := func(attrs []eer.Attr) string {
+		if len(attrs) == 0 {
+			return ""
+		}
+		var cols []string
+		for _, a := range attrs {
+			col := a.Name + " " + a.Domain
+			if a.Nullable {
+				col += "?"
+			}
+			if a.MultiValued {
+				col += "*"
+			}
+			cols = append(cols, col)
+		}
+		return " attrs (" + strings.Join(cols, ", ") + ")"
+	}
+	for _, e := range s.Entities {
+		switch {
+		case e.Weak:
+			fmt.Fprintf(&b, "weak %s of %s prefix %s%s discriminator (%s)\n",
+				e.Name, e.Owner, e.Prefix, attrsClause(e.OwnAttrs), strings.Join(e.Discriminator, ", "))
+		case parentOf[e.Name] != "":
+			fmt.Fprintf(&b, "specialization %s of %s prefix %s%s\n",
+				e.Name, parentOf[e.Name], e.Prefix, attrsClause(e.OwnAttrs))
+		default:
+			fmt.Fprintf(&b, "entity %s prefix %s%s id (%s)",
+				e.Name, e.Prefix, attrsClause(e.OwnAttrs), strings.Join(e.ID, ", "))
+			if len(e.CopyBases) > 0 {
+				fmt.Fprintf(&b, " copybase (%s)", strings.Join(e.CopyBases, ", "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, r := range s.Relationships {
+		var parts []string
+		for _, p := range r.Parts {
+			card := "one"
+			if p.Card == eer.Many {
+				card = "many"
+			}
+			parts = append(parts, p.Object+" "+card)
+		}
+		fmt.Fprintf(&b, "relationship %s prefix %s parts (%s)%s\n",
+			r.Name, r.Prefix, strings.Join(parts, ", "), attrsClause(r.OwnAttrs))
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package sdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eer"
+	"repro/internal/figures"
+	"repro/internal/schema"
+	"repro/internal/translate"
+)
+
+const fig2DSL = `
+# Figure 2 of the paper, with the linking dependency.
+relation OFFER (O.CN course_nr, O.DN dept_name) key (O.CN)
+relation TEACH (T.CN course_nr, T.FN ssn) key (T.CN)
+ind TEACH[T.CN] <= OFFER[O.CN]
+nna OFFER (O.CN, O.DN)
+nna TEACH (T.CN, T.FN)
+`
+
+func TestParseSchemaFig2(t *testing.T) {
+	s, err := ParseSchema(fig2DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figures.Fig2(true)
+	if !s.SameConstraints(want) {
+		t.Errorf("parsed constraints differ:\n%s\nvs\n%s", s, want)
+	}
+	offer := s.Scheme("OFFER")
+	if offer == nil || offer.Domain("O.DN") != "dept_name" {
+		t.Error("OFFER attributes")
+	}
+	if !schema.EqualAttrLists(offer.PrimaryKey, []string{"O.CN"}) {
+		t.Error("OFFER key")
+	}
+}
+
+func TestParseSchemaAllConstraintKinds(t *testing.T) {
+	s, err := ParseSchema(`
+relation R (A d, B d, C d, D d) key (A)
+candidate R (B)
+nna R (A)
+nullexist R (C) <= (B)
+nullsync R (B, C)
+partnull R {B} {C, D}
+totaleq R (B) = (C)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nulls) != 5 {
+		t.Fatalf("parsed %d null constraints, want 5", len(s.Nulls))
+	}
+	kinds := map[string]bool{}
+	for _, nc := range s.Nulls {
+		switch nc.(type) {
+		case schema.NullExistence:
+			kinds["ne"] = true
+		case schema.NullSync:
+			kinds["ns"] = true
+		case schema.PartNull:
+			kinds["pn"] = true
+		case schema.TotalEquality:
+			kinds["te"] = true
+		}
+	}
+	if len(kinds) != 4 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if len(s.Scheme("R").CandidateKeys) != 1 {
+		t.Error("candidate key lost")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	for name, s := range map[string]*schema.Schema{
+		"fig2": figures.Fig2(true),
+		"fig3": figures.Fig3(),
+		"fig1": figures.Fig1RS(),
+	} {
+		text := PrintSchema(s)
+		back, err := ParseSchema(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, text)
+		}
+		if !back.SameConstraints(s) {
+			t.Errorf("%s: constraints not preserved", name)
+		}
+		if !schema.EqualAttrLists(back.SchemeNames(), s.SchemeNames()) {
+			t.Errorf("%s: scheme order not preserved", name)
+		}
+		// Idempotent rendering.
+		if PrintSchema(back) != text {
+			t.Errorf("%s: printer not idempotent", name)
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []string{
+		"relation",             // truncated
+		"relation R",           // missing attrs
+		"relation R (A d) key", // missing key list
+		"frobnicate X",         // unknown statement
+		"relation R (A d) key (A)\nind R[A] <= MISSING[B]", // validation
+		"candidate X (A)", // unknown relation
+		"partnull R",      // no sets
+		"relation R (A d) key (A)\nnullexist R (A) (B)", // missing <=
+		"relation R (A d) key (A)\ntotaleq R (A) (B)",   // missing =
+		"relation R (A d, key (A)",                      // bad attr list
+		"relation R (A d) key (A) @",                    // bad rune
+	}
+	for _, c := range cases {
+		if _, err := ParseSchema(c); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", c)
+		}
+	}
+}
+
+const fig7DSL = `
+entity PERSON prefix P attrs (P.SSN ssn) id (P.SSN) copybase (SSN)
+specialization FACULTY of PERSON prefix F
+specialization STUDENT of PERSON prefix S
+entity COURSE prefix C attrs (C.NR course_nr) id (C.NR)
+entity DEPARTMENT prefix D attrs (D.NAME dept_name) id (D.NAME)
+relationship OFFER prefix O parts (COURSE many, DEPARTMENT one)
+relationship TEACH prefix T parts (OFFER many, FACULTY one)
+relationship ASSIST prefix A parts (OFFER many, STUDENT one)
+`
+
+func TestParseEERFig7(t *testing.T) {
+	es, err := ParseEER(fig7DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Its translation must be figure 3, which proves the parse is faithful.
+	rs, err := translate.MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.SameConstraints(figures.Fig3()) {
+		t.Errorf("translated constraints differ from figure 3:\n%s", rs)
+	}
+}
+
+func TestParseEERNullableAndWeak(t *testing.T) {
+	es, err := ParseEER(`
+entity B prefix B attrs (B.N bname) id (B.N) copybase (N)
+weak ROOM of B prefix R attrs (R.NR roomnr, R.NOTE text?) discriminator (R.NR)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := es.Entity("ROOM")
+	if room == nil || !room.Weak || room.Owner != "B" {
+		t.Fatal("weak entity not parsed")
+	}
+	if !room.OwnAttrs[1].Nullable {
+		t.Error("nullable marker lost")
+	}
+}
+
+func TestEERRoundTrip(t *testing.T) {
+	for name, es := range map[string]*eer.Schema{
+		"fig1":    eer.Fig1(),
+		"fig7":    eer.Fig7(),
+		"fig8iii": eer.Fig8iii(),
+		"fig8iv":  eer.Fig8iv(),
+	} {
+		text := PrintEER(es)
+		back, err := ParseEER(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, text)
+		}
+		// Compare through the relational translation (a faithful functional
+		// equality on everything the DSL represents).
+		a, err := translate.MS(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := translate.MS(back)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !a.SameConstraints(b) || !schema.EqualAttrLists(a.SchemeNames(), b.SchemeNames()) {
+			t.Errorf("%s: EER round trip not faithful", name)
+		}
+		if PrintEER(back) != text {
+			t.Errorf("%s: printer not idempotent", name)
+		}
+	}
+}
+
+func TestParseEERErrors(t *testing.T) {
+	cases := []string{
+		"entity",                           // truncated
+		"banana X",                         // unknown statement
+		"specialization F PERSON",          // missing 'of'
+		"weak W of B prefix W attrs (A d)", // missing discriminator
+		"relationship R prefix R parts (A sideways)", // bad cardinality
+		"relationship R parts (X many, Y one)",       // unknown participants (validation)
+		"entity E prefix E attrs (A d) id (B)",       // id not own attr (validation)
+	}
+	for _, c := range cases {
+		if _, err := ParseEER(c); err == nil {
+			t.Errorf("ParseEER(%q) should fail", c)
+		}
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	// Primes and dots are identifier characters (COURSE' and O.C.NR).
+	s, err := ParseSchema(`
+relation COURSE' (C.NR course_nr, O.C.NR course_nr) key (C.NR)
+totaleq COURSE' (C.NR) = (O.C.NR)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheme("COURSE'") == nil {
+		t.Error("primed name should parse")
+	}
+	// Comments strip to end of line.
+	if _, err := ParseSchema("# only a comment\n"); err != nil {
+		t.Error(err)
+	}
+	// Unexpected character reports position.
+	_, err = ParseSchema("relation R (A d) key (A) %")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("err = %v", err)
+	}
+}

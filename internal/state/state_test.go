@@ -1,0 +1,181 @@
+package state
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+func TestNewEmptyStateIsConsistent(t *testing.T) {
+	s := figures.Fig3()
+	db := New(s)
+	if err := Consistent(s, db); err != nil {
+		t.Fatalf("empty state should be consistent: %v", err)
+	}
+	if db.TotalTuples() != 0 {
+		t.Error("empty state has tuples")
+	}
+}
+
+func TestConsistencyViolations(t *testing.T) {
+	s := figures.Fig3()
+
+	// Dangling foreign key: OFFER references a missing COURSE.
+	db := New(s)
+	db.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("math")})
+	err := Consistent(s, db)
+	if err == nil || !strings.Contains(err.Error(), "IND") {
+		t.Errorf("want IND violation, got %v", err)
+	}
+
+	// NNA violation.
+	db2 := New(s)
+	db2.Relation("COURSE").Add(relation.Tuple{relation.Null()})
+	err = Consistent(s, db2)
+	if err == nil || !strings.Contains(err.Error(), "null constraint") {
+		t.Errorf("want null-constraint violation, got %v", err)
+	}
+
+	// FD (key) violation: needs two tuples agreeing on key, differing off it.
+	db3 := New(s)
+	db3.Relation("COURSE").Add(relation.Tuple{relation.NewString("c1")})
+	db3.Relation("DEPARTMENT").Add(relation.Tuple{relation.NewString("math")})
+	db3.Relation("DEPARTMENT").Add(relation.Tuple{relation.NewString("cs")})
+	db3.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("math")})
+	db3.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("cs")})
+	err = Consistent(s, db3)
+	if err == nil || !strings.Contains(err.Error(), "FD") {
+		t.Errorf("want FD violation, got %v", err)
+	}
+
+	// Missing relation.
+	db4 := New(s)
+	delete(db4.Relations, "COURSE")
+	if Consistent(s, db4) == nil {
+		t.Error("missing relation should be inconsistent")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := figures.Fig3()
+	rng := rand.New(rand.NewSource(3))
+	db := MustGenerate(s, rng, GenOptions{Rows: 5})
+	c := db.Clone()
+	if !db.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Relation("COURSE").Add(relation.Tuple{relation.NewString("extra")})
+	if db.Equal(c) {
+		t.Error("mutated clone should differ")
+	}
+	if db.Equal(&DB{Relations: map[string]*relation.Relation{}}) {
+		t.Error("different scheme coverage should differ")
+	}
+}
+
+func TestGenerateConsistentFig3(t *testing.T) {
+	s := figures.Fig3()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db, err := Generate(s, rng, GenOptions{Rows: 8})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Consistent(s, db); err != nil {
+			t.Fatalf("seed %d: inconsistent: %v", seed, err)
+		}
+		if db.TotalTuples() == 0 {
+			t.Fatalf("seed %d: generator produced no data", seed)
+		}
+	}
+}
+
+func TestGenerateConsistentFig1(t *testing.T) {
+	s := figures.Fig1RS()
+	rng := rand.New(rand.NewSource(7))
+	db := MustGenerate(s, rng, GenOptions{Rows: 10})
+	if err := Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+	// MANAGES keys must be a subset of EMPLOYEE keys.
+	m := db.Relation("MANAGES").Project([]string{"M.SSN"})
+	e := db.Relation("EMPLOYEE").Project([]string{"E.SSN"}).Rename([]string{"E.SSN"}, []string{"M.SSN"})
+	if m.Difference(e).Len() != 0 {
+		t.Error("generated MANAGES keys escape EMPLOYEE")
+	}
+}
+
+func TestGenerateWithNullableAttrs(t *testing.T) {
+	// A scheme with a nullable non-key attribute actually gets nulls.
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R",
+		[]schema.Attribute{{Name: "A", Domain: "d"}, {Name: "B", Domain: "e"}},
+		[]string{"A"}))
+	s.Nulls = []schema.NullConstraint{schema.NNA("R", "A")}
+	rng := rand.New(rand.NewSource(1))
+	db := MustGenerate(s, rng, GenOptions{Rows: 40, NullProb: 0.5})
+	nulls := 0
+	r := db.Relation("R")
+	for _, tup := range r.Tuples() {
+		if tup[r.Position("B")].IsNull() {
+			nulls++
+		}
+	}
+	if nulls == 0 {
+		t.Error("expected some null B values")
+	}
+	if err := Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRespectsGeneralNullConstraints(t *testing.T) {
+	// Rejection sampling keeps general null-existence constraints satisfied.
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R",
+		[]schema.Attribute{
+			{Name: "A", Domain: "d"},
+			{Name: "B", Domain: "e"},
+			{Name: "C", Domain: "f"},
+		}, []string{"A"}))
+	s.Nulls = []schema.NullConstraint{
+		schema.NNA("R", "A"),
+		schema.NewNullExistence("R", []string{"C"}, []string{"B"}),
+	}
+	rng := rand.New(rand.NewSource(2))
+	db := MustGenerate(s, rng, GenOptions{Rows: 30, NullProb: 0.5})
+	if err := Consistent(s, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCycleRejected(t *testing.T) {
+	s := schema.New()
+	s.AddScheme(schema.NewScheme("R", []schema.Attribute{{Name: "A", Domain: "d"}}, []string{"A"}))
+	s.AddScheme(schema.NewScheme("S", []schema.Attribute{{Name: "B", Domain: "d"}}, []string{"B"}))
+	s.INDs = []schema.IND{
+		schema.NewIND("R", []string{"A"}, "S", []string{"B"}),
+		schema.NewIND("S", []string{"B"}, "R", []string{"A"}),
+	}
+	if _, err := Generate(s, rand.New(rand.NewSource(1)), GenOptions{Rows: 5}); err == nil {
+		t.Error("cyclic IND graph should be rejected")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := figures.Fig3()
+	db := New(s)
+	db.Relation("COURSE").Add(relation.Tuple{relation.NewString("c1")})
+	out := db.String()
+	if !strings.Contains(out, "COURSE(C.NR)") || !strings.Contains(out, "⟨c1⟩") {
+		t.Errorf("String = %q", out)
+	}
+	// Determinism.
+	if out != db.String() {
+		t.Error("String must be deterministic")
+	}
+}

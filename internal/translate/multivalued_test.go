@@ -1,0 +1,107 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eer"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+func mvSchema() *eer.Schema {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{
+		{
+			Name: "PERSON", Prefix: "P",
+			OwnAttrs: []eer.Attr{
+				{Name: "P.SSN", Domain: "ssn"},
+				{Name: "P.PHONE", Domain: "phone", MultiValued: true},
+			},
+			ID:        []string{"P.SSN"},
+			CopyBases: []string{"SSN"},
+		},
+	}
+	return es
+}
+
+func TestMultiValuedAttributeTranslation(t *testing.T) {
+	rs, err := MS(mvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	person := rs.Scheme("PERSON")
+	if person.HasAttr("P.PHONE") {
+		t.Error("multi-valued attribute must leave the owner relation")
+	}
+	phone := rs.Scheme("P.PHONE")
+	if phone == nil {
+		t.Fatal("P.PHONE relation missing")
+	}
+	if !schema.EqualAttrLists(phone.AttrNames(), []string{"P.PHONE.SSN", "P.PHONE"}) {
+		t.Errorf("P.PHONE attrs = %v", phone.AttrNames())
+	}
+	if !schema.EqualAttrLists(phone.PrimaryKey, []string{"P.PHONE.SSN", "P.PHONE"}) {
+		t.Errorf("P.PHONE key = %v (owner copy + value)", phone.PrimaryKey)
+	}
+	found := false
+	for _, ind := range rs.INDsFrom("P.PHONE") {
+		if ind.Right == "PERSON" && schema.EqualAttrSets(ind.LeftAttrs, []string{"P.PHONE.SSN"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("P.PHONE must reference PERSON")
+	}
+	if rs.AllowsNull("P.PHONE", "P.PHONE") {
+		t.Error("multi-valued values are NNA")
+	}
+}
+
+func TestMultiValuedOnRelationship(t *testing.T) {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{
+		{Name: "E", Prefix: "E", OwnAttrs: []eer.Attr{{Name: "E.ID", Domain: "eid"}}, ID: []string{"E.ID"}},
+		{Name: "F", Prefix: "F", OwnAttrs: []eer.Attr{{Name: "F.ID", Domain: "fid"}}, ID: []string{"F.ID"}},
+	}
+	es.Relationships = []*eer.RelationshipSet{{
+		Name: "R", Prefix: "R",
+		Parts: []eer.Participant{
+			{Object: "E", Card: eer.Many},
+			{Object: "F", Card: eer.One},
+		},
+		OwnAttrs: []eer.Attr{{Name: "R.TAG", Domain: "tag", MultiValued: true}},
+	}}
+	rs, err := MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := rs.Scheme("R.TAG")
+	if tag == nil {
+		t.Fatal("R.TAG relation missing")
+	}
+	if !schema.EqualAttrLists(tag.AttrNames(), []string{"R.TAG.E.ID", "R.TAG"}) {
+		t.Errorf("R.TAG attrs = %v", tag.AttrNames())
+	}
+	// Generated states stay consistent (the generator handles the extra
+	// relation and its composite key).
+	db, err := state.Generate(rs, rand.New(rand.NewSource(3)), state.GenOptions{Rows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.Consistent(rs, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiValuedIdentifierRejected(t *testing.T) {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{{
+		Name: "E", Prefix: "E",
+		OwnAttrs: []eer.Attr{{Name: "E.ID", Domain: "d", MultiValued: true}},
+		ID:       []string{"E.ID"},
+	}}
+	if err := es.Validate(); err == nil {
+		t.Error("multi-valued identifier must be rejected")
+	}
+}

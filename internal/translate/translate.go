@@ -1,0 +1,324 @@
+// Package translate maps EER schemas to relational schemas of the form
+// (R, F ∪ I ∪ N).
+//
+// MS implements the Markowitz–Shoshani translation (reference [11] of the
+// paper): every object-set gets its own relation-scheme in BCNF, existence
+// dependencies become key-based inclusion dependencies, and null-value
+// restrictions become nulls-not-allowed constraints. Applied to the EER
+// schema of figure 7 it reproduces the relational schema of figure 3
+// exactly.
+//
+// Teorey implements the Teorey–Yang–Fry style baseline the paper's
+// introduction criticizes: binary many-to-one relationship-sets are folded
+// into the relation of their Many participant with nullable foreign keys and
+// nullable relationship attributes, and — the defect the paper demonstrates
+// with figure 1(iii) — no null constraints tying the relationship attributes
+// to the foreign key, so the result admits states inconsistent with the EER
+// semantics.
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/eer"
+	"repro/internal/schema"
+)
+
+// objectKey is the resolved relational identity of an object-set: its key
+// attribute names, their domains, and the per-attribute base names used when
+// another object-set copies this key.
+type objectKey struct {
+	attrs     []string
+	domains   []string
+	copyBases []string
+}
+
+type resolver struct {
+	es   *eer.Schema
+	memo map[string]*objectKey
+	open map[string]bool
+}
+
+func newResolver(es *eer.Schema) *resolver {
+	return &resolver{es: es, memo: make(map[string]*objectKey), open: make(map[string]bool)}
+}
+
+// resolve computes the relational key of an object-set, following ISA links,
+// weak-entity owners, and relationship Many participants.
+func (rv *resolver) resolve(name string) (*objectKey, error) {
+	if k, ok := rv.memo[name]; ok {
+		return k, nil
+	}
+	if rv.open[name] {
+		return nil, fmt.Errorf("translate: cyclic identifier dependency through %s", name)
+	}
+	rv.open[name] = true
+	defer delete(rv.open, name)
+
+	var k *objectKey
+	var err error
+	switch {
+	case rv.es.Entity(name) != nil:
+		k, err = rv.resolveEntity(rv.es.Entity(name))
+	case rv.es.Relationship(name) != nil:
+		k, err = rv.resolveRelationship(rv.es.Relationship(name))
+	default:
+		return nil, fmt.Errorf("translate: unknown object-set %s", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rv.memo[name] = k
+	return k, nil
+}
+
+func (rv *resolver) resolveEntity(e *eer.EntitySet) (*objectKey, error) {
+	switch {
+	case e.Weak:
+		ownerCopy, err := rv.copyOf(e.Prefix, e.Owner)
+		if err != nil {
+			return nil, err
+		}
+		k := &objectKey{
+			attrs:     append([]string(nil), ownerCopy.attrs...),
+			domains:   append([]string(nil), ownerCopy.domains...),
+			copyBases: append([]string(nil), ownerCopy.attrs...),
+		}
+		for _, d := range e.Discriminator {
+			a := attrByName(e.OwnAttrs, d)
+			if a == nil {
+				return nil, fmt.Errorf("translate: weak entity-set %s: discriminator %s missing", e.Name, d)
+			}
+			k.attrs = append(k.attrs, a.Name)
+			k.domains = append(k.domains, a.Domain)
+			k.copyBases = append(k.copyBases, a.Name)
+		}
+		return k, nil
+	case rv.es.IsSpecialization(e.Name):
+		// Inherit from the first parent (multiple generalization shares the
+		// same underlying identifier; the first parent supplies the copy).
+		parent := rv.es.Parents(e.Name)[0]
+		copyKey, err := rv.copyOf(e.Prefix, parent)
+		if err != nil {
+			return nil, err
+		}
+		copyKey.copyBases = append([]string(nil), copyKey.attrs...)
+		return copyKey, nil
+	default:
+		k := &objectKey{}
+		for _, id := range e.ID {
+			a := attrByName(e.OwnAttrs, id)
+			if a == nil {
+				return nil, fmt.Errorf("translate: entity-set %s: identifier %s missing", e.Name, id)
+			}
+			k.attrs = append(k.attrs, a.Name)
+			k.domains = append(k.domains, a.Domain)
+		}
+		if len(e.CopyBases) == len(e.ID) && len(e.CopyBases) > 0 {
+			k.copyBases = append([]string(nil), e.CopyBases...)
+		} else {
+			k.copyBases = append([]string(nil), k.attrs...)
+		}
+		return k, nil
+	}
+}
+
+func (rv *resolver) resolveRelationship(r *eer.RelationshipSet) (*objectKey, error) {
+	k := &objectKey{}
+	for _, p := range r.ManyParticipants() {
+		copyKey, err := rv.copyOf(r.Prefix, p.Object)
+		if err != nil {
+			return nil, err
+		}
+		k.attrs = append(k.attrs, copyKey.attrs...)
+		k.domains = append(k.domains, copyKey.domains...)
+		// The relationship's identifier keeps the Many participant's copy
+		// bases (e.g. TEACH copies OFFER's "C.NR" base as "T.C.NR" but
+		// re-exports base "C.NR"), matching the paper's naming.
+		k.copyBases = append(k.copyBases, copyKey.copyBases...)
+	}
+	return k, nil
+}
+
+// copyOf builds the foreign copy of an object-set's key under a prefix:
+// attribute names prefix+"."+base.
+func (rv *resolver) copyOf(prefix, object string) (*objectKey, error) {
+	target, err := rv.resolve(object)
+	if err != nil {
+		return nil, err
+	}
+	out := &objectKey{
+		domains:   append([]string(nil), target.domains...),
+		copyBases: append([]string(nil), target.copyBases...),
+	}
+	for _, base := range target.copyBases {
+		out.attrs = append(out.attrs, prefix+"."+base)
+	}
+	return out, nil
+}
+
+func attrByName(attrs []eer.Attr, name string) *eer.Attr {
+	for i := range attrs {
+		if attrs[i].Name == name {
+			return &attrs[i]
+		}
+	}
+	return nil
+}
+
+// MS translates the EER schema into a BCNF relational schema
+// (R, F ∪ I ∪ N): one relation-scheme per object-set, key-based inclusion
+// dependencies for all existence dependencies, and nulls-not-allowed
+// constraints for all non-nullable attributes.
+func MS(es *eer.Schema) (*schema.Schema, error) {
+	if err := es.Validate(); err != nil {
+		return nil, err
+	}
+	rv := newResolver(es)
+	out := schema.New()
+
+	addNNA := func(name string, attrs []schema.Attribute, nullable map[string]bool) {
+		var covered []string
+		for _, a := range attrs {
+			if !nullable[a.Name] {
+				covered = append(covered, a.Name)
+			}
+		}
+		if len(covered) > 0 {
+			out.Nulls = append(out.Nulls, schema.NNA(name, covered...))
+		}
+	}
+
+	for _, e := range es.Entities {
+		key, err := rv.resolve(e.Name)
+		if err != nil {
+			return nil, err
+		}
+		var attrs []schema.Attribute
+		nullable := make(map[string]bool)
+		// Inherited/owner key copies come first (absent for root entities,
+		// whose identifier lives in OwnAttrs).
+		own := make(map[string]bool, len(e.OwnAttrs))
+		for _, a := range e.OwnAttrs {
+			own[a.Name] = true
+		}
+		for i, ka := range key.attrs {
+			if !own[ka] {
+				attrs = append(attrs, schema.Attribute{Name: ka, Domain: key.domains[i]})
+			}
+		}
+		var multi []eer.Attr
+		for _, a := range e.OwnAttrs {
+			if a.MultiValued {
+				multi = append(multi, a)
+				continue
+			}
+			attrs = append(attrs, schema.Attribute{Name: a.Name, Domain: a.Domain})
+			if a.Nullable {
+				nullable[a.Name] = true
+			}
+		}
+		out.AddScheme(schema.NewScheme(e.Name, attrs, key.attrs))
+		addNNA(e.Name, attrs, nullable)
+		for _, a := range multi {
+			emitMultiValued(out, e.Name, key, a)
+		}
+
+		// Existence dependencies: specialization → parent, weak → owner.
+		switch {
+		case e.Weak:
+			ownerKey, err := rv.resolve(e.Owner)
+			if err != nil {
+				return nil, err
+			}
+			copyAttrs := key.attrs[:len(ownerKey.attrs)]
+			out.INDs = append(out.INDs, schema.NewIND(e.Name, copyAttrs, e.Owner, ownerKey.attrs))
+		case es.IsSpecialization(e.Name):
+			for _, parent := range es.Parents(e.Name) {
+				parentKey, err := rv.resolve(parent)
+				if err != nil {
+					return nil, err
+				}
+				out.INDs = append(out.INDs, schema.NewIND(e.Name, key.attrs, parent, parentKey.attrs))
+			}
+		}
+	}
+
+	for _, r := range es.Relationships {
+		key, err := rv.resolve(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		var attrs []schema.Attribute
+		nullable := make(map[string]bool)
+		for i, ka := range key.attrs {
+			attrs = append(attrs, schema.Attribute{Name: ka, Domain: key.domains[i]})
+		}
+		// One-side copies, then own attributes.
+		var inds []schema.IND
+		pos := 0
+		for _, p := range r.Parts {
+			pk, err := rv.resolve(p.Object)
+			if err != nil {
+				return nil, err
+			}
+			if p.Card == eer.Many {
+				copyAttrs := key.attrs[pos : pos+len(pk.attrs)]
+				pos += len(pk.attrs)
+				inds = append(inds, schema.NewIND(r.Name, copyAttrs, p.Object, pk.attrs))
+				continue
+			}
+			copyKey, err := rv.copyOf(r.Prefix, p.Object)
+			if err != nil {
+				return nil, err
+			}
+			for i, ca := range copyKey.attrs {
+				attrs = append(attrs, schema.Attribute{Name: ca, Domain: copyKey.domains[i]})
+			}
+			inds = append(inds, schema.NewIND(r.Name, copyKey.attrs, p.Object, pk.attrs))
+		}
+		var multi []eer.Attr
+		for _, a := range r.OwnAttrs {
+			if a.MultiValued {
+				multi = append(multi, a)
+				continue
+			}
+			attrs = append(attrs, schema.Attribute{Name: a.Name, Domain: a.Domain})
+			if a.Nullable {
+				nullable[a.Name] = true
+			}
+		}
+		out.AddScheme(schema.NewScheme(r.Name, attrs, key.attrs))
+		out.INDs = append(out.INDs, inds...)
+		addNNA(r.Name, attrs, nullable)
+		for _, a := range multi {
+			emitMultiValued(out, r.Name, key, a)
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: MS produced an invalid schema: %w", err)
+	}
+	return out, nil
+}
+
+// emitMultiValued translates a multi-valued attribute into its own
+// relation-scheme, named after the attribute: the owner's key copy (each
+// attribute prefixed by the multi-valued attribute's name) plus the value,
+// all forming the primary key, with a key-based inclusion dependency back to
+// the owner. E.g. a multi-valued P.PHONE on PERSON(P.SSN) becomes
+// P.PHONE(P.PHONE.SSN, P.PHONE) with P.PHONE[P.PHONE.SSN] ⊆ PERSON[P.SSN].
+func emitMultiValued(out *schema.Schema, owner string, ownerKey *objectKey, a eer.Attr) {
+	var attrs []schema.Attribute
+	var copyAttrs []string
+	for i, base := range ownerKey.copyBases {
+		name := a.Name + "." + base
+		attrs = append(attrs, schema.Attribute{Name: name, Domain: ownerKey.domains[i]})
+		copyAttrs = append(copyAttrs, name)
+	}
+	attrs = append(attrs, schema.Attribute{Name: a.Name, Domain: a.Domain})
+	key := append(append([]string(nil), copyAttrs...), a.Name)
+	out.AddScheme(schema.NewScheme(a.Name, attrs, key))
+	out.INDs = append(out.INDs, schema.NewIND(a.Name, copyAttrs, owner, ownerKey.attrs))
+	out.Nulls = append(out.Nulls, schema.NNA(a.Name, key...))
+}

@@ -1,0 +1,239 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/eer"
+	"repro/internal/figures"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/state"
+)
+
+// E7 — the Markowitz–Shoshani translation of figure 7 is exactly figure 3.
+func TestFig7TranslatesToFig3(t *testing.T) {
+	got, err := MS(eer.Fig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figures.Fig3()
+
+	if !schema.EqualAttrLists(got.SchemeNames(), want.SchemeNames()) {
+		t.Fatalf("scheme names = %v, want %v", got.SchemeNames(), want.SchemeNames())
+	}
+	for _, name := range want.SchemeNames() {
+		g, w := got.Scheme(name), want.Scheme(name)
+		if !schema.EqualAttrLists(schema.AttrNames(g.Attrs), schema.AttrNames(w.Attrs)) {
+			t.Errorf("%s attrs = %v, want %v", name, schema.AttrNames(g.Attrs), schema.AttrNames(w.Attrs))
+		}
+		if !schema.EqualAttrLists(g.PrimaryKey, w.PrimaryKey) {
+			t.Errorf("%s key = %v, want %v", name, g.PrimaryKey, w.PrimaryKey)
+		}
+		for i, a := range g.Attrs {
+			if a.Domain != w.Attrs[i].Domain {
+				t.Errorf("%s attr %s domain = %q, want %q", name, a.Name, a.Domain, w.Attrs[i].Domain)
+			}
+		}
+	}
+	if !got.SameConstraints(want) {
+		t.Errorf("constraints differ:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// E1 — the MS translation of figure 1(i) matches figure 1(ii)'s RS.
+func TestFig1TranslatesToRS(t *testing.T) {
+	got, err := MS(eer.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figures.Fig1RS()
+	if !got.SameConstraints(want) {
+		t.Errorf("constraints differ:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	for _, name := range []string{"PROJECT", "EMPLOYEE", "WORKS", "MANAGES"} {
+		g, w := got.Scheme(name), want.Scheme(name)
+		if g == nil {
+			t.Fatalf("missing scheme %s", name)
+		}
+		if !schema.EqualAttrSets(schema.AttrNames(g.Attrs), schema.AttrNames(w.Attrs)) {
+			t.Errorf("%s attrs = %v, want %v", name, schema.AttrNames(g.Attrs), schema.AttrNames(w.Attrs))
+		}
+		if !schema.EqualAttrSets(g.PrimaryKey, w.PrimaryKey) {
+			t.Errorf("%s key = %v, want %v", name, g.PrimaryKey, w.PrimaryKey)
+		}
+	}
+}
+
+// E1 — the Teorey baseline on figure 1(i): WORKS and MANAGES fold into
+// EMPLOYEE with nullable, unconstrained columns.
+func TestTeoreyFoldsFig1(t *testing.T) {
+	got, err := Teorey(eer.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := got.Scheme("EMPLOYEE")
+	if emp == nil {
+		t.Fatal("EMPLOYEE missing")
+	}
+	wantAttrs := []string{"E.SSN", "W.NR", "W.DATE", "M.NR"}
+	if !schema.EqualAttrSets(schema.AttrNames(emp.Attrs), wantAttrs) {
+		t.Errorf("EMPLOYEE attrs = %v, want %v", schema.AttrNames(emp.Attrs), wantAttrs)
+	}
+	if got.Scheme("WORKS") != nil || got.Scheme("MANAGES") != nil {
+		t.Error("folded relationships should not have their own relations")
+	}
+	// Only the key is NNA; the folded columns are nullable and unconstrained.
+	nna := got.NNAAttrs("EMPLOYEE")
+	if !nna["E.SSN"] || nna["W.NR"] || nna["W.DATE"] || nna["M.NR"] {
+		t.Errorf("EMPLOYEE NNA attrs = %v", nna)
+	}
+	if len(got.NullsOf("EMPLOYEE")) != 1 {
+		t.Errorf("Teorey should generate no null constraints beyond NNA, got %v", got.NullsOf("EMPLOYEE"))
+	}
+}
+
+// E1 — the paper's figure 1 anomaly, demonstrated mechanically: the Teorey
+// schema admits a state with a non-null assignment DATE for an employee
+// working on no project; the MS schema extended with the paper's
+// null-existence constraint rejects the corresponding tuple.
+func TestFig1AnomalyDemonstration(t *testing.T) {
+	teorey, err := Teorey(eer.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := state.New(teorey)
+	// Employee e1 with a DATE but no project: legal in RS'.
+	emp := db.Relation("EMPLOYEE")
+	emp.Add(relation.Tuple{
+		relation.NewString("e1"),
+		relation.Null(),               // W.NR
+		relation.NewString("1992-02"), // W.DATE — non-null with null W.NR!
+		relation.Null(),               // M.NR
+	})
+	if err := state.Consistent(teorey, db); err != nil {
+		t.Fatalf("the anomalous state should be CONSISTENT with the Teorey schema: %v", err)
+	}
+	// The paper's fix: W.DATE ⊑ W.NR. With it, the state is rejected.
+	teorey.Nulls = append(teorey.Nulls,
+		schema.NewNullExistence("EMPLOYEE", []string{"W.DATE"}, []string{"W.NR"}))
+	if err := state.Consistent(teorey, db); err == nil {
+		t.Fatal("the null-existence constraint should reject the anomalous state")
+	}
+}
+
+func TestMSNullableAttrs(t *testing.T) {
+	es := eer.Fig1()
+	// Make WORKS.DATE nullable at the EER level.
+	es.Relationship("WORKS").OwnAttrs[0].Nullable = true
+	got, err := MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AllowsNull("WORKS", "W.DATE") {
+		t.Error("nullable EER attribute should be excluded from NNA")
+	}
+	if got.AllowsNull("WORKS", "W.SSN") {
+		t.Error("key attributes stay NNA")
+	}
+}
+
+func TestMSWeakEntity(t *testing.T) {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{
+		{
+			Name: "BUILDING", Prefix: "B",
+			OwnAttrs:  []eer.Attr{{Name: "B.NAME", Domain: "bname"}},
+			ID:        []string{"B.NAME"},
+			CopyBases: []string{"NAME"},
+		},
+		{
+			Name: "ROOM", Prefix: "R",
+			OwnAttrs:      []eer.Attr{{Name: "R.NR", Domain: "roomnr"}},
+			Weak:          true,
+			Owner:         "BUILDING",
+			Discriminator: []string{"R.NR"},
+		},
+	}
+	got, err := MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := got.Scheme("ROOM")
+	if !schema.EqualAttrLists(room.PrimaryKey, []string{"R.NAME", "R.NR"}) {
+		t.Errorf("weak key = %v, want owner copy + discriminator", room.PrimaryKey)
+	}
+	found := false
+	for _, ind := range got.INDsFrom("ROOM") {
+		if ind.Right == "BUILDING" && schema.EqualAttrSets(ind.LeftAttrs, []string{"R.NAME"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weak entity should reference its owner")
+	}
+}
+
+func TestMSManyToMany(t *testing.T) {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{
+		{Name: "STUDENT", Prefix: "S", OwnAttrs: []eer.Attr{{Name: "S.ID", Domain: "sid"}}, ID: []string{"S.ID"}, CopyBases: []string{"ID"}},
+		{Name: "CLUB", Prefix: "C", OwnAttrs: []eer.Attr{{Name: "C.NAME", Domain: "cname"}}, ID: []string{"C.NAME"}, CopyBases: []string{"NAME"}},
+	}
+	es.Relationships = []*eer.RelationshipSet{
+		{
+			Name: "JOINS", Prefix: "J",
+			Parts: []eer.Participant{
+				{Object: "STUDENT", Card: eer.Many},
+				{Object: "CLUB", Card: eer.Many},
+			},
+		},
+	}
+	got, err := MS(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := got.Scheme("JOINS")
+	if !schema.EqualAttrSets(joins.PrimaryKey, []string{"J.ID", "J.NAME"}) {
+		t.Errorf("many-to-many key = %v", joins.PrimaryKey)
+	}
+	if len(got.INDsFrom("JOINS")) != 2 {
+		t.Errorf("JOINS INDs = %v", got.INDsFrom("JOINS"))
+	}
+	// Teorey cannot fold a many-to-many relationship: same shape.
+	got2, err := Teorey(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Scheme("JOINS") == nil {
+		t.Error("Teorey must keep the many-to-many relation")
+	}
+}
+
+func TestTranslateRejectsCyclicParticipation(t *testing.T) {
+	es := eer.New()
+	es.Entities = []*eer.EntitySet{
+		{Name: "E", Prefix: "E", OwnAttrs: []eer.Attr{{Name: "E.ID", Domain: "d"}}, ID: []string{"E.ID"}},
+	}
+	es.Relationships = []*eer.RelationshipSet{
+		{Name: "R1", Prefix: "R1", Parts: []eer.Participant{{Object: "R2", Card: eer.Many}, {Object: "E", Card: eer.One}}},
+		{Name: "R2", Prefix: "R2", Parts: []eer.Participant{{Object: "R1", Card: eer.Many}, {Object: "E", Card: eer.One}}},
+	}
+	if _, err := MS(es); err == nil {
+		t.Error("cyclic identifier dependency should be rejected")
+	}
+}
+
+func TestFig8TranslationsValidate(t *testing.T) {
+	for name, es := range map[string]*eer.Schema{
+		"8i": eer.Fig8i(), "8ii": eer.Fig8ii(), "8iii": eer.Fig8iii(), "8iv": eer.Fig8iv(),
+	} {
+		rs, err := MS(es)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := rs.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
