@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench benchjson
+
+## check: the full CI gate — formatting, vet, build, tests under the race detector
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
+
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR1.json
+benchjson:
+	$(GO) run ./cmd/benchreport -json BENCH_PR1.json

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/attrset"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/keyrel"
+	"repro/internal/nullcon"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+// benchProbe is one machine-readable measurement.
+type benchProbe struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_PR1.json document: raw probes plus the derived
+// speedup ratios of the bitset closure engine over the retained map-based
+// reference implementation on the same workloads.
+type benchReport struct {
+	Probes   []benchProbe       `json:"probes"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func chainFDs(n int) ([]string, []fd.Dep) {
+	attrs := make([]string, 0, n+1)
+	for i := 0; i <= n; i++ {
+		attrs = append(attrs, fmt.Sprintf("A%d", i))
+	}
+	deps := make([]fd.Dep, 0, n)
+	for i := 0; i < n; i++ {
+		deps = append(deps, fd.NewDep(attrs[i:i+1], attrs[i+1:i+2]))
+	}
+	return attrs, deps
+}
+
+// reverseFDs returns the chain dependencies in reverse declaration order —
+// the adversarial ordering for the reference fixpoint (each pass derives one
+// new attribute, so it goes quadratic), to which the indexed counter
+// algorithm is immune.
+func reverseFDs(deps []fd.Dep) []fd.Dep {
+	out := make([]fd.Dep, len(deps))
+	for i, d := range deps {
+		out[len(deps)-1-i] = d
+	}
+	return out
+}
+
+func starFDs(n int) ([]string, []fd.Dep) {
+	attrs := []string{"Hub"}
+	var deps []fd.Dep
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("S%d", i)
+		attrs = append(attrs, s)
+		deps = append(deps, fd.NewDep([]string{"Hub"}, []string{s}))
+	}
+	return attrs, deps
+}
+
+func chainExistence(n int) []schema.NullExistence {
+	nes := make([]schema.NullExistence, 0, n)
+	for i := 0; i < n; i++ {
+		nes = append(nes, schema.NullExistence{
+			Scheme: "R",
+			Y:      []string{fmt.Sprintf("R.A%d", i)},
+			Z:      []string{fmt.Sprintf("R.A%d", i+1)},
+		})
+	}
+	return nes
+}
+
+func probe(name string, fn func(b *testing.B)) benchProbe {
+	r := testing.Benchmark(fn)
+	return benchProbe{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runJSON measures the dependency-reasoning hot paths and writes the report.
+func runJSON(path string) error {
+	// Fail fast on an unwritable path rather than after minutes of probes.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+
+	var probes []benchProbe
+	add := func(p benchProbe) {
+		probes = append(probes, p)
+		fmt.Printf("%-44s %14.1f ns/op %8d allocs/op\n", p.Name, p.NsPerOp, p.AllocsPerOp)
+	}
+
+	// Closure at scale: bitset engine vs. retained reference, forward and
+	// adversarially-ordered chains plus a star.
+	for _, n := range []int{1000, 10000} {
+		attrs, deps := chainFDs(n)
+		rev := reverseFDs(deps)
+		add(probe(fmt.Sprintf("closure/bitset/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.Closure(attrs[:1], deps)
+			}
+		}))
+		add(probe(fmt.Sprintf("closure/reference/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.ClosureReference(attrs[:1], deps)
+			}
+		}))
+		add(probe(fmt.Sprintf("closure/bitset/chain-rev=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.Closure(attrs[:1], rev)
+			}
+		}))
+		add(probe(fmt.Sprintf("closure/reference/chain-rev=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.ClosureReference(attrs[:1], rev)
+			}
+		}))
+	}
+	{
+		attrs, deps := starFDs(1000)
+		add(probe("closure/bitset/star=1000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.Closure(attrs[:1], deps)
+			}
+		}))
+		add(probe("closure/reference/star=1000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.ClosureReference(attrs[:1], deps)
+			}
+		}))
+	}
+
+	// Steady-state memoized closure on a pinned index: the engine's hit path,
+	// which must not allocate.
+	{
+		_, deps := chainFDs(1000)
+		engine := attrset.NewEngine()
+		ix := engine.Index(len(deps), func(i int) ([]string, []string) {
+			return deps[i].LHS, deps[i].RHS
+		})
+		seed := []string{"A0"}
+		engine.Closure(ix, seed) // warm the memo
+		add(probe("closure/engine-steady-state/chain=1000", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.Closure(ix, seed)
+			}
+		}))
+	}
+
+	// Implication through the public fd adapter (fingerprint walk + memo hit).
+	{
+		attrs, deps := chainFDs(1000)
+		d := fd.NewDep(attrs[:1], attrs[len(attrs)-1:])
+		add(probe("implies/steady-state/chain=1000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.Implies(deps, d)
+			}
+		}))
+	}
+
+	// Key enumeration and cover minimization at design scale.
+	{
+		attrs, deps := chainFDs(12)
+		add(probe("candidate-keys/chain=12", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.CandidateKeys(attrs, deps)
+			}
+		}))
+		add(probe("minimal-cover/chain=12", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fd.MinimalCover(deps)
+			}
+		}))
+	}
+
+	// Null-existence closure (FD-shaped reasoning over null constraints).
+	{
+		nes := chainExistence(1000)
+		seed := []string{"R.A0"}
+		add(probe("nullcon/close-existence/chain=1000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nullcon.CloseExistence("R", nes, seed)
+			}
+		}))
+	}
+
+	// Schema-level paths: key-relation search, merge + constraint removal,
+	// and the workload advisor.
+	{
+		star, err := translate.MS(workload.StarEER(16))
+		if err != nil {
+			return err
+		}
+		names := workload.MergeSetFor(star, "E0")
+		add(probe("keyrel/find/star=16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keyrel.Find(star, names)
+			}
+		}))
+		add(probe("core/merge-removeall/star=16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.Merge(star, names, "MERGED")
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.RemoveAll()
+			}
+		}))
+	}
+	{
+		star, err := translate.MS(workload.StarEER(8))
+		if err != nil {
+			return err
+		}
+		w := advisor.Workload{
+			ProfileQueries: map[string]float64{"E0": 100},
+			Inserts:        map[string]float64{"E0": 1},
+		}
+		cm := advisor.DefaultCostModel()
+		add(probe("advisor/advise/star=8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := advisor.Advise(star, w, cm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	report := benchReport{Probes: probes, Speedups: map[string]float64{}}
+	byName := make(map[string]benchProbe, len(probes))
+	for _, p := range probes {
+		byName[p.Name] = p
+	}
+	for _, w := range []string{"chain=1000", "chain=10000", "chain-rev=1000", "chain-rev=10000", "star=1000"} {
+		ref, okRef := byName["closure/reference/"+w]
+		bit, okBit := byName["closure/bitset/"+w]
+		if okRef && okBit && bit.NsPerOp > 0 {
+			report.Speedups[w] = ref.NsPerOp / bit.NsPerOp
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nspeedups (reference / bitset):\n")
+	for _, w := range []string{"chain=1000", "chain=10000", "chain-rev=1000", "chain-rev=10000", "star=1000"} {
+		if s, ok := report.Speedups[w]; ok {
+			fmt.Printf("  %-20s %.1fx\n", w, s)
+		}
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

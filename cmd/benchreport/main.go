@@ -25,10 +25,19 @@ type experiment struct {
 
 func main() {
 	var (
-		only = flag.String("only", "", "run a single experiment (e.g. E4 or P1)")
-		rows = flag.Int("rows", 100, "row count for the performance experiments")
+		only     = flag.String("only", "", "run a single experiment (e.g. E4 or P1)")
+		rows     = flag.Int("rows", 100, "row count for the performance experiments")
+		jsonPath = flag.String("json", "", "write machine-readable micro-benchmarks to this file and exit")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []experiment{
 		{"E1", "Figure 1: ER translation vs. the Teorey baseline (the WORKS anomaly)", runE1},

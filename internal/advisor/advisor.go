@@ -14,8 +14,10 @@ package advisor
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/keyrel"
@@ -134,22 +136,43 @@ func closure(s *schema.Schema, root string, used map[string]bool) []string {
 
 // Advise prices every cluster under the workload and cost model. Clusters
 // whose merge fails (e.g. nullable member attributes) are skipped.
+//
+// Clusters are independent — MergeWith clones the schema before mutating and
+// the pricing reads are pure — so each cluster's merge + removal + pricing
+// runs on its own goroutine, bounded by GOMAXPROCS. Results are collected by
+// cluster position and then stably sorted by net benefit, so the output is
+// identical to the sequential evaluation.
 func Advise(s *schema.Schema, w Workload, cm CostModel) ([]Recommendation, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	var out []Recommendation
-	for _, cluster := range Clusters(s) {
-		name := cluster[0] + "+"
-		m, err := core.MergeWith(s, cluster, name, core.Options{KeyRelation: cluster[0]})
-		if err != nil {
-			continue
-		}
-		m.RemoveAll()
-		rec := price(s, m, cluster, w, cm)
-		out = append(out, rec)
+	clusters := Clusters(s)
+	recs := make([]*Recommendation, len(clusters))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cluster := range clusters {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cluster []string) {
+			defer func() { <-sem; wg.Done() }()
+			name := cluster[0] + "+"
+			m, err := core.MergeWith(s, cluster, name, core.Options{KeyRelation: cluster[0]})
+			if err != nil {
+				return
+			}
+			m.RemoveAll()
+			rec := price(s, m, cluster, w, cm)
+			recs[i] = &rec
+		}(i, cluster)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].NetBenefit > out[j].NetBenefit })
+	wg.Wait()
+	out := make([]Recommendation, 0, len(recs))
+	for _, rec := range recs {
+		if rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].NetBenefit > out[j].NetBenefit })
 	return out, nil
 }
 

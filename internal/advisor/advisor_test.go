@@ -169,3 +169,36 @@ func TestAdviseInvalidSchema(t *testing.T) {
 		t.Error("invalid schema should be rejected")
 	}
 }
+
+// TestAdviseDeterministic checks that the parallel per-cluster evaluation
+// returns identical recommendations across repeated runs (and, under -race,
+// that the goroutines share no mutable state).
+func TestAdviseDeterministic(t *testing.T) {
+	s, err := translate.MS(workload.ChainEER(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		ProfileQueries: map[string]float64{"E0": 10},
+		Inserts:        map[string]float64{"E0": 1},
+	}
+	first, err := Advise(s, w, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		again, err := Advise(s, w, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d recs, want %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if strings.Join(again[i].Cluster, ",") != strings.Join(first[i].Cluster, ",") ||
+				again[i].NetBenefit != first[i].NetBenefit {
+				t.Fatalf("run %d: rec %d differs: %+v vs %+v", run, i, again[i], first[i])
+			}
+		}
+	}
+}

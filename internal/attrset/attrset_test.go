@@ -1,0 +1,313 @@
+package attrset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("A")
+	b := in.Intern("B")
+	if a == b {
+		t.Fatalf("distinct names share id %d", a)
+	}
+	if got := in.Intern("A"); got != a {
+		t.Fatalf("re-intern A: got %d want %d", got, a)
+	}
+	if id, ok := in.Lookup("B"); !ok || id != b {
+		t.Fatalf("Lookup B = %d,%v", id, ok)
+	}
+	if _, ok := in.Lookup("C"); ok {
+		t.Fatal("Lookup of uninterned name succeeded")
+	}
+	if in.Name(a) != "A" || in.Name(b) != "B" {
+		t.Fatal("Name round-trip failed")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	var s Set
+	for _, id := range []int{0, 3, 63, 64, 200} {
+		s.Add(id)
+	}
+	for _, id := range []int{0, 3, 63, 64, 200} {
+		if !s.Has(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	if s.Has(1) || s.Has(199) || s.Has(100000) {
+		t.Fatal("spurious membership")
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+
+	var tt Set
+	tt.Add(3)
+	tt.Add(64)
+	if !tt.SubsetOf(s) {
+		t.Fatal("subset check failed")
+	}
+	if s.SubsetOf(tt) {
+		t.Fatal("superset reported as subset")
+	}
+
+	u := tt.Clone()
+	u.UnionWith(s)
+	if !s.SubsetOf(u) || u.Count() != 5 {
+		t.Fatal("union wrong")
+	}
+	d := s.Clone()
+	d.DiffWith(tt)
+	if d.Has(3) || d.Has(64) || !d.Has(200) || d.Count() != 3 {
+		t.Fatal("diff wrong")
+	}
+	i := s.Clone()
+	i.IntersectWith(tt)
+	if !i.Equal(tt) {
+		t.Fatal("intersect wrong")
+	}
+
+	// Equal ignores trailing zero words.
+	short := Set{1}
+	long := Set{1, 0, 0}
+	if !short.Equal(long) || !long.Equal(short) {
+		t.Fatal("Equal should ignore trailing zeros")
+	}
+
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	if !sort.IntsAreSorted(got) || len(got) != 5 {
+		t.Fatalf("ForEach order: %v", got)
+	}
+
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left elements")
+	}
+}
+
+type testDep struct{ lhs, rhs []string }
+
+func depFunc(deps []testDep) (int, func(int) ([]string, []string)) {
+	return len(deps), func(i int) ([]string, []string) { return deps[i].lhs, deps[i].rhs }
+}
+
+// naiveClosure is the quadratic map-based fixpoint the engine replaces, used
+// as a differential oracle.
+func naiveClosure(seed []string, deps []testDep) []string {
+	closed := map[string]bool{}
+	for _, a := range seed {
+		closed[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			all := true
+			for _, a := range d.lhs {
+				if !closed[a] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, a := range d.rhs {
+				if !closed[a] {
+					closed[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closed))
+	for a := range closed {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestClosureBasic(t *testing.T) {
+	e := NewEngine()
+	deps := []testDep{
+		{[]string{"A"}, []string{"B"}},
+		{[]string{"B"}, []string{"C"}},
+		{[]string{"C", "D"}, []string{"E"}},
+	}
+	ix := e.Index(depFunc(deps))
+
+	got := e.ClosureNames(ix, []string{"A"})
+	want := []string{"A", "B", "C"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("closure(A) = %v, want %v", got, want)
+	}
+	got = e.ClosureNames(ix, []string{"A", "D"})
+	want = []string{"A", "B", "C", "D", "E"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("closure(A,D) = %v, want %v", got, want)
+	}
+	if !e.Contains(ix, []string{"A", "D"}, []string{"E", "B"}) {
+		t.Fatal("Contains missed derived attributes")
+	}
+	if e.Contains(ix, []string{"A"}, []string{"E"}) {
+		t.Fatal("Contains invented a derivation")
+	}
+	// Unknown seed attributes are in their own closure.
+	if !e.Contains(ix, []string{"Z"}, []string{"Z"}) {
+		t.Fatal("seed attribute outside the dep set lost")
+	}
+	if e.Contains(ix, []string{"Z"}, []string{"A"}) {
+		t.Fatal("unknown seed derived a known attribute")
+	}
+}
+
+func TestClosureEmptyLHSFires(t *testing.T) {
+	e := NewEngine()
+	// ∅ → A models a nulls-not-allowed constraint: fires with any seed,
+	// including the empty one.
+	deps := []testDep{
+		{nil, []string{"A"}},
+		{[]string{"A"}, []string{"B"}},
+	}
+	ix := e.Index(depFunc(deps))
+	got := e.ClosureNames(ix, nil)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"A", "B"}) {
+		t.Fatalf("closure(∅) = %v", got)
+	}
+}
+
+func TestClosureDuplicateAttrs(t *testing.T) {
+	e := NewEngine()
+	deps := []testDep{
+		{[]string{"A", "A", "B"}, []string{"C", "C"}},
+	}
+	ix := e.Index(depFunc(deps))
+	got := e.ClosureNames(ix, []string{"B", "A", "A"})
+	if fmt.Sprint(got) != fmt.Sprint([]string{"A", "B", "C"}) {
+		t.Fatalf("closure with duplicates = %v", got)
+	}
+}
+
+func TestClosureDifferentialRandom(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	universe := make([]string, 24)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("A%d", i)
+	}
+	pick := func(max int) []string {
+		n := 1 + rng.Intn(max)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = universe[rng.Intn(len(universe))]
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		deps := make([]testDep, 1+rng.Intn(20))
+		for i := range deps {
+			deps[i] = testDep{lhs: pick(3), rhs: pick(3)}
+		}
+		ix := e.Index(depFunc(deps))
+		for q := 0; q < 5; q++ {
+			seed := pick(4)
+			got := e.ClosureNames(ix, seed)
+			want := naiveClosure(seed, deps)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("trial %d: closure(%v) = %v, want %v (deps %v)", trial, seed, got, want, deps)
+			}
+		}
+	}
+}
+
+func TestIndexCacheIdentity(t *testing.T) {
+	e := NewEngine()
+	deps := []testDep{{[]string{"A"}, []string{"B"}}}
+	ix1 := e.Index(depFunc(deps))
+	// An equal list served from a different slice compiles to the same Index.
+	deps2 := []testDep{{[]string{"A"}, []string{"B"}}}
+	ix2 := e.Index(depFunc(deps2))
+	if ix1 != ix2 {
+		t.Fatal("equal dependency lists produced distinct indexes")
+	}
+	// A different list (order matters structurally) does not.
+	deps3 := []testDep{{[]string{"B"}, []string{"A"}}}
+	if e.Index(depFunc(deps3)) == ix1 {
+		t.Fatal("distinct dependency lists shared an index")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[int, int](2)
+	c.put(1, 10)
+	c.put(2, 20)
+	if _, ok := c.get(1); !ok {
+		t.Fatal("1 evicted prematurely")
+	}
+	c.put(3, 30) // evicts 2 (least recently used after the get of 1)
+	if _, ok := c.get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Fatal("1 lost")
+	}
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Fatal("3 lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestClosureSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	deps := make([]testDep, 512)
+	for i := range deps {
+		deps[i] = testDep{lhs: []string{fmt.Sprintf("A%d", i)}, rhs: []string{fmt.Sprintf("A%d", i+1)}}
+	}
+	ix := e.Index(depFunc(deps))
+	seed := []string{"A0"}
+	e.Closure(ix, seed) // warm the memo
+	allocs := testing.AllocsPerRun(100, func() {
+		if e.Closure(ix, seed).Count() != 513 {
+			t.Fatal("wrong closure size")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state closure allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestConcurrentClosure(t *testing.T) {
+	e := NewEngine()
+	deps := make([]testDep, 64)
+	for i := range deps {
+		deps[i] = testDep{lhs: []string{fmt.Sprintf("A%d", i)}, rhs: []string{fmt.Sprintf("A%d", i+1)}}
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			ix := e.Index(depFunc(deps))
+			for k := 0; k < 50; k++ {
+				seed := []string{fmt.Sprintf("A%d", (g+k)%64)}
+				got := e.ClosureNames(ix, seed)
+				if len(got) != 64-(g+k)%64+1 {
+					t.Errorf("closure(%v) has %d attrs", seed, len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,162 @@
+package attrset
+
+import (
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Default cache capacities. Indexes are per-dependency-set and hold the
+// compiled occurrence lists; closure entries hold one bitset (and lazily one
+// sorted name slice) each.
+const (
+	defaultMaxIndexes  = 128
+	defaultMaxClosures = 4096
+)
+
+// Engine compiles dependency sets into Indexes and memoizes closure results,
+// both under LRU eviction. It is safe for concurrent use. The compile step
+// is keyed by a structural fingerprint of the dependency list, so repeated
+// calls with an equal list (the universal pattern in fd/nullcon, where every
+// public entry point receives the same deps slice over and over) hit the
+// cache and pay only the hashing walk; closure results are keyed by
+// (dependency fingerprint, canonical seed fingerprint) and hit without
+// allocating.
+type Engine struct {
+	mu       sync.Mutex
+	indexes  *lru[fingerprint, *Index]
+	closures *lru[closureKey, *closureEntry]
+	pool     sync.Pool
+}
+
+type closureKey struct {
+	index uint64 // Index.serial — see the indexSerial comment in index.go
+	seed  fingerprint
+}
+
+type closureEntry struct {
+	set   Set
+	once  sync.Once
+	names []string // lazy sorted materialization, for the []string adapters
+}
+
+// NewEngine returns an engine with the default cache capacities.
+func NewEngine() *Engine {
+	return NewEngineSize(defaultMaxIndexes, defaultMaxClosures)
+}
+
+// NewEngineSize returns an engine with explicit cache capacities.
+func NewEngineSize(maxIndexes, maxClosures int) *Engine {
+	e := &Engine{
+		indexes:  newLRU[fingerprint, *Index](maxIndexes),
+		closures: newLRU[closureKey, *closureEntry](maxClosures),
+	}
+	e.pool.New = func() any { return &scratch{} }
+	return e
+}
+
+// Index compiles (or fetches from cache) the dependency list served by dep:
+// dep(i) must return the LHS and RHS attribute names of the i-th dependency.
+// Two calls serving equal lists return the same *Index.
+func (e *Engine) Index(n int, dep func(i int) (lhs, rhs []string)) *Index {
+	fp := fingerprintDeps(n, dep)
+	e.mu.Lock()
+	if ix, ok := e.indexes.get(fp); ok {
+		e.mu.Unlock()
+		return ix
+	}
+	e.mu.Unlock()
+	ix := buildIndex(n, dep, fp)
+	e.mu.Lock()
+	e.indexes.put(fp, ix)
+	e.mu.Unlock()
+	return ix
+}
+
+// Closure returns the closure of seed under the index's dependency set as a
+// bitset over the index's interner. The returned Set is shared with the
+// cache and MUST be treated as read-only.
+func (e *Engine) Closure(ix *Index, seed []string) Set {
+	return e.closureEntry(ix, seed).set
+}
+
+// ClosureNames returns the closure of seed as a sorted attribute-name slice.
+// The returned slice is shared with the cache and MUST not be modified;
+// adapters that hand it to callers copy it first.
+func (e *Engine) ClosureNames(ix *Index, seed []string) []string {
+	ce := e.closureEntry(ix, seed)
+	ce.once.Do(func() {
+		names := make([]string, 0, ce.set.Count())
+		ce.set.ForEach(func(id int) {
+			names = append(names, ix.in.Name(int32(id)))
+		})
+		sort.Strings(names)
+		ce.names = names
+	})
+	return ce.names
+}
+
+// Contains reports whether every target attribute is in the closure of seed
+// under the index's dependency set — the subset test behind Implies,
+// IsSuperkey, and the BCNF check, with no materialization.
+func (e *Engine) Contains(ix *Index, seed, targets []string) bool {
+	ce := e.closureEntry(ix, seed)
+	for _, t := range targets {
+		id, ok := ix.in.Lookup(t)
+		if ok && ce.set.Has(int(id)) {
+			continue
+		}
+		// A name the dependency set and seed never mention can only be in
+		// the closure if it is (literally) in the seed. Seed attributes are
+		// interned before closure, so this is a cold fallback.
+		found := false
+		for _, s := range seed {
+			if s == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// closureEntry interns and canonicalizes the seed, then returns the memoized
+// closure entry, computing it on miss. The hit path performs no allocation:
+// the scratch buffers are pooled, the seed ids are sorted in place, and the
+// cache returns a shared entry.
+func (e *Engine) closureEntry(ix *Index, seed []string) *closureEntry {
+	sc := e.pool.Get().(*scratch)
+	ids := sc.ids[:0]
+	for _, a := range seed {
+		ids = append(ids, ix.in.Intern(a))
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	key := closureKey{index: ix.serial, seed: fingerprintIDs(ids)}
+
+	e.mu.Lock()
+	ce, ok := e.closures.get(key)
+	e.mu.Unlock()
+	if ok {
+		sc.ids = ids
+		e.pool.Put(sc)
+		return ce
+	}
+
+	dst := NewSet(ix.in.Len())
+	ix.closeInto(ids, &dst, sc)
+	ce = &closureEntry{set: dst}
+	e.mu.Lock()
+	if prev, ok := e.closures.get(key); ok {
+		ce = prev // lost a race; keep the first entry canonical
+	} else {
+		e.closures.put(key, ce)
+	}
+	e.mu.Unlock()
+	sc.ids = ids
+	e.pool.Put(sc)
+	return ce
+}

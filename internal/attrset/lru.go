@@ -1,0 +1,47 @@
+package attrset
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache. It is not
+// goroutine-safe; Engine serializes access under its own mutex. Hits move
+// the entry to the front without allocating, so the memoized closure path
+// stays allocation-free.
+type lru[K comparable, V any] struct {
+	max int
+	ll  *list.List
+	m   map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](max int) *lru[K, V] {
+	return &lru[K, V]{max: max, ll: list.New(), m: make(map[K]*list.Element, max)}
+}
+
+func (c *lru[K, V]) get(k K) (V, bool) {
+	if e, ok := c.m[k]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) put(k K, v V) {
+	if e, ok := c.m[k]; ok {
+		e.Value = lruEntry[K, V]{k, v}
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[k] = c.ll.PushFront(lruEntry[K, V]{k, v})
+	if c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(lruEntry[K, V]).key)
+	}
+}
+
+func (c *lru[K, V]) len() int { return c.ll.Len() }

@@ -1,0 +1,125 @@
+package attrset
+
+import "math/bits"
+
+// Set is a dense bitset over interned attribute ids. The zero value is an
+// empty set; mutating methods take a pointer receiver so the word slice can
+// grow. Sets of different lengths compare as if padded with zero words.
+type Set []uint64
+
+// NewSet returns a set with capacity for ids below n.
+func NewSet(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Add inserts an id, growing the set as needed.
+func (s *Set) Add(id int) {
+	w := id >> 6
+	for w >= len(*s) {
+		*s = append(*s, 0)
+	}
+	(*s)[w] |= 1 << (uint(id) & 63)
+}
+
+// Has reports whether the id is present.
+func (s Set) Has(id int) bool {
+	w := id >> 6
+	return w < len(s) && s[w]&(1<<(uint(id)&63)) != 0
+}
+
+// UnionWith adds every element of t.
+func (s *Set) UnionWith(t Set) {
+	for len(*s) < len(t) {
+		*s = append(*s, 0)
+	}
+	for i, w := range t {
+		(*s)[i] |= w
+	}
+}
+
+// IntersectWith removes every element not in t.
+func (s *Set) IntersectWith(t Set) {
+	for i := range *s {
+		if i < len(t) {
+			(*s)[i] &= t[i]
+		} else {
+			(*s)[i] = 0
+		}
+	}
+}
+
+// DiffWith removes every element of t.
+func (s *Set) DiffWith(t Set) {
+	n := len(*s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		(*s)[i] &^= t[i]
+	}
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s {
+		var tw uint64
+		if i < len(t) {
+			tw = t[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality, ignoring trailing zero words.
+func (s Set) Equal(t Set) bool {
+	long, short := s, t
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every element in ascending id order.
+func (s Set) ForEach(fn func(id int)) {
+	for i, w := range s {
+		base := i << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	return append(Set(nil), s...)
+}
+
+// Reset clears the set in place, keeping capacity.
+func (s *Set) Reset() {
+	for i := range *s {
+		(*s)[i] = 0
+	}
+}

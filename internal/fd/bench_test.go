@@ -17,14 +17,78 @@ func chainDeps(n int) ([]string, []Dep) {
 	return attrs, deps
 }
 
+// starDeps builds a hub-and-spoke dependency set shaped like the StarEER
+// translations: a hub key determines n satellite attributes, each satellite
+// pair determines the next hub level. The closure of the hub reaches
+// everything.
+func starDeps(n int) ([]string, []Dep) {
+	attrs := []string{"Hub"}
+	var deps []Dep
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("S%d", i)
+		attrs = append(attrs, s)
+		deps = append(deps, NewDep([]string{"Hub"}, []string{s}))
+		if i > 0 {
+			deps = append(deps, NewDep([]string{fmt.Sprintf("S%d", i-1), s}, []string{fmt.Sprintf("T%d", i)}))
+			attrs = append(attrs, fmt.Sprintf("T%d", i))
+		}
+	}
+	return attrs, deps
+}
+
 func BenchmarkClosure(b *testing.B) {
-	for _, n := range []int{8, 32} {
+	for _, n := range []int{8, 32, 1000, 10000} {
 		attrs, deps := chainDeps(n)
 		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				Closure(attrs[:1], deps)
 			}
 		})
+	}
+	for _, n := range []int{1000, 10000} {
+		attrs, deps := starDeps(n)
+		b.Run(fmt.Sprintf("star=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Closure(attrs[:1], deps)
+			}
+		})
+	}
+}
+
+// BenchmarkClosureReference measures the retained pre-bitset implementation
+// on the same workloads, as the speedup baseline for BENCH_PR1.json.
+func BenchmarkClosureReference(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		attrs, deps := chainDeps(n)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ClosureReference(attrs[:1], deps)
+			}
+		})
+	}
+	for _, n := range []int{1000, 10000} {
+		attrs, deps := starDeps(n)
+		b.Run(fmt.Sprintf("star=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ClosureReference(attrs[:1], deps)
+			}
+		})
+	}
+}
+
+// BenchmarkImplies exercises the no-materialization Contains path.
+func BenchmarkImplies(b *testing.B) {
+	attrs, deps := chainDeps(1000)
+	d := NewDep(attrs[:1], attrs[len(attrs)-1:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Implies(deps, d) {
+			b.Fatal("chain head should imply tail")
+		}
 	}
 }
 

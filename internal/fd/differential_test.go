@@ -1,0 +1,129 @@
+package fd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randDeps draws a random dependency set over a small alphabet. The small
+// attribute space plus many trials drives the engine's caches through heavy
+// eviction and re-compile cycles, which is exactly the regime where a stale
+// memo entry would surface.
+func randDeps(rng *rand.Rand) []Dep {
+	alphabet := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	pick := func(max int) []string {
+		n := 1 + rng.Intn(max)
+		out := make([]string, 0, n)
+		for len(out) < n {
+			out = append(out, alphabet[rng.Intn(len(alphabet))])
+		}
+		return out
+	}
+	deps := make([]Dep, 1+rng.Intn(6))
+	for i := range deps {
+		deps[i] = NewDep(pick(3), pick(2))
+	}
+	return deps
+}
+
+func randSeed(rng *rand.Rand) []string {
+	alphabet := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	n := 1 + rng.Intn(4)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		out = append(out, alphabet[rng.Intn(len(alphabet))])
+	}
+	return out
+}
+
+// TestClosureDifferential checks the bitset engine against the retained
+// map-based reference on thousands of random (deps, seed) pairs.
+func TestClosureDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1992))
+	for trial := 0; trial < 5000; trial++ {
+		deps := randDeps(rng)
+		seed := randSeed(rng)
+		got := Closure(seed, deps)
+		want := ClosureReference(seed, deps)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Closure(%v, %v) = %v, want %v", trial, seed, deps, got, want)
+		}
+	}
+}
+
+// TestImpliesDifferential checks Implies against the definitional test
+// "RHS ⊆ closure(LHS)" computed by the reference.
+func TestImpliesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		deps := randDeps(rng)
+		d := NewDep(randSeed(rng), randSeed(rng))
+		closed := make(map[string]bool)
+		for _, a := range ClosureReference(d.LHS, deps) {
+			closed[a] = true
+		}
+		want := true
+		for _, a := range d.RHS {
+			if !closed[a] {
+				want = false
+				break
+			}
+		}
+		if got := Implies(deps, d); got != want {
+			t.Fatalf("trial %d: Implies(%v, %v) = %v, want %v", trial, deps, d, got, want)
+		}
+	}
+}
+
+// TestCandidateKeysProperties checks the parallel lattice search on random
+// inputs: every reported key is a minimal superkey, the result is duplicate-
+// free, and repeated runs (different goroutine schedules) agree exactly.
+func TestCandidateKeysProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := []string{"A", "B", "C", "D", "E", "F"}
+	for trial := 0; trial < 300; trial++ {
+		deps := randDeps(rng)
+		keys := CandidateKeys(universe, deps)
+		if len(keys) == 0 {
+			t.Fatalf("trial %d: no candidate keys for %v", trial, deps)
+		}
+		seen := make(map[string]bool)
+		for _, k := range keys {
+			if !IsKey(k, universe, deps) {
+				t.Fatalf("trial %d: %v is not a minimal key under %v", trial, k, deps)
+			}
+			id := fmt.Sprint(k)
+			if seen[id] {
+				t.Fatalf("trial %d: duplicate key %v", trial, k)
+			}
+			seen[id] = true
+		}
+		if again := CandidateKeys(universe, deps); !reflect.DeepEqual(keys, again) {
+			t.Fatalf("trial %d: nondeterministic result: %v vs %v", trial, keys, again)
+		}
+	}
+}
+
+// TestConcurrentFD hammers the shared engine from many goroutines; run under
+// -race this exercises the index cache, closure memo, and worker pool.
+func TestConcurrentFD(t *testing.T) {
+	var wg sync.WaitGroup
+	universe := []string{"A", "B", "C", "D", "E"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for trial := 0; trial < 100; trial++ {
+				deps := randDeps(rng)
+				Closure(randSeed(rng), deps)
+				CandidateKeys(universe, deps)
+				MinimalCover(deps)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,11 @@
 // (ICDE 1992). It also implements a Bernstein-style synthesis algorithm with
 // equivalent-key merging — the early merging technique the paper's
 // introduction criticizes for disregarding null restrictions.
+//
+// All closure-shaped questions are answered by the indexed, memoized engine
+// of internal/attrset (see engine.go); the []string signatures here are thin
+// adapters over it, so callers and golden tests are unaffected by the
+// bitset representation.
 package fd
 
 import (
@@ -29,76 +34,40 @@ func (d Dep) Key() string {
 	return join(schema.NormalizeAttrs(d.LHS)) + "->" + join(schema.NormalizeAttrs(d.RHS))
 }
 
-func join(attrs []string) string {
-	out := ""
-	for i, a := range attrs {
-		if i > 0 {
-			out += ","
-		}
-		out += a
-	}
-	return out
-}
+// join renders an attribute list as a comma-separated string; it shares the
+// linear-time helper with the schema package's canonical-key rendering.
+func join(attrs []string) string { return schema.JoinAttrs(attrs) }
 
 // Closure computes the attribute closure attrs⁺ under deps.
 func Closure(attrs []string, deps []Dep) []string {
-	closed := make(map[string]bool, len(attrs))
-	for _, a := range attrs {
-		closed[a] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, d := range deps {
-			if allIn(d.LHS, closed) {
-				for _, a := range d.RHS {
-					if !closed[a] {
-						closed[a] = true
-						changed = true
-					}
-				}
-			}
-		}
-	}
-	out := make([]string, 0, len(closed))
-	for a := range closed {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func allIn(attrs []string, set map[string]bool) bool {
-	for _, a := range attrs {
-		if !set[a] {
-			return false
-		}
-	}
-	return true
+	names := engine.ClosureNames(compile(deps), attrs)
+	return append(make([]string, 0, len(names)), names...)
 }
 
 // Implies reports whether deps ⊨ d (via attribute closure).
 func Implies(deps []Dep, d Dep) bool {
-	return schema.SubsetOf(d.RHS, Closure(d.LHS, deps))
+	return engine.Contains(compile(deps), d.LHS, d.RHS)
 }
 
 // EquivalentSets reports whether X and Y determine each other under deps.
 func EquivalentSets(x, y []string, deps []Dep) bool {
-	return schema.SubsetOf(y, Closure(x, deps)) && schema.SubsetOf(x, Closure(y, deps))
+	ix := compile(deps)
+	return engine.Contains(ix, x, y) && engine.Contains(ix, y, x)
 }
 
 // IsSuperkey reports whether attrs functionally determine the universe.
 func IsSuperkey(attrs, universe []string, deps []Dep) bool {
-	return schema.SubsetOf(universe, Closure(attrs, deps))
+	return engine.Contains(compile(deps), attrs, universe)
 }
 
 // IsKey reports whether attrs is a minimal superkey of the universe.
 func IsKey(attrs, universe []string, deps []Dep) bool {
-	if !IsSuperkey(attrs, universe, deps) {
+	ix := compile(deps)
+	if !engine.Contains(ix, attrs, universe) {
 		return false
 	}
 	for i := range attrs {
-		reduced := without(attrs, i)
-		if IsSuperkey(reduced, universe, deps) {
+		if engine.Contains(ix, without(attrs, i), universe) {
 			return false
 		}
 	}
@@ -114,11 +83,12 @@ func without(attrs []string, i int) []string {
 
 // CandidateKeys enumerates all candidate keys of the universe under deps,
 // in canonical order. The search starts from the universe and shrinks, which
-// is exponential in the worst case but fine at schema-design scale.
+// is exponential in the worst case but fine at schema-design scale; the
+// branch exploration runs on a bounded worker pool (see parallel.go), with
+// each superkey test answered by the memoized closure engine.
 func CandidateKeys(universe []string, deps []Dep) [][]string {
 	u := schema.NormalizeAttrs(universe)
-	var keys [][]string
-	seen := make(map[string]bool)
+	ix := compile(deps)
 
 	// Attributes in no RHS must be in every key; use them to prune.
 	inRHS := make(map[string]bool)
@@ -136,34 +106,7 @@ func CandidateKeys(universe []string, deps []Dep) [][]string {
 		}
 	}
 
-	var search func(current []string)
-	search = func(current []string) {
-		key := join(schema.NormalizeAttrs(current))
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		minimal := true
-		for i := range current {
-			if schema.ContainsAttr(mandatory, current[i]) {
-				continue
-			}
-			reduced := without(current, i)
-			if IsSuperkey(reduced, u, deps) {
-				minimal = false
-				search(reduced)
-			}
-		}
-		if minimal {
-			ck := schema.NormalizeAttrs(current)
-			ckKey := "k:" + join(ck)
-			if !seen[ckKey] {
-				seen[ckKey] = true
-				keys = append(keys, ck)
-			}
-		}
-	}
-	search(u)
+	keys := searchKeys(ix, u, mandatory)
 
 	sort.Slice(keys, func(i, j int) bool {
 		if len(keys[i]) != len(keys[j]) {
@@ -186,11 +129,12 @@ func IsBCNF(universe []string, deps []Dep) bool {
 // the given dependencies and all their implied projections with single-
 // attribute RHS (sufficient for the BCNF test).
 func FirstBCNFViolation(universe []string, deps []Dep) *Dep {
+	ix := compile(deps)
 	for _, d := range deps {
 		if d.Trivial() {
 			continue
 		}
-		if !IsSuperkey(d.LHS, universe, deps) {
+		if !engine.Contains(ix, d.LHS, universe) {
 			v := d
 			return &v
 		}
@@ -221,7 +165,7 @@ func MinimalCover(deps []Dep) []Dep {
 				if len(reduced) == 0 {
 					continue
 				}
-				if schema.SubsetOf(g[i].RHS, Closure(reduced, g)) {
+				if engine.Contains(compile(g), reduced, g[i].RHS) {
 					g[i].LHS = reduced
 					changed = true
 					break

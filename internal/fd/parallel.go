@@ -1,0 +1,116 @@
+package fd
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/attrset"
+	"repro/internal/schema"
+)
+
+// keySearch explores the shrink lattice of CandidateKeys — start from the
+// universe, repeatedly drop one attribute while the rest stays a superkey —
+// on a bounded worker pool sized by GOMAXPROCS. The visited-set dedup makes
+// the explored node set (and therefore the found key set) independent of
+// exploration order, so parallelism cannot change the result.
+type keySearch struct {
+	ix        *attrset.Index
+	universe  []string
+	mandatory []string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stack   [][]string
+	pending int // nodes queued or being processed
+	seen    map[string]bool
+	keys    [][]string
+}
+
+func searchKeys(ix *attrset.Index, universe, mandatory []string) [][]string {
+	ks := &keySearch{ix: ix, universe: universe, mandatory: mandatory, seen: make(map[string]bool)}
+	ks.cond = sync.NewCond(&ks.mu)
+	ks.enqueue(universe)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ks.worker()
+		}()
+	}
+	wg.Wait()
+	return ks.keys
+}
+
+// enqueue schedules an unvisited node. Nodes arrive with sorted attribute
+// lists (the universe is normalized and without preserves order), so the
+// joined string is canonical.
+func (ks *keySearch) enqueue(attrs []string) {
+	key := schema.JoinAttrs(attrs)
+	ks.mu.Lock()
+	if ks.seen[key] {
+		ks.mu.Unlock()
+		return
+	}
+	ks.seen[key] = true
+	ks.pending++
+	ks.stack = append(ks.stack, attrs)
+	ks.mu.Unlock()
+	ks.cond.Signal()
+}
+
+func (ks *keySearch) worker() {
+	for {
+		ks.mu.Lock()
+		for len(ks.stack) == 0 && ks.pending > 0 {
+			ks.cond.Wait()
+		}
+		if len(ks.stack) == 0 { // pending == 0: search exhausted
+			ks.mu.Unlock()
+			ks.cond.Broadcast()
+			return
+		}
+		cur := ks.stack[len(ks.stack)-1]
+		ks.stack = ks.stack[:len(ks.stack)-1]
+		ks.mu.Unlock()
+
+		ks.process(cur)
+
+		ks.mu.Lock()
+		ks.pending--
+		done := ks.pending == 0
+		ks.mu.Unlock()
+		if done {
+			ks.cond.Broadcast()
+		}
+	}
+}
+
+func (ks *keySearch) process(current []string) {
+	minimal := true
+	for i := range current {
+		if schema.ContainsAttr(ks.mandatory, current[i]) {
+			continue
+		}
+		reduced := without(current, i)
+		if engine.Contains(ks.ix, reduced, ks.universe) {
+			minimal = false
+			ks.enqueue(reduced)
+		}
+	}
+	if minimal {
+		ck := schema.NormalizeAttrs(current)
+		key := "k:" + schema.JoinAttrs(ck)
+		ks.mu.Lock()
+		if !ks.seen[key] {
+			ks.seen[key] = true
+			ks.keys = append(ks.keys, ck)
+		}
+		ks.mu.Unlock()
+	}
+}

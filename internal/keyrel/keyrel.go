@@ -14,39 +14,46 @@ import (
 	"repro/internal/state"
 )
 
-// Refkey returns the members Ri of names (other than root) whose primary key
-// is included in root's primary key by an inclusion dependency of I:
-// Refkey(Ro, R̄) = { Ri ∈ R̄ | Ri[Ki] ⊆ Ro[Ko] ∈ I }.
-func Refkey(s *schema.Schema, root string, names []string) []string {
-	ro := s.Scheme(root)
-	if ro == nil {
-		return nil
-	}
+// refIndex is the key-based reference graph of one (schema, merge-set) pair:
+// adj[ro] lists the members ri of the merge set (ri ≠ ro) with a key-based
+// inclusion dependency ri[Ki] ⊆ ro[Ko] in I, sorted and deduplicated. It is
+// built in one pass over s.INDs, so Refkey*, IsKeyRelation, and Find pay the
+// IND scan once instead of once per BFS node per member.
+type refIndex struct {
+	adj map[string][]string
+}
+
+func buildRefIndex(s *schema.Schema, names []string) *refIndex {
 	inSet := toSet(names)
-	var out []string
+	adj := make(map[string][]string)
 	for _, ind := range s.INDs {
-		if ind.Right != root || ind.Left == root || !inSet[ind.Left] {
+		if ind.Left == ind.Right || !inSet[ind.Left] {
 			continue
 		}
 		ri := s.Scheme(ind.Left)
-		if ri == nil {
+		ro := s.Scheme(ind.Right)
+		if ri == nil || ro == nil {
 			continue
 		}
 		// The IND must go from Ri's own primary key into Ro's primary key.
 		if schema.EqualAttrSets(ind.LeftAttrs, ri.PrimaryKey) &&
 			schema.EqualAttrSets(ind.RightAttrs, ro.PrimaryKey) {
-			out = append(out, ind.Left)
+			adj[ind.Right] = append(adj[ind.Right], ind.Left)
 		}
 	}
-	sort.Strings(out)
-	return dedup(out)
+	for root, members := range adj {
+		sort.Strings(members)
+		adj[root] = dedup(members)
+	}
+	return &refIndex{adj: adj}
 }
 
-// RefkeyStar computes the transitive closure Refkey*(Ro, R̄) of Prop. 3.1.
-func RefkeyStar(s *schema.Schema, root string, names []string) []string {
+// star computes the transitive closure of the reference graph from root,
+// excluding root itself, in sorted order.
+func (ix *refIndex) star(root string) []string {
 	visited := map[string]bool{root: true}
 	var out []string
-	queue := Refkey(s, root, names)
+	queue := append([]string(nil), ix.adj[root]...)
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
@@ -55,10 +62,25 @@ func RefkeyStar(s *schema.Schema, root string, names []string) []string {
 		}
 		visited[n] = true
 		out = append(out, n)
-		queue = append(queue, Refkey(s, n, names)...)
+		queue = append(queue, ix.adj[n]...)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Refkey returns the members Ri of names (other than root) whose primary key
+// is included in root's primary key by an inclusion dependency of I:
+// Refkey(Ro, R̄) = { Ri ∈ R̄ | Ri[Ki] ⊆ Ro[Ko] ∈ I }.
+func Refkey(s *schema.Schema, root string, names []string) []string {
+	if s.Scheme(root) == nil {
+		return nil
+	}
+	return append([]string(nil), buildRefIndex(s, names).adj[root]...)
+}
+
+// RefkeyStar computes the transitive closure Refkey*(Ro, R̄) of Prop. 3.1.
+func RefkeyStar(s *schema.Schema, root string, names []string) []string {
+	return buildRefIndex(s, names).star(root)
 }
 
 // IsKeyRelation reports whether root satisfies the Prop. 3.1 condition for
@@ -67,16 +89,23 @@ func IsKeyRelation(s *schema.Schema, root string, names []string) bool {
 	if s.Scheme(root) == nil || !toSet(names)[root] {
 		return false
 	}
-	covered := append([]string{root}, RefkeyStar(s, root, names)...)
+	covered := append([]string{root}, buildRefIndex(s, names).star(root)...)
 	return schema.EqualAttrSets(covered, names)
 }
 
 // Find returns the members of names that are key-relations of the set, in
-// sorted order; the first is the canonical choice for Merge.
+// sorted order; the first is the canonical choice for Merge. The reference
+// graph is indexed once and shared across the per-member checks.
 func Find(s *schema.Schema, names []string) []string {
+	ix := buildRefIndex(s, names)
+	inSet := toSet(names)
 	var out []string
 	for _, n := range names {
-		if IsKeyRelation(s, n, names) {
+		if s.Scheme(n) == nil || !inSet[n] {
+			continue
+		}
+		covered := append([]string{n}, ix.star(n)...)
+		if schema.EqualAttrSets(covered, names) {
 			out = append(out, n)
 		}
 	}

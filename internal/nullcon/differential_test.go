@@ -1,0 +1,166 @@
+package nullcon
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// closeExistenceReference is the pre-bitset fixpoint, kept in the test as the
+// differential oracle for the engine-backed CloseExistence.
+func closeExistenceReference(scheme string, nes []schema.NullExistence, y []string) []string {
+	closed := make(map[string]bool, len(y))
+	for _, a := range y {
+		closed[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ne := range nes {
+			if ne.Scheme != scheme {
+				continue
+			}
+			sat := true
+			for _, a := range ne.Y {
+				if !closed[a] {
+					sat = false
+					break
+				}
+			}
+			if !sat {
+				continue
+			}
+			for _, a := range ne.Z {
+				if !closed[a] {
+					closed[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closed))
+	for a := range closed {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func randExistence(rng *rand.Rand) []schema.NullExistence {
+	alphabet := []string{"A", "B", "C", "D", "E", "F"}
+	schemes := []string{"R", "S"}
+	pick := func(max, min int) []string {
+		n := min + rng.Intn(max)
+		out := make([]string, 0, n)
+		for len(out) < n {
+			out = append(out, alphabet[rng.Intn(len(alphabet))])
+		}
+		return out
+	}
+	nes := make([]schema.NullExistence, 1+rng.Intn(6))
+	for i := range nes {
+		// min 0 on Y makes a fraction of the constraints nulls-not-allowed
+		// (empty LHS), exercising the unconditional-firing path.
+		nes[i] = schema.NullExistence{Scheme: schemes[rng.Intn(2)], Y: pick(3, 0), Z: pick(2, 1)}
+	}
+	return nes
+}
+
+// TestCloseExistenceDifferential compares the engine-backed closure with the
+// reference fixpoint on random constraint sets, including empty-LHS
+// (nulls-not-allowed) constraints and cross-scheme filtering.
+func TestCloseExistenceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	alphabet := []string{"A", "B", "C", "D", "E", "F"}
+	for trial := 0; trial < 3000; trial++ {
+		nes := randExistence(rng)
+		var seed []string
+		for n := rng.Intn(4); len(seed) < n; {
+			seed = append(seed, alphabet[rng.Intn(len(alphabet))])
+		}
+		scheme := []string{"R", "S"}[rng.Intn(2)]
+		got := CloseExistence(scheme, nes, seed)
+		want := closeExistenceReference(scheme, nes, seed)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: CloseExistence(%q, %v, %v) = %v, want %v", trial, scheme, nes, seed, got, want)
+		}
+	}
+}
+
+// TestEqClassesProperties checks the int-based union-find against the
+// defining closure: Same(a,b) iff a and b are connected in the graph whose
+// edges are the positional pairs of the scheme's constraints.
+func TestEqClassesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	alphabet := []string{"A", "B", "C", "D", "E", "F"}
+	for trial := 0; trial < 500; trial++ {
+		var tes []schema.TotalEquality
+		edges := make(map[string][]string)
+		addEdge := func(a, b string) {
+			edges[a] = append(edges[a], b)
+			edges[b] = append(edges[b], a)
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			n := 1 + rng.Intn(3)
+			y := make([]string, n)
+			z := make([]string, n)
+			for j := range y {
+				y[j] = alphabet[rng.Intn(len(alphabet))]
+				z[j] = alphabet[rng.Intn(len(alphabet))]
+				addEdge(y[j], z[j])
+			}
+			tes = append(tes, schema.TotalEquality{Scheme: "R", Y: y, Z: z})
+		}
+		reach := func(a, b string) bool {
+			if a == b {
+				return true
+			}
+			visited := map[string]bool{a: true}
+			queue := []string{a}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, next := range edges[cur] {
+					if next == b {
+						return true
+					}
+					if !visited[next] {
+						visited[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+			return false
+		}
+		eq := NewEqClasses("R", tes)
+		for _, a := range alphabet {
+			for _, b := range alphabet {
+				if got, want := eq.Same(a, b), reach(a, b); got != want {
+					t.Fatalf("trial %d: Same(%s,%s) = %v, want %v (tes %v)", trial, a, b, got, want, tes)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentCloseExistence hammers the shared engine across goroutines;
+// meaningful under -race.
+func TestConcurrentCloseExistence(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for trial := 0; trial < 200; trial++ {
+				nes := randExistence(rng)
+				CloseExistence("R", nes, []string{"A"})
+				ImpliesExistence(nes, schema.NullExistence{Scheme: "S", Y: []string{"B"}, Z: []string{"C"}})
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -18,10 +18,31 @@
 package nullcon
 
 import (
-	"sort"
-
+	"repro/internal/attrset"
 	"repro/internal/schema"
 )
+
+// engine answers all null-existence closure questions. Null-existence
+// constraints are FD-shaped (Y ⊑ Z obeys the Armstrong-form axioms of
+// section 3), so the same indexed counter algorithm applies; a nulls-not-
+// allowed constraint is an empty-LHS dependency and fires unconditionally.
+var engine = attrset.NewEngine()
+
+// existenceIndex compiles the constraints attached to one scheme. The
+// filtered list is rebuilt per call, but the compile itself is cached by
+// structural fingerprint, so the ubiquitous pattern of Simplify/Implied —
+// same constraint set, many seeds — pays one compile and then only hashing.
+func existenceIndex(scheme string, nes []schema.NullExistence) *attrset.Index {
+	filtered := make([]schema.NullExistence, 0, len(nes))
+	for _, ne := range nes {
+		if ne.Scheme == scheme {
+			filtered = append(filtered, ne)
+		}
+	}
+	return engine.Index(len(filtered), func(i int) ([]string, []string) {
+		return filtered[i].Y, filtered[i].Z
+	})
+}
 
 // Classify splits a constraint list into its three reasoning families,
 // expanding null-synchronization sets into their null-existence members.
@@ -46,47 +67,13 @@ func Classify(nulls []schema.NullConstraint) (nes []schema.NullExistence, pns []
 // single scheme — the analogue of FD attribute closure. Constraints attached
 // to other schemes are ignored.
 func CloseExistence(scheme string, nes []schema.NullExistence, y []string) []string {
-	closed := make(map[string]bool, len(y))
-	for _, a := range y {
-		closed[a] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, ne := range nes {
-			if ne.Scheme != scheme {
-				continue
-			}
-			if !allIn(ne.Y, closed) {
-				continue
-			}
-			for _, a := range ne.Z {
-				if !closed[a] {
-					closed[a] = true
-					changed = true
-				}
-			}
-		}
-	}
-	out := make([]string, 0, len(closed))
-	for a := range closed {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func allIn(attrs []string, set map[string]bool) bool {
-	for _, a := range attrs {
-		if !set[a] {
-			return false
-		}
-	}
-	return true
+	names := engine.ClosureNames(existenceIndex(scheme, nes), y)
+	return append(make([]string, 0, len(names)), names...)
 }
 
 // ImpliesExistence reports whether the null-existence constraints imply ne.
 func ImpliesExistence(nes []schema.NullExistence, ne schema.NullExistence) bool {
-	return schema.SubsetOf(ne.Z, CloseExistence(ne.Scheme, nes, ne.Y))
+	return engine.Contains(existenceIndex(ne.Scheme, nes), ne.Y, ne.Z)
 }
 
 // TotalAttrs returns the attributes of the scheme forced total
@@ -98,56 +85,73 @@ func TotalAttrs(scheme string, nes []schema.NullExistence) []string {
 
 // EqClasses is a union-find over qualified attribute names, built from
 // total-equality constraints; two attributes are in the same class iff their
-// equality is derivable by reflexivity, symmetry, and transitivity.
+// equality is derivable by reflexivity, symmetry, and transitivity. Names are
+// interned to dense ids at build time, so the structure is a flat int slice
+// with path-halving finds, and queries after construction do not mutate the
+// maps (an attribute never mentioned by a constraint is its own class).
 type EqClasses struct {
-	parent map[string]string
+	ids    map[string]int32
+	parent []int32
 }
 
 // NewEqClasses builds the equivalence classes for one scheme's total-equality
 // constraints (pairing attributes position-wise).
 func NewEqClasses(scheme string, tes []schema.TotalEquality) *EqClasses {
-	eq := &EqClasses{parent: make(map[string]string)}
+	eq := &EqClasses{ids: make(map[string]int32)}
 	for _, te := range tes {
 		if te.Scheme != scheme {
 			continue
 		}
 		for i := range te.Y {
 			if i < len(te.Z) {
-				eq.union(te.Y[i], te.Z[i])
+				eq.union(eq.id(te.Y[i]), eq.id(te.Z[i]))
 			}
 		}
 	}
 	return eq
 }
 
-func (eq *EqClasses) find(a string) string {
-	p, ok := eq.parent[a]
-	if !ok {
-		eq.parent[a] = a
-		return a
+func (eq *EqClasses) id(a string) int32 {
+	if id, ok := eq.ids[a]; ok {
+		return id
 	}
-	if p == a {
-		return a
-	}
-	root := eq.find(p)
-	eq.parent[a] = root
-	return root
+	id := int32(len(eq.parent))
+	eq.ids[a] = id
+	eq.parent = append(eq.parent, id)
+	return id
 }
 
-func (eq *EqClasses) union(a, b string) {
-	ra, rb := eq.find(a), eq.find(b)
-	if ra != rb {
-		// Deterministic root choice.
-		if ra > rb {
-			ra, rb = rb, ra
-		}
-		eq.parent[rb] = ra
+func (eq *EqClasses) find(x int32) int32 {
+	for eq.parent[x] != x {
+		eq.parent[x] = eq.parent[eq.parent[x]] // path halving
+		x = eq.parent[x]
 	}
+	return x
+}
+
+func (eq *EqClasses) union(a, b int32) {
+	ra, rb := eq.find(a), eq.find(b)
+	if ra == rb {
+		return
+	}
+	// Deterministic root choice: the smaller id (the earlier-interned name).
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	eq.parent[rb] = ra
 }
 
 // Same reports whether the attributes are provably equal.
 func (eq *EqClasses) Same(a, b string) bool {
-	return a == b || eq.find(a) == eq.find(b)
+	if a == b {
+		return true
+	}
+	ia, oka := eq.ids[a]
+	ib, okb := eq.ids[b]
+	if !oka || !okb {
+		return false // an unmentioned attribute equals only itself
+	}
+	return eq.find(ia) == eq.find(ib)
 }
 
 // ImpliesTotalEquality reports whether the total-equality constraints imply

@@ -153,7 +153,10 @@ func OverlapAttrs(a, b []string) bool {
 	return len(IntersectAttrs(a, b)) > 0
 }
 
-func joinAttrs(attrs []string) string { return strings.Join(attrs, ",") }
+// JoinAttrs renders an attribute-name list as a comma-separated string in
+// linear time (strings.Join builds through a single strings.Builder). It is
+// the shared canonical-key/rendering helper for this package and fd.
+func JoinAttrs(attrs []string) string { return strings.Join(attrs, ",") }
 
 // totalOn reports whether the subtuple of t on the named attributes of r is
 // total; attribute sets are resolved by name against r's header.

@@ -50,12 +50,12 @@ func (fd FD) Satisfied(r *relation.Relation) bool {
 
 // Key returns a canonical identity string for set comparisons.
 func (fd FD) Key() string {
-	return fd.Scheme + ":" + joinAttrs(NormalizeAttrs(fd.LHS)) + "->" + joinAttrs(NormalizeAttrs(fd.RHS))
+	return fd.Scheme + ":" + JoinAttrs(NormalizeAttrs(fd.LHS)) + "->" + JoinAttrs(NormalizeAttrs(fd.RHS))
 }
 
 // String renders the FD in the paper's notation.
 func (fd FD) String() string {
-	return fmt.Sprintf("%s: %s → %s", fd.Scheme, joinAttrs(fd.LHS), joinAttrs(fd.RHS))
+	return fmt.Sprintf("%s: %s → %s", fd.Scheme, JoinAttrs(fd.LHS), JoinAttrs(fd.RHS))
 }
 
 // IND is an inclusion dependency Left[LeftAttrs] ⊆ Right[RightAttrs].
@@ -99,12 +99,12 @@ func (ind IND) KeyBased(s *Schema) bool {
 // Key returns a canonical identity string for set comparisons. The attribute
 // correspondence is order-significant, so no normalization is applied.
 func (ind IND) Key() string {
-	return ind.Left + "[" + joinAttrs(ind.LeftAttrs) + "]<=" + ind.Right + "[" + joinAttrs(ind.RightAttrs) + "]"
+	return ind.Left + "[" + JoinAttrs(ind.LeftAttrs) + "]<=" + ind.Right + "[" + JoinAttrs(ind.RightAttrs) + "]"
 }
 
 // String renders the IND in the paper's notation.
 func (ind IND) String() string {
-	return fmt.Sprintf("%s[%s] ⊆ %s[%s]", ind.Left, joinAttrs(ind.LeftAttrs), ind.Right, joinAttrs(ind.RightAttrs))
+	return fmt.Sprintf("%s[%s] ⊆ %s[%s]", ind.Left, JoinAttrs(ind.LeftAttrs), ind.Right, JoinAttrs(ind.RightAttrs))
 }
 
 // SubstituteScheme returns a copy with occurrences of scheme old renamed to

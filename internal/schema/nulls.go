@@ -65,16 +65,16 @@ func (ne NullExistence) Satisfied(r *relation.Relation) bool {
 
 // Key implements NullConstraint.
 func (ne NullExistence) Key() string {
-	return "ne:" + ne.Scheme + ":" + joinAttrs(NormalizeAttrs(ne.Y)) + "<=" + joinAttrs(NormalizeAttrs(ne.Z))
+	return "ne:" + ne.Scheme + ":" + JoinAttrs(NormalizeAttrs(ne.Y)) + "<=" + JoinAttrs(NormalizeAttrs(ne.Z))
 }
 
 // String implements NullConstraint.
 func (ne NullExistence) String() string {
 	lhs := "∅"
 	if len(ne.Y) > 0 {
-		lhs = joinAttrs(ne.Y)
+		lhs = JoinAttrs(ne.Y)
 	}
-	return fmt.Sprintf("%s: %s ⊑ %s", ne.Scheme, lhs, joinAttrs(ne.Z))
+	return fmt.Sprintf("%s: %s ⊑ %s", ne.Scheme, lhs, JoinAttrs(ne.Z))
 }
 
 // SubstituteScheme implements NullConstraint.
@@ -128,12 +128,12 @@ func (ns NullSync) Expand() []NullExistence {
 
 // Key implements NullConstraint.
 func (ns NullSync) Key() string {
-	return "ns:" + ns.Scheme + ":" + joinAttrs(NormalizeAttrs(ns.Y))
+	return "ns:" + ns.Scheme + ":" + JoinAttrs(NormalizeAttrs(ns.Y))
 }
 
 // String implements NullConstraint.
 func (ns NullSync) String() string {
-	return fmt.Sprintf("%s: NS(%s)", ns.Scheme, joinAttrs(ns.Y))
+	return fmt.Sprintf("%s: NS(%s)", ns.Scheme, JoinAttrs(ns.Y))
 }
 
 // SubstituteScheme implements NullConstraint.
@@ -183,7 +183,7 @@ func (pn PartNull) Satisfied(r *relation.Relation) bool {
 func (pn PartNull) Key() string {
 	parts := make([]string, len(pn.Sets))
 	for i, set := range pn.Sets {
-		parts[i] = joinAttrs(NormalizeAttrs(set))
+		parts[i] = JoinAttrs(NormalizeAttrs(set))
 	}
 	sort.Strings(parts)
 	return "pn:" + pn.Scheme + ":" + strings.Join(parts, "|")
@@ -193,7 +193,7 @@ func (pn PartNull) Key() string {
 func (pn PartNull) String() string {
 	parts := make([]string, len(pn.Sets))
 	for i, set := range pn.Sets {
-		parts[i] = "{" + joinAttrs(set) + "}"
+		parts[i] = "{" + JoinAttrs(set) + "}"
 	}
 	return fmt.Sprintf("%s: PN(%s)", pn.Scheme, strings.Join(parts, ", "))
 }
@@ -242,7 +242,7 @@ func (te TotalEquality) Satisfied(r *relation.Relation) bool {
 // Key implements NullConstraint. Total equality is symmetric, so the two
 // sides are ordered canonically; the positional correspondence is preserved.
 func (te TotalEquality) Key() string {
-	a, b := joinAttrs(te.Y), joinAttrs(te.Z)
+	a, b := JoinAttrs(te.Y), JoinAttrs(te.Z)
 	if a > b {
 		a, b = b, a
 	}
@@ -251,7 +251,7 @@ func (te TotalEquality) Key() string {
 
 // String implements NullConstraint.
 func (te TotalEquality) String() string {
-	return fmt.Sprintf("%s: %s =⊥ %s", te.Scheme, joinAttrs(te.Y), joinAttrs(te.Z))
+	return fmt.Sprintf("%s: %s =⊥ %s", te.Scheme, JoinAttrs(te.Y), JoinAttrs(te.Z))
 }
 
 // SubstituteScheme implements NullConstraint.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# The repo's CI gate: formatting, vet, build, and the test suite under the
+# race detector. Equivalent to `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
