@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchjson
+.PHONY: check fmt vet metriclint build test race bench benchjson
 
-## check: the full CI gate — formatting, vet, build, tests under the race detector
-check: fmt vet build race
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector
+check: fmt vet metriclint build race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -11,6 +11,10 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## metriclint: every registered metric name is unique and follows the naming convention
+metriclint:
+	$(GO) run ./scripts/metriclint .
 
 build:
 	$(GO) build ./...
@@ -24,6 +28,6 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR1.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR2.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR1.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR2.json

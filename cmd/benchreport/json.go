@@ -9,7 +9,9 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/attrset"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fd"
+	"repro/internal/figures"
 	"repro/internal/keyrel"
 	"repro/internal/nullcon"
 	"repro/internal/schema"
@@ -26,12 +28,26 @@ type benchProbe struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchReport is the BENCH_PR1.json document: raw probes plus the derived
+// benchReport is the BENCH_PR2.json document: raw probes, the derived
 // speedup ratios of the bitset closure engine over the retained map-based
-// reference implementation on the same workloads.
+// reference implementation, the attrset cache hit rates observed during the
+// probes, and the per-regime constraint-maintenance counters of the fig. 3
+// replay (declarative checks vs. trigger firings, base vs. merged design).
 type benchReport struct {
-	Probes   []benchProbe       `json:"probes"`
-	Speedups map[string]float64 `json:"speedups"`
+	Probes        []benchProbe       `json:"probes"`
+	Speedups      map[string]float64 `json:"speedups"`
+	CacheHitRates map[string]float64 `json:"cache_hit_rates"`
+	Maintenance   []maintenanceRow   `json:"maintenance"`
+}
+
+// maintenanceRow is one engine's constraint-maintenance profile for the
+// fig. 3 replay: how much checking was declarative (Prop. 5.1's cheap
+// regime) and how much needed trigger firings.
+type maintenanceRow struct {
+	DB                string `json:"db"`
+	Inserts           int    `json:"inserts"`
+	DeclarativeChecks int    `json:"declarative_checks"`
+	TriggerFirings    int    `json:"trigger_firings"`
 }
 
 func chainFDs(n int) ([]string, []fd.Dep) {
@@ -148,7 +164,9 @@ func runJSON(path string) error {
 	}
 
 	// Steady-state memoized closure on a pinned index: the engine's hit path,
-	// which must not allocate.
+	// which must not allocate. The cache hit rate of this probe is the
+	// memo-steady-state figure reported in cache_hit_rates.
+	cacheHitRates := map[string]float64{}
 	{
 		_, deps := chainFDs(1000)
 		engine := attrset.NewEngine()
@@ -163,6 +181,7 @@ func runJSON(path string) error {
 				engine.Closure(ix, seed)
 			}
 		}))
+		cacheHitRates["engine-steady-state/closure"] = engine.CacheStats().ClosureHitRate()
 	}
 
 	// Implication through the public fd adapter (fingerprint walk + memo hit).
@@ -244,7 +263,25 @@ func runJSON(path string) error {
 		}))
 	}
 
-	report := benchReport{Probes: probes, Speedups: map[string]float64{}}
+	// Package-level dependency-reasoning caches, warmed by every probe above.
+	if st := fd.CacheStats(); st.ClosureHits+st.ClosureMisses > 0 {
+		cacheHitRates["fd/closure"] = st.ClosureHitRate()
+	}
+	if st := nullcon.CacheStats(); st.ClosureHits+st.ClosureMisses > 0 {
+		cacheHitRates["nullcon/closure"] = st.ClosureHitRate()
+	}
+
+	maintenance, err := maintenanceProfile()
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Probes:        probes,
+		Speedups:      map[string]float64{},
+		CacheHitRates: cacheHitRates,
+		Maintenance:   maintenance,
+	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range probes {
 		byName[p.Name] = p
@@ -271,6 +308,53 @@ func runJSON(path string) error {
 			fmt.Printf("  %-20s %.1fx\n", w, s)
 		}
 	}
+	fmt.Printf("cache hit rates:\n")
+	for _, k := range []string{"engine-steady-state/closure", "fd/closure", "nullcon/closure"} {
+		if r, ok := report.CacheHitRates[k]; ok {
+			fmt.Printf("  %-28s %.1f%%\n", k, 100*r)
+		}
+	}
+	fmt.Printf("maintenance (fig. 3 replay):\n")
+	for _, row := range report.Maintenance {
+		fmt.Printf("  %-8s inserts=%d declarative=%d triggers=%d\n", row.DB, row.Inserts, row.DeclarativeChecks, row.TriggerFirings)
+	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// maintenanceProfile replays the deterministic figure 3 state into the base
+// schema and into the fully merged COURSE” design, recording how much of the
+// constraint maintenance each engine could do declaratively (Prop. 5.1) and
+// how much needed trigger firings.
+func maintenanceProfile() ([]maintenanceRow, error) {
+	s := figures.Fig3()
+	st := figures.Fig3State()
+	base, err := engine.Open(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := base.Load(st); err != nil {
+		return nil, fmt.Errorf("benchreport: replaying fig. 3 into the base engine: %w", err)
+	}
+	m, err := core.MergeSet(s, []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, core.WithName("COURSE''"))
+	if err != nil {
+		return nil, err
+	}
+	m.RemoveAll()
+	merged, err := engine.Open(m.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := merged.Load(m.MapState(st)); err != nil {
+		return nil, fmt.Errorf("benchreport: replaying fig. 3 into the merged engine: %w", err)
+	}
+	row := func(name string, db *engine.DB) maintenanceRow {
+		return maintenanceRow{
+			DB:                name,
+			Inserts:           db.Stats.Inserts,
+			DeclarativeChecks: db.Stats.DeclarativeChecks,
+			TriggerFirings:    db.Stats.TriggerFirings,
+		}
+	}
+	return []maintenanceRow{row("base", base), row("merged", merged)}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/diff"
 	"repro/internal/figures"
 	"repro/internal/nullcon"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/state"
@@ -46,8 +47,17 @@ func main() {
 		migrate    = flag.Bool("migrate", false, "also print the SQL data-migration script realizing the η mapping")
 		showDiff   = flag.Bool("diff", false, "also print the schema diff (input vs merged)")
 		showTrace  = flag.Bool("trace", false, "also print the Definition 4.1/4.3 provenance trace")
+		metrics    = flag.String("metrics", "", "append an observability report (json or text): replays -data or a built-in state into base and merged engines sharing one registry")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *metrics != "" {
+		if *metrics != "json" && *metrics != "text" {
+			fatal(fmt.Errorf("relmerge: unknown -metrics mode %q (want json or text)", *metrics))
+		}
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
 
 	s, err := loadSchema(*schemaPath, *useFig3)
 	if err != nil {
@@ -93,17 +103,17 @@ func main() {
 		}
 	}
 
-	m, err := core.Merge(s, names, *name)
+	m, err := core.MergeSet(s, names, core.WithName(*name), core.WithTrace(tracer))
 	if err != nil {
 		fatal(err)
 	}
 	switch {
 	case *removeList == "all":
-		removed := m.RemoveAll()
+		removed := m.RemoveAll(core.WithTrace(tracer))
 		fmt.Printf("-- removed key copies of: %s\n", strings.Join(removed, ", "))
 	case *removeList != "":
 		for _, member := range splitList(*removeList) {
-			if err := m.Remove(member); err != nil {
+			if err := m.Remove(member, core.WithTrace(tracer)); err != nil {
 				fatal(err)
 			}
 		}
@@ -130,6 +140,16 @@ func main() {
 	}
 	if *dataPath != "" {
 		if err := mapData(s, m, *dataPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics != "" {
+		st, err := replayState(s, *dataPath, *useFig3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n-- observability report:")
+		if err := metricsReport(os.Stdout, s, m, st, tracer, *metrics); err != nil {
 			fatal(err)
 		}
 	}

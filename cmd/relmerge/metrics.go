@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/figures"
+	"repro/internal/nullcon"
+	"repro/internal/obs"
+	"repro/internal/schema"
+	"repro/internal/sdl"
+	"repro/internal/state"
+)
+
+// replayState picks the database state to replay for the metrics report: the
+// -data file when given, the deterministic figure 3 state under -fig3, and a
+// seeded generated state otherwise.
+func replayState(s *schema.Schema, dataPath string, fig3 bool) (*state.DB, error) {
+	if dataPath != "" {
+		data, err := os.ReadFile(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		return sdl.ParseState(s, string(data))
+	}
+	if fig3 {
+		return figures.Fig3State(), nil
+	}
+	return state.Generate(s, rand.New(rand.NewSource(1)), state.GenOptions{Rows: 16})
+}
+
+// reconciliation compares one engine's registry series against its legacy
+// Stats struct; the two are kept in lockstep by the engine, so any mismatch
+// is a bug worth surfacing in the report.
+type reconciliation struct {
+	DB         string `json:"db"`
+	Reconciled bool   `json:"reconciled"`
+}
+
+func reconcile(reg *obs.Registry, db *engine.DB) reconciliation {
+	want := map[string]int{
+		"engine.inserts":            db.Stats.Inserts,
+		"engine.deletes":            db.Stats.Deletes,
+		"engine.updates":            db.Stats.Updates,
+		"engine.lookups":            db.Stats.Lookups,
+		"engine.declarative_checks": db.Stats.DeclarativeChecks,
+		"engine.trigger_firings":    db.Stats.TriggerFirings,
+		"engine.index_lookups":      db.Stats.IndexLookups,
+		"engine.tuples_scanned":     db.Stats.TuplesScanned,
+	}
+	ok := true
+	for _, p := range reg.Snapshot() {
+		w, tracked := want[p.Name]
+		if !tracked || p.Labels["db"] != db.MetricName() {
+			continue
+		}
+		if int(p.Value) != w {
+			ok = false
+		}
+	}
+	return reconciliation{DB: db.MetricName(), Reconciled: ok}
+}
+
+// metricsReport replays st into both physical designs — the original schema
+// and the merged one, sharing a single registry under db=base / db=merged
+// labels — then writes the combined metrics, span, and reconciliation report.
+func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *state.DB, tracer *obs.Tracer, mode string) error {
+	reg := obs.NewRegistry()
+	fd.RegisterMetrics(reg)
+	nullcon.RegisterMetrics(reg)
+	base, err := engine.Open(s, engine.WithRegistry(reg), engine.WithName("base"))
+	if err != nil {
+		return err
+	}
+	merged, err := engine.Open(m.Schema, engine.WithRegistry(reg), engine.WithName("merged"))
+	if err != nil {
+		return err
+	}
+	if err := base.Load(st); err != nil {
+		return fmt.Errorf("relmerge: replaying state into the base engine: %w", err)
+	}
+	if err := merged.Load(m.MapState(st)); err != nil {
+		return fmt.Errorf("relmerge: replaying state into the merged engine: %w", err)
+	}
+
+	recs := []reconciliation{reconcile(reg, base), reconcile(reg, merged)}
+	switch mode {
+	case "json":
+		type span struct {
+			Name     string            `json:"name"`
+			Depth    int               `json:"depth"`
+			Duration time.Duration     `json:"duration_ns"`
+			Attrs    map[string]string `json:"attrs,omitempty"`
+		}
+		doc := struct {
+			Metrics   []obs.Point      `json:"metrics"`
+			Spans     []span           `json:"spans,omitempty"`
+			Reconcile []reconciliation `json:"reconcile"`
+		}{Metrics: reg.Snapshot(), Reconcile: recs}
+		if tracer != nil {
+			for _, ev := range tracer.Events() {
+				doc.Spans = append(doc.Spans, span{Name: ev.Name, Depth: ev.Depth, Duration: ev.Duration, Attrs: ev.Attrs})
+			}
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			return err
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, data, "", "  "); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, pretty.String())
+		return err
+	case "text":
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+		if tracer != nil {
+			for _, ev := range tracer.Events() {
+				fmt.Fprintf(w, "span %s depth=%d duration=%s\n", ev.Name, ev.Depth, ev.Duration)
+			}
+		}
+		for _, r := range recs {
+			fmt.Fprintf(w, "reconcile{db=%q} %v\n", r.DB, r.Reconciled)
+		}
+		return nil
+	default:
+		return fmt.Errorf("relmerge: unknown -metrics mode %q (want json or text)", mode)
+	}
+}

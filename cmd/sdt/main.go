@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ddl"
 	"repro/internal/eer"
+	"repro/internal/fd"
+	"repro/internal/nullcon"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/translate"
@@ -45,8 +49,17 @@ func main() {
 		advise     = flag.Bool("advise", false, "price every merge cluster under the workload and print recommendations instead of DDL")
 		queries    = flag.String("queries", "", "profile-query frequencies for -advise, as ROOT=FREQ,... pairs")
 		inserts    = flag.String("inserts", "", "insert frequencies for -advise, as ROOT=FREQ,... pairs")
+		metrics    = flag.String("metrics", "", "append an observability report (json or text): merge-pipeline spans and dependency-reasoning cache metrics")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *metrics != "" {
+		if *metrics != "json" && *metrics != "text" {
+			fatal(fmt.Errorf("sdt: unknown -metrics mode %q (want json or text)", *metrics))
+		}
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
 
 	es, err := loadEER(*eerPath, *useFig7)
 	if err != nil {
@@ -83,26 +96,26 @@ func main() {
 	case *mergeList == "":
 		// Option (i): one relation-scheme per object-set.
 	case *mergeList == "auto":
-		clusters := core.Prop52Clusters(rs)
+		clusters := core.Prop52Clusters(rs, core.WithTrace(tracer))
 		for _, c := range clusters {
 			fmt.Printf("-- merging %s (key-relation %s)\n", strings.Join(c, ", "), c[0])
 		}
-		rs, _, err = core.ApplyPlan(rs, clusters)
+		rs, _, err = core.ApplyPlan(rs, clusters, core.WithTrace(tracer))
 		if err != nil {
 			fatal(err)
 		}
 	default:
-		m, err := core.Merge(rs, splitList(*mergeList), *name)
+		m, err := core.MergeSet(rs, splitList(*mergeList), core.WithName(*name), core.WithTrace(tracer))
 		if err != nil {
 			fatal(err)
 		}
 		switch *removeList {
 		case "all":
-			m.RemoveAll()
+			m.RemoveAll(core.WithTrace(tracer))
 		case "none", "":
 		default:
 			for _, member := range splitList(*removeList) {
-				if err := m.Remove(member); err != nil {
+				if err := m.Remove(member, core.WithTrace(tracer)); err != nil {
 					fatal(err)
 				}
 			}
@@ -128,6 +141,42 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("sdt: unknown output %q", *out))
+	}
+
+	if *metrics != "" {
+		fmt.Println("\n-- observability report:")
+		if err := obsReport(os.Stdout, tracer, *metrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// obsReport writes the dependency-reasoning cache metrics and the merge
+// pipeline's span trace.
+func obsReport(w io.Writer, tracer *obs.Tracer, mode string) error {
+	reg := obs.NewRegistry()
+	fd.RegisterMetrics(reg)
+	nullcon.RegisterMetrics(reg)
+	switch mode {
+	case "json":
+		doc := struct {
+			Metrics []obs.Point     `json:"metrics"`
+			Spans   []obs.SpanEvent `json:"spans,omitempty"`
+		}{Metrics: reg.Snapshot(), Spans: tracer.Events()}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(data))
+		return err
+	default:
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+		for _, ev := range tracer.Events() {
+			fmt.Fprintf(w, "span %s depth=%d duration=%s\n", ev.Name, ev.Depth, ev.Duration)
+		}
+		return nil
 	}
 }
 

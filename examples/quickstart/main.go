@@ -2,42 +2,41 @@
 // relation-schemes with compatible primary keys into one, see the null
 // constraints the merge generates, and round-trip a database state through
 // the η/η′ mappings to confirm nothing is lost.
+//
+// Everything comes from the public pkg/relmerge facade; no internal imports.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/relation"
-	"repro/internal/schema"
-	"repro/internal/state"
+	"repro/pkg/relmerge"
 )
 
 func main() {
 	// Build the figure 2 schema by hand: OFFER(O.CN*, O.DN) and
 	// TEACH(T.CN*, T.FN), with every TEACH course also an OFFER course.
-	s := schema.New()
-	s.AddScheme(schema.NewScheme("OFFER",
-		[]schema.Attribute{
+	s := relmerge.NewSchema()
+	s.AddScheme(relmerge.NewScheme("OFFER",
+		[]relmerge.Attribute{
 			{Name: "O.CN", Domain: "course_nr"},
 			{Name: "O.DN", Domain: "dept_name"},
 		}, []string{"O.CN"}))
-	s.AddScheme(schema.NewScheme("TEACH",
-		[]schema.Attribute{
+	s.AddScheme(relmerge.NewScheme("TEACH",
+		[]relmerge.Attribute{
 			{Name: "T.CN", Domain: "course_nr"},
 			{Name: "T.FN", Domain: "faculty_name"},
 		}, []string{"T.CN"}))
-	s.INDs = append(s.INDs, schema.NewIND("TEACH", []string{"T.CN"}, "OFFER", []string{"O.CN"}))
+	s.INDs = append(s.INDs, relmerge.NewIND("TEACH", []string{"T.CN"}, "OFFER", []string{"O.CN"}))
 	s.Nulls = append(s.Nulls,
-		schema.NNA("OFFER", "O.CN", "O.DN"),
-		schema.NNA("TEACH", "T.CN", "T.FN"))
+		relmerge.NNA("OFFER", "O.CN", "O.DN"),
+		relmerge.NNA("TEACH", "T.CN", "T.FN"))
 
 	fmt.Println("before merging:")
 	fmt.Print(indent(s.String()))
 
 	// Merge. OFFER qualifies as the key-relation (Prop. 3.1), so no
 	// synthetic key is needed.
-	m, err := core.Merge(s, []string{"OFFER", "TEACH"}, "ASSIGN")
+	m, err := relmerge.Merge(s, []string{"OFFER", "TEACH"}, relmerge.WithName("ASSIGN"))
 	if err != nil {
 		panic(err)
 	}
@@ -52,11 +51,11 @@ func main() {
 	fmt.Print(indent(m.Schema.String()))
 
 	// Round-trip a state: two offered courses, one of them taught.
-	db := state.New(s)
+	db := relmerge.NewState(s)
 	add := func(rel string, vals ...string) {
-		t := make(relation.Tuple, len(vals))
+		t := make(relmerge.Tuple, len(vals))
 		for i, v := range vals {
-			t[i] = relation.NewString(v)
+			t[i] = relmerge.NewString(v)
 		}
 		db.Relation(rel).Add(t)
 	}

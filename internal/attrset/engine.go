@@ -26,7 +26,15 @@ type Engine struct {
 	mu       sync.Mutex
 	indexes  *lru[fingerprint, *Index]
 	closures *lru[closureKey, *closureEntry]
+	stats    cacheCounters // guarded by mu
 	pool     sync.Pool
+}
+
+// cacheCounters accumulates cache traffic under Engine.mu; CacheStats copies
+// it out for reporting.
+type cacheCounters struct {
+	indexHits, indexMisses, indexEvictions       int64
+	closureHits, closureMisses, closureEvictions int64
 }
 
 type closureKey struct {
@@ -62,13 +70,17 @@ func (e *Engine) Index(n int, dep func(i int) (lhs, rhs []string)) *Index {
 	fp := fingerprintDeps(n, dep)
 	e.mu.Lock()
 	if ix, ok := e.indexes.get(fp); ok {
+		e.stats.indexHits++
 		e.mu.Unlock()
 		return ix
 	}
+	e.stats.indexMisses++
 	e.mu.Unlock()
 	ix := buildIndex(n, dep, fp)
 	e.mu.Lock()
-	e.indexes.put(fp, ix)
+	if e.indexes.put(fp, ix) {
+		e.stats.indexEvictions++
+	}
 	e.mu.Unlock()
 	return ix
 }
@@ -139,12 +151,15 @@ func (e *Engine) closureEntry(ix *Index, seed []string) *closureEntry {
 
 	e.mu.Lock()
 	ce, ok := e.closures.get(key)
-	e.mu.Unlock()
 	if ok {
+		e.stats.closureHits++
+		e.mu.Unlock()
 		sc.ids = ids
 		e.pool.Put(sc)
 		return ce
 	}
+	e.stats.closureMisses++
+	e.mu.Unlock()
 
 	dst := NewSet(ix.in.Len())
 	ix.closeInto(ids, &dst, sc)
@@ -152,8 +167,8 @@ func (e *Engine) closureEntry(ix *Index, seed []string) *closureEntry {
 	e.mu.Lock()
 	if prev, ok := e.closures.get(key); ok {
 		ce = prev // lost a race; keep the first entry canonical
-	} else {
-		e.closures.put(key, ce)
+	} else if e.closures.put(key, ce) {
+		e.stats.closureEvictions++
 	}
 	e.mu.Unlock()
 	sc.ids = ids

@@ -30,18 +30,29 @@ func (c *lru[K, V]) get(k K) (V, bool) {
 	return zero, false
 }
 
-func (c *lru[K, V]) put(k K, v V) {
+// put inserts or refreshes an entry and reports whether a victim was evicted
+// to make room.
+func (c *lru[K, V]) put(k K, v V) (evicted bool) {
 	if e, ok := c.m[k]; ok {
 		e.Value = lruEntry[K, V]{k, v}
 		c.ll.MoveToFront(e)
-		return
+		return false
 	}
 	c.m[k] = c.ll.PushFront(lruEntry[K, V]{k, v})
 	if c.ll.Len() > c.max {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.m, back.Value.(lruEntry[K, V]).key)
+		return true
 	}
+	return false
 }
 
 func (c *lru[K, V]) len() int { return c.ll.Len() }
+
+// each visits every cached value, most recently used first.
+func (c *lru[K, V]) each(fn func(V)) {
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		fn(e.Value.(lruEntry[K, V]).val)
+	}
+}

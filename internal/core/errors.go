@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the merge preconditions of Definition 4.1. They are
+// wrapped with the offending names, so match with errors.Is.
+var (
+	// ErrMergeSetTooSmall: fewer than two relation-schemes in the merge set.
+	ErrMergeSetTooSmall = errors.New("core: merge set must have at least two relation-schemes")
+	// ErrUnknownScheme: a merge-set name the schema does not define.
+	ErrUnknownScheme = errors.New("core: unknown relation-scheme")
+	// ErrDuplicateMember: a name listed twice in the merge set.
+	ErrDuplicateMember = errors.New("core: duplicate member")
+	// ErrNameCollision: the merged name already names a scheme.
+	ErrNameCollision = errors.New("core: merged name collides with an existing scheme")
+	// ErrIncompatibleKeys: two members' primary keys are not compatible
+	// (Def. 2.x compatibility: same arity and domains position-wise).
+	ErrIncompatibleKeys = errors.New("core: primary keys are not compatible")
+	// ErrNullableMember: a member attribute is not covered by a
+	// nulls-not-allowed constraint (Def. 4.1's simplifying assumption).
+	ErrNullableMember = errors.New("core: member attribute allows nulls")
+	// ErrBadKeyRelation: the requested key-relation fails Prop. 3.1.
+	ErrBadKeyRelation = errors.New("core: requested key-relation does not satisfy the Prop. 3.1 condition")
+	// ErrNotMember: a name that is not part of the merge set.
+	ErrNotMember = errors.New("core: not a member of the merge set")
+)
+
+// RemovabilityCondition identifies which part of Definition 4.2 rejected a
+// removal. Conditions 1–4 follow the paper's numbering; the Precondition
+// values cover the implicit requirements checked before them.
+type RemovabilityCondition int
+
+const (
+	// PreconditionMember: the name is not a merge-set member, is the
+	// key-relation, or its key copy is already removed.
+	PreconditionMember RemovabilityCondition = iota
+	// PreconditionTotalEquality: the defining Km =⊥ Yj constraint is gone.
+	PreconditionTotalEquality
+	// Condition1: removal would leave no attribute of the member.
+	Condition1
+	// Condition2: Yj appears in the right-hand side of an inclusion
+	// dependency from another scheme.
+	Condition2
+	// Condition3: the foreign key Rm[Yj] ⊆ Rj[Kj] has no Km counterpart.
+	Condition3
+	// Condition4: Yj overlaps another foreign key of Rm.
+	Condition4
+)
+
+// String renders the condition in the paper's numbering.
+func (c RemovabilityCondition) String() string {
+	switch c {
+	case PreconditionMember:
+		return "membership precondition"
+	case PreconditionTotalEquality:
+		return "total-equality precondition"
+	case Condition1, Condition2, Condition3, Condition4:
+		return fmt.Sprintf("condition (%d)", int(c)-int(Condition1)+1)
+	default:
+		return "unknown condition"
+	}
+}
+
+// ErrNotRemovable is the typed error returned by IsRemovable and Remove when
+// Definition 4.2 rejects removing a member's key copy. Extract it with
+// errors.As to learn which condition failed.
+type ErrNotRemovable struct {
+	// Member is the merge-set member whose key copy was to be removed.
+	Member string
+	// Attrs is the key copy Yj (empty when the member is unknown).
+	Attrs []string
+	// Condition identifies the failing clause of Definition 4.2.
+	Condition RemovabilityCondition
+	// Reason is the human-readable explanation, in the engine's historical
+	// message format.
+	Reason string
+}
+
+// Error returns the historical message text.
+func (e *ErrNotRemovable) Error() string { return e.Reason }
+
+func notRemovable(member string, attrs []string, cond RemovabilityCondition, format string, args ...any) *ErrNotRemovable {
+	return &ErrNotRemovable{
+		Member:    member,
+		Attrs:     append([]string(nil), attrs...),
+		Condition: cond,
+		Reason:    fmt.Sprintf(format, args...),
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/keyrel"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -141,11 +142,16 @@ func (m *MergedScheme) alignKm(member *Member, attrs []string) []string {
 // constraint is generated per step 3(d).
 //
 // The input schema is not mutated; the result holds a rewritten clone.
+//
+// Merge is shorthand for MergeSet(s, names, WithName(mergedName)).
 func Merge(s *schema.Schema, names []string, mergedName string) (*MergedScheme, error) {
-	return MergeWith(s, names, mergedName, Options{})
+	return MergeSet(s, names, WithName(mergedName))
 }
 
 // Options tune Merge beyond the paper's defaults.
+//
+// Deprecated: Options predates the functional options of MergeSet; new code
+// should pass WithKeyRelation / WithSyntheticKey directly.
 type Options struct {
 	// KeyRelation names the member to use as the key-relation Rk. It must
 	// satisfy the Prop. 3.1 condition; Merge fails otherwise. Empty selects
@@ -158,39 +164,66 @@ type Options struct {
 
 // MergeWith is Merge with explicit Options.
 func MergeWith(s *schema.Schema, names []string, mergedName string, opts Options) (*MergedScheme, error) {
+	fo := []Option{WithName(mergedName)}
+	if opts.KeyRelation != "" {
+		fo = append(fo, WithKeyRelation(opts.KeyRelation))
+	}
+	if opts.ForceSynthetic {
+		fo = append(fo, WithSyntheticKey())
+	}
+	return MergeSet(s, names, fo...)
+}
+
+// MergeSet is the canonical Definition 4.1 entry point: it merges the named
+// relation-schemes under the given options. Without WithName the merged
+// scheme is named after the first member with enough trailing primes to be
+// fresh (the paper's R' convention). A tracer attached via WithTrace or a
+// context from WithContext receives one span per definition step.
+func MergeSet(s *schema.Schema, names []string, opts ...Option) (*MergedScheme, error) {
+	cfg := newConfig(opts)
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: input schema invalid: %w", err)
 	}
 	if len(names) < 2 {
-		return nil, fmt.Errorf("core: merge set must have at least two relation-schemes")
+		return nil, ErrMergeSetTooSmall
 	}
+	mergedName := cfg.name
+	if mergedName == "" {
+		mergedName = names[0] + "'"
+		for s.Scheme(mergedName) != nil {
+			mergedName += "'"
+		}
+	}
+	ctx, sp := obs.Span(cfg.ctx, "core.Merge")
+	defer sp.End()
+	sp.SetAttr("merged", mergedName)
 	if s.Scheme(mergedName) != nil {
-		return nil, fmt.Errorf("core: merged name %s collides with an existing scheme", mergedName)
+		return nil, fmt.Errorf("%w: %s", ErrNameCollision, mergedName)
 	}
 	seen := make(map[string]bool, len(names))
 	members := make([]Member, 0, len(names))
 	for _, n := range names {
 		if seen[n] {
-			return nil, fmt.Errorf("core: duplicate member %s", n)
+			return nil, fmt.Errorf("%w %s", ErrDuplicateMember, n)
 		}
 		seen[n] = true
 		rs := s.Scheme(n)
 		if rs == nil {
-			return nil, fmt.Errorf("core: unknown relation-scheme %s", n)
+			return nil, fmt.Errorf("%w %s", ErrUnknownScheme, n)
 		}
 		members = append(members, Member{Name: n, Attrs: rs.AttrNames(), Key: append([]string(nil), rs.PrimaryKey...)})
 	}
 	first := s.Scheme(names[0])
 	for _, n := range names[1:] {
 		if !first.KeyCompatible(s.Scheme(n)) {
-			return nil, fmt.Errorf("core: primary keys of %s and %s are not compatible", names[0], n)
+			return nil, fmt.Errorf("%w: %s and %s", ErrIncompatibleKeys, names[0], n)
 		}
 	}
 	for _, mb := range members {
 		nna := s.NNAAttrs(mb.Name)
 		for _, a := range mb.Attrs {
 			if !nna[a] {
-				return nil, fmt.Errorf("core: attribute %s of member %s allows nulls; Merge assumes nulls-not-allowed members (Def. 4.1)", a, mb.Name)
+				return nil, fmt.Errorf("%w: attribute %s of member %s (Merge assumes nulls-not-allowed members, Def. 4.1)", ErrNullableMember, a, mb.Name)
 			}
 		}
 	}
@@ -198,15 +231,15 @@ func MergeWith(s *schema.Schema, names []string, mergedName string, opts Options
 	// Key-relation selection (Prop. 3.1), preferring names order.
 	keyRel := ""
 	switch {
-	case opts.ForceSynthetic:
-		if opts.KeyRelation != "" {
-			return nil, fmt.Errorf("core: ForceSynthetic and KeyRelation are mutually exclusive")
+	case cfg.forceSynthetic:
+		if cfg.keyRelation != "" {
+			return nil, fmt.Errorf("core: WithSyntheticKey and WithKeyRelation are mutually exclusive")
 		}
-	case opts.KeyRelation != "":
-		if !keyrel.IsKeyRelation(s, opts.KeyRelation, names) {
-			return nil, fmt.Errorf("core: %s does not satisfy the Prop. 3.1 key-relation condition for %v", opts.KeyRelation, names)
+	case cfg.keyRelation != "":
+		if !keyrel.IsKeyRelation(s, cfg.keyRelation, names) {
+			return nil, fmt.Errorf("%w: %s for %v", ErrBadKeyRelation, cfg.keyRelation, names)
 		}
-		keyRel = opts.KeyRelation
+		keyRel = cfg.keyRelation
 	default:
 		qualified := keyrel.Find(s, names)
 		for _, n := range names {
@@ -232,6 +265,7 @@ func MergeWith(s *schema.Schema, names []string, mergedName string, opts Options
 	// Step 1: the merged relation-scheme Rm(Xm) with Km := Kk and
 	// Xm := Xk ∪ ⋃ Xi (key-relation attributes first, then the remaining
 	// members in names order).
+	_, step1 := obs.Span(ctx, "merge.step1.scheme")
 	var attrs []schema.Attribute
 	if keyRel != "" {
 		krs := s.Scheme(keyRel)
@@ -268,16 +302,20 @@ func MergeWith(s *schema.Schema, names []string, mergedName string, opts Options
 		}
 	}
 	m.FullAttrs = merged.AttrNames()
+	step1.End()
 
 	// Step 2 (and the scheme replacement): drop members (their key
 	// dependencies and null constraints go with them), add Rm with
 	// Rm: Km → Xm.
+	_, step2 := obs.Span(ctx, "merge.step2.dependencies")
 	for _, mb := range members {
 		out.RemoveScheme(mb.Name)
 	}
 	out.AddScheme(merged)
+	step2.End()
 
 	// Step 3: null constraints N'.
+	_, step3 := obs.Span(ctx, "merge.step3.null_constraints")
 	// 3(a): NNA on Xk.
 	out.Nulls = append(out.Nulls, schema.NNA(mergedName, m.Xk...))
 	// 3(b): total-equality Km =⊥ Ki for every member with Ki ≠ Km.
@@ -320,14 +358,21 @@ func MergeWith(s *schema.Schema, names []string, mergedName string, opts Options
 		out.Nulls = append(out.Nulls, schema.NewNullExistence(mergedName, rj.Attrs, ri.Attrs))
 	}
 
+	step3.End()
+
 	// Step 4: inclusion dependencies I'.
+	_, step4 := obs.Span(ctx, "merge.step4.inclusion_dependencies")
 	out.INDs = m.rewriteINDs(s.INDs)
+	step4.End()
 
 	m.Schema = out
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("core: merge produced an invalid schema: %w", err)
 	}
 	m.traceMerge()
+	for _, line := range m.trace {
+		cfg.observe(line)
+	}
 	return m, nil
 }
 

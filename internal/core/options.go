@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Option tunes MergeSet, Remove, RemoveAll, and ApplyPlan. Options compose
+// left to right; the zero configuration reproduces the paper's defaults.
+type Option func(*config)
+
+type config struct {
+	name           string
+	keyRelation    string
+	forceSynthetic bool
+	ctx            context.Context
+	observer       func(step string)
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// observe reports a completed step to the observer callback, if any.
+func (c *config) observe(step string) {
+	if c.observer != nil {
+		c.observer(step)
+	}
+}
+
+// WithName sets the merged relation-scheme's name Rm. The default is the
+// first member's name with enough trailing primes to be fresh.
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithKeyRelation names the member to use as the key-relation Rk. It must
+// satisfy the Prop. 3.1 condition; the merge fails otherwise. The default
+// selects the first qualifying member in merge-set order.
+func WithKeyRelation(name string) Option {
+	return func(c *config) { c.keyRelation = name }
+}
+
+// WithSyntheticKey creates a synthetic key-relation even when a member
+// qualifies (Def. 3.1's "a new relation-scheme Rk(Kk) can be specified").
+func WithSyntheticKey() Option {
+	return func(c *config) { c.forceSynthetic = true }
+}
+
+// WithContext attaches a context: cancellation is honoured between plan
+// clusters in ApplyPlan, and any tracer carried by the context (via
+// obs.WithTracer) receives the procedure's spans.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// WithTrace records Definition 4.1/4.3 step spans into the tracer — shorthand
+// for WithContext(obs.WithTracer(ctx, t)) when no context is otherwise
+// needed.
+func WithTrace(t *obs.Tracer) Option {
+	return func(c *config) { c.ctx = obs.WithTracer(c.ctx, t) }
+}
+
+// WithObserver invokes fn after each procedure step with the same provenance
+// line that Trace records — a hook for progress reporting.
+func WithObserver(fn func(step string)) Option {
+	return func(c *config) { c.observer = fn }
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/obs"
+)
+
+func TestMergeSetDefaultName(t *testing.T) {
+	m, err := MergeSet(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "COURSE'" {
+		t.Errorf("default merged name = %s", m.Name)
+	}
+	// A second merge rooted at the same member primes again.
+	m2, err := MergeSet(m.Schema, []string{"COURSE'", "ASSIST"})
+	if err == nil && m2.Name != "COURSE''" {
+		t.Errorf("fresh-name deduplication: %s", m2.Name)
+	}
+}
+
+func TestMergeSentinelErrors(t *testing.T) {
+	s := figures.Fig3()
+	if _, err := MergeSet(s, []string{"COURSE"}); !errors.Is(err, ErrMergeSetTooSmall) {
+		t.Errorf("too small: %v", err)
+	}
+	if _, err := MergeSet(s, []string{"COURSE", "NOPE"}); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("unknown scheme: %v", err)
+	}
+	if _, err := MergeSet(s, []string{"COURSE", "COURSE"}); !errors.Is(err, ErrDuplicateMember) {
+		t.Errorf("duplicate member: %v", err)
+	}
+	if _, err := MergeSet(s, []string{"COURSE", "OFFER"}, WithName("TEACH")); !errors.Is(err, ErrNameCollision) {
+		t.Errorf("name collision: %v", err)
+	}
+	if _, err := MergeSet(s, []string{"PERSON", "OFFER"}); !errors.Is(err, ErrIncompatibleKeys) {
+		t.Errorf("incompatible keys: %v", err)
+	}
+	// ASSIST does not reference TEACH, so TEACH cannot be its key-relation.
+	if _, err := MergeSet(s, []string{"OFFER", "TEACH"}, WithKeyRelation("TEACH")); !errors.Is(err, ErrBadKeyRelation) {
+		t.Errorf("bad key-relation: %v", err)
+	}
+}
+
+func TestErrNotRemovable(t *testing.T) {
+	m, err := MergeSet(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH", "ASSIST"}, WithName("COURSE''"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nr *ErrNotRemovable
+	if err := m.Remove("COURSE"); !errors.As(err, &nr) {
+		t.Fatalf("key-relation removal should fail typed, got %v", err)
+	}
+	if nr.Member != "COURSE" || nr.Condition != PreconditionMember {
+		t.Errorf("fields = %+v", nr)
+	}
+	if err := m.Remove("NOPE"); !errors.As(err, &nr) || nr.Condition != PreconditionMember {
+		t.Errorf("unknown member: %v", err)
+	}
+	if err := m.Remove("OFFER"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("OFFER"); !errors.As(err, &nr) {
+		t.Errorf("double removal should fail typed, got %v", err)
+	}
+	if got := Condition3.String(); got != "condition (3)" {
+		t.Errorf("Condition3.String() = %q", got)
+	}
+}
+
+func TestMergeTraceSpans(t *testing.T) {
+	tr := obs.NewTracer(obs.DefaultTraceCapacity)
+	m, err := MergeSet(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"},
+		WithName("COURSE'"), WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RemoveAll(WithTrace(tr))
+	want := map[string]bool{
+		"core.Merge":                    false,
+		"merge.step1.scheme":            false,
+		"merge.step3.null_constraints":  false,
+		"core.RemoveAll":                false,
+		"core.Remove":                   false,
+		"remove.step4.null_constraints": false,
+	}
+	for _, ev := range tr.Events() {
+		if _, ok := want[ev.Name]; ok {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("span %s not recorded", name)
+		}
+	}
+}
+
+func TestMergeObserver(t *testing.T) {
+	var steps []string
+	m, err := MergeSet(figures.Fig3(), []string{"COURSE", "OFFER", "TEACH"},
+		WithObserver(func(s string) { steps = append(steps, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || len(steps) != len(m.Trace()) {
+		t.Fatalf("observer saw %d steps, trace has %d", len(steps), len(m.Trace()))
+	}
+	if !strings.Contains(steps[0], "Prop 3.1") {
+		t.Errorf("first step = %q", steps[0])
+	}
+}
+
+func TestApplyPlanCancellation(t *testing.T) {
+	s := figures.Fig3()
+	clusters := Prop52Clusters(s)
+	if len(clusters) == 0 {
+		t.Fatal("fig3 should yield at least one Prop 5.2 cluster")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ApplyPlan(s, clusters, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled plan: %v", err)
+	}
+	// Without a context the plan still applies.
+	if _, merges, err := ApplyPlan(s, clusters); err != nil || len(merges) != len(clusters) {
+		t.Errorf("plan without context: %v (%d merges)", err, len(merges))
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -13,7 +14,10 @@ import (
 // scheme acts as the key-relation Rk, and every not-yet-consumed scheme
 // satisfying the per-member conditions joins its cluster. Only clusters with
 // at least two members are returned, key-relation first.
-func Prop52Clusters(s *schema.Schema) [][]string {
+func Prop52Clusters(s *schema.Schema, opts ...Option) [][]string {
+	cfg := newConfig(opts)
+	_, sp := obs.Span(cfg.ctx, "core.Prop52Clusters")
+	defer sp.End()
 	used := make(map[string]bool)
 	var out [][]string
 	for _, rk := range s.Relations {
@@ -35,29 +39,43 @@ func Prop52Clusters(s *schema.Schema) [][]string {
 		for _, n := range cluster {
 			used[n] = true
 		}
+		cfg.observe(fmt.Sprintf("Prop 5.2: cluster around %s: %v", rk.Name, cluster))
 		out = append(out, cluster)
 	}
+	sp.SetAttr("clusters", fmt.Sprint(len(out)))
 	return out
 }
 
 // ApplyPlan merges every cluster in order, naming each merged scheme after
 // its key-relation with a trailing prime, and removes all removable key
 // copies. It returns the rewritten schema and the merge records.
-func ApplyPlan(s *schema.Schema, clusters [][]string) (*schema.Schema, []*MergedScheme, error) {
+//
+// A context attached with WithContext is checked between clusters, so a long
+// plan can be abandoned with the schema rewritten up to a cluster boundary
+// discarded (the input schema is never mutated).
+func ApplyPlan(s *schema.Schema, clusters [][]string, opts ...Option) (*schema.Schema, []*MergedScheme, error) {
+	cfg := newConfig(opts)
+	ctx, sp := obs.Span(cfg.ctx, "core.ApplyPlan")
+	defer sp.End()
+	sp.SetAttr("clusters", fmt.Sprint(len(clusters)))
 	cur := s
 	var merges []*MergedScheme
 	for _, cluster := range clusters {
-		name := cluster[0] + "'"
-		for cur.Scheme(name) != nil {
-			name += "'"
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
 		}
-		m, err := Merge(cur, cluster, name)
+		m, err := MergeSet(cur, cluster, WithContext(ctx), withObserverOf(cfg))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: merging %v: %w", cluster, err)
 		}
-		m.RemoveAll()
+		m.RemoveAll(WithContext(ctx), withObserverOf(cfg))
 		merges = append(merges, m)
 		cur = m.Schema
 	}
 	return cur, merges, nil
+}
+
+// withObserverOf forwards an existing configuration's observer.
+func withObserverOf(cfg config) Option {
+	return func(c *config) { c.observer = cfg.observer }
 }

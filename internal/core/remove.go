@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nullcon"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -27,13 +28,13 @@ import (
 func (m *MergedScheme) IsRemovable(memberName string) error {
 	mb := m.Member(memberName)
 	if mb == nil {
-		return fmt.Errorf("core: %s is not a member of the merge set", memberName)
+		return notRemovable(memberName, nil, PreconditionMember, "core: %s is not a member of the merge set", memberName)
 	}
 	if mb.Name == m.KeyRelation {
-		return fmt.Errorf("core: %s is the key-relation; its key is Km and is never removable", memberName)
+		return notRemovable(memberName, mb.Key, PreconditionMember, "core: %s is the key-relation; its key is Km and is never removable", memberName)
 	}
 	if m.removedOf(mb.Name) != nil {
-		return fmt.Errorf("core: key copy of %s already removed", memberName)
+		return notRemovable(memberName, mb.Key, PreconditionMember, "core: key copy of %s already removed", memberName)
 	}
 	yj := mb.Key
 
@@ -49,17 +50,17 @@ func (m *MergedScheme) IsRemovable(memberName string) error {
 		}
 	}
 	if !teFound {
-		return fmt.Errorf("core: no total-equality constraint Km =⊥ %v", yj)
+		return notRemovable(memberName, yj, PreconditionTotalEquality, "core: no total-equality constraint Km =⊥ %v", yj)
 	}
 
 	// (1)
 	if len(schema.DiffAttrs(mb.Attrs, yj)) < 1 {
-		return fmt.Errorf("core: condition (1) fails: removing %v would leave no attribute of %s", yj, mb.Name)
+		return notRemovable(memberName, yj, Condition1, "core: condition (1) fails: removing %v would leave no attribute of %s", yj, mb.Name)
 	}
 	// (2)
 	for _, ind := range m.Schema.INDs {
 		if ind.Right == m.Name && ind.Left != m.Name && schema.OverlapAttrs(ind.RightAttrs, yj) {
-			return fmt.Errorf("core: condition (2) fails: %s targets %v", ind, yj)
+			return notRemovable(memberName, yj, Condition2, "core: condition (2) fails: %s targets %v", ind, yj)
 		}
 	}
 	// (3) and (4)
@@ -79,10 +80,10 @@ func (m *MergedScheme) IsRemovable(memberName string) error {
 				}
 			}
 			if !found {
-				return fmt.Errorf("core: condition (3) fails: %s has no Km counterpart", ind)
+				return notRemovable(memberName, yj, Condition3, "core: condition (3) fails: %s has no Km counterpart", ind)
 			}
 		} else if schema.OverlapAttrs(ind.LeftAttrs, yj) {
-			return fmt.Errorf("core: condition (4) fails: %v overlaps foreign key %v", yj, ind.LeftAttrs)
+			return notRemovable(memberName, yj, Condition4, "core: condition (4) fails: %v overlaps foreign key %v", yj, ind.LeftAttrs)
 		}
 	}
 	return nil
@@ -113,7 +114,11 @@ func (m *MergedScheme) RemovableMembers() []string {
 //     constraints (including null-synchronization sets), the total-equality
 //     constraint Km =⊥ Yj is dropped, and the surviving constraint set is
 //     simplified (trivial and implied constraints removed).
-func (m *MergedScheme) Remove(memberName string) error {
+func (m *MergedScheme) Remove(memberName string, opts ...Option) error {
+	cfg := newConfig(opts)
+	ctx, sp := obs.Span(cfg.ctx, "core.Remove")
+	defer sp.End()
+	sp.SetAttr("member", memberName)
 	if err := m.IsRemovable(memberName); err != nil {
 		return err
 	}
@@ -127,6 +132,7 @@ func (m *MergedScheme) Remove(memberName string) error {
 	rm := s.Scheme(m.Name)
 
 	// 1. Shrink Xm.
+	_, step1 := obs.Span(ctx, "remove.step1.attrs")
 	var kept []schema.Attribute
 	for _, a := range rm.Attrs {
 		if !yjSet[a.Name] {
@@ -138,8 +144,10 @@ func (m *MergedScheme) Remove(memberName string) error {
 	for i, ck := range rm.CandidateKeys {
 		rm.CandidateKeys[i] = schema.NormalizeAttrs(m.substituteKm(mb, ck))
 	}
+	step1.End()
 
 	// 2. Rewrite F (dependencies of Rm only).
+	_, step2 := obs.Span(ctx, "remove.step2.fds")
 	for i, fdep := range s.FDs {
 		if fdep.Scheme != m.Name {
 			continue
@@ -147,8 +155,10 @@ func (m *MergedScheme) Remove(memberName string) error {
 		s.FDs[i].LHS = dedupe(m.substituteKm(mb, fdep.LHS))
 		s.FDs[i].RHS = dedupe(m.substituteKm(mb, fdep.RHS))
 	}
+	step2.End()
 
 	// 3. Rewrite I.
+	_, step3 := obs.Span(ctx, "remove.step3.inclusion_dependencies")
 	var inds []schema.IND
 	seen := make(map[string]bool)
 	for _, ind := range s.INDs {
@@ -168,8 +178,10 @@ func (m *MergedScheme) Remove(memberName string) error {
 		}
 	}
 	s.INDs = inds
+	step3.End()
 
 	// 4. Rewrite N.
+	_, step4 := obs.Span(ctx, "remove.step4.null_constraints")
 	var nulls []schema.NullConstraint
 	for _, nc := range s.Nulls {
 		if nc.SchemeName() != m.Name {
@@ -202,9 +214,14 @@ func (m *MergedScheme) Remove(memberName string) error {
 		}
 	}
 	s.Nulls = nullcon.Simplify(nulls)
+	step4.End()
 
 	m.removals = append(m.removals, removal{member: *mb, yj: append([]string(nil), yj...)})
+	before := len(m.trace)
 	m.traceRemove(mb)
+	for _, line := range m.trace[before:] {
+		cfg.observe(line)
+	}
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("core: Remove produced an invalid schema: %w", err)
 	}
@@ -215,7 +232,10 @@ func (m *MergedScheme) Remove(memberName string) error {
 // (removing one member's copy can enable another's, because total-equality
 // constraints and foreign-key counterparts change). It returns the names of
 // the members whose copies were removed, in order.
-func (m *MergedScheme) RemoveAll() []string {
+func (m *MergedScheme) RemoveAll(opts ...Option) []string {
+	cfg := newConfig(opts)
+	_, sp := obs.Span(cfg.ctx, "core.RemoveAll")
+	defer sp.End()
 	var removed []string
 	for {
 		progress := false
@@ -224,13 +244,14 @@ func (m *MergedScheme) RemoveAll() []string {
 				continue
 			}
 			if m.IsRemovable(mb.Name) == nil {
-				if err := m.Remove(mb.Name); err == nil {
+				if err := m.Remove(mb.Name, opts...); err == nil {
 					removed = append(removed, mb.Name)
 					progress = true
 				}
 			}
 		}
 		if !progress {
+			sp.SetAttr("removed", fmt.Sprint(len(removed)))
 			return removed
 		}
 	}

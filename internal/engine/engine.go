@@ -19,14 +19,19 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
 
-// Stats accumulates operation and cost counters.
+// Stats accumulates operation and cost counters. Every field is mirrored
+// into a registry-backed counter series (see metrics.go), so the same
+// numbers are exportable through DB.Registry() without touching this API;
+// Reset zeroes only the struct — the registry series stay monotonic.
 type Stats struct {
 	Inserts int
 	Deletes int
@@ -69,7 +74,11 @@ type DB struct {
 	mu     sync.Mutex
 	Schema *schema.Schema
 	Stats  Stats
-	tables map[string]*table
+	// reg/obsName/m back the Stats fields with registry series (metrics.go).
+	reg     *obs.Registry
+	obsName string
+	m       *dbMetrics
+	tables  map[string]*table
 	// indsFrom/indsInto index the schema's inclusion dependencies by side.
 	indsFrom map[string][]schema.IND
 	indsInto map[string][]schema.IND
@@ -81,13 +90,44 @@ type DB struct {
 	undo  []undoOp
 }
 
+// Option configures Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	reg  *obs.Registry
+	name string
+}
+
+// WithRegistry makes the DB report its cost counters and latency histograms
+// into r instead of a private registry, letting several engines share one
+// observable surface (each under its own db=<name> label).
+func WithRegistry(r *obs.Registry) Option {
+	return func(c *openConfig) { c.reg = r }
+}
+
+// WithName sets the db=<name> label value of the DB's metric series.
+// The default is "db".
+func WithName(name string) Option {
+	return func(c *openConfig) { c.name = name }
+}
+
 // Open builds an engine for the schema (validated first).
-func Open(s *schema.Schema) (*DB, error) {
+func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	cfg := openConfig{name: "db"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.reg == nil {
+		cfg.reg = obs.NewRegistry()
+	}
 	db := &DB{
 		Schema:    s,
+		reg:       cfg.reg,
+		obsName:   cfg.name,
+		m:         newDBMetrics(cfg.reg, cfg.name),
 		tables:    make(map[string]*table, len(s.Relations)),
 		indsFrom:  make(map[string][]schema.IND),
 		indsInto:  make(map[string][]schema.IND),
@@ -117,8 +157,8 @@ func Open(s *schema.Schema) (*DB, error) {
 }
 
 // MustOpen is Open that panics on error.
-func MustOpen(s *schema.Schema) *DB {
-	db, err := Open(s)
+func MustOpen(s *schema.Schema, opts ...Option) *DB {
+	db, err := Open(s, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -150,14 +190,25 @@ func (db *DB) Count(name string) int {
 // Insert adds a tuple to the named relation, enforcing all constraints. On
 // violation the state is unchanged and a descriptive error is returned.
 func (db *DB) Insert(name string, tup relation.Tuple) error {
+	return db.InsertCtx(context.Background(), name, tup)
+}
+
+// InsertCtx is Insert with cancellation: a context already cancelled when
+// the operation starts aborts it before any state change.
+func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.m.insertLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
-		return fmt.Errorf("engine: unknown relation %s", name)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	if len(tup) != t.rel.Arity() {
-		return fmt.Errorf("engine: arity mismatch for %s", name)
+		return fmt.Errorf("%w for %s", ErrArityMismatch, name)
 	}
 	if err := db.checkDeclarative(t, tup); err != nil {
 		return err
@@ -166,7 +217,7 @@ func (db *DB) Insert(name string, tup relation.Tuple) error {
 		return err
 	}
 	db.apply(t, tup)
-	db.Stats.Inserts++
+	db.countInsert()
 	return nil
 }
 
@@ -176,16 +227,16 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 	name := t.rs.Name
 	// NOT NULL.
 	for i, a := range t.rs.AttrNames() {
-		db.Stats.DeclarativeChecks++
+		db.countDecl()
 		if db.nnaAttrs[name][a] && tup[i].IsNull() {
-			return fmt.Errorf("engine: %s.%s violates NOT NULL", name, a)
+			return db.violation(&ConstraintViolation{Kind: NotNullViolation, Relation: name, Attr: a, Op: "insert"})
 		}
 	}
 	// PRIMARY KEY uniqueness (all nulls identical, per section 5.1).
-	db.Stats.DeclarativeChecks++
-	db.Stats.IndexLookups++
+	db.countDecl()
+	db.countIdx()
 	if _, dup := t.pk[t.keyOfIncoming(tup)]; dup {
-		return fmt.Errorf("engine: duplicate primary key in %s", name)
+		return db.violation(&ConstraintViolation{Kind: PrimaryKeyViolation, Relation: name, Op: "insert"})
 	}
 	// Key-based foreign keys: indexed probe into the referenced table.
 	for _, ind := range db.indsFrom[name] {
@@ -193,14 +244,14 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 		if !ind.KeyBased(db.Schema) {
 			continue // handled by triggers
 		}
-		db.Stats.DeclarativeChecks++
+		db.countDecl()
 		fk := projectAttrs(t, tup, ind.LeftAttrs)
 		if !fk.IsTotal() {
 			continue // null foreign keys are exempt
 		}
-		db.Stats.IndexLookups++
+		db.countIdx()
 		if _, ok := target.pk[orderAsKey(target, ind.RightAttrs, fk)]; !ok {
-			return fmt.Errorf("engine: %s violates %s", name, ind)
+			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
 		}
 	}
 	return nil
@@ -213,24 +264,24 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 func (db *DB) fireInsertTriggers(t *table, tup relation.Tuple) error {
 	name := t.rs.Name
 	for _, nc := range db.procNulls[name] {
-		db.Stats.TriggerFirings++
+		db.countTrig()
 		probe := relation.New(t.rs.AttrNames()...)
 		probe.Add(tup)
 		if !nc.Satisfied(probe) {
-			return fmt.Errorf("engine: %s violates %s", name, nc)
+			return db.violation(&ConstraintViolation{Kind: NullConstraintViolation, Relation: name, Constraint: fmt.Sprint(nc), Op: "insert"})
 		}
 	}
 	for _, ind := range db.indsFrom[name] {
 		if ind.KeyBased(db.Schema) {
 			continue
 		}
-		db.Stats.TriggerFirings++
+		db.countTrig()
 		fk := projectAttrs(t, tup, ind.LeftAttrs)
 		if !fk.IsTotal() {
 			continue
 		}
 		if !db.referencedHas(db.tables[ind.Right], ind.RightAttrs, fk) {
-			return fmt.Errorf("engine: %s violates %s", name, ind)
+			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
 		}
 	}
 	return nil
@@ -240,7 +291,7 @@ func (db *DB) fireInsertTriggers(t *table, tup relation.Tuple) error {
 // of the referenced relation, via a lazily-built secondary index.
 func (db *DB) referencedHas(target *table, attrs []string, val relation.Tuple) bool {
 	idx := db.secondaryIndex(target, attrs)
-	db.Stats.IndexLookups++
+	db.countIdx()
 	return len(idx[val.EncodeKey()]) > 0
 }
 
@@ -262,8 +313,9 @@ func (db *DB) secondaryIndex(target *table, attrs []string) map[string][]relatio
 	}
 	idx := make(map[string][]relation.Tuple)
 	ps := target.rel.Positions(attrs)
-	for _, tup := range target.rel.Tuples() {
-		db.Stats.TuplesScanned++
+	tuples := target.rel.Tuples()
+	db.countScan(len(tuples))
+	for _, tup := range tuples {
 		sub := tup.Project(ps)
 		if sub.IsTotal() {
 			idx[sub.EncodeKey()] = append(idx[sub.EncodeKey()], tup)

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/state"
 )
@@ -57,8 +59,18 @@ func TestInsertAndLookup(t *testing.T) {
 func TestInsertNotNull(t *testing.T) {
 	db := openFig3(t)
 	err := db.Insert("COURSE", tup(nil))
-	if err == nil || !strings.Contains(err.Error(), "NOT NULL") {
-		t.Errorf("want NOT NULL violation, got %v", err)
+	var cv *ConstraintViolation
+	if !errors.As(err, &cv) || cv.Kind != NotNullViolation {
+		t.Fatalf("want NotNullViolation, got %v", err)
+	}
+	if cv.Relation != "COURSE" || cv.Attr != "C.NR" {
+		t.Errorf("violation fields = %+v", cv)
+	}
+	if !errors.Is(err, ErrConstraintViolation) {
+		t.Error("violation should match ErrConstraintViolation")
+	}
+	if !cv.Kind.Declarative() {
+		t.Error("NOT NULL is a declarative-regime constraint")
 	}
 }
 
@@ -71,8 +83,12 @@ func TestInsertDuplicateKey(t *testing.T) {
 	}
 	db.Insert("DEPARTMENT", tup("cs"))
 	err := db.Insert("OFFER", tup("c1", "cs"))
-	if err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
-		t.Errorf("want duplicate key violation, got %v", err)
+	var cv *ConstraintViolation
+	if !errors.As(err, &cv) || cv.Kind != PrimaryKeyViolation {
+		t.Fatalf("want PrimaryKeyViolation, got %v", err)
+	}
+	if cv.Relation != "OFFER" {
+		t.Errorf("violation fields = %+v", cv)
 	}
 }
 
@@ -99,8 +115,12 @@ func TestDeleteRestrict(t *testing.T) {
 	db.Insert("DEPARTMENT", tup("math"))
 	db.Insert("OFFER", tup("c1", "math"))
 	err := db.Delete("COURSE", tup("c1"))
-	if err == nil || !strings.Contains(err.Error(), "restricted") {
-		t.Errorf("want restricted delete, got %v", err)
+	var cv *ConstraintViolation
+	if !errors.As(err, &cv) || cv.Kind != RestrictViolation {
+		t.Fatalf("want RestrictViolation, got %v", err)
+	}
+	if cv.Op != "delete" || cv.Kind.Declarative() {
+		t.Errorf("restrict violation should be a trigger-regime delete, got %+v", cv)
 	}
 	if err := db.Delete("OFFER", tup("c1")); err != nil {
 		t.Fatal(err)
@@ -158,8 +178,12 @@ func TestProceduralNullConstraints(t *testing.T) {
 	// A course with a TEACH part but no OFFER part violates
 	// T.F.SSN ⊑ O.D.NAME.
 	err = db.Insert("COURSE''", tup("c1", nil, "p1", nil))
-	if err == nil || !strings.Contains(err.Error(), "⊑") {
-		t.Fatalf("want null-existence violation, got %v", err)
+	var cv *ConstraintViolation
+	if !errors.As(err, &cv) || cv.Kind != NullConstraintViolation {
+		t.Fatalf("want NullConstraintViolation, got %v", err)
+	}
+	if cv.Constraint == "" || cv.Kind.Declarative() {
+		t.Errorf("null constraint should carry its rendering and be trigger-regime, got %+v", cv)
 	}
 	if db.Stats.TriggerFirings == 0 {
 		t.Error("procedural constraint should count as a trigger firing")
@@ -238,20 +262,20 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	db := openFig3(t)
-	if err := db.Insert("NOPE", tup("x")); err == nil {
-		t.Error("unknown relation insert")
+	if err := db.Insert("NOPE", tup("x")); !errors.Is(err, ErrUnknownRelation) {
+		t.Errorf("unknown relation insert: %v", err)
 	}
-	if err := db.Insert("COURSE", tup("a", "b")); err == nil {
-		t.Error("arity mismatch")
+	if err := db.Insert("COURSE", tup("a", "b")); !errors.Is(err, ErrArityMismatch) {
+		t.Errorf("arity mismatch: %v", err)
 	}
-	if err := db.Delete("NOPE", tup("x")); err == nil {
-		t.Error("unknown relation delete")
+	if err := db.Delete("NOPE", tup("x")); !errors.Is(err, ErrUnknownRelation) {
+		t.Errorf("unknown relation delete: %v", err)
 	}
-	if err := db.Update("NOPE", tup("x"), tup("y")); err == nil {
-		t.Error("unknown relation update")
+	if err := db.Update("NOPE", tup("x"), tup("y")); !errors.Is(err, ErrUnknownRelation) {
+		t.Errorf("unknown relation update: %v", err)
 	}
-	if err := db.Update("COURSE", tup("missing"), tup("x")); err == nil {
-		t.Error("updating a missing tuple")
+	if err := db.Update("COURSE", tup("missing"), tup("x")); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("updating a missing tuple: %v", err)
 	}
 	if db.Relation("NOPE") != nil || db.Count("NOPE") != 0 {
 		t.Error("unknown relation accessors")
@@ -274,5 +298,86 @@ func TestScan(t *testing.T) {
 	}
 	if db.Stats.TuplesScanned != 2 {
 		t.Errorf("TuplesScanned = %d", db.Stats.TuplesScanned)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	db := openFig3(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.InsertCtx(ctx, "COURSE", tup("c1")); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled insert: %v", err)
+	}
+	if db.Count("COURSE") != 0 {
+		t.Error("cancelled insert must not mutate state")
+	}
+	db.Insert("COURSE", tup("c1"))
+	if err := db.DeleteCtx(ctx, "COURSE", tup("c1")); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled delete: %v", err)
+	}
+	if err := db.UpdateCtx(ctx, "COURSE", tup("c1"), tup("c2")); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled update: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	st := state.MustGenerate(figures.Fig3(), rng, state.GenOptions{Rows: 5})
+	fresh := MustOpen(figures.Fig3())
+	if err := fresh.LoadCtx(ctx, st); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled load: %v", err)
+	}
+}
+
+// TestRegistryReconciliation checks the tentpole invariant: over a window with
+// no Stats.Reset(), every registry series equals its legacy Stats field.
+func TestRegistryReconciliation(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, err := Open(figures.Fig3(), WithRegistry(reg), WithName("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	st := state.MustGenerate(figures.Fig3(), rng, state.GenOptions{Rows: 20})
+	if err := db.Load(st); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("COURSE", tup(nil)) // one violation
+	db.GetByKey("COURSE", tup("c1"))
+
+	want := map[string]int{
+		"engine.inserts":            db.Stats.Inserts,
+		"engine.deletes":            db.Stats.Deletes,
+		"engine.updates":            db.Stats.Updates,
+		"engine.lookups":            db.Stats.Lookups,
+		"engine.declarative_checks": db.Stats.DeclarativeChecks,
+		"engine.trigger_firings":    db.Stats.TriggerFirings,
+		"engine.index_lookups":      db.Stats.IndexLookups,
+		"engine.tuples_scanned":     db.Stats.TuplesScanned,
+	}
+	got := map[string]int{}
+	for _, p := range reg.Snapshot() {
+		if p.Kind == obs.KindCounter {
+			got[p.Name] = int(p.Value)
+		}
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: registry %d != Stats %d", name, got[name], w)
+		}
+	}
+	if got["engine.constraint_violations"] != 1 {
+		t.Errorf("constraint_violations = %d", got["engine.constraint_violations"])
+	}
+	if db.Registry() != reg || db.MetricName() != "base" {
+		t.Error("WithRegistry/WithName accessors")
+	}
+	// Reset zeroes only the struct; registry totals stay monotonic.
+	pre := got["engine.inserts"]
+	db.Stats.Reset()
+	if db.Stats.Inserts != 0 {
+		t.Error("Reset")
+	}
+	for _, p := range reg.Snapshot() {
+		if p.Name == "engine.inserts" && int(p.Value) != pre {
+			t.Error("Reset must not rewind the registry")
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names registered per database. Each DB registers one series per
+// name under its db=<name> label, so several engines (base vs. merged) can
+// share one registry and stay distinguishable.
+const (
+	metricInserts        = "engine.inserts"
+	metricDeletes        = "engine.deletes"
+	metricUpdates        = "engine.updates"
+	metricLookups        = "engine.lookups"
+	metricDeclChecks     = "engine.declarative_checks"
+	metricTriggerFirings = "engine.trigger_firings"
+	metricIndexLookups   = "engine.index_lookups"
+	metricTuplesScanned  = "engine.tuples_scanned"
+	metricViolations     = "engine.constraint_violations"
+	metricInsertSeconds  = "engine.insert_seconds"
+	metricDeleteSeconds  = "engine.delete_seconds"
+	metricUpdateSeconds  = "engine.update_seconds"
+	metricLookupSeconds  = "engine.lookup_seconds"
+)
+
+// dbMetrics holds the registry-backed counter and histogram handles behind
+// the legacy Stats API. The registry series are monotonic: Stats.Reset()
+// zeroes the struct for a measurement window but never rewinds the registry,
+// which records process-lifetime totals.
+type dbMetrics struct {
+	inserts, deletes, updates, lookups         *obs.Counter
+	declChecks, triggerFirings                 *obs.Counter
+	indexLookups, tuplesScanned                *obs.Counter
+	violations                                 *obs.Counter
+	insertLat, deleteLat, updateLat, lookupLat *obs.Histogram
+}
+
+func newDBMetrics(r *obs.Registry, name string) *dbMetrics {
+	l := obs.L("db", name)
+	return &dbMetrics{
+		inserts:        r.Counter(metricInserts, l),
+		deletes:        r.Counter(metricDeletes, l),
+		updates:        r.Counter(metricUpdates, l),
+		lookups:        r.Counter(metricLookups, l),
+		declChecks:     r.Counter(metricDeclChecks, l),
+		triggerFirings: r.Counter(metricTriggerFirings, l),
+		indexLookups:   r.Counter(metricIndexLookups, l),
+		tuplesScanned:  r.Counter(metricTuplesScanned, l),
+		violations:     r.Counter(metricViolations, l),
+		insertLat:      r.Histogram(metricInsertSeconds, obs.LatencyBuckets, l),
+		deleteLat:      r.Histogram(metricDeleteSeconds, obs.LatencyBuckets, l),
+		updateLat:      r.Histogram(metricUpdateSeconds, obs.LatencyBuckets, l),
+		lookupLat:      r.Histogram(metricLookupSeconds, obs.LatencyBuckets, l),
+	}
+}
+
+// The accounting helpers below are the single mutation points for the cost
+// counters: each keeps the legacy Stats field and its registry series in
+// lockstep, so a snapshot of the registry reconciles exactly with Stats over
+// any window that does not cross a Stats.Reset().
+
+func (db *DB) countInsert() { db.Stats.Inserts++; db.m.inserts.Inc() }
+func (db *DB) countDelete() { db.Stats.Deletes++; db.m.deletes.Inc() }
+func (db *DB) countUpdate() { db.Stats.Updates++; db.m.updates.Inc() }
+func (db *DB) countLookup() { db.Stats.Lookups++; db.m.lookups.Inc() }
+
+func (db *DB) countDecl() { db.Stats.DeclarativeChecks++; db.m.declChecks.Inc() }
+func (db *DB) countTrig() { db.Stats.TriggerFirings++; db.m.triggerFirings.Inc() }
+func (db *DB) countIdx()  { db.Stats.IndexLookups++; db.m.indexLookups.Inc() }
+
+func (db *DB) countScan(n int) {
+	db.Stats.TuplesScanned += n
+	db.m.tuplesScanned.Add(int64(n))
+}
+
+// violation counts a rejected mutation and returns the error unchanged, so
+// check paths can `return db.violation(&ConstraintViolation{...})`.
+func (db *DB) violation(err *ConstraintViolation) error {
+	db.m.violations.Inc()
+	return err
+}
+
+// Registry returns the metrics registry this DB reports into — by default a
+// private registry, or the one injected with WithRegistry.
+func (db *DB) Registry() *obs.Registry { return db.reg }
+
+// MetricName returns the label value this DB registers its series under.
+func (db *DB) MetricName() string { return db.obsName }
+
+// now is indirect for tests; latency histograms observe time.Since(now()).
+var now = time.Now

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -10,14 +11,16 @@ import (
 // GetByKey returns the tuple of the named relation with the given primary
 // key value (in primary-key attribute order), or false.
 func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
+	start := now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.m.lookupLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return nil, false
 	}
-	db.Stats.Lookups++
-	db.Stats.IndexLookups++
+	db.countLookup()
+	db.countIdx()
 	tup, ok := t.pk[key.EncodeKey()]
 	return tup, ok
 }
@@ -29,10 +32,10 @@ func (db *DB) Scan(name string, pred func(relation.Tuple) bool, visit func(relat
 	defer db.mu.Unlock()
 	t := db.tables[name]
 	if t == nil {
-		return fmt.Errorf("engine: unknown relation %s", name)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	for _, tup := range t.rel.Tuples() {
-		db.Stats.TuplesScanned++
+		db.countScan(1)
 		if pred == nil || pred(tup) {
 			visit(tup)
 		}
@@ -46,33 +49,44 @@ func (db *DB) Scan(name string, pred func(relation.Tuple) bool, visit func(relat
 // (a trigger-style check; key-based dependencies probe the referencing
 // relation's secondary index, which may require a one-time build scan).
 func (db *DB) Delete(name string, key relation.Tuple) error {
+	return db.DeleteCtx(context.Background(), name, key)
+}
+
+// DeleteCtx is Delete with cancellation: a context already cancelled when
+// the operation starts aborts it before any state change.
+func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.m.deleteLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
-		return fmt.Errorf("engine: unknown relation %s", name)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	tup, ok := t.pk[key.EncodeKey()]
 	if !ok {
-		return fmt.Errorf("engine: no %s tuple with key %v", name, key)
+		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
 	for _, ind := range db.indsInto[name] {
-		db.Stats.TriggerFirings++
+		db.countTrig()
 		referenced := projectAttrs(t, tup, ind.RightAttrs)
 		if !referenced.IsTotal() {
 			continue
 		}
 		src := db.tables[ind.Left]
 		idx := db.secondaryIndex(src, ind.LeftAttrs)
-		db.Stats.IndexLookups++
+		db.countIdx()
 		for _, ref := range idx[referenced.EncodeKey()] {
 			if src.rel.Contains(ref) {
-				return fmt.Errorf("engine: delete from %s restricted by %s", name, ind)
+				return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "delete"})
 			}
 		}
 	}
 	db.remove(t, tup)
-	db.Stats.Deletes++
+	db.countDelete()
 	return nil
 }
 
@@ -80,15 +94,26 @@ func (db *DB) Delete(name string, key relation.Tuple) error {
 // (which may change the key), enforcing the same constraints as
 // Delete+Insert without intermediate visibility.
 func (db *DB) Update(name string, key relation.Tuple, newTup relation.Tuple) error {
+	return db.UpdateCtx(context.Background(), name, key, newTup)
+}
+
+// UpdateCtx is Update with cancellation: a context already cancelled when
+// the operation starts aborts it before any state change.
+func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, newTup relation.Tuple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.m.updateLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
-		return fmt.Errorf("engine: unknown relation %s", name)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	old, ok := t.pk[key.EncodeKey()]
 	if !ok {
-		return fmt.Errorf("engine: no %s tuple with key %v", name, key)
+		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
 	// Remove, try to insert, roll back on failure.
 	db.remove(t, old)
@@ -102,7 +127,7 @@ func (db *DB) Update(name string, key relation.Tuple, newTup relation.Tuple) err
 	}
 	// Referenced-side integrity for the vanishing old values.
 	for _, ind := range db.indsInto[name] {
-		db.Stats.TriggerFirings++
+		db.countTrig()
 		oldRef := projectAttrs(t, old, ind.RightAttrs)
 		newRef := projectAttrs(t, newTup, ind.RightAttrs)
 		if !oldRef.IsTotal() || oldRef.Identical(newRef) {
@@ -110,7 +135,7 @@ func (db *DB) Update(name string, key relation.Tuple, newTup relation.Tuple) err
 		}
 		src := db.tables[ind.Left]
 		idx := db.secondaryIndex(src, ind.LeftAttrs)
-		db.Stats.IndexLookups++
+		db.countIdx()
 		if len(idx[oldRef.EncodeKey()]) > 0 {
 			stillReferenced := false
 			for _, ref := range idx[oldRef.EncodeKey()] {
@@ -121,12 +146,12 @@ func (db *DB) Update(name string, key relation.Tuple, newTup relation.Tuple) err
 			}
 			if stillReferenced {
 				db.apply(t, old)
-				return fmt.Errorf("engine: update of %s restricted by %s", name, ind)
+				return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
 			}
 		}
 	}
 	db.apply(t, newTup)
-	db.Stats.Updates++
+	db.countUpdate()
 	return nil
 }
 
@@ -162,11 +187,20 @@ func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
 // order that respects inclusion dependencies. It fails on the first
 // violation.
 func (db *DB) Load(st *state.DB) error {
+	return db.LoadCtx(context.Background(), st)
+}
+
+// LoadCtx is Load with cancellation, checked between relations so a large
+// bulk load can be abandoned at a consistent prefix.
+func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
 	order, err := db.loadOrder()
 	if err != nil {
 		return err
 	}
 	for _, name := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r := st.Relation(name)
 		if r == nil {
 			continue

@@ -23,17 +23,19 @@ type Related struct {
 // in). Non-key-based dependencies are chased through the referenced
 // relation's secondary index.
 func (db *DB) FetchWithReferences(name string, key relation.Tuple) (relation.Tuple, []Related, error) {
+	start := now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.m.lookupLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
-		return nil, nil, fmt.Errorf("engine: unknown relation %s", name)
+		return nil, nil, fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
-	db.Stats.Lookups++
-	db.Stats.IndexLookups++
+	db.countLookup()
+	db.countIdx()
 	tup, ok := t.pk[key.EncodeKey()]
 	if !ok {
-		return nil, nil, fmt.Errorf("engine: no %s tuple with key %v", name, key)
+		return nil, nil, fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
 	var related []Related
 	for _, ind := range db.indsFrom[name] {
@@ -46,15 +48,15 @@ func (db *DB) FetchWithReferences(name string, key relation.Tuple) (relation.Tup
 		}
 		target := db.tables[ind.Right]
 		if ind.KeyBased(db.Schema) {
-			db.Stats.Lookups++
-			db.Stats.IndexLookups++
+			db.countLookup()
+			db.countIdx()
 			if hit, ok := target.pk[orderAsKey(target, ind.RightAttrs, fk)]; ok {
 				rel.Tuple = hit
 			}
 		} else {
 			idx := db.secondaryIndex(target, ind.RightAttrs)
-			db.Stats.Lookups++
-			db.Stats.IndexLookups++
+			db.countLookup()
+			db.countIdx()
 			if hits := idx[fk.EncodeKey()]; len(hits) > 0 {
 				rel.Tuple = hits[0]
 			}

@@ -58,7 +58,7 @@ func BenchmarkClosure(b *testing.B) {
 }
 
 // BenchmarkClosureReference measures the retained pre-bitset implementation
-// on the same workloads, as the speedup baseline for BENCH_PR1.json.
+// on the same workloads, as the speedup baseline for the committed BENCH_*.json reports.
 func BenchmarkClosureReference(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		attrs, deps := chainDeps(n)

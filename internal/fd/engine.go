@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/attrset"
+	"repro/internal/obs"
 )
 
 // engine is the package-level closure engine every fd entry point routes
@@ -13,6 +14,13 @@ import (
 // the steady-state loops of CandidateKeys, MinimalCover, and the BCNF
 // checks do no fixpoint work and no allocation.
 var engine = attrset.NewEngine()
+
+// RegisterMetrics publishes the package engine's cache counters into a
+// metrics registry under engine=fd.
+func RegisterMetrics(r *obs.Registry) { engine.Register(r, "fd") }
+
+// CacheStats snapshots the package engine's cache counters.
+func CacheStats() attrset.CacheStats { return engine.CacheStats() }
 
 // compile returns the cached index for a dependency list.
 func compile(deps []Dep) *attrset.Index {

@@ -1,0 +1,40 @@
+package figures
+
+import (
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+// Fig3State returns a small deterministic database state for the figure 3
+// schema, consistent with all of its inclusion dependencies and null
+// constraints: three persons (two faculty, one student), three courses (two
+// offered, both taught, one assisted). It is the replay input of the CLI
+// metrics reports, so it is hand-built rather than generated — byte-stable
+// across runs.
+func Fig3State() *state.DB {
+	db := state.New(Fig3())
+	add := func(rel string, vals ...string) {
+		t := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			t[i] = relation.NewString(v)
+		}
+		db.Relation(rel).Add(t)
+	}
+	add("PERSON", "s1")
+	add("PERSON", "s2")
+	add("PERSON", "s3")
+	add("FACULTY", "s1")
+	add("FACULTY", "s2")
+	add("STUDENT", "s3")
+	add("COURSE", "c1")
+	add("COURSE", "c2")
+	add("COURSE", "c3")
+	add("DEPARTMENT", "math")
+	add("DEPARTMENT", "cs")
+	add("OFFER", "c1", "math")
+	add("OFFER", "c2", "cs")
+	add("TEACH", "c1", "s1")
+	add("TEACH", "c2", "s2")
+	add("ASSIST", "c1", "s3")
+	return db
+}

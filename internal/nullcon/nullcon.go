@@ -19,6 +19,7 @@ package nullcon
 
 import (
 	"repro/internal/attrset"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -27,6 +28,13 @@ import (
 // section 3), so the same indexed counter algorithm applies; a nulls-not-
 // allowed constraint is an empty-LHS dependency and fires unconditionally.
 var engine = attrset.NewEngine()
+
+// RegisterMetrics publishes the package engine's cache counters into a
+// metrics registry under engine=nullcon.
+func RegisterMetrics(r *obs.Registry) { engine.Register(r, "nullcon") }
+
+// CacheStats snapshots the package engine's cache counters.
+func CacheStats() attrset.CacheStats { return engine.CacheStats() }
 
 // existenceIndex compiles the constraints attached to one scheme. The
 // filtered list is rebuilt per call, but the compile itself is cached by

@@ -1,0 +1,513 @@
+// Package obs is the repository's observability layer: a stdlib-only,
+// allocation-light metrics registry (atomic counters, gauges, bounded
+// histograms, labeled families) plus lightweight trace spans (span.go).
+//
+// The paper's §5 argument is observational — declarative vs. trigger-style
+// constraint regimes are compared by counting what each modification costs —
+// so the cost counters that were previously ad-hoc struct fields scattered
+// across the engine and the dependency-reasoning caches are registered here
+// instead, where they can be snapshotted at runtime (`relmerge -metrics`),
+// exported to BENCH_*.json, and asserted on by tests.
+//
+// Registration is get-or-create: asking a Registry for a metric that already
+// exists under the same name and labels returns the existing instance, so
+// packages can wire metrics at construction time without coordination.
+// Registering the same name with a different kind (or a histogram with
+// different buckets) panics — metric identity is part of the public surface,
+// and scripts/metriclint enforces that every name literal in the tree is
+// registered from exactly one call site.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension of a metric family. The same metric name
+// registered under different label sets yields independent time series (the
+// engine registers its counters once per database under a db=<name> label).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. All methods are safe
+// for concurrent use and nil-safe, so optional wiring can call through a nil
+// counter without guards.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value that can move in both directions.
+// Nil-safe like Counter.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram: counts[i] accumulates
+// observations v <= bounds[i], with one implicit overflow bucket. Observe is
+// lock-free; a snapshot may tear between a bucket count and the sum by at
+// most the observations racing with it, which is the standard trade for an
+// allocation-free hot path. Nil-safe like Counter.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// LatencyBuckets are the default per-operation latency buckets, in seconds:
+// 250ns to ~1s, roughly quadrupling, bracketing everything from a memoized
+// cache hit to a cold secondary-index build.
+var LatencyBuckets = []float64{
+	250e-9, 1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; equal values land in the
+	// bucket they bound (cumulative "le" semantics).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metric kinds, as reported in snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+type metricKey struct {
+	name   string
+	labels string // canonical "k=v,k=v"
+}
+
+// entry is one registered time series.
+type entry struct {
+	kind    string
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // counterfunc / gaugefunc callback
+}
+
+// Registry holds a set of named metrics. The zero value is not usable; use
+// NewRegistry. A Registry is safe for concurrent use; registration takes the
+// write lock, metric mutation is lock-free on the returned handles.
+type Registry struct {
+	mu      sync.RWMutex
+	kinds   map[string]string
+	bounds  map[string]string // histogram name -> rendered bounds, for mismatch detection
+	metrics map[metricKey]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:   make(map[string]string),
+		bounds:  make(map[string]string),
+		metrics: make(map[metricKey]*entry),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, for wiring that has no natural
+// owner to thread a Registry through.
+func Default() *Registry { return defaultRegistry }
+
+// validName enforces the metric naming convention: lowercase dotted paths,
+// e.g. "engine.trigger_firings".
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return name[0] >= 'a' && name[0] <= 'z'
+}
+
+func canonLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if l.Key == "" {
+			panic("obs: empty label key")
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register implements get-or-create under the registry lock.
+func (r *Registry) register(name, kind string, labels []Label, make func() *entry) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	key := metricKey{name: name, labels: canonLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, not %s", name, have, kind))
+	}
+	if e, ok := r.metrics[key]; ok {
+		return e
+	}
+	e := make()
+	e.kind = kind
+	e.labels = append([]Label(nil), labels...)
+	r.kinds[name] = kind
+	r.metrics[key] = e
+	return e
+}
+
+// Counter returns the counter registered under name and labels, creating it
+// on first use. A nil registry returns a nil (no-op) counter, so optional
+// instrumentation needs no branching at the call site.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.register(name, KindCounter, labels, func() *entry {
+		return &entry{counter: &Counter{}}
+	})
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use. A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.register(name, KindGauge, labels, func() *entry {
+		return &entry{gauge: &Gauge{}}
+	})
+	return e.gauge
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at snapshot time.
+// Re-registering the same name and labels keeps the first callback. A nil
+// registry ignores the registration.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, KindGauge, labels, func() *entry {
+		return &entry{fn: fn}
+	})
+}
+
+// CounterFunc registers a callback counter for externally-maintained
+// monotonic counts (e.g. cache hit totals owned by another package). A nil
+// registry ignores the registration.
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, KindCounter, labels, func() *entry {
+		return &entry{fn: fn}
+	})
+}
+
+// Histogram returns the histogram registered under name and labels, creating
+// it with the given bucket upper bounds on first use. The bounds of an
+// existing histogram must match. A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	rendered := fmt.Sprint(bounds)
+	e := r.register(name, KindHistogram, labels, func() *entry {
+		r.bounds[name] = rendered
+		return &entry{hist: newHistogram(bounds)}
+	})
+	if have := r.bounds[name]; have != rendered {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	return e.hist
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is the
+// formatted upper bound ("+Inf" for the overflow bucket) so snapshots stay
+// JSON-encodable.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Point is one metric reading in a snapshot.
+type Point struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Snapshot reads every metric, sorted by name then canonical label string.
+func (r *Registry) Snapshot() []Point {
+	r.mu.RLock()
+	keys := make([]metricKey, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	entries := make([]*entry, 0, len(keys))
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		entries = append(entries, r.metrics[k])
+	}
+	r.mu.RUnlock()
+
+	out := make([]Point, 0, len(keys))
+	for i, k := range keys {
+		e := entries[i]
+		p := Point{Name: k.name, Kind: e.kind}
+		if len(e.labels) > 0 {
+			p.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch {
+		case e.fn != nil:
+			p.Value = e.fn()
+		case e.counter != nil:
+			p.Value = float64(e.counter.Value())
+		case e.gauge != nil:
+			p.Value = e.gauge.Value()
+		case e.hist != nil:
+			p.Count = e.hist.Count()
+			p.Sum = e.hist.Sum()
+			p.Value = p.Sum
+			cum := int64(0)
+			p.Buckets = make([]Bucket, 0, len(e.hist.counts))
+			for bi := range e.hist.counts {
+				cum += e.hist.counts[bi].Load()
+				bound := math.Inf(1)
+				if bi < len(e.hist.bounds) {
+					bound = e.hist.bounds[bi]
+				}
+				p.Buckets = append(p.Buckets, Bucket{LE: formatBound(bound), Count: cum})
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as an indented JSON document
+// {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []Point `json:"metrics"`
+	}{Metrics: r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText writes the snapshot in expvar-style text lines:
+//
+//	name{k=v} value
+//	name_count{k=v} n  /  name_sum{k=v} s  /  name_bucket{k=v,le=b} c
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, p := range r.Snapshot() {
+		labels := renderLabels(p.Labels, "", "")
+		var err error
+		if p.Kind == KindHistogram {
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n%s_sum%s %g\n", p.Name, labels, p.Count, p.Name, labels, p.Sum)
+			if err != nil {
+				return err
+			}
+			for _, b := range p.Buckets {
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, renderLabels(p.Labels, "le", b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, err = fmt.Fprintf(w, "%s%s %g\n", p.Name, labels, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test.ops"); again != c {
+		t.Error("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("test.depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilMetricHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metric handles must read zero")
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	base := r.Counter("engine.test_inserts", L("db", "base"))
+	merged := r.Counter("engine.test_inserts", L("db", "merged"))
+	if base == merged {
+		t.Fatal("different label values must yield different series")
+	}
+	base.Add(3)
+	merged.Inc()
+	// Label order must not matter for identity.
+	a := r.Counter("test.multi", L("x", "1"), L("y", "2"))
+	b := r.Counter("test.multi", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Error("label order must not change series identity")
+	}
+
+	pts := r.Snapshot()
+	var sawBase, sawMerged bool
+	for _, p := range pts {
+		if p.Name == "engine.test_inserts" {
+			switch p.Labels["db"] {
+			case "base":
+				sawBase = true
+				if p.Value != 3 {
+					t.Errorf("base series = %g, want 3", p.Value)
+				}
+			case "merged":
+				sawMerged = true
+				if p.Value != 1 {
+					t.Errorf("merged series = %g, want 1", p.Value)
+				}
+			}
+		}
+	}
+	if !sawBase || !sawMerged {
+		t.Errorf("snapshot missing labeled series: %+v", pts)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.kind")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge under a counter name must panic")
+		}
+	}()
+	r.Gauge("test.kind")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "Upper.case", "has space", "1leading", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.lat", []float64{1, 10, 100})
+
+	// Exactly-on-bound lands in the bounding bucket (cumulative le
+	// semantics); below-first and above-last land in the outer buckets.
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99.9, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	wantCum := []int64{2, 4, 6, 8} // le=1, le=10, le=100, +Inf
+	var p Point
+	for _, pt := range r.Snapshot() {
+		if pt.Name == "test.lat" {
+			p = pt
+		}
+	}
+	if len(p.Buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4 (%+v)", len(p.Buckets), p)
+	}
+	for i, b := range p.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %s cumulative = %d, want %d", b.LE, b.Count, wantCum[i])
+		}
+	}
+	if p.Buckets[3].LE != "+Inf" {
+		t.Errorf("last bucket bound = %q, want +Inf", p.Buckets[3].LE)
+	}
+	if p.Count != 8 {
+		t.Errorf("point count = %d, want 8", p.Count)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v must be rejected", bad)
+				}
+			}()
+			r.Histogram("test.badbuckets", bad)
+		}()
+	}
+	r.Histogram("test.rebuckets", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different buckets must panic")
+		}
+	}()
+	r.Histogram("test.rebuckets", []float64{1, 2, 3})
+}
+
+// TestConcurrentMutation drives every metric kind from many goroutines; run
+// under -race this is the concurrency gate for the registry hot paths.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Registration races with mutation on purpose.
+			c := r.Counter("test.conc_ops")
+			h := r.Histogram("test.conc_lat", []float64{1e-6, 1e-3, 1})
+			ga := r.Gauge("test.conc_depth")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(float64(i%3) * 1e-4)
+				ga.Add(1)
+				if i%2 == 1 {
+					ga.Add(-1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("test.conc_ops").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("test.conc_lat", []float64{1e-6, 1e-3, 1})
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("test.conc_depth").Value(); got != goroutines*perG/2 {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG/2)
+	}
+}
+
+func TestSnapshotJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.a", L("db", "x")).Add(2)
+	r.GaugeFunc("test.b", func() float64 { return 7 })
+	r.Histogram("test.c", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Point `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("metrics = %d, want 3", len(doc.Metrics))
+	}
+	// Snapshot is sorted by name.
+	for i := 1; i < len(doc.Metrics); i++ {
+		if doc.Metrics[i-1].Name > doc.Metrics[i].Name {
+			t.Error("snapshot not sorted by name")
+		}
+	}
+	if doc.Metrics[1].Value != 7 {
+		t.Errorf("gauge func value = %g, want 7", doc.Metrics[1].Value)
+	}
+
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"test.a{db=\"x\"} 2\n",
+		"test.b 7\n",
+		"test.c_count 1\n",
+		"test.c_bucket{le=\"+Inf\"} 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default must return the same registry")
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one completed span in a Tracer's event log: what ran, how
+// deep in the span tree it nested, when it started, and how long it took.
+// Events are appended when a span ends, so a child precedes its parent in
+// the log; Depth reconstructs the nesting.
+type SpanEvent struct {
+	Name     string            `json:"name"`
+	Depth    int               `json:"depth"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects completed spans into a bounded in-memory event log. Safe
+// for concurrent use. A nil Tracer is a valid no-op sink.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []SpanEvent
+	max     int
+	dropped int64
+}
+
+// DefaultTraceCapacity bounds a Tracer constructed with NewTracer(0).
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer retaining at most max events (0 selects
+// DefaultTraceCapacity). Once full, further events are counted as dropped
+// rather than evicting earlier ones: the head of a trace — the structural
+// Merge/Remove/plan steps — is the part worth keeping.
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultTraceCapacity
+	}
+	return &Tracer{max: max}
+}
+
+func (t *Tracer) record(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the event log, in completion order.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// Dropped reports how many events were discarded because the log was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset clears the event log.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// WriteJSON writes the event log as {"spans": [...]}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Spans   []SpanEvent `json:"spans"`
+		Dropped int64       `json:"dropped,omitempty"`
+	}{Spans: t.Events(), Dropped: t.Dropped()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context carrying the tracer; spans started under it
+// record into the tracer's event log.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by the context, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// Active is a started span. All methods are nil-safe: when the context
+// carries no tracer, Span returns a nil *Active and the instrumentation
+// costs two pointer lookups.
+type Active struct {
+	tracer *Tracer
+	name   string
+	depth  int
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+	ended  bool
+}
+
+// Span starts a span under the context's tracer (a no-op without one) and
+// returns a derived context under which child spans nest one level deeper.
+//
+//	ctx, sp := obs.Span(ctx, "core.Merge")
+//	defer sp.End()
+func Span(ctx context.Context, name string) (context.Context, *Active) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	depth := 0
+	if parent, ok := ctx.Value(spanKey).(*Active); ok && parent != nil {
+		depth = parent.depth + 1
+	}
+	a := &Active{tracer: t, name: name, depth: depth, start: time.Now()}
+	return context.WithValue(ctx, spanKey, a), a
+}
+
+// SetAttr attaches a key=value annotation to the span.
+func (a *Active) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.attrs == nil {
+		a.attrs = make(map[string]string, 4)
+	}
+	a.attrs[key] = value
+	a.mu.Unlock()
+}
+
+// End stops the span and appends its event to the tracer log. Ending twice
+// records once.
+func (a *Active) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	attrs := a.attrs
+	a.mu.Unlock()
+	a.tracer.record(SpanEvent{
+		Name:     a.name,
+		Depth:    a.depth,
+		Start:    a.start,
+		Duration: time.Since(a.start),
+		Attrs:    attrs,
+	})
+}

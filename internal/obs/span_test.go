@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanNoTracerIsNoop(t *testing.T) {
+	ctx, sp := Span(context.Background(), "free")
+	if sp != nil {
+		t.Fatal("span without a tracer must be nil")
+	}
+	sp.SetAttr("k", "v") // nil-safe
+	sp.End()
+	if TracerFrom(ctx) != nil {
+		t.Error("no tracer must be installed")
+	}
+}
+
+func TestSpanNestingDepths(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Span(ctx, "core.Merge")
+	root.SetAttr("members", "OFFER,TEACH")
+	cctx, child := Span(ctx, "merge.step1")
+	_, grand := Span(cctx, "merge.step1.attrs")
+	grand.End()
+	child.End()
+	// A sibling of step1 under the root.
+	_, sib := Span(ctx, "merge.step2")
+	sib.End()
+	root.End()
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	// Completion order: deepest first, root last.
+	wantNames := []string{"merge.step1.attrs", "merge.step1", "merge.step2", "core.Merge"}
+	wantDepth := []int{2, 1, 1, 0}
+	for i, ev := range evs {
+		if ev.Name != wantNames[i] || ev.Depth != wantDepth[i] {
+			t.Errorf("event %d = %s depth %d, want %s depth %d", i, ev.Name, ev.Depth, wantNames[i], wantDepth[i])
+		}
+		if ev.Duration < 0 {
+			t.Errorf("event %d has negative duration", i)
+		}
+	}
+	if evs[3].Attrs["members"] != "OFFER,TEACH" {
+		t.Errorf("root attrs = %v", evs[3].Attrs)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(0)
+	_, sp := Span(WithTracer(context.Background(), tr), "once")
+	sp.End()
+	sp.End()
+	if got := len(tr.Events()); got != 1 {
+		t.Errorf("events = %d, want 1", got)
+	}
+}
+
+func TestTracerBoundedDrops(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, sp := Span(ctx, "tick")
+		sp.End()
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Errorf("events = %d, want 2 (bounded)", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Error("Reset must clear the log")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, sp := Span(ctx, "outer")
+				_, inner := Span(c, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()) + int(tr.Dropped()); got != 8*200*2 {
+		t.Errorf("recorded+dropped = %d, want %d", got, 8*200*2)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Span(ctx, "core.Remove")
+	sp.SetAttr("member", "TEACH")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []SpanEvent `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "core.Remove" || doc.Spans[0].Attrs["member"] != "TEACH" {
+		t.Errorf("trace = %+v", doc.Spans)
+	}
+}

@@ -12,10 +12,12 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
@@ -39,14 +41,39 @@ type Planner interface {
 	Answer(q Query) (Result, error)
 }
 
+// Planner metric names. Base and merged planners report under distinct
+// names, so one registry shows the access-path difference directly: the base
+// planner performs one relation lookup per owning scheme, the merged planner
+// one lookup per query plus μ′ reconstructions for removed attributes.
+const (
+	metricBaseQueries    = "query.base.queries"
+	metricBaseLookups    = "query.base.relation_lookups"
+	metricMergedQueries  = "query.merged.queries"
+	metricMergedReconstr = "query.merged.reconstructions"
+)
+
 // BasePlanner answers on the unmerged design: one key lookup per owning
 // relation-scheme.
 type BasePlanner struct {
 	DB *engine.DB
+	// Obs, when set, receives planner-decision counters (query.base.*).
+	Obs *obs.Registry
 }
 
 // Answer implements Planner.
 func (p *BasePlanner) Answer(q Query) (Result, error) {
+	return p.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer with a context: a tracer carried by the context
+// records a query.base.Answer span.
+func (p *BasePlanner) AnswerCtx(ctx context.Context, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, sp := obs.Span(ctx, "query.base.Answer")
+	defer sp.End()
+	p.Obs.Counter(metricBaseQueries).Inc()
 	s := p.DB.Schema
 	root := s.Scheme(q.Root)
 	if root == nil {
@@ -65,6 +92,7 @@ func (p *BasePlanner) Answer(q Query) (Result, error) {
 	}
 	out := make(Result, len(q.Want))
 	for name, attrs := range byScheme {
+		p.Obs.Counter(metricBaseLookups).Inc()
 		tup, ok := p.DB.GetByKey(name, q.Key)
 		rel := p.DB.Relation(name)
 		for _, a := range attrs {
@@ -86,10 +114,24 @@ func (p *BasePlanner) Answer(q Query) (Result, error) {
 type MergedPlanner struct {
 	DB *engine.DB
 	M  *core.MergedScheme
+	// Obs, when set, receives planner-decision counters (query.merged.*).
+	Obs *obs.Registry
 }
 
 // Answer implements Planner.
 func (p *MergedPlanner) Answer(q Query) (Result, error) {
+	return p.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer with a context: a tracer carried by the context
+// records a query.merged.Answer span.
+func (p *MergedPlanner) AnswerCtx(ctx context.Context, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, sp := obs.Span(ctx, "query.merged.Answer")
+	defer sp.End()
+	p.Obs.Counter(metricMergedQueries).Inc()
 	rootMember := p.M.Member(q.Root)
 	if rootMember == nil {
 		return nil, fmt.Errorf("query: root %s is not a member of the merge", q.Root)
@@ -107,6 +149,7 @@ func (p *MergedPlanner) Answer(q Query) (Result, error) {
 			out[a] = row[pos]
 			continue
 		}
+		p.Obs.Counter(metricMergedReconstr).Inc()
 		v, err := p.reconstructRemoved(rel, row, a)
 		if err != nil {
 			return nil, err

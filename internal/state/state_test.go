@@ -1,4 +1,4 @@
-package state
+package state_test
 
 import (
 	"math/rand"
@@ -8,12 +8,13 @@ import (
 	"repro/internal/figures"
 	"repro/internal/relation"
 	"repro/internal/schema"
+	"repro/internal/state"
 )
 
 func TestNewEmptyStateIsConsistent(t *testing.T) {
 	s := figures.Fig3()
-	db := New(s)
-	if err := Consistent(s, db); err != nil {
+	db := state.New(s)
+	if err := state.Consistent(s, db); err != nil {
 		t.Fatalf("empty state should be consistent: %v", err)
 	}
 	if db.TotalTuples() != 0 {
@@ -25,37 +26,37 @@ func TestConsistencyViolations(t *testing.T) {
 	s := figures.Fig3()
 
 	// Dangling foreign key: OFFER references a missing COURSE.
-	db := New(s)
+	db := state.New(s)
 	db.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("math")})
-	err := Consistent(s, db)
+	err := state.Consistent(s, db)
 	if err == nil || !strings.Contains(err.Error(), "IND") {
 		t.Errorf("want IND violation, got %v", err)
 	}
 
 	// NNA violation.
-	db2 := New(s)
+	db2 := state.New(s)
 	db2.Relation("COURSE").Add(relation.Tuple{relation.Null()})
-	err = Consistent(s, db2)
+	err = state.Consistent(s, db2)
 	if err == nil || !strings.Contains(err.Error(), "null constraint") {
 		t.Errorf("want null-constraint violation, got %v", err)
 	}
 
 	// FD (key) violation: needs two tuples agreeing on key, differing off it.
-	db3 := New(s)
+	db3 := state.New(s)
 	db3.Relation("COURSE").Add(relation.Tuple{relation.NewString("c1")})
 	db3.Relation("DEPARTMENT").Add(relation.Tuple{relation.NewString("math")})
 	db3.Relation("DEPARTMENT").Add(relation.Tuple{relation.NewString("cs")})
 	db3.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("math")})
 	db3.Relation("OFFER").Add(relation.Tuple{relation.NewString("c1"), relation.NewString("cs")})
-	err = Consistent(s, db3)
+	err = state.Consistent(s, db3)
 	if err == nil || !strings.Contains(err.Error(), "FD") {
 		t.Errorf("want FD violation, got %v", err)
 	}
 
 	// Missing relation.
-	db4 := New(s)
+	db4 := state.New(s)
 	delete(db4.Relations, "COURSE")
-	if Consistent(s, db4) == nil {
+	if state.Consistent(s, db4) == nil {
 		t.Error("missing relation should be inconsistent")
 	}
 }
@@ -63,7 +64,7 @@ func TestConsistencyViolations(t *testing.T) {
 func TestCloneAndEqual(t *testing.T) {
 	s := figures.Fig3()
 	rng := rand.New(rand.NewSource(3))
-	db := MustGenerate(s, rng, GenOptions{Rows: 5})
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 5})
 	c := db.Clone()
 	if !db.Equal(c) {
 		t.Fatal("clone should equal original")
@@ -72,7 +73,7 @@ func TestCloneAndEqual(t *testing.T) {
 	if db.Equal(c) {
 		t.Error("mutated clone should differ")
 	}
-	if db.Equal(&DB{Relations: map[string]*relation.Relation{}}) {
+	if db.Equal(&state.DB{Relations: map[string]*relation.Relation{}}) {
 		t.Error("different scheme coverage should differ")
 	}
 }
@@ -81,11 +82,11 @@ func TestGenerateConsistentFig3(t *testing.T) {
 	s := figures.Fig3()
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		db, err := Generate(s, rng, GenOptions{Rows: 8})
+		db, err := state.Generate(s, rng, state.GenOptions{Rows: 8})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := Consistent(s, db); err != nil {
+		if err := state.Consistent(s, db); err != nil {
 			t.Fatalf("seed %d: inconsistent: %v", seed, err)
 		}
 		if db.TotalTuples() == 0 {
@@ -97,8 +98,8 @@ func TestGenerateConsistentFig3(t *testing.T) {
 func TestGenerateConsistentFig1(t *testing.T) {
 	s := figures.Fig1RS()
 	rng := rand.New(rand.NewSource(7))
-	db := MustGenerate(s, rng, GenOptions{Rows: 10})
-	if err := Consistent(s, db); err != nil {
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 10})
+	if err := state.Consistent(s, db); err != nil {
 		t.Fatal(err)
 	}
 	// MANAGES keys must be a subset of EMPLOYEE keys.
@@ -117,7 +118,7 @@ func TestGenerateWithNullableAttrs(t *testing.T) {
 		[]string{"A"}))
 	s.Nulls = []schema.NullConstraint{schema.NNA("R", "A")}
 	rng := rand.New(rand.NewSource(1))
-	db := MustGenerate(s, rng, GenOptions{Rows: 40, NullProb: 0.5})
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 40, NullProb: 0.5})
 	nulls := 0
 	r := db.Relation("R")
 	for _, tup := range r.Tuples() {
@@ -128,7 +129,7 @@ func TestGenerateWithNullableAttrs(t *testing.T) {
 	if nulls == 0 {
 		t.Error("expected some null B values")
 	}
-	if err := Consistent(s, db); err != nil {
+	if err := state.Consistent(s, db); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -147,8 +148,8 @@ func TestGenerateRespectsGeneralNullConstraints(t *testing.T) {
 		schema.NewNullExistence("R", []string{"C"}, []string{"B"}),
 	}
 	rng := rand.New(rand.NewSource(2))
-	db := MustGenerate(s, rng, GenOptions{Rows: 30, NullProb: 0.5})
-	if err := Consistent(s, db); err != nil {
+	db := state.MustGenerate(s, rng, state.GenOptions{Rows: 30, NullProb: 0.5})
+	if err := state.Consistent(s, db); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -161,14 +162,14 @@ func TestGenerateCycleRejected(t *testing.T) {
 		schema.NewIND("R", []string{"A"}, "S", []string{"B"}),
 		schema.NewIND("S", []string{"B"}, "R", []string{"A"}),
 	}
-	if _, err := Generate(s, rand.New(rand.NewSource(1)), GenOptions{Rows: 5}); err == nil {
+	if _, err := state.Generate(s, rand.New(rand.NewSource(1)), state.GenOptions{Rows: 5}); err == nil {
 		t.Error("cyclic IND graph should be rejected")
 	}
 }
 
 func TestStateString(t *testing.T) {
 	s := figures.Fig3()
-	db := New(s)
+	db := state.New(s)
 	db.Relation("COURSE").Add(relation.Tuple{relation.NewString("c1")})
 	out := db.String()
 	if !strings.Contains(out, "COURSE(C.NR)") || !strings.Contains(out, "⟨c1⟩") {

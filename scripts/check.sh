@@ -13,5 +13,6 @@ if [ -n "$out" ]; then
 fi
 
 go vet ./...
+go run ./scripts/metriclint .
 go build ./...
 go test -race ./...

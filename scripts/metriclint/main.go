@@ -1,0 +1,126 @@
+// Command metriclint is the repo's metric-name checker, run by
+// scripts/check.sh. The convention under internal/ is that every metric name
+// handed to the obs registry lives in a package-level `metricXxx` string
+// constant; this tool parses every non-test Go file and enforces that
+//
+//   - each such constant's value is unique across the whole repository (two
+//     packages registering the same series name would silently share it or
+//     panic on a kind mismatch at runtime), and
+//   - each value follows the naming convention: a lowercase dotted path like
+//     "engine.trigger_firings".
+//
+// It exits nonzero listing every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var namePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	decls, err := collect(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	byValue := map[string][]string{}
+	for _, d := range decls {
+		byValue[d.value] = append(byValue[d.value], d.pos)
+		if !namePattern.MatchString(d.value) {
+			problems = append(problems,
+				fmt.Sprintf("%s: metric name %q does not match the lowercase dotted convention", d.pos, d.value))
+		}
+	}
+	for value, positions := range byValue {
+		if len(positions) > 1 {
+			sort.Strings(positions)
+			problems = append(problems,
+				fmt.Sprintf("metric name %q declared more than once: %s", value, strings.Join(positions, ", ")))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "metriclint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d metric names, all unique\n", len(decls))
+}
+
+type decl struct {
+	value string
+	pos   string
+}
+
+// collect parses every non-test .go file under root (skipping vendor-ish and
+// hidden directories) and returns each package-level `metricXxx` string
+// constant with its position.
+func collect(root string) ([]decl, error) {
+	var out []decl
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, gd := range file.Decls {
+			gen, ok := gd.(*ast.GenDecl)
+			if !ok || gen.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if !strings.HasPrefix(ident.Name, "metric") || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					value, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						continue
+					}
+					out = append(out, decl{value: value, pos: fset.Position(ident.Pos()).String()})
+				}
+			}
+		}
+		return nil
+	})
+	return out, err
+}
