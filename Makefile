@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race bench benchjson
+.PHONY: check fmt vet metriclint build test race stress bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector
-check: fmt vet metriclint build race
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress
+check: fmt vet metriclint build race stress
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,9 +25,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+## stress: the concurrency stress suite, fresh (uncached) under the race detector
+stress:
+	$(GO) test -race -count=1 -run 'Stress|Concurrent|Mixed' ./internal/engine/ ./internal/workload/ ./internal/attrset/
+
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR2.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR3.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR2.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR3.json

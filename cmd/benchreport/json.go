@@ -28,16 +28,20 @@ type benchProbe struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchReport is the BENCH_PR2.json document: raw probes, the derived
+// benchReport is the BENCH_PR3.json document: raw probes, the derived
 // speedup ratios of the bitset closure engine over the retained map-based
 // reference implementation, the attrset cache hit rates observed during the
-// probes, and the per-regime constraint-maintenance counters of the fig. 3
-// replay (declarative checks vs. trigger firings, base vs. merged design).
+// probes, the per-regime constraint-maintenance counters of the fig. 3
+// replay (declarative checks vs. trigger firings, base vs. merged design),
+// and the goroutine-scaling throughput grid (scaling.go) with its 1→8-worker
+// speedup per curve.
 type benchReport struct {
-	Probes        []benchProbe       `json:"probes"`
-	Speedups      map[string]float64 `json:"speedups"`
-	CacheHitRates map[string]float64 `json:"cache_hit_rates"`
-	Maintenance   []maintenanceRow   `json:"maintenance"`
+	Probes          []benchProbe       `json:"probes"`
+	Speedups        map[string]float64 `json:"speedups"`
+	CacheHitRates   map[string]float64 `json:"cache_hit_rates"`
+	Maintenance     []maintenanceRow   `json:"maintenance"`
+	Scaling         []scalingRow       `json:"scaling"`
+	ScalingSpeedups map[string]float64 `json:"scaling_speedups"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -276,11 +280,18 @@ func runJSON(path string) error {
 		return err
 	}
 
+	scaling, scalingSpeedups, err := scalingSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
-		Probes:        probes,
-		Speedups:      map[string]float64{},
-		CacheHitRates: cacheHitRates,
-		Maintenance:   maintenance,
+		Probes:          probes,
+		Speedups:        map[string]float64{},
+		CacheHitRates:   cacheHitRates,
+		Maintenance:     maintenance,
+		Scaling:         scaling,
+		ScalingSpeedups: scalingSpeedups,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range probes {
@@ -318,6 +329,14 @@ func runJSON(path string) error {
 	for _, row := range report.Maintenance {
 		fmt.Printf("  %-8s inserts=%d declarative=%d triggers=%d\n", row.DB, row.Inserts, row.DeclarativeChecks, row.TriggerFirings)
 	}
+	fmt.Printf("throughput scaling, 1 → %d workers (90/10 mix):\n", scalingWorkers[len(scalingWorkers)-1])
+	for _, shape := range scalingShapes() {
+		for _, db := range []string{"base", "merged"} {
+			if s, ok := report.ScalingSpeedups[shape.Name+"/"+db]; ok {
+				fmt.Printf("  %-22s %.1fx\n", shape.Name+"/"+db, s)
+			}
+		}
+	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -349,11 +368,12 @@ func maintenanceProfile() ([]maintenanceRow, error) {
 		return nil, fmt.Errorf("benchreport: replaying fig. 3 into the merged engine: %w", err)
 	}
 	row := func(name string, db *engine.DB) maintenanceRow {
+		st := db.Stats.Snapshot()
 		return maintenanceRow{
 			DB:                name,
-			Inserts:           db.Stats.Inserts,
-			DeclarativeChecks: db.Stats.DeclarativeChecks,
-			TriggerFirings:    db.Stats.TriggerFirings,
+			Inserts:           st.Inserts,
+			DeclarativeChecks: st.DeclarativeChecks,
+			TriggerFirings:    st.TriggerFirings,
 		}
 	}
 	return []maintenanceRow{row("base", base), row("merged", merged)}, nil

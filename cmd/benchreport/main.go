@@ -54,6 +54,7 @@ func main() {
 		{"P2", "Maintenance overhead: declarative vs. trigger-style constraints", runP2},
 		{"P3", "Procedure scalability: Merge + RemoveAll cost vs. merge-set size", runP3},
 		{"P4", "Denormalization advisor: workload-driven merge recommendations", runP4},
+		{"P5", "Concurrent scalability: mixed workload throughput vs. goroutines", runP5},
 	}
 
 	matched := false

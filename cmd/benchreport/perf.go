@@ -27,8 +27,8 @@ func runP1(rows int) {
 			b.ProfileMerged(k)
 		}
 		q := float64(len(b.Keys))
-		base := float64(b.Base.Stats.IndexLookups) / q
-		merged := float64(b.Merged.Stats.IndexLookups) / q
+		base := float64(b.Base.Stats.IndexLookups()) / q
+		merged := float64(b.Merged.Stats.IndexLookups()) / q
 		fmt.Printf("%-6d %-18.1f %-18.1f %.1fx\n", n, base, merged, base/merged)
 	}
 	fmt.Println("\npaper's claim: merging reduces the need for joining relations; the base")
@@ -65,7 +65,7 @@ func runP2(rows int) {
 				done++
 			}
 		}
-		st := b.Merged.Stats
+		st := b.Merged.Stats.Snapshot()
 		fmt.Printf("%-22s %-10d %-22.1f %-16.1f\n", c.label, done,
 			float64(st.DeclarativeChecks)/float64(done),
 			float64(st.TriggerFirings)/float64(done))

@@ -37,24 +37,29 @@ func replayState(s *schema.Schema, dataPath string, fig3 bool) (*state.DB, error
 	return state.Generate(s, rand.New(rand.NewSource(1)), state.GenOptions{Rows: 16})
 }
 
-// reconciliation compares one engine's registry series against its legacy
-// Stats struct; the two are kept in lockstep by the engine, so any mismatch
-// is a bug worth surfacing in the report.
+// reconciliation compares one engine's registry series against its Stats
+// counters; the two are kept in lockstep by the engine, so any mismatch is a
+// bug worth surfacing in the report. The comparison uses Stats.Totals() —
+// the monotonic process-lifetime counters — rather than the windowed
+// accessors, so a Stats.Reset() in the middle of a run (a benchmark starting
+// a fresh measurement window, say) cannot drift the report: registry series
+// never rewind, and neither do the totals.
 type reconciliation struct {
 	DB         string `json:"db"`
 	Reconciled bool   `json:"reconciled"`
 }
 
 func reconcile(reg *obs.Registry, db *engine.DB) reconciliation {
+	totals := db.Stats.Totals()
 	want := map[string]int{
-		"engine.inserts":            db.Stats.Inserts,
-		"engine.deletes":            db.Stats.Deletes,
-		"engine.updates":            db.Stats.Updates,
-		"engine.lookups":            db.Stats.Lookups,
-		"engine.declarative_checks": db.Stats.DeclarativeChecks,
-		"engine.trigger_firings":    db.Stats.TriggerFirings,
-		"engine.index_lookups":      db.Stats.IndexLookups,
-		"engine.tuples_scanned":     db.Stats.TuplesScanned,
+		"engine.inserts":            totals.Inserts,
+		"engine.deletes":            totals.Deletes,
+		"engine.updates":            totals.Updates,
+		"engine.lookups":            totals.Lookups,
+		"engine.declarative_checks": totals.DeclarativeChecks,
+		"engine.trigger_firings":    totals.TriggerFirings,
+		"engine.index_lookups":      totals.IndexLookups,
+		"engine.tuples_scanned":     totals.TuplesScanned,
 	}
 	ok := true
 	for _, p := range reg.Snapshot() {

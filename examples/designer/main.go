@@ -94,7 +94,7 @@ func main() {
 		fmt.Printf("  %-12s base=%-14v merged=%-14v agree=%v\n",
 			attr, a[attr], b[attr], a[attr].Identical(b[attr]) || (a[attr].IsNull() && b[attr].IsNull()))
 	}
-	fmt.Printf("lookups: base=%d merged=%d\n", baseDB.Stats.Lookups, mergedDB.Stats.Lookups)
+	fmt.Printf("lookups: base=%d merged=%d\n", baseDB.Stats.Lookups(), mergedDB.Stats.Lookups())
 }
 
 func check(err error) {

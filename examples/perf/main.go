@@ -23,8 +23,8 @@ func main() {
 			b.ProfileMerged(k)
 		}
 		q := float64(len(b.Keys))
-		base := float64(b.Base.Stats.IndexLookups) / q
-		merged := float64(b.Merged.Stats.IndexLookups) / q
+		base := float64(b.Base.Stats.IndexLookups()) / q
+		merged := float64(b.Merged.Stats.IndexLookups()) / q
 		fmt.Printf("%-4d %-20.1f %-20.1f %.1fx\n", n, base, merged, base/merged)
 	}
 
@@ -50,7 +50,7 @@ func main() {
 				done++
 			}
 		}
-		st := b.Merged.Stats
+		st := b.Merged.Stats.Snapshot()
 		fmt.Printf("%-24s %-24.1f %.1f\n", c.label,
 			float64(st.DeclarativeChecks)/float64(done),
 			float64(st.TriggerFirings)/float64(done))

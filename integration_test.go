@@ -145,8 +145,8 @@ func TestLibraryPipeline(t *testing.T) {
 		}
 		mergedDB.GetByKey("BOOK+", key)
 	}
-	if mergedDB.Stats.IndexLookups*4 != baseDB.Stats.IndexLookups {
-		t.Errorf("lookups: base %d, merged %d", baseDB.Stats.IndexLookups, mergedDB.Stats.IndexLookups)
+	if mergedDB.Stats.IndexLookups()*4 != baseDB.Stats.IndexLookups() {
+		t.Errorf("lookups: base %d, merged %d", baseDB.Stats.IndexLookups(), mergedDB.Stats.IndexLookups())
 	}
 
 	// 8. Persistence round trip of the merged engine.

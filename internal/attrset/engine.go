@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Default cache capacities. Indexes are per-dependency-set and hold the
@@ -14,6 +15,22 @@ const (
 	defaultMaxClosures = 4096
 )
 
+// closureStripes is the number of independent closure-cache shards. A power
+// of two, so stripe selection is a mask. Sixteen stripes keep the per-stripe
+// mutexes uncontended even when every engine worker goroutine resolves
+// closures at once, at the cost of LRU eviction being approximate across the
+// whole cache (each stripe evicts locally).
+const closureStripes = 16
+
+// closureStripe is one shard of the closure memo: a private LRU under a
+// private mutex, plus atomic traffic counters so CacheStats can total exact
+// hit/miss/eviction counts without stopping the world.
+type closureStripe struct {
+	mu                      sync.Mutex
+	cache                   *lru[closureKey, *closureEntry]
+	hits, misses, evictions atomic.Int64
+}
+
 // Engine compiles dependency sets into Indexes and memoizes closure results,
 // both under LRU eviction. It is safe for concurrent use. The compile step
 // is keyed by a structural fingerprint of the dependency list, so repeated
@@ -22,19 +39,19 @@ const (
 // cache and pay only the hashing walk; closure results are keyed by
 // (dependency fingerprint, canonical seed fingerprint) and hit without
 // allocating.
+//
+// The closure memo — the hot path — is sharded into closureStripes
+// independent LRUs keyed by a hash of the closure key, so concurrent readers
+// of different closures rarely share a lock. The index cache stays a single
+// LRU under Engine.mu: compiles are rare and the map is small.
 type Engine struct {
 	mu       sync.Mutex
 	indexes  *lru[fingerprint, *Index]
-	closures *lru[closureKey, *closureEntry]
-	stats    cacheCounters // guarded by mu
-	pool     sync.Pool
-}
+	closures [closureStripes]closureStripe
 
-// cacheCounters accumulates cache traffic under Engine.mu; CacheStats copies
-// it out for reporting.
-type cacheCounters struct {
-	indexHits, indexMisses, indexEvictions       int64
-	closureHits, closureMisses, closureEvictions int64
+	indexHits, indexMisses, indexEvictions atomic.Int64
+
+	pool sync.Pool
 }
 
 type closureKey struct {
@@ -53,14 +70,33 @@ func NewEngine() *Engine {
 	return NewEngineSize(defaultMaxIndexes, defaultMaxClosures)
 }
 
-// NewEngineSize returns an engine with explicit cache capacities.
+// NewEngineSize returns an engine with explicit cache capacities. The closure
+// capacity is split evenly across the stripes (rounded up, minimum one entry
+// per stripe), so the effective total is within one entry per stripe of the
+// request.
 func NewEngineSize(maxIndexes, maxClosures int) *Engine {
-	e := &Engine{
-		indexes:  newLRU[fingerprint, *Index](maxIndexes),
-		closures: newLRU[closureKey, *closureEntry](maxClosures),
+	e := &Engine{indexes: newLRU[fingerprint, *Index](maxIndexes)}
+	perStripe := (maxClosures + closureStripes - 1) / closureStripes
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	for i := range e.closures {
+		e.closures[i].cache = newLRU[closureKey, *closureEntry](perStripe)
 	}
 	e.pool.New = func() any { return &scratch{} }
 	return e
+}
+
+// stripe picks the shard for a closure key by mixing its three words with a
+// splitmix64-style finalizer; the low bits select the stripe.
+func (e *Engine) stripe(k closureKey) *closureStripe {
+	h := k.index
+	h ^= k.seed.hi * 0x9e3779b97f4a7c15
+	h ^= k.seed.lo * 0xbf58476d1ce4e5b9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &e.closures[h&(closureStripes-1)]
 }
 
 // Index compiles (or fetches from cache) the dependency list served by dep:
@@ -70,18 +106,19 @@ func (e *Engine) Index(n int, dep func(i int) (lhs, rhs []string)) *Index {
 	fp := fingerprintDeps(n, dep)
 	e.mu.Lock()
 	if ix, ok := e.indexes.get(fp); ok {
-		e.stats.indexHits++
 		e.mu.Unlock()
+		e.indexHits.Add(1)
 		return ix
 	}
-	e.stats.indexMisses++
 	e.mu.Unlock()
+	e.indexMisses.Add(1)
 	ix := buildIndex(n, dep, fp)
 	e.mu.Lock()
-	if e.indexes.put(fp, ix) {
-		e.stats.indexEvictions++
-	}
+	evicted := e.indexes.put(fp, ix)
 	e.mu.Unlock()
+	if evicted {
+		e.indexEvictions.Add(1)
+	}
 	return ix
 }
 
@@ -136,8 +173,9 @@ func (e *Engine) Contains(ix *Index, seed, targets []string) bool {
 }
 
 // closureEntry interns and canonicalizes the seed, then returns the memoized
-// closure entry, computing it on miss. The hit path performs no allocation:
-// the scratch buffers are pooled, the seed ids are sorted in place, and the
+// closure entry from the key's stripe, computing it on miss. The hit path
+// performs no allocation and touches only the one stripe's mutex: the
+// scratch buffers are pooled, the seed ids are sorted in place, and the
 // cache returns a shared entry.
 func (e *Engine) closureEntry(ix *Index, seed []string) *closureEntry {
 	sc := e.pool.Get().(*scratch)
@@ -148,29 +186,33 @@ func (e *Engine) closureEntry(ix *Index, seed []string) *closureEntry {
 	slices.Sort(ids)
 	ids = slices.Compact(ids)
 	key := closureKey{index: ix.serial, seed: fingerprintIDs(ids)}
+	st := e.stripe(key)
 
-	e.mu.Lock()
-	ce, ok := e.closures.get(key)
+	st.mu.Lock()
+	ce, ok := st.cache.get(key)
+	st.mu.Unlock()
 	if ok {
-		e.stats.closureHits++
-		e.mu.Unlock()
+		st.hits.Add(1)
 		sc.ids = ids
 		e.pool.Put(sc)
 		return ce
 	}
-	e.stats.closureMisses++
-	e.mu.Unlock()
+	st.misses.Add(1)
 
 	dst := NewSet(ix.in.Len())
 	ix.closeInto(ids, &dst, sc)
 	ce = &closureEntry{set: dst}
-	e.mu.Lock()
-	if prev, ok := e.closures.get(key); ok {
+	st.mu.Lock()
+	var evicted bool
+	if prev, ok := st.cache.get(key); ok {
 		ce = prev // lost a race; keep the first entry canonical
-	} else if e.closures.put(key, ce) {
-		e.stats.closureEvictions++
+	} else {
+		evicted = st.cache.put(key, ce)
 	}
-	e.mu.Unlock()
+	st.mu.Unlock()
+	if evicted {
+		st.evictions.Add(1)
+	}
 	sc.ids = ids
 	e.pool.Put(sc)
 	return ce

@@ -36,21 +36,30 @@ func rate(hits, misses int64) float64 {
 	return float64(hits) / float64(hits+misses)
 }
 
-// CacheStats returns a consistent snapshot of the engine's cache counters.
+// CacheStats returns a snapshot of the engine's cache counters. The closure
+// totals are exact sums of the per-stripe atomic counters; hit/miss/eviction
+// arithmetic (misses − evictions = cache size, in the steady state with no
+// racing fills) holds across the sum even though each stripe is read at a
+// slightly different instant.
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := CacheStats{
-		IndexHits:        e.stats.indexHits,
-		IndexMisses:      e.stats.indexMisses,
-		IndexEvictions:   e.stats.indexEvictions,
-		ClosureHits:      e.stats.closureHits,
-		ClosureMisses:    e.stats.closureMisses,
-		ClosureEvictions: e.stats.closureEvictions,
-		IndexCacheSize:   e.indexes.len(),
-		ClosureCacheSize: e.closures.len(),
+		IndexHits:      e.indexHits.Load(),
+		IndexMisses:    e.indexMisses.Load(),
+		IndexEvictions: e.indexEvictions.Load(),
 	}
+	for i := range e.closures {
+		s := &e.closures[i]
+		st.ClosureHits += s.hits.Load()
+		st.ClosureMisses += s.misses.Load()
+		st.ClosureEvictions += s.evictions.Load()
+		s.mu.Lock()
+		st.ClosureCacheSize += s.cache.len()
+		s.mu.Unlock()
+	}
+	e.mu.Lock()
+	st.IndexCacheSize = e.indexes.len()
 	e.indexes.each(func(ix *Index) { st.InternedNames += ix.in.Len() })
+	e.mu.Unlock()
 	return st
 }
 

@@ -16,77 +16,74 @@
 // The Stats counters let benchmarks report exactly how much each regime
 // costs, reproducing the paper's argument for why only-NNA schemas
 // (Prop. 5.2) are preferable on 1992-era systems.
+//
+// Concurrency: a DB is safe for concurrent use by multiple goroutines.
+// Locking is per table (sync.RWMutex), so key lookups on distinct relations
+// never contend and readers of the same relation proceed in parallel;
+// multi-table operations acquire their whole lock set up front in a
+// deterministic order (see locks.go), so they cannot deadlock against each
+// other. All cost accounting is atomic and never takes a lock.
 package engine
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
 
-// Stats accumulates operation and cost counters. Every field is mirrored
-// into a registry-backed counter series (see metrics.go), so the same
-// numbers are exportable through DB.Registry() without touching this API;
-// Reset zeroes only the struct — the registry series stay monotonic.
-type Stats struct {
-	Inserts int
-	Deletes int
-	Updates int
-	Lookups int
-
-	// DeclarativeChecks counts NOT NULL / primary-key / foreign-key checks.
-	DeclarativeChecks int
-	// TriggerFirings counts procedural constraint evaluations (general null
-	// constraints, non-key-based inclusion dependencies).
-	TriggerFirings int
-	// IndexLookups counts hash-index probes.
-	IndexLookups int
-	// TuplesScanned counts tuples visited by scans.
-	TuplesScanned int
-}
-
-// Reset zeroes the counters.
-func (st *Stats) Reset() { *st = Stats{} }
-
-// table is one relation plus its primary-key index.
+// table is one relation plus its primary-key index. Its mutex is the unit of
+// locking: every operation acquires the locks of all tables it may touch —
+// in ordinal order — before reading or writing any of them.
 type table struct {
+	mu  sync.RWMutex
+	ord int // position in the deterministic lock order (sorted by name)
 	rs  *schema.RelationScheme
 	rel *relation.Relation
 	pk  map[string]relation.Tuple // encoded key -> tuple
 	// secondary maps attr-list key -> (encoded value -> tuples); built on
 	// demand for referenced-side maintenance of inclusion dependencies.
+	// Building or probing it requires the table's write lock (the lock
+	// planner is conservative: any operation that may consult a secondary
+	// index locks that table for writing).
 	secondary map[string]map[string][]relation.Tuple
 }
 
-func (t *table) keyOf(tup relation.Tuple) string {
-	return tup.Project(t.rel.Positions(t.rs.PrimaryKey)).EncodeKey()
-}
-
 // DB is the engine instance: a schema plus its tables and counters.
-// Mutating operations and multi-step reads are serialized by an internal
-// mutex, so a DB is safe for concurrent use by multiple goroutines (the
-// Stats counters are protected by the same lock).
+// All exported methods are safe for concurrent use; see the package comment
+// for the locking discipline.
 type DB struct {
-	mu     sync.Mutex
 	Schema *schema.Schema
-	Stats  Stats
+	// Stats accumulates the cost counters atomically; reads never block
+	// operations and operations never block on stats.
+	Stats Stats
 	// reg/obsName/m back the Stats fields with registry series (metrics.go).
 	reg     *obs.Registry
 	obsName string
 	m       *dbMetrics
-	tables  map[string]*table
+	// tables is immutable after Open (the schema is fixed), so lookups in it
+	// need no lock; all mutable state hangs off the *table values.
+	tables map[string]*table
+	// lm holds the precomputed per-operation lock plans (locks.go).
+	lm *lockManager
 	// indsFrom/indsInto index the schema's inclusion dependencies by side.
 	indsFrom map[string][]schema.IND
 	indsInto map[string][]schema.IND
 	// procedural null constraints per scheme (NNA excluded).
 	procNulls map[string][]schema.NullConstraint
 	nnaAttrs  map[string]map[string]bool
-	// transaction state (see txn.go).
-	inTxn bool
+	// delay simulates one storage access per operation while the operation's
+	// locks are held (WithAccessDelay); zero in production use.
+	delay time.Duration
+	// transaction state (see txn.go). txnMu guards undo; inTxn is read on
+	// the fast path without the mutex. Lock order: table locks before txnMu.
+	txnMu sync.Mutex
+	inTxn atomic.Bool
 	undo  []undoOp
 }
 
@@ -94,8 +91,9 @@ type DB struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	reg  *obs.Registry
-	name string
+	reg   *obs.Registry
+	name  string
+	delay time.Duration
 }
 
 // WithRegistry makes the DB report its cost counters and latency histograms
@@ -109,6 +107,17 @@ func WithRegistry(r *obs.Registry) Option {
 // The default is "db".
 func WithName(name string) Option {
 	return func(c *openConfig) { c.name = name }
+}
+
+// WithAccessDelay makes every operation sleep for d once while holding its
+// locks, simulating the storage-access latency the paper's cost model
+// assumes (one page fetch per indexed access on a 1992-era system). The
+// in-memory engine is otherwise so fast that lock-schedule effects — readers
+// overlapping, writers serializing — are invisible; with a simulated access
+// cost the throughput benchmarks expose them on any machine. Zero (the
+// default) disables the sleep entirely.
+func WithAccessDelay(d time.Duration) Option {
+	return func(c *openConfig) { c.delay = d }
 }
 
 // Open builds an engine for the schema (validated first).
@@ -133,6 +142,7 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		indsInto:  make(map[string][]schema.IND),
 		procNulls: make(map[string][]schema.NullConstraint),
 		nnaAttrs:  make(map[string]map[string]bool),
+		delay:     cfg.delay,
 	}
 	for _, rs := range s.Relations {
 		db.tables[rs.Name] = &table{
@@ -153,6 +163,7 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		}
 		db.procNulls[nc.SchemeName()] = append(db.procNulls[nc.SchemeName()], nc)
 	}
+	db.lm = newLockManager(db)
 	return db, nil
 }
 
@@ -165,9 +176,19 @@ func MustOpen(s *schema.Schema, opts ...Option) *DB {
 	return db
 }
 
+// simAccess sleeps for the configured simulated storage-access latency. It
+// is called exactly once per operation, at a point where the operation's
+// locks are held, so throughput benchmarks measure how well the lock
+// schedule overlaps concurrent operations.
+func (db *DB) simAccess() {
+	if db.delay > 0 {
+		time.Sleep(db.delay)
+	}
+}
+
 // Relation exposes the underlying relation of a scheme. The returned handle
-// is live: for concurrent workloads use Snapshot or the query methods, which
-// serialize internally.
+// is live and not synchronized: for concurrent workloads use Snapshot or the
+// query methods, which lock internally.
 func (db *DB) Relation(name string) *relation.Relation {
 	t := db.tables[name]
 	if t == nil {
@@ -178,13 +199,14 @@ func (db *DB) Relation(name string) *relation.Relation {
 
 // Count returns the tuple count of a relation.
 func (db *DB) Count(name string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	t := db.tables[name]
 	if t == nil {
 		return 0
 	}
-	return t.rel.Len()
+	t.mu.RLock()
+	n := t.rel.Len()
+	t.mu.RUnlock()
+	return n
 }
 
 // Insert adds a tuple to the named relation, enforcing all constraints. On
@@ -200,15 +222,29 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 		return err
 	}
 	start := now()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	defer db.m.insertLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
+	ls := db.lm.insert[name]
+	ls.acquire()
+	defer ls.release()
+	defer db.m.insertLat.ObserveSince(start)
+	db.simAccess()
+	var eff effects
+	if err := db.insertLocked(t, tup, &eff); err != nil {
+		eff.revert(db)
+		return err
+	}
+	db.commitEffects(eff)
+	return nil
+}
+
+// insertLocked validates and applies one tuple, assuming the insert lock set
+// of t is held. Mutations are recorded in eff; on error the caller reverts.
+func (db *DB) insertLocked(t *table, tup relation.Tuple, eff *effects) error {
 	if len(tup) != t.rel.Arity() {
-		return fmt.Errorf("%w for %s", ErrArityMismatch, name)
+		return fmt.Errorf("%w for %s", ErrArityMismatch, t.rs.Name)
 	}
 	if err := db.checkDeclarative(t, tup); err != nil {
 		return err
@@ -216,7 +252,7 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 	if err := db.fireInsertTriggers(t, tup); err != nil {
 		return err
 	}
-	db.apply(t, tup)
+	eff.apply(db, t, tup)
 	db.countInsert()
 	return nil
 }
@@ -288,7 +324,9 @@ func (db *DB) fireInsertTriggers(t *table, tup relation.Tuple) error {
 }
 
 // referencedHas checks membership of a value tuple in the total projection
-// of the referenced relation, via a lazily-built secondary index.
+// of the referenced relation, via a lazily-built secondary index. The
+// caller must hold target's write lock (the lock planner guarantees it for
+// every path that reaches here).
 func (db *DB) referencedHas(target *table, attrs []string, val relation.Tuple) bool {
 	idx := db.secondaryIndex(target, attrs)
 	db.countIdx()
@@ -306,6 +344,8 @@ func secondaryKey(attrs []string) string {
 	return out
 }
 
+// secondaryIndex returns (building on first use) the secondary index of
+// target on attrs. The caller must hold target's write lock.
 func (db *DB) secondaryIndex(target *table, attrs []string) map[string][]relation.Tuple {
 	key := secondaryKey(attrs)
 	if idx, ok := target.secondary[key]; ok {
@@ -325,16 +365,8 @@ func (db *DB) secondaryIndex(target *table, attrs []string) map[string][]relatio
 	return idx
 }
 
-// apply commits a checked tuple to the table and its indexes, logging the
-// mutation when a transaction is open.
-func (db *DB) apply(t *table, tup relation.Tuple) {
-	if db.inTxn {
-		db.undo = append(db.undo, undoOp{table: t, tuple: tup, insert: true})
-	}
-	db.physicalApply(t, tup)
-}
-
-// physicalApply mutates the table without undo logging.
+// physicalApply mutates the table without undo bookkeeping. The caller must
+// hold t's write lock.
 func (db *DB) physicalApply(t *table, tup relation.Tuple) {
 	t.rel.Add(tup)
 	t.pk[t.keyOfIncoming(tup)] = tup

@@ -103,7 +103,7 @@ func TestInsertForeignKey(t *testing.T) {
 	if err := db.Insert("OFFER", tup("c1", "math")); err != nil {
 		t.Fatal(err)
 	}
-	before := db.Stats.TriggerFirings
+	before := db.Stats.TriggerFirings()
 	if before != 0 {
 		t.Errorf("figure 3 is fully declarative; no triggers should fire, got %d", before)
 	}
@@ -185,7 +185,7 @@ func TestProceduralNullConstraints(t *testing.T) {
 	if cv.Constraint == "" || cv.Kind.Declarative() {
 		t.Errorf("null constraint should carry its rendering and be trigger-regime, got %+v", cv)
 	}
-	if db.Stats.TriggerFirings == 0 {
+	if db.Stats.TriggerFirings() == 0 {
 		t.Error("procedural constraint should count as a trigger firing")
 	}
 	// With the OFFER part present it passes.
@@ -212,12 +212,12 @@ func TestNonKeyBasedINDTrigger(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fires := db.Stats.TriggerFirings
+	fires := db.Stats.TriggerFirings()
 	// ASSIST referencing c1 (an offered course) passes.
 	if err := db.Insert("ASSIST", tup("c1", "p2")); err != nil {
 		t.Fatal(err)
 	}
-	if db.Stats.TriggerFirings <= fires {
+	if db.Stats.TriggerFirings() <= fires {
 		t.Error("non-key-based dependency must fire a trigger")
 	}
 	// ASSIST referencing c2 (not offered: O.C.NR is null) fails.
@@ -250,12 +250,12 @@ func TestLoadAndSnapshot(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	db := openFig3(t)
 	db.Insert("COURSE", tup("c1"))
-	st := db.Stats
+	st := db.Stats.Snapshot()
 	if st.Inserts != 1 || st.DeclarativeChecks == 0 || st.IndexLookups == 0 {
 		t.Errorf("stats = %+v", st)
 	}
 	db.Stats.Reset()
-	if db.Stats.Inserts != 0 {
+	if db.Stats.Inserts() != 0 {
 		t.Error("Reset")
 	}
 }
@@ -296,8 +296,8 @@ func TestScan(t *testing.T) {
 	if seen != 1 {
 		t.Errorf("Scan matched %d", seen)
 	}
-	if db.Stats.TuplesScanned != 2 {
-		t.Errorf("TuplesScanned = %d", db.Stats.TuplesScanned)
+	if db.Stats.TuplesScanned() != 2 {
+		t.Errorf("TuplesScanned = %d", db.Stats.TuplesScanned())
 	}
 }
 
@@ -343,14 +343,14 @@ func TestRegistryReconciliation(t *testing.T) {
 	db.GetByKey("COURSE", tup("c1"))
 
 	want := map[string]int{
-		"engine.inserts":            db.Stats.Inserts,
-		"engine.deletes":            db.Stats.Deletes,
-		"engine.updates":            db.Stats.Updates,
-		"engine.lookups":            db.Stats.Lookups,
-		"engine.declarative_checks": db.Stats.DeclarativeChecks,
-		"engine.trigger_firings":    db.Stats.TriggerFirings,
-		"engine.index_lookups":      db.Stats.IndexLookups,
-		"engine.tuples_scanned":     db.Stats.TuplesScanned,
+		"engine.inserts":            db.Stats.Inserts(),
+		"engine.deletes":            db.Stats.Deletes(),
+		"engine.updates":            db.Stats.Updates(),
+		"engine.lookups":            db.Stats.Lookups(),
+		"engine.declarative_checks": db.Stats.DeclarativeChecks(),
+		"engine.trigger_firings":    db.Stats.TriggerFirings(),
+		"engine.index_lookups":      db.Stats.IndexLookups(),
+		"engine.tuples_scanned":     db.Stats.TuplesScanned(),
 	}
 	got := map[string]int{}
 	for _, p := range reg.Snapshot() {
@@ -372,12 +372,30 @@ func TestRegistryReconciliation(t *testing.T) {
 	// Reset zeroes only the struct; registry totals stay monotonic.
 	pre := got["engine.inserts"]
 	db.Stats.Reset()
-	if db.Stats.Inserts != 0 {
+	if db.Stats.Inserts() != 0 {
 		t.Error("Reset")
 	}
 	for _, p := range reg.Snapshot() {
 		if p.Name == "engine.inserts" && int(p.Value) != pre {
 			t.Error("Reset must not rewind the registry")
+		}
+	}
+
+	// Operations after a mid-run Reset keep Totals() — not the windowed
+	// accessors — in lockstep with the registry: the invariant the relmerge
+	// -metrics reconciliation relies on.
+	if err := db.Insert("COURSE", tup("c-post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats.Inserts(); got != 1 {
+		t.Errorf("windowed inserts after reset = %d, want 1", got)
+	}
+	if got, want := db.Stats.Totals().Inserts, pre+1; got != want {
+		t.Errorf("total inserts after reset = %d, want %d", got, want)
+	}
+	for _, p := range reg.Snapshot() {
+		if p.Name == "engine.inserts" && int(p.Value) != db.Stats.Totals().Inserts {
+			t.Errorf("registry %v != Totals %d after mid-run reset", p.Value, db.Stats.Totals().Inserts)
 		}
 	}
 }

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file implements the engine's lock manager. The design:
+//
+//   - One sync.RWMutex per table (the "stripes"): operations on distinct
+//     relations never contend, and readers of one relation run in parallel.
+//   - Every operation's lock set is known from the schema alone — an insert
+//     into R touches R plus the referenced sides of R's outgoing inclusion
+//     dependencies; a delete from R touches R plus the referencing sides of
+//     the dependencies into R — so the sets are precomputed once at Open.
+//   - Lock sets are sorted by table ordinal (tables sorted by name) and
+//     acquired front to back. Two operations always request their common
+//     tables in the same order, so multi-table operations cannot deadlock.
+//   - Mode is conservative: a table is locked for writing if the operation
+//     may mutate it or may build/probe one of its lazily-built secondary
+//     indexes; otherwise for reading. Within one set, write wins over read.
+//
+// The remaining order rule is table locks BEFORE db.txnMu (see txn.go).
+
+// lockMode is the access mode requested on one table.
+type lockMode uint8
+
+const (
+	lockRead lockMode = iota + 1
+	lockWrite
+)
+
+// lockReq is one table lock request.
+type lockReq struct {
+	t    *table
+	mode lockMode
+}
+
+// lockSet is a deduplicated lock request list sorted by table ordinal.
+// acquire/release are the only ways operations touch table mutexes.
+type lockSet []lockReq
+
+func (ls lockSet) acquire() {
+	for _, r := range ls {
+		if r.mode == lockWrite {
+			r.t.mu.Lock()
+		} else {
+			r.t.mu.RLock()
+		}
+	}
+}
+
+func (ls lockSet) release() {
+	for i := len(ls) - 1; i >= 0; i-- {
+		r := ls[i]
+		if r.mode == lockWrite {
+			r.t.mu.Unlock()
+		} else {
+			r.t.mu.RUnlock()
+		}
+	}
+}
+
+// lockManager holds the precomputed lock plans, one per (operation kind,
+// table). The schema is immutable after Open, so the plans are too.
+type lockManager struct {
+	ordered []*table // all tables in ordinal (name) order
+	insert  map[string]lockSet
+	remove  map[string]lockSet
+	update  map[string]lockSet
+	fetch   map[string]lockSet // FetchWithReferences
+}
+
+// planBuilder accumulates (table, mode) pairs with write-wins semantics.
+type planBuilder map[*table]lockMode
+
+func (b planBuilder) add(t *table, mode lockMode) {
+	if have, ok := b[t]; !ok || mode > have {
+		b[t] = mode
+	}
+}
+
+func (b planBuilder) build() lockSet {
+	ls := make(lockSet, 0, len(b))
+	for t, mode := range b {
+		ls = append(ls, lockReq{t: t, mode: mode})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].t.ord < ls[j].t.ord })
+	return ls
+}
+
+// newLockManager assigns table ordinals and precomputes every plan.
+func newLockManager(db *DB) *lockManager {
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lm := &lockManager{
+		insert: make(map[string]lockSet, len(names)),
+		remove: make(map[string]lockSet, len(names)),
+		update: make(map[string]lockSet, len(names)),
+		fetch:  make(map[string]lockSet, len(names)),
+	}
+	for i, name := range names {
+		t := db.tables[name]
+		t.ord = i
+		lm.ordered = append(lm.ordered, t)
+	}
+	for _, name := range names {
+		t := db.tables[name]
+
+		// Insert: write the table itself; probe referenced sides — read for
+		// key-based dependencies (pk map only), write for non-key-based ones
+		// (may build the referenced side's secondary index).
+		ins := planBuilder{t: lockWrite}
+		for _, ind := range db.indsFrom[name] {
+			mode := lockRead
+			if !ind.KeyBased(db.Schema) {
+				mode = lockWrite
+			}
+			ins.add(db.tables[ind.Right], mode)
+		}
+		lm.insert[name] = ins.build()
+
+		// Delete: write the table itself; referenced-side maintenance probes
+		// (and may build) the secondary index of every referencing table.
+		del := planBuilder{t: lockWrite}
+		for _, ind := range db.indsInto[name] {
+			del.add(db.tables[ind.Left], lockWrite)
+		}
+		lm.remove[name] = del.build()
+
+		// Update = delete + insert without intermediate visibility.
+		upd := planBuilder{}
+		for _, r := range lm.insert[name] {
+			upd.add(r.t, r.mode)
+		}
+		for _, r := range lm.remove[name] {
+			upd.add(r.t, r.mode)
+		}
+		lm.update[name] = upd.build()
+
+		// FetchWithReferences: read everywhere, except non-key-based targets
+		// whose secondary index may need building.
+		f := planBuilder{t: lockRead}
+		for _, ind := range db.indsFrom[name] {
+			mode := lockRead
+			if !ind.KeyBased(db.Schema) {
+				mode = lockWrite
+			}
+			f.add(db.tables[ind.Right], mode)
+		}
+		lm.fetch[name] = f.build()
+	}
+	return lm
+}
+
+// allRead returns a lock set covering every table for reading (Snapshot).
+func (lm *lockManager) allRead() lockSet {
+	ls := make(lockSet, len(lm.ordered))
+	for i, t := range lm.ordered {
+		ls[i] = lockReq{t: t, mode: lockRead}
+	}
+	return ls
+}
+
+// allWrite returns a lock set covering every table for writing (Rollback).
+func (lm *lockManager) allWrite() lockSet {
+	ls := make(lockSet, len(lm.ordered))
+	for i, t := range lm.ordered {
+		ls[i] = lockReq{t: t, mode: lockWrite}
+	}
+	return ls
+}
+
+// batchPlan returns the union lock set of a mixed batch, so the whole batch
+// runs under one acquisition.
+func (db *DB) batchPlan(ops []BatchOp) (lockSet, error) {
+	b := planBuilder{}
+	for _, op := range ops {
+		var plan lockSet
+		switch op.Kind {
+		case BatchInsert:
+			plan = db.lm.insert[op.Relation]
+		case BatchDelete:
+			plan = db.lm.remove[op.Relation]
+		case BatchUpdate:
+			plan = db.lm.update[op.Relation]
+		default:
+			return nil, fmt.Errorf("engine: unknown batch op kind %d", op.Kind)
+		}
+		if plan == nil {
+			return nil, fmt.Errorf("%w %s", ErrUnknownRelation, op.Relation)
+		}
+		for _, r := range plan {
+			b.add(r.t, r.mode)
+		}
+	}
+	return b.build(), nil
+}
+
+// effects records the physical mutations of one operation (or one batch) so
+// they can be reverted on a constraint violation — and, on success, appended
+// to the open transaction's undo log in one step. Recording locally first
+// keeps a failed operation from ever polluting the transaction log.
+type effects []undoOp
+
+// apply physically applies tup to t and records the mutation.
+func (e *effects) apply(db *DB, t *table, tup relation.Tuple) {
+	db.physicalApply(t, tup)
+	*e = append(*e, undoOp{table: t, tuple: tup, insert: true})
+}
+
+// remove physically removes tup from t and records the mutation.
+func (e *effects) remove(db *DB, t *table, tup relation.Tuple) {
+	db.physicalRemove(t, tup)
+	*e = append(*e, undoOp{table: t, tuple: tup})
+}
+
+// revert undoes every recorded mutation, most recent first. The caller must
+// still hold the locks under which the mutations were made.
+func (e effects) revert(db *DB) {
+	for i := len(e) - 1; i >= 0; i-- {
+		op := e[i]
+		if op.insert {
+			db.physicalRemove(op.table, op.tuple)
+		} else {
+			db.physicalApply(op.table, op.tuple)
+		}
+	}
+}
+
+// commitEffects appends a completed operation's mutations to the open
+// transaction's undo log. Called with table locks held; takes txnMu after
+// them, which is the global lock order (never the reverse).
+func (db *DB) commitEffects(eff effects) {
+	if len(eff) == 0 || !db.inTxn.Load() {
+		return
+	}
+	db.txnMu.Lock()
+	if db.inTxn.Load() {
+		db.undo = append(db.undo, eff...)
+	}
+	db.txnMu.Unlock()
+}

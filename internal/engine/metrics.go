@@ -1,10 +1,119 @@
 package engine
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// Stats accumulates operation and cost counters atomically, so hot-path
+// accounting never takes a lock and concurrent operations never contend on
+// it. Every counter is mirrored into a registry-backed series (below), so
+// the same numbers are exportable through DB.Registry().
+//
+// Each counter has two readings: the windowed value (since the last Reset,
+// what the accessor methods return) and the monotonic total (process
+// lifetime, Totals). Registry series are monotonic, so they reconcile with
+// Totals at any moment — even across a mid-run Reset.
+type Stats struct {
+	inserts, deletes, updates, lookups statCounter
+	declarativeChecks, triggerFirings  statCounter
+	indexLookups, tuplesScanned        statCounter
+}
+
+// statCounter is one atomic counter with a reset baseline: cum only grows
+// (mirroring the registry), Reset advances base, and the windowed value is
+// cum - base.
+type statCounter struct{ cum, base atomic.Int64 }
+
+func (c *statCounter) add(n int64) { c.cum.Add(n) }
+func (c *statCounter) value() int  { return int(c.cum.Load() - c.base.Load()) }
+func (c *statCounter) total() int  { return int(c.cum.Load()) }
+func (c *statCounter) reset()      { c.base.Store(c.cum.Load()) }
+
+// Inserts returns the insert count since the last Reset.
+func (st *Stats) Inserts() int { return st.inserts.value() }
+
+// Deletes returns the delete count since the last Reset.
+func (st *Stats) Deletes() int { return st.deletes.value() }
+
+// Updates returns the update count since the last Reset.
+func (st *Stats) Updates() int { return st.updates.value() }
+
+// Lookups returns the key-lookup count since the last Reset.
+func (st *Stats) Lookups() int { return st.lookups.value() }
+
+// DeclarativeChecks returns the NOT NULL / primary-key / foreign-key check
+// count since the last Reset.
+func (st *Stats) DeclarativeChecks() int { return st.declarativeChecks.value() }
+
+// TriggerFirings returns the procedural constraint evaluation count (general
+// null constraints, non-key-based inclusion dependencies) since the last
+// Reset.
+func (st *Stats) TriggerFirings() int { return st.triggerFirings.value() }
+
+// IndexLookups returns the hash-index probe count since the last Reset.
+func (st *Stats) IndexLookups() int { return st.indexLookups.value() }
+
+// TuplesScanned returns the scan-visited tuple count since the last Reset.
+func (st *Stats) TuplesScanned() int { return st.tuplesScanned.value() }
+
+// Reset starts a new measurement window: the accessors return 0 until new
+// operations arrive. The monotonic Totals — and the registry series behind
+// them — are unaffected.
+func (st *Stats) Reset() {
+	st.inserts.reset()
+	st.deletes.reset()
+	st.updates.reset()
+	st.lookups.reset()
+	st.declarativeChecks.reset()
+	st.triggerFirings.reset()
+	st.indexLookups.reset()
+	st.tuplesScanned.reset()
+}
+
+// StatsSnapshot is a point-in-time copy of the counters as plain integers.
+type StatsSnapshot struct {
+	Inserts           int
+	Deletes           int
+	Updates           int
+	Lookups           int
+	DeclarativeChecks int
+	TriggerFirings    int
+	IndexLookups      int
+	TuplesScanned     int
+}
+
+// Snapshot copies the windowed counters (since the last Reset).
+func (st *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Inserts:           st.inserts.value(),
+		Deletes:           st.deletes.value(),
+		Updates:           st.updates.value(),
+		Lookups:           st.lookups.value(),
+		DeclarativeChecks: st.declarativeChecks.value(),
+		TriggerFirings:    st.triggerFirings.value(),
+		IndexLookups:      st.indexLookups.value(),
+		TuplesScanned:     st.tuplesScanned.value(),
+	}
+}
+
+// Totals copies the monotonic process-lifetime counters, which equal the
+// registry series at every instant regardless of Resets — the invariant the
+// relmerge -metrics reconciliation checks.
+func (st *Stats) Totals() StatsSnapshot {
+	return StatsSnapshot{
+		Inserts:           st.inserts.total(),
+		Deletes:           st.deletes.total(),
+		Updates:           st.updates.total(),
+		Lookups:           st.lookups.total(),
+		DeclarativeChecks: st.declarativeChecks.total(),
+		TriggerFirings:    st.triggerFirings.total(),
+		IndexLookups:      st.indexLookups.total(),
+		TuplesScanned:     st.tuplesScanned.total(),
+	}
+}
 
 // Metric names registered per database. Each DB registers one series per
 // name under its db=<name> label, so several engines (base vs. merged) can
@@ -26,9 +135,9 @@ const (
 )
 
 // dbMetrics holds the registry-backed counter and histogram handles behind
-// the legacy Stats API. The registry series are monotonic: Stats.Reset()
-// zeroes the struct for a measurement window but never rewinds the registry,
-// which records process-lifetime totals.
+// the Stats API. The registry series are monotonic: Stats.Reset() starts a
+// new Stats window but never rewinds the registry, which records
+// process-lifetime totals (= Stats.Totals()).
 type dbMetrics struct {
 	inserts, deletes, updates, lookups         *obs.Counter
 	declChecks, triggerFirings                 *obs.Counter
@@ -57,21 +166,21 @@ func newDBMetrics(r *obs.Registry, name string) *dbMetrics {
 }
 
 // The accounting helpers below are the single mutation points for the cost
-// counters: each keeps the legacy Stats field and its registry series in
-// lockstep, so a snapshot of the registry reconciles exactly with Stats over
-// any window that does not cross a Stats.Reset().
+// counters: each keeps the Stats counter and its registry series in
+// lockstep — both atomic, so they are callable from any point of any
+// operation, locked or not.
 
-func (db *DB) countInsert() { db.Stats.Inserts++; db.m.inserts.Inc() }
-func (db *DB) countDelete() { db.Stats.Deletes++; db.m.deletes.Inc() }
-func (db *DB) countUpdate() { db.Stats.Updates++; db.m.updates.Inc() }
-func (db *DB) countLookup() { db.Stats.Lookups++; db.m.lookups.Inc() }
+func (db *DB) countInsert() { db.Stats.inserts.add(1); db.m.inserts.Inc() }
+func (db *DB) countDelete() { db.Stats.deletes.add(1); db.m.deletes.Inc() }
+func (db *DB) countUpdate() { db.Stats.updates.add(1); db.m.updates.Inc() }
+func (db *DB) countLookup() { db.Stats.lookups.add(1); db.m.lookups.Inc() }
 
-func (db *DB) countDecl() { db.Stats.DeclarativeChecks++; db.m.declChecks.Inc() }
-func (db *DB) countTrig() { db.Stats.TriggerFirings++; db.m.triggerFirings.Inc() }
-func (db *DB) countIdx()  { db.Stats.IndexLookups++; db.m.indexLookups.Inc() }
+func (db *DB) countDecl() { db.Stats.declarativeChecks.add(1); db.m.declChecks.Inc() }
+func (db *DB) countTrig() { db.Stats.triggerFirings.add(1); db.m.triggerFirings.Inc() }
+func (db *DB) countIdx()  { db.Stats.indexLookups.add(1); db.m.indexLookups.Inc() }
 
 func (db *DB) countScan(n int) {
-	db.Stats.TuplesScanned += n
+	db.Stats.tuplesScanned.add(int64(n))
 	db.m.tuplesScanned.Add(int64(n))
 }
 

@@ -9,33 +9,42 @@ import (
 )
 
 // GetByKey returns the tuple of the named relation with the given primary
-// key value (in primary-key attribute order), or false.
+// key value (in primary-key attribute order), or false. Only the one
+// table's read lock is taken, so lookups on distinct relations never
+// contend and concurrent lookups on the same relation run in parallel.
 func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
 	start := now()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	defer db.m.lookupLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return nil, false
 	}
+	ek := key.EncodeKey()
+	t.mu.RLock()
+	db.simAccess()
+	tup, ok := t.pk[ek]
+	t.mu.RUnlock()
 	db.countLookup()
 	db.countIdx()
-	tup, ok := t.pk[key.EncodeKey()]
+	db.m.lookupLat.ObserveSince(start)
 	return tup, ok
 }
 
 // Scan visits every tuple of the relation satisfying the predicate,
-// accounting each visited tuple.
+// accounting each visited tuple. The tuple list is snapshotted under the
+// read lock and the callbacks run outside any lock, so a callback may
+// re-enter the DB (even with mutations) without deadlocking; mutations made
+// after the snapshot are not visible to the scan.
 func (db *DB) Scan(name string, pred func(relation.Tuple) bool, visit func(relation.Tuple)) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	t := db.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
-	for _, tup := range t.rel.Tuples() {
-		db.countScan(1)
+	t.mu.RLock()
+	db.simAccess()
+	tuples := append([]relation.Tuple(nil), t.rel.Tuples()...)
+	t.mu.RUnlock()
+	db.countScan(len(tuples))
+	for _, tup := range tuples {
 		if pred == nil || pred(tup) {
 			visit(tup)
 		}
@@ -59,13 +68,28 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 		return err
 	}
 	start := now()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	defer db.m.deleteLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
+	ls := db.lm.remove[name]
+	ls.acquire()
+	defer ls.release()
+	defer db.m.deleteLat.ObserveSince(start)
+	db.simAccess()
+	var eff effects
+	if err := db.deleteLocked(t, key, &eff); err != nil {
+		eff.revert(db)
+		return err
+	}
+	db.commitEffects(eff)
+	return nil
+}
+
+// deleteLocked checks and performs one delete, assuming the delete lock set
+// of t is held.
+func (db *DB) deleteLocked(t *table, key relation.Tuple, eff *effects) error {
+	name := t.rs.Name
 	tup, ok := t.pk[key.EncodeKey()]
 	if !ok {
 		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
@@ -85,7 +109,7 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 			}
 		}
 	}
-	db.remove(t, tup)
+	eff.remove(db, t, tup)
 	db.countDelete()
 	return nil
 }
@@ -104,25 +128,38 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 		return err
 	}
 	start := now()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	defer db.m.updateLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
+	ls := db.lm.update[name]
+	ls.acquire()
+	defer ls.release()
+	defer db.m.updateLat.ObserveSince(start)
+	db.simAccess()
+	var eff effects
+	if err := db.updateLocked(t, key, newTup, &eff); err != nil {
+		eff.revert(db)
+		return err
+	}
+	db.commitEffects(eff)
+	return nil
+}
+
+// updateLocked checks and performs one update, assuming the update lock set
+// of t is held. On error the caller reverts eff, restoring the old tuple.
+func (db *DB) updateLocked(t *table, key, newTup relation.Tuple, eff *effects) error {
+	name := t.rs.Name
 	old, ok := t.pk[key.EncodeKey()]
 	if !ok {
 		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
-	// Remove, try to insert, roll back on failure.
-	db.remove(t, old)
+	// Remove, try to insert; the caller reverts (re-applying old) on failure.
+	eff.remove(db, t, old)
 	if err := db.checkDeclarative(t, newTup); err != nil {
-		db.apply(t, old)
 		return err
 	}
 	if err := db.fireInsertTriggers(t, newTup); err != nil {
-		db.apply(t, old)
 		return err
 	}
 	// Referenced-side integrity for the vanishing old values.
@@ -145,24 +182,17 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 				}
 			}
 			if stillReferenced {
-				db.apply(t, old)
 				return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
 			}
 		}
 	}
-	db.apply(t, newTup)
+	eff.apply(db, t, newTup)
 	db.countUpdate()
 	return nil
 }
 
-func (db *DB) remove(t *table, tup relation.Tuple) {
-	if db.inTxn {
-		db.undo = append(db.undo, undoOp{table: t, tuple: tup})
-	}
-	db.physicalRemove(t, tup)
-}
-
-// physicalRemove mutates the table without undo logging.
+// physicalRemove mutates the table without undo bookkeeping. The caller must
+// hold t's write lock.
 func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
 	t.rel.Remove(tup)
 	delete(t.pk, t.keyOfIncoming(tup))
@@ -184,8 +214,9 @@ func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
 }
 
 // Load bulk-inserts a consistent database state, relation by relation in an
-// order that respects inclusion dependencies. It fails on the first
-// violation.
+// order that respects inclusion dependencies. Each relation loads as one
+// atomic batch (InsertBatch): a violation rolls the offending relation back
+// and stops the load at a relation boundary.
 func (db *DB) Load(st *state.DB) error {
 	return db.LoadCtx(context.Background(), st)
 }
@@ -210,10 +241,8 @@ func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
 		if !sameAttrs(src.Attrs(), db.tables[name].rel.Attrs()) {
 			src = src.Project(db.tables[name].rel.Attrs())
 		}
-		for _, tup := range src.Tuples() {
-			if err := db.Insert(name, tup); err != nil {
-				return fmt.Errorf("engine: loading %s: %w", name, err)
-			}
+		if err := db.InsertBatchCtx(ctx, name, src.Tuples()); err != nil {
+			return fmt.Errorf("engine: loading %s: %w", name, err)
 		}
 	}
 	return nil
@@ -268,10 +297,12 @@ func sameAttrs(a, b []string) bool {
 	return true
 }
 
-// Snapshot exports the current contents as a state.DB (deep copy).
+// Snapshot exports the current contents as a state.DB (deep copy), taken
+// under every table's read lock so it is consistent across relations.
 func (db *DB) Snapshot() *state.DB {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	ls := db.lm.allRead()
+	ls.acquire()
+	defer ls.release()
 	out := &state.DB{Relations: make(map[string]*relation.Relation, len(db.tables))}
 	for name, t := range db.tables {
 		out.Set(name, t.rel.Clone())

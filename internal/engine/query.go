@@ -21,16 +21,20 @@ type Related struct {
 // (one indexed lookup per dependency — the navigational "join" the paper's
 // merging technique is designed to avoid when the referenced data is merged
 // in). Non-key-based dependencies are chased through the referenced
-// relation's secondary index.
+// relation's secondary index. The whole chase runs under one deterministic
+// acquisition of the fetch lock set: reads everywhere, except referenced
+// tables whose secondary index may need a one-time build.
 func (db *DB) FetchWithReferences(name string, key relation.Tuple) (relation.Tuple, []Related, error) {
 	start := now()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	defer db.m.lookupLat.ObserveSince(start)
 	t := db.tables[name]
 	if t == nil {
 		return nil, nil, fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
+	ls := db.lm.fetch[name]
+	ls.acquire()
+	defer ls.release()
+	defer db.m.lookupLat.ObserveSince(start)
+	db.simAccess()
 	db.countLookup()
 	db.countIdx()
 	tup, ok := t.pk[key.EncodeKey()]

@@ -17,38 +17,48 @@ type undoOp struct {
 // log until Commit or Rollback. Transactions do not nest. This mirrors the
 // trigger semantics of the SYBASE DDL the ddl package emits — a constraint
 // violation inside a batch can ROLLBACK TRANSACTION the whole batch.
+//
+// The transaction records mutations from any goroutine, but the usual
+// pattern is one goroutine driving the transaction; concurrent operations
+// racing with Begin/Rollback are applied either inside or outside the
+// transaction, never half-way.
 func (db *DB) Begin() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.inTxn {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if db.inTxn.Load() {
 		return fmt.Errorf("engine: transaction already open")
 	}
-	db.inTxn = true
 	db.undo = db.undo[:0]
+	db.inTxn.Store(true)
 	return nil
 }
 
 // Commit ends the transaction, keeping its effects.
 func (db *DB) Commit() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inTxn {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
-	db.inTxn = false
+	db.inTxn.Store(false)
 	db.undo = nil
 	return nil
 }
 
 // Rollback ends the transaction, reversing every mutation it made, most
-// recent first.
+// recent first. It locks every table for writing (in ordinal order, like any
+// other multi-table operation) before touching the log, so in-flight
+// operations finish — and log their effects — before the reversal starts.
 func (db *DB) Rollback() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inTxn {
+	ls := db.lm.allWrite()
+	ls.acquire()
+	defer ls.release()
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
-	db.inTxn = false
+	db.inTxn.Store(false)
 	for i := len(db.undo) - 1; i >= 0; i-- {
 		op := db.undo[i]
 		// Reverse directly on the physical structures (no logging).
@@ -63,11 +73,7 @@ func (db *DB) Rollback() error {
 }
 
 // InTxn reports whether a transaction is open.
-func (db *DB) InTxn() bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.inTxn
-}
+func (db *DB) InTxn() bool { return db.inTxn.Load() }
 
 // RunAtomic executes fn inside a transaction, rolling back if fn returns an
 // error and committing otherwise.

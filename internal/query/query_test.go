@@ -82,7 +82,7 @@ func TestPlannerLookupCounts(t *testing.T) {
 	if _, err := base.Answer(q); err != nil {
 		t.Fatal(err)
 	}
-	if got := base.DB.Stats.Lookups; got != 4 {
+	if got := base.DB.Stats.Lookups(); got != 4 {
 		t.Errorf("base lookups = %d, want 4", got)
 	}
 
@@ -90,7 +90,7 @@ func TestPlannerLookupCounts(t *testing.T) {
 	if _, err := merged.Answer(q); err != nil {
 		t.Fatal(err)
 	}
-	if got := merged.DB.Stats.Lookups; got != 1 {
+	if got := merged.DB.Stats.Lookups(); got != 1 {
 		t.Errorf("merged lookups = %d, want 1", got)
 	}
 }

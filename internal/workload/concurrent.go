@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// Side selects which engine of a Bench a concurrent run drives.
+type Side int
+
+const (
+	// SideBase drives the unmerged design: a profile query navigates every
+	// merge-set member relation.
+	SideBase Side = iota
+	// SideMerged drives the merged design: a profile query is one lookup.
+	SideMerged
+)
+
+func (s Side) String() string {
+	if s == SideMerged {
+		return "merged"
+	}
+	return "base"
+}
+
+// MixedConfig shapes one concurrent mixed read/write run.
+type MixedConfig struct {
+	// Workers is the number of closed-loop goroutines (minimum 1).
+	Workers int
+	// Ops is the total operation count, split evenly across workers.
+	Ops int
+	// ReadFraction is the probability an operation is a profile query rather
+	// than an insert (0.9 = the read-mostly 90/10 mix).
+	ReadFraction float64
+	// ZipfS skews read keys with a Zipf(s) distribution when s > 1 (popular
+	// keys drawn far more often); any value ≤ 1 reads keys uniformly.
+	ZipfS float64
+	// Seed makes the per-worker operation streams deterministic.
+	Seed int64
+}
+
+// MixedResult reports one concurrent run: aggregate throughput and the
+// latency distribution of individual operations.
+type MixedResult struct {
+	Side         Side
+	Workers      int
+	Ops          int
+	Reads        int
+	Writes       int
+	Errors       int
+	Elapsed      time.Duration
+	OpsPerSec    float64
+	P50          time.Duration
+	P99          time.Duration
+	ReadFraction float64
+}
+
+// RunMixed drives a closed-loop concurrent workload against one side of the
+// bench: Workers goroutines each issue their share of Ops operations with no
+// think time, choosing per operation between a profile query on a (possibly
+// Zipf-skewed) existing key and an insert of a fresh row under a key range
+// disjoint from every other worker and every other run. It returns aggregate
+// throughput and per-operation latency percentiles.
+//
+// Inserts write only the root (respectively merged) relation, so concurrent
+// runs against the same bench never write the lookup targets the profile
+// queries chase.
+func (b *Bench) RunMixed(side Side, cfg MixedConfig) (MixedResult, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := cfg.Ops / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	if len(b.Keys) == 0 {
+		return MixedResult{}, fmt.Errorf("workload: bench has no keys to read")
+	}
+
+	// Insert templates are prepared once, single-threaded: the per-op write
+	// clones the template and stamps a fresh key, so worker goroutines never
+	// read the bench's schemas or sample the target relations while running.
+	tmpl, keyPos, relName, db, err := b.insertTemplate(side)
+	if err != nil {
+		return MixedResult{}, err
+	}
+
+	var (
+		wg    sync.WaitGroup
+		lats  = make([][]time.Duration, workers)
+		reads = make([]int, workers)
+		wrs   = make([]int, workers)
+		errs  = make([]error, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 && len(b.Keys) > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(b.Keys)-1))
+			}
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				if rng.Float64() < cfg.ReadFraction {
+					var ki int
+					if zipf != nil {
+						ki = int(zipf.Uint64())
+					} else {
+						ki = rng.Intn(len(b.Keys))
+					}
+					if side == SideMerged {
+						b.ProfileMerged(b.Keys[ki])
+					} else {
+						b.ProfileBase(b.Keys[ki])
+					}
+					reads[w]++
+				} else {
+					row := make(relation.Tuple, len(tmpl))
+					copy(row, tmpl)
+					key := relation.NewString(fmt.Sprintf("mix-%d", b.seq.Add(1)))
+					for _, p := range keyPos {
+						row[p] = key
+					}
+					if err := db.Insert(relName, row); err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+					wrs[w]++
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := MixedResult{
+		Side:         side,
+		Workers:      workers,
+		Elapsed:      elapsed,
+		ReadFraction: cfg.ReadFraction,
+	}
+	var all []time.Duration
+	for w := 0; w < workers; w++ {
+		res.Reads += reads[w]
+		res.Writes += wrs[w]
+		all = append(all, lats[w]...)
+		if errs[w] != nil {
+			res.Errors++
+			err = errs[w]
+		}
+	}
+	res.Ops = res.Reads + res.Writes
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 50)
+	res.P99 = percentile(all, 99)
+	return res, err
+}
+
+// insertTemplate builds the write-path row template for one side: a full,
+// constraint-satisfying tuple whose primary-key positions are stamped with a
+// fresh key per insert. Foreign keys reference the first tuple of each target
+// relation (never written by RunMixed, so the sample stays valid).
+func (b *Bench) insertTemplate(side Side) (relation.Tuple, []int, string, *engine.DB, error) {
+	if side == SideBase {
+		rs := b.baseSchema.Scheme(b.Root)
+		row := make(relation.Tuple, len(rs.Attrs))
+		pos := map[string]int{}
+		for i, a := range rs.AttrNames() {
+			pos[a] = i
+			row[i] = relation.NewString("fill")
+		}
+		keyPos := make([]int, 0, len(rs.PrimaryKey))
+		for _, k := range rs.PrimaryKey {
+			keyPos = append(keyPos, pos[k])
+		}
+		return row, keyPos, b.Root, b.Base, nil
+	}
+
+	mergedScheme := b.Merged.Schema.Scheme(b.Scheme.Name)
+	row := make(relation.Tuple, len(mergedScheme.Attrs))
+	pos := map[string]int{}
+	for i, a := range mergedScheme.AttrNames() {
+		pos[a] = i
+		row[i] = relation.Null()
+	}
+	keyPos := make([]int, 0, len(b.Scheme.Km))
+	for _, k := range b.Scheme.Km {
+		keyPos = append(keyPos, pos[k])
+	}
+	// Satisfy the merged relation's inclusion dependencies and null-existence
+	// chains by filling every referencing attribute group from the first tuple
+	// of its target relation.
+	for _, ind := range b.Merged.Schema.INDsFrom(b.Scheme.Name) {
+		target := b.Merged.Relation(ind.Right)
+		if target == nil || target.Len() == 0 {
+			return nil, nil, "", nil, fmt.Errorf("workload: empty dependency target %s", ind.Right)
+		}
+		sample := target.Tuples()[0].Project(target.Positions(ind.RightAttrs))
+		for i, a := range ind.LeftAttrs {
+			if p, ok := pos[a]; ok {
+				row[p] = sample[i]
+			}
+		}
+	}
+	// Any attribute still null that a null constraint requires gets a filler.
+	for i := range row {
+		if row[i].IsNull() {
+			row[i] = relation.NewString("fill")
+		}
+	}
+	return row, keyPos, b.Scheme.Name, b.Merged, nil
+}
+
+// percentile returns the p-th percentile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

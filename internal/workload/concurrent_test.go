@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestRunMixedBothSides(t *testing.T) {
+	b, err := NewBench(StarEER(4), "E0", 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []Side{SideBase, SideMerged} {
+		before := 0
+		if side == SideBase {
+			before = b.Base.Count(b.Root)
+		} else {
+			before = b.Merged.Count(b.Scheme.Name)
+		}
+		res, err := b.RunMixed(side, MixedConfig{
+			Workers:      4,
+			Ops:          200,
+			ReadFraction: 0.8,
+			ZipfS:        1.2,
+			Seed:         11,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", side, err)
+		}
+		if res.Ops != 200 || res.Reads+res.Writes != res.Ops {
+			t.Errorf("%v: ops=%d reads=%d writes=%d", side, res.Ops, res.Reads, res.Writes)
+		}
+		if res.Errors != 0 {
+			t.Errorf("%v: %d op errors", side, res.Errors)
+		}
+		if res.Writes == 0 || res.Reads == 0 {
+			t.Errorf("%v: degenerate mix reads=%d writes=%d", side, res.Reads, res.Writes)
+		}
+		// Every successful write landed exactly one row in the written relation.
+		after := 0
+		if side == SideBase {
+			after = b.Base.Count(b.Root)
+		} else {
+			after = b.Merged.Count(b.Scheme.Name)
+		}
+		if after-before != res.Writes {
+			t.Errorf("%v: wrote %d ops but relation grew by %d", side, res.Writes, after-before)
+		}
+		if res.OpsPerSec <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+			t.Errorf("%v: bad timing stats %+v", side, res)
+		}
+	}
+}
+
+// The chain shape's merged relation carries null-existence constraints; the
+// concurrent write template must satisfy them.
+func TestRunMixedChainWrites(t *testing.T) {
+	b, err := NewBench(ChainEER(4), "E0", 40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunMixed(SideMerged, MixedConfig{Workers: 2, Ops: 100, ReadFraction: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatalf("chain merged mix: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("chain merged mix: %d op errors", res.Errors)
+	}
+}
+
+// With an access delay inside the engine's critical sections, read-mostly
+// throughput must grow with workers: readers overlap under the shared lock.
+func TestRunMixedScalesWithWorkers(t *testing.T) {
+	b, err := NewBench(StarEER(4), "E0", 50, 7, engine.WithAccessDelay(200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MixedConfig{Ops: 160, ReadFraction: 1.0, Seed: 5}
+	cfg.Workers = 1
+	one, err := b.RunMixed(SideMerged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	eight, err := b.RunMixed(SideMerged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.OpsPerSec <= one.OpsPerSec {
+		t.Errorf("read-only throughput did not scale: 1 worker %.0f ops/s, 8 workers %.0f ops/s",
+			one.OpsPerSec, eight.OpsPerSec)
+	}
+}

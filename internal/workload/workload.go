@@ -21,6 +21,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/eer"
@@ -141,6 +142,8 @@ type Bench struct {
 	Base   *engine.DB
 	Merged *engine.DB
 	Scheme *core.MergedScheme
+	// Root is the center relation the merge set was built around.
+	Root string
 	// Keys holds the center keys present in the data, for query workloads.
 	Keys []relation.Tuple
 	// MemberNames are the merge-set schemes, for the base-side profile query.
@@ -148,12 +151,14 @@ type Bench struct {
 	baseSchema  *schema.Schema
 	rng         *rand.Rand
 	nextKey     int
+	seq         atomic.Int64 // fresh-key counter for concurrent writers
 }
 
 // NewBench translates the EER schema, merges the key-compatible cluster
 // around root, applies RemoveAll, generates rows of consistent data, and
-// loads both engines.
-func NewBench(es *eer.Schema, root string, rows int, seed int64) (*Bench, error) {
+// loads both engines. Engine options (an access delay, a shared registry)
+// apply to both sides.
+func NewBench(es *eer.Schema, root string, rows int, seed int64, opts ...engine.Option) (*Bench, error) {
 	base, err := translate.MS(es)
 	if err != nil {
 		return nil, err
@@ -174,15 +179,15 @@ func NewBench(es *eer.Schema, root string, rows int, seed int64) (*Bench, error)
 		return nil, err
 	}
 
-	b := &Bench{Scheme: m, MemberNames: names, baseSchema: base, rng: rng, nextKey: 1 << 20}
-	b.Base, err = engine.Open(base)
+	b := &Bench{Scheme: m, Root: root, MemberNames: names, baseSchema: base, rng: rng, nextKey: 1 << 20}
+	b.Base, err = engine.Open(base, opts...)
 	if err != nil {
 		return nil, err
 	}
 	if err := b.Base.Load(st); err != nil {
 		return nil, err
 	}
-	b.Merged, err = engine.Open(m.Schema)
+	b.Merged, err = engine.Open(m.Schema, opts...)
 	if err != nil {
 		return nil, err
 	}

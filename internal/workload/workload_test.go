@@ -115,8 +115,8 @@ func TestNewBenchStar(t *testing.T) {
 			t.Errorf("merged profile missing key %v", k)
 		}
 	}
-	baseLookups := b.Base.Stats.IndexLookups
-	mergedLookups := b.Merged.Stats.IndexLookups
+	baseLookups := b.Base.Stats.IndexLookups()
+	mergedLookups := b.Merged.Stats.IndexLookups()
 	if mergedLookups*4 > baseLookups {
 		t.Errorf("merged lookups %d should be ~5x below base %d", mergedLookups, baseLookups)
 	}
@@ -161,9 +161,9 @@ func TestInsertMergedRowBothRegimes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if star.Merged.Stats.TriggerFirings != 0 {
+	if star.Merged.Stats.TriggerFirings() != 0 {
 		t.Errorf("star merged inserts should be fully declarative, fired %d triggers",
-			star.Merged.Stats.TriggerFirings)
+			star.Merged.Stats.TriggerFirings())
 	}
 
 	chain, err := NewBench(ChainEER(3), "E0", 10, 13)
@@ -176,7 +176,7 @@ func TestInsertMergedRowBothRegimes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if chain.Merged.Stats.TriggerFirings == 0 {
+	if chain.Merged.Stats.TriggerFirings() == 0 {
 		t.Error("chain merged inserts must fire null-constraint triggers")
 	}
 }

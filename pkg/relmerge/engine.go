@@ -1,0 +1,70 @@
+package relmerge
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/state"
+)
+
+// Engine-side types, re-exported so callers can run the in-memory engine —
+// loads, lookups, batched mutations, stats — without importing internal/engine.
+type (
+	// Engine is the concurrent in-memory engine: per-table reader/writer
+	// locks, atomic stats, and batched mutation APIs.
+	Engine = engine.DB
+	// EngineOption configures OpenEngine.
+	EngineOption = engine.Option
+	// BatchOp is one operation of a mixed batch (see Engine.ApplyBatchCtx).
+	BatchOp = engine.BatchOp
+	// EngineStats is a point-in-time copy of an engine's cost counters.
+	EngineStats = engine.StatsSnapshot
+	// ConstraintViolation is the typed error mutations return when a
+	// declarative or procedural constraint rejects them.
+	ConstraintViolation = engine.ConstraintViolation
+)
+
+// Engine options, re-exported from internal/engine.
+var (
+	// WithEngineRegistry reports the engine's metrics into r instead of a
+	// private registry.
+	WithEngineRegistry = engine.WithRegistry
+	// WithEngineName sets the db=<name> label on the engine's metric series.
+	WithEngineName = engine.WithName
+	// WithAccessDelay simulates one storage access of the given duration per
+	// operation, inside the engine's critical sections — the knob the scaling
+	// benchmarks use to model the paper's page-access cost model.
+	WithAccessDelay = engine.WithAccessDelay
+)
+
+// Batch op constructors, re-exported from internal/engine.
+var (
+	// Ins builds an insert batch op.
+	Ins = engine.Ins
+	// Del builds a delete batch op (key = primary key of the target tuple).
+	Del = engine.Del
+	// Upd builds an update batch op.
+	Upd = engine.Upd
+)
+
+// OpenEngine opens an engine over the schema: validates the constraint set,
+// builds the primary-key indexes and per-table lock plans, and registers the
+// metric series.
+func OpenEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
+	return engine.Open(s, opts...)
+}
+
+// Replay loads a database state into a fresh engine over s — each relation as
+// one atomic batch — and returns the engine. Use it to stand up a queryable
+// engine from a state built by hand, parsed from SDL, or mapped through a
+// merge's η mapping.
+func Replay(ctx context.Context, s *Schema, db *state.DB, opts ...EngineOption) (*Engine, error) {
+	e, err := engine.Open(s, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.LoadCtx(ctx, db); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

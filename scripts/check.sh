@@ -1,6 +1,7 @@
 #!/bin/sh
-# The repo's CI gate: formatting, vet, build, and the test suite under the
-# race detector. Equivalent to `make check` for environments without make.
+# The repo's CI gate: formatting, vet, build, the test suite under the race
+# detector, and the concurrency stress suite (fresh, uncached). Equivalent to
+# `make check` for environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,3 +17,4 @@ go vet ./...
 go run ./scripts/metriclint .
 go build ./...
 go test -race ./...
+go test -race -count=1 -run 'Stress|Concurrent|Mixed' ./internal/engine/ ./internal/workload/ ./internal/attrset/
