@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress
-check: fmt vet metriclint build race stress
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery
+check: fmt vet metriclint build race stress crash
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,9 +29,13 @@ race:
 stress:
 	$(GO) test -race -count=1 -run 'Stress|Concurrent|Mixed' ./internal/engine/ ./internal/workload/ ./internal/attrset/
 
+## crash: the crash-recovery suite — WAL replay, failpoint injection, the recovery property matrix — fresh under the race detector
+crash:
+	$(GO) test -race -count=1 -run 'Crash|Failpoint|Recovery|WAL' ./internal/wal/ ./internal/engine/
+
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR3.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR4.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR4.json

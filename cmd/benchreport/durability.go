@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// The durability suite: the star8 mixed workload of the scaling suite run
+// once per durability mode — none (no write-ahead log at all), then the
+// three fsync policies — with the base and merged engines logging to
+// separate WAL directories under one temp root. No simulated access delay:
+// the point is the raw cost the log adds to the write path (one framed
+// append per insert, fsynced per policy), so nothing else is slowed down.
+const (
+	durabilityWorkers = 4
+	durabilityOps     = 320
+	durabilityRows    = 64
+)
+
+// durabilityMode is one column of the suite: a fsync policy, or no log.
+type durabilityMode struct {
+	Name   string
+	Policy wal.SyncPolicy
+	WAL    bool
+}
+
+func durabilityModes() []durabilityMode {
+	return []durabilityMode{
+		{"none", wal.SyncNever, false},
+		{"never", wal.SyncNever, true},
+		{"interval", wal.SyncInterval, true},
+		{"always", wal.SyncAlways, true},
+	}
+}
+
+// durabilityRow is one (design, mode) measurement: workload throughput plus
+// the log activity it induced, read back from the wal=<side> metric series.
+type durabilityRow struct {
+	DB         string  `json:"db"`
+	Policy     string  `json:"policy"`
+	Workers    int     `json:"workers"`
+	Ops        int     `json:"ops"`
+	Writes     int     `json:"writes"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	WalAppends int     `json:"wal_appends"`
+	WalFsyncs  int     `json:"wal_fsyncs"`
+}
+
+// durabilitySuite runs the grid and returns the rows plus the throughput
+// cost of each policy relative to the no-log baseline, keyed "db/policy"
+// (a ratio of 1.0 means the log is free; 4.0 means a 4x slowdown).
+func durabilitySuite() ([]durabilityRow, map[string]float64, error) {
+	var rows []durabilityRow
+	overhead := map[string]float64{}
+	baseline := map[string]float64{}
+	for _, mode := range durabilityModes() {
+		reg := obs.NewRegistry()
+		var dir string
+		if mode.WAL {
+			var err error
+			dir, err = os.MkdirTemp("", "relmerge-durability-*")
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		b, err := workload.NewBenchSided(workload.StarEER(8), "E0", durabilityRows, 42,
+			func(side workload.Side) []engine.Option {
+				opts := []engine.Option{engine.WithRegistry(reg), engine.WithName(side.String())}
+				if mode.WAL {
+					opts = append(opts, engine.WithDurability(filepath.Join(dir, side.String()), mode.Policy))
+				}
+				return opts
+			})
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchreport: durability bench (%s): %w", mode.Name, err)
+		}
+		for _, side := range []workload.Side{workload.SideBase, workload.SideMerged} {
+			res, err := b.RunMixed(side, workload.MixedConfig{
+				Workers:      durabilityWorkers,
+				Ops:          durabilityOps,
+				ReadFraction: scalingReadFraction,
+				ZipfS:        scalingZipfS,
+				Seed:         int64(1000 + side),
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchreport: durability %s/%v: %w", mode.Name, side, err)
+			}
+			appends, fsyncs := walCounters(reg, side.String())
+			rows = append(rows, durabilityRow{
+				DB:         side.String(),
+				Policy:     mode.Name,
+				Workers:    durabilityWorkers,
+				Ops:        res.Ops,
+				Writes:     res.Writes,
+				OpsPerSec:  res.OpsPerSec,
+				P50Ns:      res.P50.Nanoseconds(),
+				P99Ns:      res.P99.Nanoseconds(),
+				WalAppends: appends,
+				WalFsyncs:  fsyncs,
+			})
+			if !mode.WAL {
+				baseline[side.String()] = res.OpsPerSec
+			} else if base := baseline[side.String()]; base > 0 && res.OpsPerSec > 0 {
+				overhead[side.String()+"/"+mode.Name] = base / res.OpsPerSec
+			}
+		}
+		b.Base.Close()
+		b.Merged.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	return rows, overhead, nil
+}
+
+// walCounters reads one log's append and fsync totals out of the shared
+// registry (zero for the no-log baseline, which registered no wal series).
+func walCounters(reg *obs.Registry, name string) (appends, fsyncs int) {
+	for _, p := range reg.Snapshot() {
+		if p.Labels["wal"] != name {
+			continue
+		}
+		switch p.Name {
+		case "wal.appends":
+			appends = int(p.Value)
+		case "wal.fsyncs":
+			fsyncs = int(p.Value)
+		}
+	}
+	return appends, fsyncs
+}
+
+// P6 — durability overhead: the durability grid, printed as a table.
+func runP6(int) {
+	fmt.Printf("closed-loop %d%%/%d%% read/write mix, %d workers, no simulated access delay;\n",
+		int(scalingReadFraction*100), 100-int(scalingReadFraction*100), durabilityWorkers)
+	fmt.Printf("every write is one group-committed log record under the active fsync policy\n\n")
+	rows, overhead, err := durabilitySuite()
+	if err != nil {
+		must(err)
+	}
+	fmt.Printf("%-8s %-10s %-12s %-12s %-12s %-9s %s\n", "db", "policy", "ops/sec", "p50", "p99", "appends", "fsyncs")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-10s %-12.0f %-12v %-12v %-9d %d\n",
+			r.DB, r.Policy, r.OpsPerSec,
+			time.Duration(r.P50Ns), time.Duration(r.P99Ns), r.WalAppends, r.WalFsyncs)
+	}
+	fmt.Println("\nthroughput cost vs. the no-log baseline (ratio > 1 = slower):")
+	for _, mode := range durabilityModes() {
+		if !mode.WAL {
+			continue
+		}
+		for _, db := range []string{"base", "merged"} {
+			if c, ok := overhead[db+"/"+mode.Name]; ok {
+				fmt.Printf("  %-18s %.1fx\n", db+"/"+mode.Name, c)
+			}
+		}
+	}
+	fmt.Println("\nfsync=never only buffers to the OS; fsync=interval amortizes one fsync")
+	fmt.Println("per window across concurrent writers; fsync=always pays one per record.")
+}

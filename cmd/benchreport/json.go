@@ -28,20 +28,24 @@ type benchProbe struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchReport is the BENCH_PR3.json document: raw probes, the derived
+// benchReport is the BENCH_PR4.json document: raw probes, the derived
 // speedup ratios of the bitset closure engine over the retained map-based
 // reference implementation, the attrset cache hit rates observed during the
 // probes, the per-regime constraint-maintenance counters of the fig. 3
 // replay (declarative checks vs. trigger firings, base vs. merged design),
-// and the goroutine-scaling throughput grid (scaling.go) with its 1→8-worker
-// speedup per curve.
+// the goroutine-scaling throughput grid (scaling.go) with its 1→8-worker
+// speedup per curve, and the durability grid (durability.go): mixed-workload
+// throughput with the write-ahead log at each fsync policy, plus each
+// policy's throughput cost relative to the no-log baseline.
 type benchReport struct {
-	Probes          []benchProbe       `json:"probes"`
-	Speedups        map[string]float64 `json:"speedups"`
-	CacheHitRates   map[string]float64 `json:"cache_hit_rates"`
-	Maintenance     []maintenanceRow   `json:"maintenance"`
-	Scaling         []scalingRow       `json:"scaling"`
-	ScalingSpeedups map[string]float64 `json:"scaling_speedups"`
+	Probes             []benchProbe       `json:"probes"`
+	Speedups           map[string]float64 `json:"speedups"`
+	CacheHitRates      map[string]float64 `json:"cache_hit_rates"`
+	Maintenance        []maintenanceRow   `json:"maintenance"`
+	Scaling            []scalingRow       `json:"scaling"`
+	ScalingSpeedups    map[string]float64 `json:"scaling_speedups"`
+	Durability         []durabilityRow    `json:"durability"`
+	DurabilityOverhead map[string]float64 `json:"durability_overhead"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -285,13 +289,20 @@ func runJSON(path string) error {
 		return err
 	}
 
+	durability, durabilityOverhead, err := durabilitySuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
-		Probes:          probes,
-		Speedups:        map[string]float64{},
-		CacheHitRates:   cacheHitRates,
-		Maintenance:     maintenance,
-		Scaling:         scaling,
-		ScalingSpeedups: scalingSpeedups,
+		Probes:             probes,
+		Speedups:           map[string]float64{},
+		CacheHitRates:      cacheHitRates,
+		Maintenance:        maintenance,
+		Scaling:            scaling,
+		ScalingSpeedups:    scalingSpeedups,
+		Durability:         durability,
+		DurabilityOverhead: durabilityOverhead,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range probes {
@@ -334,6 +345,19 @@ func runJSON(path string) error {
 		for _, db := range []string{"base", "merged"} {
 			if s, ok := report.ScalingSpeedups[shape.Name+"/"+db]; ok {
 				fmt.Printf("  %-22s %.1fx\n", shape.Name+"/"+db, s)
+			}
+		}
+	}
+	fmt.Printf("durability throughput (90/10 mix, ops/sec by fsync policy):\n")
+	for _, row := range report.Durability {
+		fmt.Printf("  %-8s %-10s %12.0f ops/sec  (appends=%d fsyncs=%d)\n",
+			row.DB, row.Policy, row.OpsPerSec, row.WalAppends, row.WalFsyncs)
+	}
+	fmt.Printf("durability cost vs. no log (ratio > 1 = slower):\n")
+	for _, mode := range durabilityModes() {
+		for _, db := range []string{"base", "merged"} {
+			if c, ok := report.DurabilityOverhead[db+"/"+mode.Name]; ok {
+				fmt.Printf("  %-18s %.1fx\n", db+"/"+mode.Name, c)
 			}
 		}
 	}

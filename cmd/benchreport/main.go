@@ -55,6 +55,7 @@ func main() {
 		{"P3", "Procedure scalability: Merge + RemoveAll cost vs. merge-set size", runP3},
 		{"P4", "Denormalization advisor: workload-driven merge recommendations", runP4},
 		{"P5", "Concurrent scalability: mixed workload throughput vs. goroutines", runP5},
+		{"P6", "Durability overhead: mixed workload throughput vs. fsync policy", runP6},
 	}
 
 	matched := false

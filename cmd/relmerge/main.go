@@ -11,6 +11,8 @@
 //	         [-remove all|MEMBER,...] [-check] [-out sdl|paper|db2|sybase|ingres]
 //	relmerge -fig3 -merge COURSE,OFFER,TEACH -name "COURSE'"   # built-in demo
 //	relmerge -schema schema.sdl -plan                          # Prop 5.2 planner
+//	relmerge -fig3 -merge COURSE,OFFER -metrics text \
+//	         -durable ./wal -fsync always                      # durable replay
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/state"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -48,8 +51,18 @@ func main() {
 		showDiff   = flag.Bool("diff", false, "also print the schema diff (input vs merged)")
 		showTrace  = flag.Bool("trace", false, "also print the Definition 4.1/4.3 provenance trace")
 		metrics    = flag.String("metrics", "", "append an observability report (json or text): replays -data or a built-in state into base and merged engines sharing one registry")
+		durableDir = flag.String("durable", "", "directory for the metrics engines' write-ahead logs: the replay is logged, checkpointed, and recoverable (requires -metrics; a reopened directory recovers instead of replaying)")
+		fsyncMode  = flag.String("fsync", "interval", "fsync policy for -durable: always, interval, or never")
 	)
 	flag.Parse()
+
+	fsyncPolicy, err := wal.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(fmt.Errorf("relmerge: %w", err))
+	}
+	if *durableDir != "" && *metrics == "" {
+		fatal(fmt.Errorf("relmerge: -durable needs -metrics (it makes the replay engines durable)"))
+	}
 
 	var tracer *obs.Tracer
 	if *metrics != "" {
@@ -149,7 +162,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("\n-- observability report:")
-		if err := metricsReport(os.Stdout, s, m, st, tracer, *metrics); err != nil {
+		if err := metricsReport(os.Stdout, s, m, st, tracer, *metrics, *durableDir, fsyncPolicy); err != nil {
 			fatal(err)
 		}
 	}

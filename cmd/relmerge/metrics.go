@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/state"
+	"repro/internal/wal"
 )
 
 // replayState picks the database state to replay for the metrics report: the
@@ -74,26 +76,69 @@ func reconcile(reg *obs.Registry, db *engine.DB) reconciliation {
 	return reconciliation{DB: db.MetricName(), Reconciled: ok}
 }
 
+// durableStatus reports one durable engine's lifecycle for the report: what
+// Open recovered and that the replay was checkpointed.
+type durableStatus struct {
+	DB           string `json:"db"`
+	Policy       string `json:"policy"`
+	Recovered    bool   `json:"recovered"`
+	ReplayedOps  int    `json:"replayed_ops"`
+	Checkpointed bool   `json:"checkpointed"`
+}
+
 // metricsReport replays st into both physical designs — the original schema
 // and the merged one, sharing a single registry under db=base / db=merged
 // labels — then writes the combined metrics, span, and reconciliation report.
-func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *state.DB, tracer *obs.Tracer, mode string) error {
+// With durableDir set both engines write-ahead log under it (base/ and
+// merged/) at the given fsync policy and the replay ends in a checkpoint; a
+// directory holding a previous run's log is recovered instead of replayed.
+func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *state.DB, tracer *obs.Tracer, mode, durableDir string, policy wal.SyncPolicy) error {
 	reg := obs.NewRegistry()
 	fd.RegisterMetrics(reg)
 	nullcon.RegisterMetrics(reg)
-	base, err := engine.Open(s, engine.WithRegistry(reg), engine.WithName("base"))
+	sideOpts := func(name string) []engine.Option {
+		opts := []engine.Option{engine.WithRegistry(reg), engine.WithName(name)}
+		if durableDir != "" {
+			opts = append(opts, engine.WithDurability(filepath.Join(durableDir, name), policy))
+		}
+		return opts
+	}
+	base, err := engine.Open(s, sideOpts("base")...)
 	if err != nil {
 		return err
 	}
-	merged, err := engine.Open(m.Schema, engine.WithRegistry(reg), engine.WithName("merged"))
+	defer base.Close()
+	merged, err := engine.Open(m.Schema, sideOpts("merged")...)
 	if err != nil {
 		return err
 	}
-	if err := base.Load(st); err != nil {
-		return fmt.Errorf("relmerge: replaying state into the base engine: %w", err)
+	defer merged.Close()
+	// A recovered engine already holds the previous run's replay (recovery
+	// IS the demonstration); loading on top would collide on primary keys.
+	if !base.Recovered().Recovered {
+		if err := base.Load(st); err != nil {
+			return fmt.Errorf("relmerge: replaying state into the base engine: %w", err)
+		}
 	}
-	if err := merged.Load(m.MapState(st)); err != nil {
-		return fmt.Errorf("relmerge: replaying state into the merged engine: %w", err)
+	if !merged.Recovered().Recovered {
+		if err := merged.Load(m.MapState(st)); err != nil {
+			return fmt.Errorf("relmerge: replaying state into the merged engine: %w", err)
+		}
+	}
+	var durables []durableStatus
+	if durableDir != "" {
+		for _, e := range []*engine.DB{base, merged} {
+			if err := e.Checkpoint(); err != nil {
+				return fmt.Errorf("relmerge: checkpointing the %s engine: %w", e.MetricName(), err)
+			}
+			durables = append(durables, durableStatus{
+				DB:           e.MetricName(),
+				Policy:       policy.String(),
+				Recovered:    e.Recovered().Recovered,
+				ReplayedOps:  e.Recovered().ReplayedOps,
+				Checkpointed: true,
+			})
+		}
 	}
 
 	recs := []reconciliation{reconcile(reg, base), reconcile(reg, merged)}
@@ -106,10 +151,11 @@ func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *stat
 			Attrs    map[string]string `json:"attrs,omitempty"`
 		}
 		doc := struct {
-			Metrics   []obs.Point      `json:"metrics"`
-			Spans     []span           `json:"spans,omitempty"`
-			Reconcile []reconciliation `json:"reconcile"`
-		}{Metrics: reg.Snapshot(), Reconcile: recs}
+			Metrics    []obs.Point      `json:"metrics"`
+			Spans      []span           `json:"spans,omitempty"`
+			Reconcile  []reconciliation `json:"reconcile"`
+			Durability []durableStatus  `json:"durability,omitempty"`
+		}{Metrics: reg.Snapshot(), Reconcile: recs, Durability: durables}
 		if tracer != nil {
 			for _, ev := range tracer.Events() {
 				doc.Spans = append(doc.Spans, span{Name: ev.Name, Depth: ev.Depth, Duration: ev.Duration, Attrs: ev.Attrs})
@@ -136,6 +182,10 @@ func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *stat
 		}
 		for _, r := range recs {
 			fmt.Fprintf(w, "reconcile{db=%q} %v\n", r.DB, r.Reconciled)
+		}
+		for _, d := range durables {
+			fmt.Fprintf(w, "durable{db=%q,policy=%q} recovered=%v replayed_ops=%d checkpointed=%v\n",
+				d.DB, d.Policy, d.Recovered, d.ReplayedOps, d.Checkpointed)
 		}
 		return nil
 	default:

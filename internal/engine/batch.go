@@ -95,7 +95,11 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 			return fmt.Errorf("engine: batch insert %d/%d into %s: %w", i+1, len(tuples), name, err)
 		}
 	}
-	db.commitEffects(eff)
+	// The whole batch is one log record: group commit, one write + one fsync.
+	if err := db.commitEffects(eff); err != nil {
+		eff.revert(db)
+		return err
+	}
 	return nil
 }
 
@@ -134,7 +138,10 @@ func (db *DB) ApplyBatchCtx(ctx context.Context, ops []BatchOp) error {
 			return fmt.Errorf("engine: batch op %d/%d (%s on %s): %w", i+1, len(ops), op.Kind, op.Relation, opErr)
 		}
 	}
-	db.commitEffects(eff)
+	if err := db.commitEffects(eff); err != nil {
+		eff.revert(db)
+		return err
+	}
 	return nil
 }
 

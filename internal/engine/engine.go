@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
+	"repro/internal/wal"
 )
 
 // table is one relation plus its primary-key index. Its mutex is the unit of
@@ -85,15 +86,21 @@ type DB struct {
 	txnMu sync.Mutex
 	inTxn atomic.Bool
 	undo  []undoOp
+	// wal is the write-ahead log (durable.go); nil for an in-memory engine.
+	// Assigned once during Open (after recovery) and immutable afterwards.
+	wal      *wal.Log
+	recovery RecoveryInfo
 }
 
 // Option configures Open.
 type Option func(*openConfig)
 
 type openConfig struct {
-	reg   *obs.Registry
-	name  string
-	delay time.Duration
+	reg     *obs.Registry
+	name    string
+	delay   time.Duration
+	walDir  string
+	walOpts wal.Options
 }
 
 // WithRegistry makes the DB report its cost counters and latency histograms
@@ -163,8 +170,52 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		}
 		db.procNulls[nc.SchemeName()] = append(db.procNulls[nc.SchemeName()], nc)
 	}
+	for _, ind := range s.INDs {
+		if err := db.validateINDShape(ind); err != nil {
+			return nil, err
+		}
+	}
 	db.lm = newLockManager(db)
+	if cfg.walDir != "" {
+		if err := db.openDurable(cfg.walDir, cfg.walOpts); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// validateINDShape rejects key-based inclusion dependencies whose right-side
+// attribute list is not an exact permutation of the referenced scheme's
+// primary key. Schema validation alone admits such shapes — IND.KeyBased
+// compares attribute SETS, so a right side like [K1, K1, K2] passes against
+// the key [K1, K2] — but orderAsKey would then silently drop one
+// correspondence and probe the primary-key index with a garbage key,
+// rejecting valid foreign keys. Detecting the shape here turns that silent
+// misbehaviour into a typed Open error.
+func (db *DB) validateINDShape(ind schema.IND) error {
+	if !ind.KeyBased(db.Schema) {
+		return nil
+	}
+	target := db.tables[ind.Right]
+	if target == nil {
+		return fmt.Errorf("%w %s (in %s)", ErrUnknownRelation, ind.Right, ind)
+	}
+	pk := target.rs.PrimaryKey
+	if len(ind.RightAttrs) != len(pk) {
+		return fmt.Errorf("%w: %s lists %d right-side attributes for the %d-attribute key of %s",
+			ErrMalformedIND, ind, len(ind.RightAttrs), len(pk), ind.Right)
+	}
+	seen := make(map[string]int, len(ind.RightAttrs))
+	for _, a := range ind.RightAttrs {
+		seen[a]++
+	}
+	for _, ka := range pk {
+		if seen[ka] != 1 {
+			return fmt.Errorf("%w: %s must list key attribute %s of %s exactly once (found %d times)",
+				ErrMalformedIND, ind, ka, ind.Right, seen[ka])
+		}
+	}
+	return nil
 }
 
 // MustOpen is Open that panics on error.
@@ -236,7 +287,10 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 		eff.revert(db)
 		return err
 	}
-	db.commitEffects(eff)
+	if err := db.commitEffects(eff); err != nil {
+		eff.revert(db)
+		return err
+	}
 	return nil
 }
 

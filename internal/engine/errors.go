@@ -19,6 +19,21 @@ var (
 	// ErrConstraintViolation is the errors.Is target matched by every
 	// *ConstraintViolation, regardless of kind.
 	ErrConstraintViolation = errors.New("engine: constraint violation")
+	// ErrMalformedIND reports a key-based inclusion dependency whose
+	// right-side attribute list is not a permutation of the referenced
+	// scheme's primary key, so its foreign-key probe could never be encoded
+	// correctly. Detected at Open.
+	ErrMalformedIND = errors.New("engine: malformed inclusion dependency")
+	// ErrNotDurable reports a durability operation (Checkpoint) on an engine
+	// opened without WithDurability.
+	ErrNotDurable = errors.New("engine: not opened with durability")
+	// ErrOpenTransaction reports a Checkpoint attempted while a transaction
+	// is open: its pre-checkpoint mutations would be baked into the snapshot
+	// with no way to replay a later rollback.
+	ErrOpenTransaction = errors.New("engine: transaction open")
+	// ErrRecovery reports that crash recovery could not reconstruct a state
+	// that decodes, loads, and passes full constraint re-validation.
+	ErrRecovery = errors.New("engine: recovery failed")
 )
 
 // ViolationKind distinguishes the constraint regimes of section 5.1: the

@@ -233,16 +233,29 @@ func (e effects) revert(db *DB) {
 	}
 }
 
-// commitEffects appends a completed operation's mutations to the open
-// transaction's undo log. Called with table locks held; takes txnMu after
-// them, which is the global lock order (never the reverse).
-func (db *DB) commitEffects(eff effects) {
-	if len(eff) == 0 || !db.inTxn.Load() {
-		return
+// commitEffects finishes a successful operation: its mutations are logged to
+// the write-ahead log (one record per operation, durable.go) and, inside a
+// transaction, appended to the undo log. Called with table locks held; takes
+// txnMu after them, which is the global lock order (never the reverse). A
+// non-nil error means the record is not on disk — the caller must revert the
+// effects and fail the operation, keeping memory and log in agreement.
+func (db *DB) commitEffects(eff effects) error {
+	if len(eff) == 0 {
+		return nil
+	}
+	if !db.inTxn.Load() {
+		return db.logOp(eff, false)
 	}
 	db.txnMu.Lock()
-	if db.inTxn.Load() {
+	defer db.txnMu.Unlock()
+	// Re-read under the mutex: a racing Commit/Rollback may have closed the
+	// transaction, in which case the effects are logged as autonomous.
+	inTxn := db.inTxn.Load()
+	if err := db.logOp(eff, inTxn); err != nil {
+		return err
+	}
+	if inTxn {
 		db.undo = append(db.undo, eff...)
 	}
-	db.txnMu.Unlock()
+	return nil
 }

@@ -82,7 +82,10 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 		eff.revert(db)
 		return err
 	}
-	db.commitEffects(eff)
+	if err := db.commitEffects(eff); err != nil {
+		eff.revert(db)
+		return err
+	}
 	return nil
 }
 
@@ -142,7 +145,10 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 		eff.revert(db)
 		return err
 	}
-	db.commitEffects(eff)
+	if err := db.commitEffects(eff); err != nil {
+		eff.revert(db)
+		return err
+	}
 	return nil
 }
 
@@ -202,11 +208,19 @@ func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
 		if !sub.IsTotal() {
 			continue
 		}
-		bucket := idx[sub.EncodeKey()]
+		ek := sub.EncodeKey()
+		bucket := idx[ek]
 		for i, cand := range bucket {
 			if cand.Identical(tup) {
 				bucket[i] = bucket[len(bucket)-1]
-				idx[sub.EncodeKey()] = bucket[:len(bucket)-1]
+				if len(bucket) == 1 {
+					// Drop emptied buckets: delete/insert churn over fresh
+					// keys would otherwise grow the index by one empty slice
+					// per retired key, forever.
+					delete(idx, ek)
+				} else {
+					idx[ek] = bucket[:len(bucket)-1]
+				}
 				break
 			}
 		}

@@ -28,17 +28,29 @@ func (db *DB) Begin() error {
 	if db.inTxn.Load() {
 		return fmt.Errorf("engine: transaction already open")
 	}
+	// Log the marker before opening the transaction: if the log refuses it,
+	// no transaction starts and memory stays in step with the durable log.
+	if err := db.logMarker(walRecBegin); err != nil {
+		return err
+	}
 	db.undo = db.undo[:0]
 	db.inTxn.Store(true)
 	return nil
 }
 
-// Commit ends the transaction, keeping its effects.
+// Commit ends the transaction, keeping its effects. If the commit marker
+// cannot be made durable the transaction STAYS OPEN and an error is
+// returned: recovery would discard the unmarked suffix, so the caller must
+// Rollback (restoring agreement between memory and log) and reopen the
+// engine.
 func (db *DB) Commit() error {
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
 	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
+	}
+	if err := db.logMarker(walRecCommit); err != nil {
+		return err
 	}
 	db.inTxn.Store(false)
 	db.undo = nil
@@ -49,12 +61,22 @@ func (db *DB) Commit() error {
 // recent first. It locks every table for writing (in ordinal order, like any
 // other multi-table operation) before touching the log, so in-flight
 // operations finish — and log their effects — before the reversal starts.
+//
+// The no-transaction case returns before acquiring any table lock: honest
+// callers hit it only on bugs, but RunAtomic-style wrappers probe it under
+// contention, and stalling every concurrent reader just to report an error
+// was a measurable regression (see TestRollbackNoTxnConcurrent*).
 func (db *DB) Rollback() error {
+	if !db.inTxn.Load() {
+		return fmt.Errorf("engine: no open transaction")
+	}
 	ls := db.lm.allWrite()
 	ls.acquire()
 	defer ls.release()
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
+	// Re-check under the mutex: the transaction may have closed while the
+	// lock set was being acquired (the fast path above is advisory only).
 	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
@@ -69,6 +91,10 @@ func (db *DB) Rollback() error {
 		}
 	}
 	db.undo = nil
+	// Best-effort marker: if the log is crashed the replay discards the
+	// unterminated transaction anyway, which equals the rollback just
+	// performed, so the rollback itself still succeeded.
+	_ = db.logMarker(walRecRollback)
 	return nil
 }
 

@@ -125,6 +125,13 @@ var LatencyBuckets = []float64{
 	250e-9, 1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1,
 }
 
+// ByteBuckets are the default payload-size buckets, in bytes: 64 B to 16 MiB,
+// quadrupling, bracketing everything from a one-tuple log record to a full
+// snapshot checkpoint.
+var ByteBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20,
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		panic("obs: histogram needs at least one bucket bound")

@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Failpoint injects deterministic faults into the log's file-system
+// primitives, for crash-recovery tests. Each field is the 1-based ordinal of
+// the call that fails (0 = never fire); calls are counted from the moment
+// Open returns, so recovery and the initial segment creation never trip a
+// failpoint and a given ordinal is reproducible. A fired failpoint crashes
+// the log exactly like a real I/O error: the torn group is truncated away
+// and every later call returns ErrCrashed.
+type Failpoint struct {
+	// FailWrite makes the Nth file write fail outright, writing nothing.
+	FailWrite int64
+	// TornWrite makes the Nth file write persist only the first half of its
+	// buffer and then fail — a mid-record torn tail for replay to discard.
+	TornWrite int64
+	// FailSync makes the Nth fsync fail (the bytes are already in the OS).
+	FailSync int64
+	// FailRename makes the Nth rename fail (checkpoint publishing).
+	FailRename int64
+
+	writes  atomic.Int64
+	syncs   atomic.Int64
+	renames atomic.Int64
+}
+
+// WithFailpoint returns Options running policy with fp injected — the
+// conventional way tests arm a failpoint.
+func WithFailpoint(policy SyncPolicy, fp *Failpoint) Options {
+	return Options{Policy: policy, Failpoint: fp}
+}
+
+// fire reports whether the target ordinal was just reached.
+func fire(counter *atomic.Int64, target int64) bool {
+	return target > 0 && counter.Add(1) == target
+}
+
+// write is the failpoint-able file write used for segments and snapshots.
+func (l *Log) write(f *os.File, b []byte) (int, error) {
+	if fp := l.opt.Failpoint; fp != nil && l.fpArmed {
+		n := fp.writes.Add(1)
+		if fp.FailWrite > 0 && n == fp.FailWrite {
+			return 0, fmt.Errorf("write %s: %w", f.Name(), ErrInjected)
+		}
+		if fp.TornWrite > 0 && n == fp.TornWrite {
+			nw, _ := f.Write(b[:len(b)/2])
+			return nw, fmt.Errorf("torn write %s: %w", f.Name(), ErrInjected)
+		}
+	}
+	return f.Write(b)
+}
+
+// fsync is the failpoint-able fsync.
+func (l *Log) fsync(f *os.File) error {
+	if fp := l.opt.Failpoint; fp != nil && l.fpArmed && fire(&fp.syncs, fp.FailSync) {
+		return fmt.Errorf("fsync %s: %w", f.Name(), ErrInjected)
+	}
+	return f.Sync()
+}
+
+// rename is the failpoint-able rename.
+func (l *Log) rename(oldpath, newpath string) error {
+	if fp := l.opt.Failpoint; fp != nil && l.fpArmed && fire(&fp.renames, fp.FailRename) {
+		return fmt.Errorf("rename %s: %w", filepath.Base(newpath), ErrInjected)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// DuplicateTailSegment copies the highest-numbered segment file to the next
+// free index, simulating a crashed copy-based backup tool leaving a
+// duplicated segment behind. Replay must deduplicate it by LSN. Test helper.
+func DuplicateTailSegment(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			if idx, ok := parseSeq(e.Name(), segSuffix); ok {
+				segs = append(segs, idx)
+			}
+		}
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("wal: no segments in %s to duplicate", dir)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	last := segs[len(segs)-1]
+	src, err := os.Open(filepath.Join(dir, fmt.Sprintf("%020d%s", last, segSuffix)))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(filepath.Join(dir, fmt.Sprintf("%020d%s", last+1, segSuffix)))
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		return err
+	}
+	return dst.Close()
+}

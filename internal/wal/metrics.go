@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric names of the wal package. Each series carries a wal=<name> label so
+// several logs (base/merged engines, benchmarks) can share one registry.
+const (
+	metricWalAppends         = "wal.appends"
+	metricWalAppendBytes     = "wal.append_bytes"
+	metricWalAppendSize      = "wal.append_size_bytes"
+	metricWalFsyncs          = "wal.fsyncs"
+	metricWalFsyncSeconds    = "wal.fsync_seconds"
+	metricWalSegments        = "wal.segments_opened"
+	metricWalCheckpoints     = "wal.checkpoints"
+	metricWalCheckpointBytes = "wal.checkpoint_bytes"
+	metricWalReplayRecords   = "wal.replay_records"
+	metricWalReplaySkipped   = "wal.replay_skipped_records"
+	metricWalReplayTruncated = "wal.replay_truncated_bytes"
+)
+
+// logMetrics are one log's registry handles. All handles are nil-safe, so a
+// nil registry costs nothing at the call sites.
+type logMetrics struct {
+	appends         *obs.Counter
+	appendBytes     *obs.Counter
+	appendSize      *obs.Histogram
+	fsyncs          *obs.Counter
+	fsyncLat        *obs.Histogram
+	segments        *obs.Counter
+	checkpoints     *obs.Counter
+	checkpointBytes *obs.Counter
+	replayRecords   *obs.Counter
+	replaySkipped   *obs.Counter
+	replayTruncated *obs.Counter
+}
+
+func newLogMetrics(r *obs.Registry, name string) *logMetrics {
+	lbl := obs.L("wal", name)
+	return &logMetrics{
+		appends:         r.Counter(metricWalAppends, lbl),
+		appendBytes:     r.Counter(metricWalAppendBytes, lbl),
+		appendSize:      r.Histogram(metricWalAppendSize, obs.ByteBuckets, lbl),
+		fsyncs:          r.Counter(metricWalFsyncs, lbl),
+		fsyncLat:        r.Histogram(metricWalFsyncSeconds, obs.LatencyBuckets, lbl),
+		segments:        r.Counter(metricWalSegments, lbl),
+		checkpoints:     r.Counter(metricWalCheckpoints, lbl),
+		checkpointBytes: r.Counter(metricWalCheckpointBytes, lbl),
+		replayRecords:   r.Counter(metricWalReplayRecords, lbl),
+		replaySkipped:   r.Counter(metricWalReplaySkipped, lbl),
+		replayTruncated: r.Counter(metricWalReplayTruncated, lbl),
+	}
+}

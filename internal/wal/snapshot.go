@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint makes data the new recovery baseline: it is written to a temp
+// file, fsynced, atomically renamed to <LSN>.state, and the directory
+// fsynced; only then are the now-superseded segments and older snapshots
+// deleted and a fresh segment started. A crash at any point leaves the
+// directory recoverable:
+//
+//   - before the rename: the temp file is ignored (and removed) by Open, and
+//     the previous snapshot + segments replay as if the checkpoint never ran;
+//   - after the rename: replay starts from the new snapshot and skips every
+//     record it covers (LSN <= snapshot LSN), so leftover segments and older
+//     snapshots are harmless until deletion finishes.
+//
+// The caller must guarantee no Commit runs concurrently that the snapshot
+// does not already include (the engine holds every table lock while it
+// serializes the state and calls Checkpoint).
+func (l *Log) Checkpoint(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed != nil {
+		return l.crashErr()
+	}
+	lsn := l.lsn
+	tmp := filepath.Join(l.dir, fmt.Sprintf("%020d%s%s", lsn, snapSuffix, tmpSuffix))
+	if err := l.writeSnapshot(tmp, data); err != nil {
+		l.crash(err)
+		return err
+	}
+	if err := l.rename(tmp, l.snapshotPath(lsn)); err != nil {
+		l.crash(fmt.Errorf("wal: publishing snapshot: %w", err))
+		return l.crashed
+	}
+	if err := l.fsyncDir(); err != nil {
+		l.crash(err)
+		return err
+	}
+	// The snapshot is durable; everything logged up to lsn is superseded.
+	prevSeg := l.segIndex
+	if err := l.f.Close(); err != nil {
+		l.crash(err)
+		return err
+	}
+	l.f = nil
+	l.removeObsolete(lsn, prevSeg)
+	l.snapLSN = lsn
+	l.segIndex++
+	if err := l.openSegment(); err != nil {
+		l.crash(err)
+		return err
+	}
+	l.m.checkpoints.Inc()
+	l.m.checkpointBytes.Add(int64(len(data)))
+	return nil
+}
+
+// writeSnapshot writes and fsyncs the temp snapshot file.
+func (l *Log) writeSnapshot(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
+	}
+	if _, err := l.write(f, data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := l.fsync(f); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// removeObsolete deletes segments up to and including lastSeg and snapshots
+// older than keepLSN. Deletion is best-effort: anything left behind is
+// skipped (snapshots) or deduplicated by LSN (segments) on the next Open.
+func (l *Log) removeObsolete(keepLSN, lastSeg uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, segSuffix):
+			if idx, ok := parseSeq(name, segSuffix); ok && idx <= lastSeg {
+				os.Remove(filepath.Join(l.dir, name))
+			}
+		case strings.HasSuffix(name, snapSuffix):
+			if lsn, ok := parseSeq(name, snapSuffix); ok && lsn < keepLSN {
+				os.Remove(filepath.Join(l.dir, name))
+			}
+		}
+	}
+}
+
+// fsyncDir fsyncs the log directory so a just-renamed snapshot name is
+// durable.
+func (l *Log) fsyncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	err = l.fsync(d)
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}

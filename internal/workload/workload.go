@@ -159,6 +159,14 @@ type Bench struct {
 // loads both engines. Engine options (an access delay, a shared registry)
 // apply to both sides.
 func NewBench(es *eer.Schema, root string, rows int, seed int64, opts ...engine.Option) (*Bench, error) {
+	return NewBenchSided(es, root, rows, seed, func(Side) []engine.Option { return opts })
+}
+
+// NewBenchSided is NewBench with per-side engine options: sideOpts is called
+// once per side and its result opens that side's engine. Durable benchmarks
+// use it to give the base and merged engines separate write-ahead-log
+// directories (and distinct metric names) while sharing everything else.
+func NewBenchSided(es *eer.Schema, root string, rows int, seed int64, sideOpts func(Side) []engine.Option) (*Bench, error) {
 	base, err := translate.MS(es)
 	if err != nil {
 		return nil, err
@@ -180,14 +188,14 @@ func NewBench(es *eer.Schema, root string, rows int, seed int64, opts ...engine.
 	}
 
 	b := &Bench{Scheme: m, Root: root, MemberNames: names, baseSchema: base, rng: rng, nextKey: 1 << 20}
-	b.Base, err = engine.Open(base, opts...)
+	b.Base, err = engine.Open(base, sideOpts(SideBase)...)
 	if err != nil {
 		return nil, err
 	}
 	if err := b.Base.Load(st); err != nil {
 		return nil, err
 	}
-	b.Merged, err = engine.Open(m.Schema, opts...)
+	b.Merged, err = engine.Open(m.Schema, sideOpts(SideMerged)...)
 	if err != nil {
 		return nil, err
 	}

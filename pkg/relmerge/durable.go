@@ -1,0 +1,45 @@
+package relmerge
+
+import (
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Durability types, re-exported so callers can run the engine with a
+// write-ahead log — crash recovery, snapshot checkpoints, fsync policies —
+// without importing internal/engine or internal/wal. The Engine alias
+// carries the durable methods: Checkpoint, Close, Recovered, Durable.
+type (
+	// SyncPolicy selects when the write-ahead log calls fsync.
+	SyncPolicy = wal.SyncPolicy
+	// WALOptions gives full control of the log (segment size, fsync
+	// interval, failpoints) for WithWALOptions.
+	WALOptions = wal.Options
+	// RecoveryInfo describes what OpenEngine reconstructed from the log.
+	RecoveryInfo = engine.RecoveryInfo
+)
+
+// Fsync policies, re-exported from internal/wal.
+const (
+	// SyncNever leaves fsync to the OS: fastest, survives process crashes
+	// but not power loss.
+	SyncNever = wal.SyncNever
+	// SyncInterval bounds data loss to the configured interval (100ms by
+	// default).
+	SyncInterval = wal.SyncInterval
+	// SyncAlways fsyncs every commit: no committed operation is ever lost.
+	SyncAlways = wal.SyncAlways
+)
+
+// Durability options and helpers, re-exported from internal/engine and
+// internal/wal.
+var (
+	// WithDurability opens the engine's write-ahead log in a directory with
+	// the given fsync policy; if the directory already holds a log, the
+	// engine recovers from it first (see Engine.Recovered).
+	WithDurability = engine.WithDurability
+	// WithWALOptions is WithDurability with full control of the log options.
+	WithWALOptions = engine.WithWALOptions
+	// ParseSyncPolicy parses "always", "interval", or "never".
+	ParseSyncPolicy = wal.ParseSyncPolicy
+)

@@ -1,7 +1,7 @@
 #!/bin/sh
 # The repo's CI gate: formatting, vet, build, the test suite under the race
-# detector, and the concurrency stress suite (fresh, uncached). Equivalent to
-# `make check` for environments without make.
+# detector, the concurrency stress suite, and the crash-recovery suite (both
+# fresh, uncached). Equivalent to `make check` for environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +18,4 @@ go run ./scripts/metriclint .
 go build ./...
 go test -race ./...
 go test -race -count=1 -run 'Stress|Concurrent|Mixed' ./internal/engine/ ./internal/workload/ ./internal/attrset/
+go test -race -count=1 -run 'Crash|Failpoint|Recovery|WAL' ./internal/wal/ ./internal/engine/
