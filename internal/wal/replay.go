@@ -94,10 +94,12 @@ func (l *Log) recover() (*Recovery, uint64, error) {
 	return rec, maxSeg, nil
 }
 
-// replaySegment scans one segment file frame by frame. The first torn or
-// corrupt frame ends the segment: the remainder is counted as truncated and,
-// if this is the last segment (the only place a torn tail can legitimately
-// arise from a crash mid-write), physically truncated off the file.
+// replaySegment scans one segment file frame by frame. A torn or corrupt
+// frame in the last segment is a legitimate crash artifact (a mid-write
+// power cut): the tail is counted as truncated and physically cut off the
+// file. Anywhere else it means committed records are missing mid-log, and
+// silently replaying the segments after the gap would be data loss — so
+// recovery refuses with an error instead.
 func (l *Log) replaySegment(rec *Recovery, idx uint64, last bool) error {
 	path := l.segmentPath(idx)
 	data, err := os.ReadFile(path)
@@ -133,11 +135,12 @@ func (l *Log) replaySegment(rec *Recovery, idx uint64, last bool) error {
 		off += frameHeader + bodyLen
 	}
 	if off < len(data) {
+		if !last {
+			return fmt.Errorf("wal: segment %d: corrupt or torn frame at offset %d in a non-final segment (committed records are missing; refusing to recover past the gap)", idx, off)
+		}
 		rec.TruncatedBytes += int64(len(data) - off)
-		if last {
-			if err := os.Truncate(path, int64(off)); err != nil {
-				return fmt.Errorf("wal: truncating torn tail of segment %d: %w", idx, err)
-			}
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of segment %d: %w", idx, err)
 		}
 	}
 	return nil

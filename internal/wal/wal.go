@@ -19,13 +19,19 @@
 //
 //	[4B body length][4B IEEE CRC32 of body][body = 8B LSN + payload]
 //
-// Failure model: Commit makes a group of records durable as one unit. If any
-// write or fsync fails — including an injected failpoint — the log enters a
-// crashed state: the segment file is truncated back to the last
-// fully-committed offset (so the half-written group leaves no trace on disk)
-// and every subsequent call fails with ErrCrashed. The caller reverts its
-// in-memory effects, and the durable log then equals the successful-commit
-// prefix exactly — the invariant the crash-recovery property tests assert.
+// Failure model: Commit makes a group of records durable as one unit. If a
+// write or fsync fails — including an injected failpoint — before the group
+// reaches its commit point, the log enters a crashed state: the segment file
+// is truncated back to the last fully-committed offset (so the half-written
+// group leaves no trace on disk), Commit returns the error, the caller
+// reverts its in-memory effects, and every subsequent call fails with
+// ErrCrashed. A fault *after* the commit point (segment rotation: the old
+// segment's fsync/close or the new segment's creation) cannot be reported as
+// failure — the group is already durable and replay will apply it — so that
+// Commit still succeeds and only the log's future is crashed. Either way the
+// durable log equals the successful-commit prefix exactly — the invariant
+// the crash-recovery property tests assert. Close on a crashed log reports
+// the crash (wrapped in ErrCrashed) rather than pretending a clean flush.
 package wal
 
 import (
@@ -210,8 +216,15 @@ func (l *Log) Commit(payloads ...[]byte) (uint64, error) {
 	l.committed = l.fileSize
 	if l.fileSize >= l.opt.SegmentBytes {
 		if err := l.roll(); err != nil {
+			// The group is already durable to the policy's guarantee (written,
+			// and fsynced under SyncAlways) and l.committed has advanced, so
+			// nothing of it can be truncated away and replay WILL apply it.
+			// Reporting failure here would make the caller revert effects that
+			// recovery later restores, so a rotation fault after the commit
+			// point is post-commit: this group succeeds, and the sticky
+			// crashed state fails every subsequent call instead.
 			l.crash(err)
-			return 0, err
+			return l.lsn, nil
 		}
 	}
 	return l.lsn, nil
@@ -251,10 +264,10 @@ func (l *Log) Close() error {
 			l.f.Close()
 			l.f = nil
 		}
-		if l.crashed == ErrClosed {
-			return ErrClosed
-		}
-		return nil
+		// Keep reporting the crash (ErrCrashed-wrapped, or ErrClosed for a
+		// double Close) so callers that use Close as a durability signal
+		// cannot mistake a crashed log for a cleanly flushed one.
+		return l.crashErr()
 	}
 	err := l.fsync(l.f)
 	if cerr := l.f.Close(); err == nil {

@@ -278,20 +278,38 @@ func TestCheckpointFailpointRenameCrash(t *testing.T) {
 }
 
 // TestFailpointCrashLeavesCommittedPrefix drives each write/fsync failpoint
-// and asserts the durable log equals the successful-commit prefix exactly.
+// — including faults at the segment-rotation boundary — and asserts the
+// durable log equals the successful-commit prefix exactly.
 func TestFailpointCrashLeavesCommittedPrefix(t *testing.T) {
 	cases := []struct {
-		name string
-		fp   func() *Failpoint
+		name          string
+		opts          func() Options
+		wantCommitted int
 	}{
-		{"fail_write_3", func() *Failpoint { return &Failpoint{FailWrite: 3} }},
-		{"torn_write_3", func() *Failpoint { return &Failpoint{TornWrite: 3} }},
-		{"fail_sync_2", func() *Failpoint { return &Failpoint{FailSync: 2} }},
+		{"fail_write_3", func() Options { return WithFailpoint(SyncAlways, &Failpoint{FailWrite: 3}) }, 2},
+		{"torn_write_3", func() Options { return WithFailpoint(SyncAlways, &Failpoint{TornWrite: 3}) }, 2},
+		{"fail_sync_2", func() Options { return WithFailpoint(SyncAlways, &Failpoint{FailSync: 2}) }, 1},
+		// With SegmentBytes=8 every commit rotates, so under SyncAlways the
+		// fsync ordinals alternate group-commit, rotation, group-commit, …
+		// fsync 4 is the rotation fsync of the second commit (post-commit
+		// fault: that commit must still succeed and survive replay).
+		{"rotation_fsync_4", func() Options {
+			o := WithFailpoint(SyncAlways, &Failpoint{FailSync: 4})
+			o.SegmentBytes = 8
+			return o
+		}, 2},
+		// Under SyncNever no fsync fires during commits, so FailSync can only
+		// hit Close's final fsync — all six commits succeed and none may be
+		// lost (the bytes are in the OS; this models a process, not power,
+		// crash).
+		{"close_fsync_1", func() Options {
+			return WithFailpoint(SyncNever, &Failpoint{FailSync: 1})
+		}, 6},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
-			l, _, err := Open(dir, WithFailpoint(SyncAlways, tc.fp()))
+			l, _, err := Open(dir, tc.opts())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -302,15 +320,86 @@ func TestFailpointCrashLeavesCommittedPrefix(t *testing.T) {
 					committed = append(committed, p)
 				}
 			}
-			if len(committed) == 6 {
-				t.Fatal("failpoint never fired")
+			if len(committed) != tc.wantCommitted {
+				t.Fatalf("%d commits succeeded, want %d", len(committed), tc.wantCommitted)
 			}
+			l.Close()
 			l2, rec := reopen(t, dir, Options{})
 			defer l2.Close()
 			if got := payloads(rec); !equalStrings(got, committed) {
 				t.Fatalf("recovered %v, want committed prefix %v", got, committed)
 			}
 		})
+	}
+}
+
+// TestRotationFaultIsPostCommit pins the contract for a fault at the
+// segment-rotation boundary: the group is already durable when roll runs, so
+// Commit must report success (an error here would make the caller revert
+// effects that replay then restores — divergence), the log must refuse
+// further work, and Close must surface the crash rather than return nil.
+func TestRotationFaultIsPostCommit(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes=8 forces a rotation on the first commit; under SyncAlways
+	// fsync 1 is the group commit, fsync 2 the rotation.
+	opts := Options{Policy: SyncAlways, SegmentBytes: 8, Failpoint: &Failpoint{FailSync: 2}}
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Commit([]byte("durable"))
+	if err != nil {
+		t.Fatalf("Commit whose rotation failed = %v, want success: the group was already durable", err)
+	}
+	if lsn != 1 {
+		t.Fatalf("Commit LSN = %d, want 1", lsn)
+	}
+	if _, err := l.Commit([]byte("later")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Commit after rotation fault = %v, want ErrCrashed", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Close of crashed log = %v, want the crash surfaced via ErrCrashed", err)
+	}
+	l2, rec := reopen(t, dir, Options{})
+	defer l2.Close()
+	if got := payloads(rec); !equalStrings(got, []string{"durable"}) {
+		t.Fatalf("recovered %v, want the acknowledged commit", got)
+	}
+}
+
+// TestMidLogCorruptionRefusesRecovery flips a byte in a NON-final segment:
+// under the crash-only failure model a torn tail can only arise in the last
+// segment, so mid-log damage means committed records are missing and Open
+// must fail instead of silently replaying the segments after the gap.
+func TestMidLogCorruptionRefusesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Commit([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need several segments, got %d (%v)", len(segs), err)
+	}
+	first := segs[0]
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+8] ^= 0xFF // corrupt the first record's payload
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open recovered past mid-log corruption, want an error")
 	}
 }
 
