@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery
-check: fmt vet metriclint build race stress crash
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving
+check: fmt vet metriclint build race stress crash serve-test
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,9 +33,13 @@ stress:
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Failpoint|Recovery|WAL' ./internal/wal/ ./internal/engine/
 
+## serve-test: the service-layer suite — wire protocol (incl. fuzz seeds), admission control, graceful drain, the kill-server-mid-batch crash test, and the cross-backend Session conformance suite — fresh under the race detector
+serve-test:
+	$(GO) test -race -count=1 -run 'Session|Remote|Serve|Frame|Wire|Protocol|Admission|Deadline|Drain|Kill|Coalesc|Client|Stats|Code|Sentinels' ./internal/server/ ./pkg/relmerge/
+
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR4.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR5.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR4.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR5.json

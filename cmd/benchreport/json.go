@@ -46,6 +46,9 @@ type benchReport struct {
 	ScalingSpeedups    map[string]float64 `json:"scaling_speedups"`
 	Durability         []durabilityRow    `json:"durability"`
 	DurabilityOverhead map[string]float64 `json:"durability_overhead"`
+	Serving            []servingRow       `json:"serving"`
+	ServingSpeedups    map[string]float64 `json:"serving_speedups"`
+	ServingCrash       *servingCrash      `json:"serving_crash"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -294,6 +297,11 @@ func runJSON(path string) error {
 		return err
 	}
 
+	serving, servingSpeedups, crash, err := servingSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
 		Probes:             probes,
 		Speedups:           map[string]float64{},
@@ -303,6 +311,9 @@ func runJSON(path string) error {
 		ScalingSpeedups:    scalingSpeedups,
 		Durability:         durability,
 		DurabilityOverhead: durabilityOverhead,
+		Serving:            serving,
+		ServingSpeedups:    servingSpeedups,
+		ServingCrash:       crash,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range probes {
@@ -361,6 +372,17 @@ func runJSON(path string) error {
 			}
 		}
 	}
+	fmt.Printf("client/server scaling, %d → %d clients (90/10 mix, ops/sec ratio):\n",
+		servingClients[0], servingClients[len(servingClients)-1])
+	for _, pol := range servingPolicies() {
+		for _, backend := range []string{"embedded", "remote"} {
+			if s, ok := servingSpeedups[backend+"/"+pol.Name]; ok {
+				fmt.Printf("  %-22s %.1fx\n", backend+"/"+pol.Name, s)
+			}
+		}
+	}
+	fmt.Printf("crash probe: acked=%d recovered=%d exact_prefix=%v\n",
+		crash.AckedWrites, crash.RecoveredWrites, crash.ExactPrefix)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }

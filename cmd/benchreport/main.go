@@ -56,6 +56,7 @@ func main() {
 		{"P4", "Denormalization advisor: workload-driven merge recommendations", runP4},
 		{"P5", "Concurrent scalability: mixed workload throughput vs. goroutines", runP5},
 		{"P6", "Durability overhead: mixed workload throughput vs. fsync policy", runP6},
+		{"P7", "Client/server serving: Session throughput, embedded vs. remote", runP7},
 	}
 
 	matched := false

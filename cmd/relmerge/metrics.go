@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/sdl"
 	"repro/internal/state"
 	"repro/internal/wal"
+	"repro/pkg/relmerge"
 )
 
 // replayState picks the database state to replay for the metrics report: the
@@ -113,22 +115,26 @@ func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *stat
 		return err
 	}
 	defer merged.Close()
-	// A recovered engine already holds the previous run's replay (recovery
-	// IS the demonstration); loading on top would collide on primary keys.
+	// The replay runs through the Session API — the same surface the remote
+	// client exposes — so this report measures what any session-based caller
+	// would. A recovered engine already holds the previous run's replay
+	// (recovery IS the demonstration); loading on top would collide on
+	// primary keys.
+	ctx := context.Background()
 	if !base.Recovered().Recovered {
-		if err := base.Load(st); err != nil {
+		if err := relmerge.ReplayState(ctx, relmerge.NewSession(base), s, st); err != nil {
 			return fmt.Errorf("relmerge: replaying state into the base engine: %w", err)
 		}
 	}
 	if !merged.Recovered().Recovered {
-		if err := merged.Load(m.MapState(st)); err != nil {
+		if err := relmerge.ReplayState(ctx, relmerge.NewSession(merged), m.Schema, m.MapState(st)); err != nil {
 			return fmt.Errorf("relmerge: replaying state into the merged engine: %w", err)
 		}
 	}
 	var durables []durableStatus
 	if durableDir != "" {
 		for _, e := range []*engine.DB{base, merged} {
-			if err := e.Checkpoint(); err != nil {
+			if err := relmerge.NewSession(e).Checkpoint(); err != nil {
 				return fmt.Errorf("relmerge: checkpointing the %s engine: %w", e.MetricName(), err)
 			}
 			durables = append(durables, durableStatus{

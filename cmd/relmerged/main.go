@@ -1,0 +1,202 @@
+// Command relmerged serves a relmerge engine over the length-prefixed JSON
+// wire protocol (see internal/server): inserts, deletes, updates, key
+// fetches, batches, transactions, stats, and checkpoints, with per-request
+// deadlines, admission control, and server-side write coalescing aligned
+// with the write-ahead log's group commit.
+//
+// Usage:
+//
+//	relmerged -fig3 -addr :7421                          # serve figure 3
+//	relmerged -schema schema.sdl -data data.sdl          # serve a loaded state
+//	relmerged -fig3 -merged                              # apply the Prop 5.2 plan, serve the merged schema
+//	relmerged -fig3 -durable ./wal -fsync always         # durable: recovers on restart
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
+// requests, checkpoint a durable engine, close the WAL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"context"
+
+	"repro/internal/server"
+	"repro/pkg/relmerge"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7421", "listen address")
+		schemaPath  = flag.String("schema", "", "path to an SDL schema file (- for stdin)")
+		useFig3     = flag.Bool("fig3", false, "use the paper's figure 3 schema as input")
+		merged      = flag.Bool("merged", false, "apply the Prop. 5.2 merge plan and serve the merged schema")
+		dataPath    = flag.String("data", "", "optional data file (insert statements) loaded at startup; with -merged the state is mapped through the η mappings first")
+		durableDir  = flag.String("durable", "", "directory for the engine's write-ahead log; a reopened directory recovers before serving")
+		fsyncMode   = flag.String("fsync", "interval", "fsync policy for -durable: always, interval, or never")
+		workers     = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS, at least 4)")
+		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64); a full queue rejects with code overloaded")
+		coalesce    = flag.Int("coalesce", 0, "max queued writes folded into one engine batch and WAL record (0 = default 16, 1 disables)")
+		accessDelay = flag.Duration("access-delay", 0, "simulated storage access delay per operation (benchmark knob)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
+		quiet       = flag.Bool("quiet", false, "suppress lifecycle log lines")
+	)
+	flag.Parse()
+
+	fsyncPolicy, err := relmerge.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(fmt.Errorf("relmerged: %w", err))
+	}
+
+	s, err := loadSchema(*schemaPath, *useFig3)
+	if err != nil {
+		fatal(err)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	// With -merged, rewrite the schema through the Prop. 5.2 planner; the η
+	// mappings of the per-cluster merge records map any loaded state across.
+	orig := s
+	var merges []*relmerge.Merged
+	if *merged {
+		clusters := relmerge.Plan(s)
+		if len(clusters) == 0 {
+			fatal(fmt.Errorf("relmerged: -merged: no merge set satisfies the Prop. 5.2 conditions"))
+		}
+		s, merges, err = relmerge.Apply(s, clusters)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range merges {
+			logf("relmerged: merged %s <- {%s}", m.Name, strings.Join(memberNames(m), ", "))
+		}
+	}
+
+	var engOpts []relmerge.EngineOption
+	if *accessDelay > 0 {
+		engOpts = append(engOpts, relmerge.WithAccessDelay(*accessDelay))
+	}
+	if *durableDir != "" {
+		engOpts = append(engOpts, relmerge.WithDurability(*durableDir, fsyncPolicy))
+	}
+
+	eng, err := buildEngine(s, orig, merges, *dataPath, engOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if eng.Durable() {
+		rec := eng.Recovered()
+		logf("relmerged: wal %s (fsync %s): recovered=%v replayed=%d discarded=%d snapshot=%v",
+			*durableDir, *fsyncMode, rec.Recovered, rec.ReplayedOps, rec.DiscardedOps, rec.SnapshotLoaded)
+	}
+
+	srv := server.New(eng, server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CoalesceMax: *coalesce,
+		Logf:        logf,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		logf("relmerged: %s: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(fmt.Errorf("relmerged: %w", err))
+	}
+	// Serve returns nil only after Shutdown closed the listener; the drain —
+	// in-flight responses, checkpoint, WAL close — is still running on the
+	// signal goroutine. Exiting now would turn the graceful path into a
+	// crash, so wait for it.
+	if err := <-shutdownDone; err != nil {
+		fatal(fmt.Errorf("relmerged: shutdown: %w", err))
+	}
+}
+
+// buildEngine opens the serving engine. A fresh durable directory (or a
+// non-durable run) replays -data through the η mappings; a recovered
+// directory already holds its state, so the data file is skipped.
+func buildEngine(s, orig *relmerge.Schema, merges []*relmerge.Merged, dataPath string, opts []relmerge.EngineOption) (*relmerge.Engine, error) {
+	eng, err := relmerge.OpenEngine(s, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if dataPath == "" {
+		return eng, nil
+	}
+	if eng.Durable() && eng.Recovered().Recovered {
+		return eng, nil // recovered state wins over the data file
+	}
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	// The data file is written against the pre-merge schema; map it through
+	// each merge record in plan order before loading.
+	st, err := relmerge.ParseState(orig, string(data))
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	for _, m := range merges {
+		st = m.MapState(st)
+	}
+	if err := eng.Load(st); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+func memberNames(m *relmerge.Merged) []string {
+	names := make([]string, len(m.Members))
+	for i, mb := range m.Members {
+		names[i] = mb.Name
+	}
+	return names
+}
+
+func loadSchema(path string, fig3 bool) (*relmerge.Schema, error) {
+	if fig3 {
+		return relmerge.Fig3(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("relmerged: need -schema FILE or -fig3")
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return relmerge.ParseSchema(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

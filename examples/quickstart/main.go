@@ -1,7 +1,9 @@
 // Quickstart: the paper's figure 2 in a few lines — merge two
 // relation-schemes with compatible primary keys into one, see the null
-// constraints the merge generates, and round-trip a database state through
-// the η/η′ mappings to confirm nothing is lost.
+// constraints the merge generates, round-trip a database state through the
+// η/η′ mappings to confirm nothing is lost, and serve the merged design
+// through the Session API (the same interface relmerge.Dial returns for a
+// relmerged server).
 //
 // Everything comes from the public pkg/relmerge facade; no internal imports.
 package main
@@ -69,6 +71,23 @@ func main() {
 
 	back := m.UnmapState(merged)
 	fmt.Printf("\nround trip restored the original state: %v\n", back.Equal(db))
+
+	// Serve the merged design through the Session API — the same interface a
+	// remote client from relmerge.Dial implements, so this code is one
+	// constructor swap away from running against a relmerged server.
+	sess, err := relmerge.OpenSession(m.Schema)
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+	if err := sess.InsertBatch("ASSIGN", merged.Relation("ASSIGN").Tuples()); err != nil {
+		panic(err)
+	}
+	tup, found, err := sess.Fetch("ASSIGN", relmerge.Tuple{relmerge.NewString("cs101")})
+	if err != nil || !found {
+		panic(fmt.Sprintf("fetch cs101: found=%v err=%v", found, err))
+	}
+	fmt.Printf("\nsession fetch by key on the merged design: %v\n", tup)
 }
 
 func indent(s string) string {

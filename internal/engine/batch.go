@@ -69,6 +69,11 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 	ls := db.lm.insert[name]
 	ls.acquire()
 	defer ls.release()
+	// Re-check after acquisition: a deadline that expired while the batch was
+	// queued behind a contended lock plan must not still commit.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	defer db.m.insertLat.ObserveSince(start)
 	db.simAccess()
 	// Group-wise validation first: arity and intra-batch primary-key
@@ -120,6 +125,10 @@ func (db *DB) ApplyBatchCtx(ctx context.Context, ops []BatchOp) error {
 	}
 	ls.acquire()
 	defer ls.release()
+	// Re-check after acquisition (see InsertBatchCtx).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	db.simAccess()
 	var eff effects
 	for i, op := range ops {

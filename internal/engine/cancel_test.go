@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/relation"
+)
+
+// A deadline that expires while an op is queued behind a contended lock plan
+// must abort the op after lock acquisition, not commit it. Regression test
+// for the entry-only cancellation check: a writer holding the lock through a
+// long simulated page access (WithAccessDelay) used to let the queued op's
+// expired context slip through to commit.
+func TestCtxExpiredUnderContendedLockDoesNotCommit(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	db, err := Open(figures.Fig3(), WithAccessDelay(delay))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := db.Insert("COURSE", tup("held")); err != nil {
+			t.Errorf("holder insert: %v", err)
+		}
+	}()
+	// Let the holder take the COURSE lock and park in its simulated access.
+	time.Sleep(delay / 5)
+
+	ctx, cancel := context.WithTimeout(context.Background(), delay/5)
+	defer cancel()
+	insErr := db.InsertCtx(ctx, "COURSE", tup("late"))
+	wg.Wait()
+	if !errors.Is(insErr, context.DeadlineExceeded) {
+		t.Fatalf("InsertCtx under expired deadline: got %v, want DeadlineExceeded", insErr)
+	}
+	if _, ok := db.GetByKey("COURSE", tup("late")); ok {
+		t.Fatal("expired-deadline insert still committed")
+	}
+	if _, ok := db.GetByKey("COURSE", tup("held")); !ok {
+		t.Fatal("holder insert lost")
+	}
+}
+
+// Every mutating Ctx op re-checks cancellation after lock acquisition.
+func TestCtxExpiredAfterAcquisitionAllOps(t *testing.T) {
+	const delay = 40 * time.Millisecond
+	db, err := Open(figures.Fig3(), WithAccessDelay(delay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("COURSE", tup("c1")); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []struct {
+		name string
+		call func(ctx context.Context) error
+	}{
+		{"InsertCtx", func(ctx context.Context) error { return db.InsertCtx(ctx, "COURSE", tup("c2")) }},
+		{"DeleteCtx", func(ctx context.Context) error { return db.DeleteCtx(ctx, "COURSE", tup("c1")) }},
+		{"UpdateCtx", func(ctx context.Context) error { return db.UpdateCtx(ctx, "COURSE", tup("c1"), tup("c9")) }},
+		{"InsertBatchCtx", func(ctx context.Context) error {
+			return db.InsertBatchCtx(ctx, "COURSE", []relation.Tuple{tup("c2"), tup("c3")})
+		}},
+		{"ApplyBatchCtx", func(ctx context.Context) error {
+			return db.ApplyBatchCtx(ctx, []BatchOp{Ins("COURSE", tup("c2"))})
+		}},
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Holder: occupies the lock plan long enough for the
+				// contender's deadline to expire while queued.
+				if err := db.Insert("COURSE", tup("hold-"+op.name)); err != nil {
+					t.Errorf("holder: %v", err)
+				}
+			}()
+			time.Sleep(delay / 4)
+			ctx, cancel := context.WithTimeout(context.Background(), delay/4)
+			defer cancel()
+			err := op.call(ctx)
+			wg.Wait()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%s: got %v, want DeadlineExceeded", op.name, err)
+			}
+			if _, ok := db.GetByKey("COURSE", tup("c2")); ok {
+				t.Fatalf("%s: op committed despite expired deadline", op.name)
+			}
+			if _, ok := db.GetByKey("COURSE", tup("c1")); !ok {
+				t.Fatalf("%s: pre-existing tuple disturbed", op.name)
+			}
+		})
+	}
+}
+
+// GetByKeyCtx honors cancellation and reports unknown relations as typed
+// errors (GetByKey keeps its historical not-found signature).
+func TestGetByKeyCtx(t *testing.T) {
+	db, err := Open(figures.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("COURSE", tup("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.GetByKeyCtx(context.Background(), "NOPE", tup("x")); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("unknown relation: got %v", err)
+	}
+	got, ok, err := db.GetByKeyCtx(context.Background(), "COURSE", tup("c1"))
+	if err != nil || !ok || !got.Identical(tup("c1")) {
+		t.Fatalf("lookup: %v %v %v", got, ok, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.GetByKeyCtx(ctx, "COURSE", tup("c1")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled lookup: got %v", err)
+	}
+}

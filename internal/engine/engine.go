@@ -280,6 +280,11 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 	ls := db.lm.insert[name]
 	ls.acquire()
 	defer ls.release()
+	// Re-check after acquisition: a deadline that expired while this op was
+	// queued behind a contended lock plan must not still commit.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	defer db.m.insertLat.ObserveSince(start)
 	db.simAccess()
 	var eff effects

@@ -13,20 +13,39 @@ import (
 // table's read lock is taken, so lookups on distinct relations never
 // contend and concurrent lookups on the same relation run in parallel.
 func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
+	tup, ok, err := db.GetByKeyCtx(context.Background(), name, key)
+	if err != nil {
+		return nil, false
+	}
+	return tup, ok
+}
+
+// GetByKeyCtx is GetByKey with cancellation and a typed error for unknown
+// relations: cancellation is checked both at entry and after the read lock is
+// acquired, so a lookup whose deadline expired while queued behind a writer
+// fails instead of paying the (simulated) page access.
+func (db *DB) GetByKeyCtx(ctx context.Context, name string, key relation.Tuple) (relation.Tuple, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	start := now()
 	t := db.tables[name]
 	if t == nil {
-		return nil, false
+		return nil, false, fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	ek := key.EncodeKey()
 	t.mu.RLock()
+	if err := ctx.Err(); err != nil {
+		t.mu.RUnlock()
+		return nil, false, err
+	}
 	db.simAccess()
 	tup, ok := t.pk[ek]
 	t.mu.RUnlock()
 	db.countLookup()
 	db.countIdx()
 	db.m.lookupLat.ObserveSince(start)
-	return tup, ok
+	return tup, ok, nil
 }
 
 // Scan visits every tuple of the relation satisfying the predicate,
@@ -75,6 +94,11 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 	ls := db.lm.remove[name]
 	ls.acquire()
 	defer ls.release()
+	// Re-check after acquisition: a deadline that expired while this op was
+	// queued behind a contended lock plan must not still commit.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	defer db.m.deleteLat.ObserveSince(start)
 	db.simAccess()
 	var eff effects
@@ -138,6 +162,10 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 	ls := db.lm.update[name]
 	ls.acquire()
 	defer ls.release()
+	// Re-check after acquisition (see InsertCtx).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	defer db.m.updateLat.ObserveSince(start)
 	db.simAccess()
 	var eff effects

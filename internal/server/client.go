@@ -1,0 +1,430 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// ClientOptions tunes a Client. The zero value picks sensible defaults.
+type ClientOptions struct {
+	// PoolSize bounds the open connections (default 4). Checkouts beyond
+	// the pool block until a connection frees up.
+	PoolSize int
+	// DialTimeout bounds one dial + handshake (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-request deadline applied when the caller's
+	// context has none (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// Retries is how many times an idempotent request is retried after a
+	// retryable failure — connection errors and CodeOverloaded (default 2).
+	// Mutating requests are NEVER retried: a connection that dies after the
+	// request was sent leaves the outcome unknown, and retrying could
+	// double-apply.
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// retries (default 5ms; attempt n sleeps base·2ⁿ scaled by a random
+	// factor in [0.5, 1.5)).
+	RetryBackoff time.Duration
+	// Seed seeds the backoff jitter; 0 derives one from the clock.
+	Seed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// Client is a pooled connection to a relmerged server. It is safe for
+// concurrent use; up to PoolSize requests proceed in parallel.
+type Client struct {
+	addr string
+	opt  ClientOptions
+
+	slots chan struct{} // counting semaphore: open-connection budget
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	rng    *rand.Rand
+	closed bool
+}
+
+type clientConn struct {
+	nc     net.Conn
+	nextID uint64
+}
+
+// Dial connects to a relmerged server (verifying the protocol handshake on
+// the first connection eagerly, so a wrong address or version fails fast).
+func Dial(addr string, opt ClientOptions) (*Client, error) {
+	opt = opt.withDefaults()
+	c := &Client{
+		addr:  addr,
+		opt:   opt,
+		slots: make(chan struct{}, opt.PoolSize),
+		rng:   rand.New(rand.NewSource(opt.Seed)),
+	}
+	for i := 0; i < opt.PoolSize; i++ {
+		c.slots <- struct{}{}
+	}
+	// Eager probe: dial and handshake one connection, then park it idle.
+	<-c.slots
+	cc, err := c.dial()
+	if err != nil {
+		c.slots <- struct{}{}
+		return nil, err
+	}
+	c.release(cc, nil)
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight requests fail as their
+// connections die; subsequent requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.nc.Close()
+	}
+	return nil
+}
+
+func (c *Client) dial() (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{nc: nc}
+	nc.SetDeadline(time.Now().Add(c.opt.DialTimeout))
+	cc.nextID++
+	if _, err := WriteFrame(nc, &Request{ID: cc.nextID, Op: OpHello, Version: ProtoVersion}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	resp, err := readResponse(nc, DefaultMaxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !resp.OK {
+		nc.Close()
+		return nil, responseError(resp)
+	}
+	if resp.Version != ProtoVersion {
+		nc.Close()
+		return nil, fmt.Errorf("%w: server speaks protocol %d, client %d", ErrProtocol, resp.Version, ProtoVersion)
+	}
+	nc.SetDeadline(time.Time{})
+	return cc, nil
+}
+
+// checkout takes a connection from the pool, dialing if none is idle.
+func (c *Client) checkout(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	select {
+	case <-c.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.slots <- struct{}{}
+		return nil, ErrClosed
+	}
+	var cc *clientConn
+	if n := len(c.idle); n > 0 {
+		cc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if cc != nil {
+		return cc, nil
+	}
+	cc, err := c.dial()
+	if err != nil {
+		c.slots <- struct{}{}
+		return nil, err
+	}
+	return cc, nil
+}
+
+// release returns a healthy connection to the pool; a connection whose
+// request failed with an I/O error is closed instead (its server-side state
+// is unknown).
+func (c *Client) release(cc *clientConn, err error) {
+	if err != nil {
+		cc.nc.Close()
+		c.slots <- struct{}{}
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cc.nc.Close()
+		c.slots <- struct{}{}
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+	c.slots <- struct{}{}
+}
+
+func readResponse(nc net.Conn, maxFrame int) (*Response, error) {
+	body, err := ReadFrame(nc, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("%w: bad response JSON: %v", ErrProtocol, err)
+	}
+	return &resp, nil
+}
+
+// do sends one request, retrying idempotent requests after retryable
+// failures with jittered exponential backoff.
+func (c *Client) do(ctx context.Context, req *Request, idempotent bool) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, has := ctx.Deadline(); !has && c.opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opt.RequestTimeout)
+		defer cancel()
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.opt.Retries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if err := c.backoff(ctx, i); err != nil {
+				return nil, lastErr
+			}
+		}
+		resp, err := c.doOnce(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// retryable: transport failures and fast-rejections, where the server
+// provably did not (overload, protocol handshake) or may not have (dial)
+// executed anything. Typed engine failures are final.
+func retryable(err error) bool {
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
+
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opt.RetryBackoff << (attempt - 1)
+	c.mu.Lock()
+	factor := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * factor)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, req *Request) (*Response, error) {
+	cc, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cc.nextID++
+	req.ID = cc.nextID
+	req.DeadlineMS = 0
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms <= 0 {
+			c.release(cc, nil)
+			return nil, context.DeadlineExceeded
+		}
+		req.DeadlineMS = ms
+		cc.nc.SetDeadline(dl.Add(500 * time.Millisecond))
+	} else {
+		cc.nc.SetDeadline(time.Time{})
+	}
+	if _, err := WriteFrame(cc.nc, req); err != nil {
+		c.release(cc, err)
+		return nil, err
+	}
+	resp, err := readResponse(cc.nc, DefaultMaxFrame)
+	if err != nil {
+		c.release(cc, err)
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		err := fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.ID, req.ID)
+		c.release(cc, err)
+		return nil, err
+	}
+	c.release(cc, nil)
+	if !resp.OK {
+		return resp, responseError(resp)
+	}
+	return resp, nil
+}
+
+// --- typed operations ---
+
+// InsertCtx inserts one tuple. Not retried (not idempotent).
+func (c *Client) InsertCtx(ctx context.Context, relName string, tup relation.Tuple) error {
+	_, err := c.do(ctx, &Request{Op: OpInsert, Relation: relName, Tuple: EncodeTuple(tup)}, false)
+	return err
+}
+
+// DeleteCtx deletes by primary key. Not retried.
+func (c *Client) DeleteCtx(ctx context.Context, relName string, key relation.Tuple) error {
+	_, err := c.do(ctx, &Request{Op: OpDelete, Relation: relName, Key: EncodeTuple(key)}, false)
+	return err
+}
+
+// UpdateCtx replaces the tuple with the given key. Not retried.
+func (c *Client) UpdateCtx(ctx context.Context, relName string, key, tup relation.Tuple) error {
+	_, err := c.do(ctx, &Request{Op: OpUpdate, Relation: relName, Key: EncodeTuple(key), Tuple: EncodeTuple(tup)}, false)
+	return err
+}
+
+// FetchCtx looks up by primary key. Idempotent: retried on transport errors
+// and overload.
+func (c *Client) FetchCtx(ctx context.Context, relName string, key relation.Tuple) (relation.Tuple, bool, error) {
+	resp, err := c.do(ctx, &Request{Op: OpFetch, Relation: relName, Key: EncodeTuple(key)}, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	tup, err := DecodeTuple(resp.Tuple)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return tup, true, nil
+}
+
+// InsertBatchCtx inserts an atomic batch. Not retried.
+func (c *Client) InsertBatchCtx(ctx context.Context, relName string, tuples []relation.Tuple) error {
+	ws := make([][]WireValue, len(tuples))
+	for i, t := range tuples {
+		ws[i] = EncodeTuple(t)
+	}
+	_, err := c.do(ctx, &Request{Op: OpInsertBatch, Relation: relName, Tuples: ws}, false)
+	return err
+}
+
+// ApplyBatchCtx applies an atomic mixed batch. Not retried.
+func (c *Client) ApplyBatchCtx(ctx context.Context, ops []engine.BatchOp) error {
+	ws, err := EncodeOps(ops)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(ctx, &Request{Op: OpApplyBatch, Ops: ws}, false)
+	return err
+}
+
+// BeginCtx opens the (single, global) transaction.
+func (c *Client) BeginCtx(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpBegin}, false)
+	return err
+}
+
+// CommitCtx commits the open transaction.
+func (c *Client) CommitCtx(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpCommit}, false)
+	return err
+}
+
+// RollbackCtx rolls back the open transaction.
+func (c *Client) RollbackCtx(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpRollback}, false)
+	return err
+}
+
+// StatsCtx fetches the server's monotonic engine counters. Idempotent.
+func (c *Client) StatsCtx(ctx context.Context) (engine.StatsSnapshot, error) {
+	resp, err := c.do(ctx, &Request{Op: OpStats}, true)
+	if err != nil {
+		return engine.StatsSnapshot{}, err
+	}
+	return fromWireStats(resp.Stats), nil
+}
+
+// CheckpointCtx forces a snapshot checkpoint on a durable server. Not
+// retried (it is cheap to re-issue, but a retry after a WAL crash would
+// just re-fail).
+func (c *Client) CheckpointCtx(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpCheckpoint}, false)
+	return err
+}
+
+// PingCtx round-trips a no-op frame. Idempotent.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpPing}, true)
+	return err
+}

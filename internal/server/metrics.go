@@ -1,0 +1,57 @@
+package server
+
+import "repro/internal/obs"
+
+// Metric names registered by the server, labeled server=<name>. The wire
+// latency histogram family is additionally labeled op=<op> and measures
+// decode-to-response-written time, so it includes queueing — the quantity a
+// client actually experiences minus network transit.
+const (
+	metricConnections     = "server.connections"
+	metricInflight        = "server.inflight"
+	metricRequests        = "server.requests"
+	metricOverloaded      = "server.overloaded"
+	metricProtocolErrors  = "server.protocol_errors"
+	metricBytesIn         = "server.bytes_in"
+	metricBytesOut        = "server.bytes_out"
+	metricWireSeconds     = "server.wire_seconds"
+	metricCoalescedBatch  = "server.coalesced_batches"
+	metricCoalescedWrites = "server.coalesced_writes"
+	metricDrains          = "server.drains"
+)
+
+type serverMetrics struct {
+	connections     *obs.Gauge
+	inflight        *obs.Gauge
+	requests        *obs.Counter
+	overloaded      *obs.Counter
+	protocolErrors  *obs.Counter
+	bytesIn         *obs.Counter
+	bytesOut        *obs.Counter
+	wireLat         map[string]*obs.Histogram
+	coalescedBatch  *obs.Counter
+	coalescedWrites *obs.Counter
+	drains          *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry, name string) *serverMetrics {
+	lbl := obs.L("server", name)
+	m := &serverMetrics{
+		connections:     r.Gauge(metricConnections, lbl),
+		inflight:        r.Gauge(metricInflight, lbl),
+		requests:        r.Counter(metricRequests, lbl),
+		overloaded:      r.Counter(metricOverloaded, lbl),
+		protocolErrors:  r.Counter(metricProtocolErrors, lbl),
+		bytesIn:         r.Counter(metricBytesIn, lbl),
+		bytesOut:        r.Counter(metricBytesOut, lbl),
+		wireLat:         make(map[string]*obs.Histogram),
+		coalescedBatch:  r.Counter(metricCoalescedBatch, lbl),
+		coalescedWrites: r.Counter(metricCoalescedWrites, lbl),
+		drains:          r.Counter(metricDrains, lbl),
+	}
+	for _, op := range []string{OpPing, OpInsert, OpDelete, OpUpdate, OpFetch,
+		OpInsertBatch, OpApplyBatch, OpBegin, OpCommit, OpRollback, OpStats, OpCheckpoint} {
+		m.wireLat[op] = r.Histogram(metricWireSeconds, obs.LatencyBuckets, lbl, obs.L("op", op))
+	}
+	return m
+}

@@ -1,0 +1,350 @@
+// Package server implements the relmerged network service: a length-prefixed
+// JSON-over-TCP protocol serving engine operations (insert/delete/update/
+// fetch/batch/txn/stats/checkpoint) from a bounded worker pool with admission
+// control, per-request deadlines, and write coalescing aligned with the WAL's
+// group commit. The matching client (with connection pooling and retries for
+// idempotent operations) lives in this package too; pkg/relmerge wraps both
+// behind the Session interface.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// ProtoVersion is the wire protocol version exchanged in the hello
+// handshake. A server refuses clients announcing a different version.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds a single frame (4-byte length prefix + JSON body).
+// Frames announcing a larger body fail the connection closed before any
+// allocation proportional to the announced size.
+const DefaultMaxFrame = 4 << 20
+
+// Operation names carried in Request.Op.
+const (
+	OpHello       = "hello"
+	OpPing        = "ping"
+	OpInsert      = "insert"
+	OpDelete      = "delete"
+	OpUpdate      = "update"
+	OpFetch       = "fetch"
+	OpInsertBatch = "insert_batch"
+	OpApplyBatch  = "apply_batch"
+	OpBegin       = "begin"
+	OpCommit      = "commit"
+	OpRollback    = "rollback"
+	OpStats       = "stats"
+	OpCheckpoint  = "checkpoint"
+)
+
+// writeOp reports whether op mutates the database and is therefore a
+// candidate for server-side coalescing into one WAL group commit.
+func writeOp(op string) bool {
+	switch op {
+	case OpInsert, OpDelete, OpUpdate, OpInsertBatch, OpApplyBatch:
+		return true
+	}
+	return false
+}
+
+// knownOp reports whether op is part of the protocol. Unknown operations are
+// a protocol violation: the connection fails closed.
+func knownOp(op string) bool {
+	switch op {
+	case OpHello, OpPing, OpInsert, OpDelete, OpUpdate, OpFetch,
+		OpInsertBatch, OpApplyBatch, OpBegin, OpCommit, OpRollback,
+		OpStats, OpCheckpoint:
+		return true
+	}
+	return false
+}
+
+// Request is one client frame. ID must be unique among the connection's
+// in-flight requests; reusing a live ID is a protocol violation.
+type Request struct {
+	ID      uint64 `json:"id"`
+	Op      string `json:"op"`
+	Version int    `json:"version,omitempty"` // hello only
+
+	Relation string        `json:"relation,omitempty"`
+	Key      []WireValue   `json:"key,omitempty"`
+	Tuple    []WireValue   `json:"tuple,omitempty"`
+	Tuples   [][]WireValue `json:"tuples,omitempty"` // insert_batch
+	Ops      []WireOp      `json:"ops,omitempty"`    // apply_batch
+
+	// DeadlineMS is the client's remaining time budget in milliseconds;
+	// zero means no deadline. The server arms a context deadline from it,
+	// so a request that expires while queued is answered with CodeDeadline
+	// without touching the engine.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// WireOp is one operation of an apply_batch request.
+type WireOp struct {
+	Kind     string      `json:"kind"` // insert | delete | update
+	Relation string      `json:"relation"`
+	Key      []WireValue `json:"key,omitempty"`
+	Tuple    []WireValue `json:"tuple,omitempty"`
+}
+
+// Response is one server frame, correlated to its request by ID.
+type Response struct {
+	ID      uint64 `json:"id"`
+	OK      bool   `json:"ok"`
+	Code    Code   `json:"code,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Version int    `json:"version,omitempty"` // hello only
+
+	// Violation carries the full typed constraint violation when Code is
+	// CodeConstraint, so clients can reconstruct *engine.ConstraintViolation
+	// (which null-constraint regime fired, on which relation/attribute).
+	Violation *WireViolation `json:"violation,omitempty"`
+
+	Found bool        `json:"found,omitempty"` // fetch
+	Tuple []WireValue `json:"tuple,omitempty"` // fetch
+	Stats *WireStats  `json:"stats,omitempty"` // stats
+}
+
+// WireViolation mirrors engine.ConstraintViolation on the wire.
+type WireViolation struct {
+	Kind       uint8  `json:"kind"`
+	Relation   string `json:"relation,omitempty"`
+	Attr       string `json:"attr,omitempty"`
+	Constraint string `json:"constraint,omitempty"`
+	Op         string `json:"op,omitempty"`
+}
+
+// WireStats mirrors engine.StatsSnapshot with stable lowercase field names.
+type WireStats struct {
+	Inserts           int `json:"inserts"`
+	Deletes           int `json:"deletes"`
+	Updates           int `json:"updates"`
+	Lookups           int `json:"lookups"`
+	DeclarativeChecks int `json:"declarative_checks"`
+	TriggerFirings    int `json:"trigger_firings"`
+	IndexLookups      int `json:"index_lookups"`
+	TuplesScanned     int `json:"tuples_scanned"`
+}
+
+func toWireStats(s engine.StatsSnapshot) *WireStats {
+	return &WireStats{
+		Inserts:           s.Inserts,
+		Deletes:           s.Deletes,
+		Updates:           s.Updates,
+		Lookups:           s.Lookups,
+		DeclarativeChecks: s.DeclarativeChecks,
+		TriggerFirings:    s.TriggerFirings,
+		IndexLookups:      s.IndexLookups,
+		TuplesScanned:     s.TuplesScanned,
+	}
+}
+
+func fromWireStats(w *WireStats) engine.StatsSnapshot {
+	if w == nil {
+		return engine.StatsSnapshot{}
+	}
+	return engine.StatsSnapshot{
+		Inserts:           w.Inserts,
+		Deletes:           w.Deletes,
+		Updates:           w.Updates,
+		Lookups:           w.Lookups,
+		DeclarativeChecks: w.DeclarativeChecks,
+		TriggerFirings:    w.TriggerFirings,
+		IndexLookups:      w.IndexLookups,
+		TuplesScanned:     w.TuplesScanned,
+	}
+}
+
+// WireValue is the wire form of relation.Value: a kind tag plus a string
+// payload. Floats travel as hex-encoded IEEE 754 bits rather than JSON
+// numbers so NaN and signed-zero survive the round trip bit-exactly.
+type WireValue struct {
+	T string `json:"t"`           // n | s | i | f | b
+	V string `json:"v,omitempty"` // payload, kind-dependent
+}
+
+// EncodeValue converts an engine value to its wire form.
+func EncodeValue(v relation.Value) WireValue {
+	switch v.Kind() {
+	case relation.KindString:
+		return WireValue{T: "s", V: v.AsString()}
+	case relation.KindInt:
+		return WireValue{T: "i", V: strconv.FormatInt(v.AsInt(), 10)}
+	case relation.KindFloat:
+		return WireValue{T: "f", V: strconv.FormatUint(math.Float64bits(v.AsFloat()), 16)}
+	case relation.KindBool:
+		if v.AsBool() {
+			return WireValue{T: "b", V: "1"}
+		}
+		return WireValue{T: "b", V: "0"}
+	default:
+		return WireValue{T: "n"}
+	}
+}
+
+// DecodeValue converts a wire value back to an engine value.
+func DecodeValue(w WireValue) (relation.Value, error) {
+	switch w.T {
+	case "n":
+		return relation.Null(), nil
+	case "s":
+		return relation.NewString(w.V), nil
+	case "i":
+		n, err := strconv.ParseInt(w.V, 10, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad int value %q", w.V)
+		}
+		return relation.NewInt(n), nil
+	case "f":
+		bits, err := strconv.ParseUint(w.V, 16, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad float value %q", w.V)
+		}
+		return relation.NewFloat(math.Float64frombits(bits)), nil
+	case "b":
+		switch w.V {
+		case "1":
+			return relation.NewBool(true), nil
+		case "0":
+			return relation.NewBool(false), nil
+		}
+		return relation.Value{}, fmt.Errorf("bad bool value %q", w.V)
+	default:
+		return relation.Value{}, fmt.Errorf("unknown value kind %q", w.T)
+	}
+}
+
+// EncodeTuple converts a tuple to its wire form (nil stays nil).
+func EncodeTuple(t relation.Tuple) []WireValue {
+	if t == nil {
+		return nil
+	}
+	out := make([]WireValue, len(t))
+	for i, v := range t {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeTuple converts a wire tuple back to an engine tuple (nil stays nil).
+func DecodeTuple(ws []WireValue) (relation.Tuple, error) {
+	if ws == nil {
+		return nil, nil
+	}
+	out := make(relation.Tuple, len(ws))
+	for i, w := range ws {
+		v, err := DecodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodeOps converts batch ops to their wire form.
+func EncodeOps(ops []engine.BatchOp) ([]WireOp, error) {
+	out := make([]WireOp, len(ops))
+	for i, op := range ops {
+		var kind string
+		switch op.Kind {
+		case engine.BatchInsert:
+			kind = OpInsert
+		case engine.BatchDelete:
+			kind = OpDelete
+		case engine.BatchUpdate:
+			kind = OpUpdate
+		default:
+			return nil, fmt.Errorf("unknown batch kind %d", op.Kind)
+		}
+		out[i] = WireOp{Kind: kind, Relation: op.Relation, Key: EncodeTuple(op.Key), Tuple: EncodeTuple(op.Tuple)}
+	}
+	return out, nil
+}
+
+// DecodeOps converts wire batch ops back to engine batch ops.
+func DecodeOps(ws []WireOp) ([]engine.BatchOp, error) {
+	out := make([]engine.BatchOp, len(ws))
+	for i, w := range ws {
+		var kind engine.BatchKind
+		switch w.Kind {
+		case OpInsert:
+			kind = engine.BatchInsert
+		case OpDelete:
+			kind = engine.BatchDelete
+		case OpUpdate:
+			kind = engine.BatchUpdate
+		default:
+			return nil, fmt.Errorf("unknown batch kind %q", w.Kind)
+		}
+		key, err := DecodeTuple(w.Key)
+		if err != nil {
+			return nil, err
+		}
+		tup, err := DecodeTuple(w.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = engine.BatchOp{Kind: kind, Relation: w.Relation, Key: key, Tuple: tup}
+	}
+	return out, nil
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// ReadFrame reads one length-prefixed frame body of at most maxFrame bytes.
+// An announced length of zero or beyond the limit is a protocol violation
+// (returned before reading — and before allocating — the body). io.EOF is
+// returned unwrapped on a clean close before the prefix.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrProtocol)
+	}
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrProtocol, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("reading frame body: %w", err)
+	}
+	return body, nil
+}
+
+// DecodeRequest parses and validates one request frame.
+func DecodeRequest(body []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("%w: bad request JSON: %v", ErrProtocol, err)
+	}
+	if !knownOp(req.Op) {
+		return nil, fmt.Errorf("%w: unknown op %q", ErrProtocol, req.Op)
+	}
+	return &req, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/relation"
+	"repro/pkg/relmerge"
 )
 
 // Side selects which engine of a Bench a concurrent run drives.
@@ -71,7 +72,24 @@ type MixedResult struct {
 // Inserts write only the root (respectively merged) relation, so concurrent
 // runs against the same bench never write the lookup targets the profile
 // queries chase.
+//
+// RunMixed drives the bench's embedded engine; RunMixedOn drives the same
+// workload through any Session — an embedded one behaves identically, a
+// remote one measures the full client/server path.
 func (b *Bench) RunMixed(side Side, cfg MixedConfig) (MixedResult, error) {
+	eng := b.Base
+	if side == SideMerged {
+		eng = b.Merged
+	}
+	return b.RunMixedOn(relmerge.NewSession(eng), side, cfg)
+}
+
+// RunMixedOn is RunMixed over an arbitrary Session, which must serve the
+// schema of the given side (for a remote session: a server over that side's
+// engine). Workers maps to concurrent client requests; each profile query is
+// one Fetch per member relation (base side) or one Fetch (merged side), and
+// each write is one Insert. The session is not closed.
+func (b *Bench) RunMixedOn(sess relmerge.Session, side Side, cfg MixedConfig) (MixedResult, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -87,7 +105,7 @@ func (b *Bench) RunMixed(side Side, cfg MixedConfig) (MixedResult, error) {
 	// Insert templates are prepared once, single-threaded: the per-op write
 	// clones the template and stamps a fresh key, so worker goroutines never
 	// read the bench's schemas or sample the target relations while running.
-	tmpl, keyPos, relName, db, err := b.insertTemplate(side)
+	tmpl, keyPos, relName, _, err := b.insertTemplate(side)
 	if err != nil {
 		return MixedResult{}, err
 	}
@@ -120,9 +138,15 @@ func (b *Bench) RunMixed(side Side, cfg MixedConfig) (MixedResult, error) {
 						ki = rng.Intn(len(b.Keys))
 					}
 					if side == SideMerged {
-						b.ProfileMerged(b.Keys[ki])
+						if _, _, err := sess.Fetch(b.Scheme.Name, b.Keys[ki]); err != nil && errs[w] == nil {
+							errs[w] = err
+						}
 					} else {
-						b.ProfileBase(b.Keys[ki])
+						for _, name := range b.MemberNames {
+							if _, _, err := sess.Fetch(name, b.Keys[ki]); err != nil && errs[w] == nil {
+								errs[w] = err
+							}
+						}
 					}
 					reads[w]++
 				} else {
@@ -132,7 +156,7 @@ func (b *Bench) RunMixed(side Side, cfg MixedConfig) (MixedResult, error) {
 					for _, p := range keyPos {
 						row[p] = key
 					}
-					if err := db.Insert(relName, row); err != nil && errs[w] == nil {
+					if err := sess.Insert(relName, row); err != nil && errs[w] == nil {
 						errs[w] = err
 					}
 					wrs[w]++

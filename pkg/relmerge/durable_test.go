@@ -12,7 +12,7 @@ import (
 // without Close) — all without importing internal/.
 func TestFacadeDurableEngine(t *testing.T) {
 	dir := t.TempDir()
-	e, err := relmerge.Replay(context.Background(), relmerge.Fig3(), relmerge.Fig3State(),
+	e, err := relmerge.ReplayCtx(context.Background(), relmerge.Fig3(), relmerge.Fig3State(),
 		relmerge.WithDurability(dir, relmerge.SyncAlways))
 	if err != nil {
 		t.Fatal(err)

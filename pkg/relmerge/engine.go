@@ -58,7 +58,17 @@ func OpenEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 // one atomic batch — and returns the engine. Use it to stand up a queryable
 // engine from a state built by hand, parsed from SDL, or mapped through a
 // merge's η mapping.
-func Replay(ctx context.Context, s *Schema, db *state.DB, opts ...EngineOption) (*Engine, error) {
+//
+// Historically Replay took a context as its first argument; that spelling is
+// now ReplayCtx, matching the package-wide convention that every operation
+// has a Ctx variant and the plain form delegates to it.
+func Replay(s *Schema, db *state.DB, opts ...EngineOption) (*Engine, error) {
+	return ReplayCtx(context.Background(), s, db, opts...)
+}
+
+// ReplayCtx is Replay with cancellation, checked between relation batches so
+// a large load can be abandoned at a consistent prefix.
+func ReplayCtx(ctx context.Context, s *Schema, db *state.DB, opts ...EngineOption) (*Engine, error) {
 	e, err := engine.Open(s, opts...)
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ import (
 // applies batched mutations atomically — all without importing internal/.
 func TestFacadeEngine(t *testing.T) {
 	reg := relmerge.NewRegistry()
-	e, err := relmerge.Replay(context.Background(), relmerge.Fig3(), relmerge.Fig3State(),
+	e, err := relmerge.ReplayCtx(context.Background(), relmerge.Fig3(), relmerge.Fig3State(),
 		relmerge.WithEngineRegistry(reg), relmerge.WithEngineName("base"))
 	if err != nil {
 		t.Fatal(err)

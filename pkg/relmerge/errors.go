@@ -1,0 +1,139 @@
+package relmerge
+
+import (
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// ErrorCode is a stable wire code classifying any error this package can
+// surface — from the merge pipeline, the engine, the write-ahead log, or the
+// service layer. Codes are what cross the relmerged protocol; Code maps
+// errors to them identically for embedded and remote sessions.
+type ErrorCode = server.Code
+
+// The full code taxonomy, re-exported from internal/server.
+const (
+	CodeOK      = server.CodeOK
+	CodeUnknown = server.CodeUnknown
+
+	CodeProtocol   = server.CodeProtocol
+	CodeOverloaded = server.CodeOverloaded
+	CodeDeadline   = server.CodeDeadline
+	CodeCanceled   = server.CodeCanceled
+	CodeClosed     = server.CodeClosed
+	CodeTxn        = server.CodeTxn
+
+	CodeUnknownRelation = server.CodeUnknownRelation
+	CodeNoSuchTuple     = server.CodeNoSuchTuple
+	CodeArityMismatch   = server.CodeArityMismatch
+	CodeConstraint      = server.CodeConstraint
+	CodeMalformedIND    = server.CodeMalformedIND
+	CodeNotDurable      = server.CodeNotDurable
+	CodeOpenTransaction = server.CodeOpenTransaction
+	CodeRecovery        = server.CodeRecovery
+
+	CodeWALCrashed = server.CodeWALCrashed
+	CodeWALClosed  = server.CodeWALClosed
+
+	CodeMergeSetTooSmall = server.CodeMergeSetTooSmall
+	CodeUnknownScheme    = server.CodeUnknownScheme
+	CodeDuplicateMember  = server.CodeDuplicateMember
+	CodeNameCollision    = server.CodeNameCollision
+	CodeIncompatibleKeys = server.CodeIncompatibleKeys
+	CodeNullableMember   = server.CodeNullableMember
+	CodeBadKeyRelation   = server.CodeBadKeyRelation
+	CodeNotMember        = server.CodeNotMember
+	CodeNotRemovable     = server.CodeNotRemovable
+)
+
+// Engine sentinels, re-exported for errors.Is against Session results.
+var (
+	// ErrUnknownRelation reports an operation against an undefined relation.
+	ErrUnknownRelation = engine.ErrUnknownRelation
+	// ErrNoSuchTuple reports a Delete/Update whose key matched nothing.
+	ErrNoSuchTuple = engine.ErrNoSuchTuple
+	// ErrArityMismatch reports a tuple of the wrong width.
+	ErrArityMismatch = engine.ErrArityMismatch
+	// ErrConstraintViolation matches every *ConstraintViolation.
+	ErrConstraintViolation = engine.ErrConstraintViolation
+	// ErrMalformedIND reports a key-based IND whose right side is not a
+	// permutation of the referenced primary key (detected at OpenEngine).
+	ErrMalformedIND = engine.ErrMalformedIND
+	// ErrNotDurable reports Checkpoint on an engine without a WAL.
+	ErrNotDurable = engine.ErrNotDurable
+	// ErrOpenTransaction reports a Checkpoint during an open transaction.
+	ErrOpenTransaction = engine.ErrOpenTransaction
+	// ErrRecovery reports that crash recovery reconstructed an inconsistent
+	// state.
+	ErrRecovery = engine.ErrRecovery
+)
+
+// Durability (write-ahead log) sentinels.
+var (
+	// ErrWALCrashed reports an operation on a log that hit an I/O failure
+	// and fails closed until reopened.
+	ErrWALCrashed = wal.ErrCrashed
+	// ErrWALClosed reports an operation on a cleanly closed log.
+	ErrWALClosed = wal.ErrClosed
+)
+
+// Service-layer sentinels.
+var (
+	// ErrOverloaded reports that the server's admission queue was full; the
+	// request was rejected without executing. Idempotent requests retry
+	// automatically.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDeadline reports a request whose deadline expired before or while
+	// it executed; it also matches context.DeadlineExceeded.
+	ErrDeadline = server.ErrDeadline
+	// ErrProtocol reports a wire-protocol violation; the offending
+	// connection is closed.
+	ErrProtocol = server.ErrProtocol
+	// ErrSessionClosed reports an operation on a closed session or a
+	// draining server.
+	ErrSessionClosed = server.ErrClosed
+	// ErrTxn reports transaction sequencing errors: Begin while open,
+	// Commit/Rollback without Begin.
+	ErrTxn = server.ErrTxn
+)
+
+// Code maps any error surfaced by this package — merge pipeline, engine,
+// WAL, or service layer — to its stable wire code. nil maps to CodeOK and
+// unclassified errors to CodeUnknown. The mapping is total over the exported
+// sentinels (enforced by TestCodeTotalOverSentinels) and backend-independent:
+// a remote session's error carries the same code the embedded engine's would.
+func Code(err error) ErrorCode { return server.CodeOf(err) }
+
+// sentinels names every exported sentinel error value of this package, for
+// the taxonomy totality test. The typed errors ErrNotRemovable and
+// ConstraintViolation are values of *types*, not sentinel values, and are
+// covered by dedicated Code tests instead.
+var sentinels = map[string]error{
+	"ErrMergeSetTooSmall": ErrMergeSetTooSmall,
+	"ErrUnknownScheme":    ErrUnknownScheme,
+	"ErrDuplicateMember":  ErrDuplicateMember,
+	"ErrNameCollision":    ErrNameCollision,
+	"ErrIncompatibleKeys": ErrIncompatibleKeys,
+	"ErrNullableMember":   ErrNullableMember,
+	"ErrBadKeyRelation":   ErrBadKeyRelation,
+	"ErrNotMember":        ErrNotMember,
+
+	"ErrUnknownRelation":     ErrUnknownRelation,
+	"ErrNoSuchTuple":         ErrNoSuchTuple,
+	"ErrArityMismatch":       ErrArityMismatch,
+	"ErrConstraintViolation": ErrConstraintViolation,
+	"ErrMalformedIND":        ErrMalformedIND,
+	"ErrNotDurable":          ErrNotDurable,
+	"ErrOpenTransaction":     ErrOpenTransaction,
+	"ErrRecovery":            ErrRecovery,
+
+	"ErrWALCrashed": ErrWALCrashed,
+	"ErrWALClosed":  ErrWALClosed,
+
+	"ErrOverloaded":    ErrOverloaded,
+	"ErrDeadline":      ErrDeadline,
+	"ErrProtocol":      ErrProtocol,
+	"ErrSessionClosed": ErrSessionClosed,
+	"ErrTxn":           ErrTxn,
+}

@@ -1,0 +1,98 @@
+package relmerge
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestCodeTotalOverSentinels asserts the error-code mapping is total: every
+// exported sentinel of this package classifies to a real wire code, never
+// CodeUnknown (which would tell a remote client nothing) and never CodeOK
+// (which would mask a failure as success).
+func TestCodeTotalOverSentinels(t *testing.T) {
+	if len(sentinels) == 0 {
+		t.Fatal("sentinels map is empty")
+	}
+	for name, err := range sentinels {
+		code := Code(err)
+		if code == CodeUnknown || code == CodeOK {
+			t.Errorf("Code(%s) = %q: sentinel is unclassified", name, code)
+		}
+		// Wrapping must not change the classification.
+		if got := Code(fmt.Errorf("context: %w", err)); got != code {
+			t.Errorf("Code(wrapped %s) = %q, want %q", name, got, code)
+		}
+	}
+}
+
+// TestSentinelsMapIsComplete parses this package's source and asserts every
+// exported `Err*` variable appears in the sentinels map, so a newly exported
+// sentinel cannot ship without a code classification.
+func TestSentinelsMapIsComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for fname, file := range pkg.Files {
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, ident := range vs.Names {
+						name := ident.Name
+						if !strings.HasPrefix(name, "Err") || !ast.IsExported(name) {
+							continue
+						}
+						if _, covered := sentinels[name]; !covered {
+							t.Errorf("%s: exported sentinel %s missing from the sentinels map (and so from the totality test)", fname, name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodeOnTypedErrors covers the two error *types* that the sentinels map
+// cannot hold as values.
+func TestCodeOnTypedErrors(t *testing.T) {
+	cv := &ConstraintViolation{Kind: engine.ForeignKeyViolation, Relation: "R", Op: "insert"}
+	if got := Code(cv); got != CodeConstraint {
+		t.Errorf("Code(*ConstraintViolation) = %q, want %q", got, CodeConstraint)
+	}
+	if got := Code(fmt.Errorf("insert: %w", cv)); got != CodeConstraint {
+		t.Errorf("Code(wrapped *ConstraintViolation) = %q, want %q", got, CodeConstraint)
+	}
+	nr := &core.ErrNotRemovable{Member: "S", Attrs: []string{"S.A"}, Reason: "not removable"}
+	if got := Code(nr); got != CodeNotRemovable {
+		t.Errorf("Code(*ErrNotRemovable) = %q, want %q", got, CodeNotRemovable)
+	}
+}
+
+// TestCodeBaseline pins the trivial ends of the mapping.
+func TestCodeBaseline(t *testing.T) {
+	if got := Code(nil); got != CodeOK {
+		t.Errorf("Code(nil) = %q, want %q", got, CodeOK)
+	}
+	if got := Code(fmt.Errorf("some ad-hoc failure")); got != CodeUnknown {
+		t.Errorf("Code(ad-hoc error) = %q, want %q", got, CodeUnknown)
+	}
+}

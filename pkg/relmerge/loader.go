@@ -1,0 +1,93 @@
+package relmerge
+
+import (
+	"context"
+	"fmt"
+)
+
+// ReplayState replays a database state through a Session, one atomic
+// InsertBatch per relation, in an order where every inclusion-dependency
+// target loads before its referencing relation. It is the Session-level
+// counterpart of Engine.Load: the same replay works against an embedded
+// engine or across the wire to a relmerged server.
+//
+// The schema must be the one the session's engine serves; relations present
+// in the schema but absent from the state are skipped. Cancellation is
+// checked between relations, so an abandoned replay stops at a consistent
+// prefix (whole relations either fully loaded or untouched).
+func ReplayState(ctx context.Context, sess Session, s *Schema, db *DB) error {
+	order, err := loadOrder(s)
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r := db.Relation(name)
+		if r == nil || r.Len() == 0 {
+			continue
+		}
+		src := r
+		// Reorder columns to the schema's attribute order if the state's
+		// relation was built with a different one.
+		if want := s.Scheme(name).AttrNames(); !sameAttrs(src.Attrs(), want) {
+			src = src.Project(want)
+		}
+		if err := sess.InsertBatchCtx(ctx, name, src.Tuples()); err != nil {
+			return fmt.Errorf("relmerge: replaying %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// loadOrder topologically orders the schema's relations so inclusion-
+// dependency targets come before their referencing relations (self-loops
+// ignored, cycles rejected).
+func loadOrder(s *Schema) ([]string, error) {
+	deg := make(map[string]int, len(s.Relations))
+	succ := make(map[string][]string)
+	for _, rs := range s.Relations {
+		deg[rs.Name] += 0
+	}
+	for _, ind := range s.INDs {
+		if ind.Left == ind.Right {
+			continue
+		}
+		deg[ind.Left]++
+		succ[ind.Right] = append(succ[ind.Right], ind.Left)
+	}
+	var queue []string
+	for _, rs := range s.Relations { // declaration order keeps ties stable
+		if deg[rs.Name] == 0 {
+			queue = append(queue, rs.Name)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		order = append(order, name)
+		for _, next := range succ[name] {
+			if deg[next]--; deg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != len(s.Relations) {
+		return nil, fmt.Errorf("relmerge: inclusion dependencies form a cycle; no load order exists")
+	}
+	return order, nil
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

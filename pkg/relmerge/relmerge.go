@@ -11,6 +11,7 @@
 package relmerge
 
 import (
+	"context"
 	"os"
 
 	"repro/internal/core"
@@ -85,6 +86,9 @@ var (
 	WithSyntheticKey = core.WithSyntheticKey
 	// WithContext attaches a context; cancellation is honored between plan
 	// clusters and carried into span events.
+	//
+	// Deprecated: pass the context through MergeCtx, PlanCtx, or ApplyCtx
+	// instead; the option remains for callers composing option slices.
 	WithContext = core.WithContext
 	// WithTrace records the pipeline's spans into a Tracer.
 	WithTrace = core.WithTrace
@@ -145,20 +149,46 @@ func Consistent(s *Schema, db *DB) error { return state.Consistent(s, db) }
 // schema is never mutated; the result's Schema field holds the rewrite. Use
 // the returned Merged to Remove key copies, inspect the Trace, and map states.
 func Merge(s *Schema, names []string, opts ...Option) (*Merged, error) {
-	return core.MergeSet(s, names, opts...)
+	return MergeCtx(context.Background(), s, names, opts...)
+}
+
+// MergeCtx is Merge with cancellation, honored between pipeline steps and
+// carried into span events.
+func MergeCtx(ctx context.Context, s *Schema, names []string, opts ...Option) (*Merged, error) {
+	return core.MergeSet(s, names, withCtx(ctx, opts)...)
 }
 
 // Plan returns the disjoint merge sets satisfying Proposition 5.2 — each
 // merges to a relation-scheme maintainable with only nulls-not-allowed
 // constraints — key-relation first in each cluster.
 func Plan(s *Schema, opts ...Option) [][]string {
-	return core.Prop52Clusters(s, opts...)
+	return PlanCtx(context.Background(), s, opts...)
+}
+
+// PlanCtx is Plan with cancellation.
+func PlanCtx(ctx context.Context, s *Schema, opts ...Option) [][]string {
+	return core.Prop52Clusters(s, withCtx(ctx, opts)...)
 }
 
 // Apply merges every planned cluster and removes all removable key copies,
 // returning the rewritten schema and the per-cluster merge records.
 func Apply(s *Schema, clusters [][]string, opts ...Option) (*Schema, []*Merged, error) {
-	return core.ApplyPlan(s, clusters, opts...)
+	return ApplyCtx(context.Background(), s, clusters, opts...)
+}
+
+// ApplyCtx is Apply with cancellation, checked between clusters so a large
+// whole-schema merge can be abandoned at a cluster boundary.
+func ApplyCtx(ctx context.Context, s *Schema, clusters [][]string, opts ...Option) (*Schema, []*Merged, error) {
+	return core.ApplyPlan(s, clusters, withCtx(ctx, opts)...)
+}
+
+// withCtx prepends the context option so an explicit WithContext in opts
+// still wins (last option applies).
+func withCtx(ctx context.Context, opts []Option) []Option {
+	if ctx == context.Background() {
+		return opts
+	}
+	return append([]Option{core.WithContext(ctx)}, opts...)
 }
 
 // NewRegistry returns an empty metrics registry; pass it to engine and cache

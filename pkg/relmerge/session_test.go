@@ -1,0 +1,297 @@
+package relmerge_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/pkg/relmerge"
+)
+
+// confSchema is the conformance schema: a referenced relation D, a
+// referencing relation E with a key-based inclusion dependency into D and a
+// nulls-not-allowed payload attribute — enough surface to provoke every
+// constraint regime a Session can report.
+func confSchema() *relmerge.Schema {
+	s := relmerge.NewSchema()
+	s.AddScheme(relmerge.NewScheme("D",
+		[]relmerge.Attribute{{Name: "D.ID", Domain: "d"}, {Name: "D.NAME", Domain: "n"}},
+		[]string{"D.ID"}))
+	s.AddScheme(relmerge.NewScheme("E",
+		[]relmerge.Attribute{{Name: "E.ID", Domain: "e"}, {Name: "E.D", Domain: "d"}, {Name: "E.PAY", Domain: "p"}},
+		[]string{"E.ID"}))
+	s.INDs = append(s.INDs, relmerge.NewIND("E", []string{"E.D"}, "D", []string{"D.ID"}))
+	s.Nulls = append(s.Nulls, relmerge.NNA("E", "E.PAY"))
+	return s
+}
+
+func d(id, name string) relmerge.Tuple {
+	return relmerge.Tuple{relmerge.NewString(id), relmerge.NewString(name)}
+}
+
+func e(id, dept, pay string) relmerge.Tuple {
+	return relmerge.Tuple{relmerge.NewString(id), relmerge.NewString(dept), relmerge.NewString(pay)}
+}
+
+func k(id string) relmerge.Tuple { return relmerge.Tuple{relmerge.NewString(id)} }
+
+// withBackends runs one conformance body against a fresh embedded session
+// and a fresh remote session (relmerged server over loopback). The Session
+// contract — results, error sentinels, error codes — must be identical.
+func withBackends(t *testing.T, body func(t *testing.T, sess relmerge.Session)) {
+	t.Helper()
+	t.Run("embedded", func(t *testing.T) {
+		sess, err := relmerge.OpenSession(confSchema(), relmerge.WithEngineRegistry(obs.NewRegistry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		body(t, sess)
+	})
+	t.Run("remote", func(t *testing.T) {
+		eng, err := engine.Open(confSchema(), engine.WithRegistry(obs.NewRegistry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(eng, server.Config{Registry: obs.NewRegistry()})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		sess, err := relmerge.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		body(t, sess)
+	})
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("E", e("e1", "d1", "100")); err != nil {
+			t.Fatal(err)
+		}
+		tup, found, err := sess.Fetch("E", k("e1"))
+		if err != nil || !found {
+			t.Fatalf("fetch: found=%v err=%v", found, err)
+		}
+		if tup[2].AsString() != "100" {
+			t.Fatalf("fetched %v", tup)
+		}
+		// Clean miss: found=false with a nil error, not a sentinel.
+		if _, found, err := sess.Fetch("E", k("nobody")); err != nil || found {
+			t.Fatalf("miss: found=%v err=%v", found, err)
+		}
+		if err := sess.Update("E", k("e1"), e("e1", "d1", "200")); err != nil {
+			t.Fatal(err)
+		}
+		tup, _, _ = sess.Fetch("E", k("e1"))
+		if tup[2].AsString() != "200" {
+			t.Fatalf("update not visible: %v", tup)
+		}
+		if err := sess.Delete("E", k("e1")); err != nil {
+			t.Fatal(err)
+		}
+		if _, found, _ := sess.Fetch("E", k("e1")); found {
+			t.Fatal("delete not visible")
+		}
+	})
+}
+
+func TestSessionErrorTaxonomy(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+
+		// Unknown relation.
+		err := sess.Insert("NOPE", d("x", "y"))
+		if !errors.Is(err, relmerge.ErrUnknownRelation) {
+			t.Fatalf("unknown relation: %v", err)
+		}
+		if code := relmerge.Code(err); code != relmerge.CodeUnknownRelation {
+			t.Fatalf("unknown relation code %q", code)
+		}
+
+		// No such tuple.
+		err = sess.Delete("D", k("ghost"))
+		if !errors.Is(err, relmerge.ErrNoSuchTuple) || relmerge.Code(err) != relmerge.CodeNoSuchTuple {
+			t.Fatalf("no such tuple: %v (%q)", err, relmerge.Code(err))
+		}
+
+		// Arity mismatch.
+		err = sess.Insert("D", k("short"))
+		if !errors.Is(err, relmerge.ErrArityMismatch) || relmerge.Code(err) != relmerge.CodeArityMismatch {
+			t.Fatalf("arity: %v (%q)", err, relmerge.Code(err))
+		}
+
+		// Constraint violations surface the full typed error on both
+		// backends: the sentinel, the concrete type with its Kind, and the
+		// stable code.
+		err = sess.Insert("E", e("e9", "no-such-dept", "1"))
+		if !errors.Is(err, relmerge.ErrConstraintViolation) {
+			t.Fatalf("FK violation sentinel: %v", err)
+		}
+		var cv *relmerge.ConstraintViolation
+		if !errors.As(err, &cv) {
+			t.Fatalf("FK violation not extractable: %v", err)
+		}
+		if cv.Kind != engine.ForeignKeyViolation || cv.Relation != "E" {
+			t.Fatalf("FK violation detail: %+v", cv)
+		}
+		if relmerge.Code(err) != relmerge.CodeConstraint {
+			t.Fatalf("FK violation code %q", relmerge.Code(err))
+		}
+
+		// NOT NULL violation keeps its kind and attribute across the wire.
+		err = sess.Insert("E", relmerge.Tuple{relmerge.NewString("e9"), relmerge.NewString("d1"), relmerge.Null()})
+		if !errors.As(err, &cv) || cv.Kind != engine.NotNullViolation || cv.Attr != "E.PAY" {
+			t.Fatalf("NNA violation: %v -> %+v", err, cv)
+		}
+
+		// Checkpoint on a non-durable engine.
+		err = sess.Checkpoint()
+		if !errors.Is(err, relmerge.ErrNotDurable) || relmerge.Code(err) != relmerge.CodeNotDurable {
+			t.Fatalf("checkpoint: %v (%q)", err, relmerge.Code(err))
+		}
+	})
+}
+
+func TestSessionBatchAtomicity(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+		// One bad tuple aborts the whole batch: nothing from it survives.
+		err := sess.InsertBatch("E", []relmerge.Tuple{
+			e("b1", "d1", "1"),
+			e("b2", "no-such-dept", "2"),
+		})
+		if !errors.Is(err, relmerge.ErrConstraintViolation) {
+			t.Fatalf("bad batch: %v", err)
+		}
+		if _, found, _ := sess.Fetch("E", k("b1")); found {
+			t.Fatal("aborted batch leaked its first tuple")
+		}
+		// A clean batch lands whole.
+		if err := sess.InsertBatch("E", []relmerge.Tuple{e("b1", "d1", "1"), e("b3", "d1", "3")}); err != nil {
+			t.Fatal(err)
+		}
+		// Mixed batch: insert + update + delete, atomically.
+		err = sess.ApplyBatch([]relmerge.BatchOp{
+			relmerge.Ins("E", e("b4", "d1", "4")),
+			relmerge.Upd("E", k("b1"), e("b1", "d1", "10")),
+			relmerge.Del("E", k("b3")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tup, _, _ := sess.Fetch("E", k("b1"))
+		if tup[2].AsString() != "10" {
+			t.Fatalf("batched update not visible: %v", tup)
+		}
+		if _, found, _ := sess.Fetch("E", k("b3")); found {
+			t.Fatal("batched delete not visible")
+		}
+		if _, found, _ := sess.Fetch("E", k("b4")); !found {
+			t.Fatal("batched insert not visible")
+		}
+	})
+}
+
+func TestSessionTransactions(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+		// Rollback undoes the transaction's writes.
+		if err := sess.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("E", e("t1", "d1", "1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		if _, found, _ := sess.Fetch("E", k("t1")); found {
+			t.Fatal("rollback left the write visible")
+		}
+		// Commit keeps them.
+		if err := sess.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("E", e("t2", "d1", "2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, found, _ := sess.Fetch("E", k("t2")); !found {
+			t.Fatal("committed write lost")
+		}
+		// Sequencing errors map to ErrTxn/CodeTxn on both backends.
+		err := sess.Commit()
+		if !errors.Is(err, relmerge.ErrTxn) || relmerge.Code(err) != relmerge.CodeTxn {
+			t.Fatalf("commit without begin: %v (%q)", err, relmerge.Code(err))
+		}
+		err = sess.Rollback()
+		if !errors.Is(err, relmerge.ErrTxn) {
+			t.Fatalf("rollback without begin: %v", err)
+		}
+	})
+}
+
+func TestSessionStats(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		before, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+		sess.Fetch("D", k("d1"))
+		after, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Inserts != before.Inserts+1 {
+			t.Errorf("inserts %d -> %d", before.Inserts, after.Inserts)
+		}
+		if after.Lookups <= before.Lookups {
+			t.Errorf("lookups %d -> %d", before.Lookups, after.Lookups)
+		}
+	})
+}
+
+func TestSessionDeadline(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		err := sess.InsertCtx(ctx, "D", d("d1", "eng"))
+		if err == nil {
+			t.Fatal("expired context accepted")
+		}
+		if code := relmerge.Code(err); code != relmerge.CodeDeadline {
+			t.Fatalf("expired context code %q (%v)", code, err)
+		}
+		if !errors.Is(err, relmerge.ErrDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("expired context does not match the deadline sentinels: %v", err)
+		}
+		if _, found, _ := sess.Fetch("D", k("d1")); found {
+			t.Fatal("expired insert committed")
+		}
+	})
+}
