@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash serve-test bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test probe bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving
-check: fmt vet metriclint build race stress crash serve-test
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, and the quick read-under-write probe
+check: fmt vet metriclint build race stress crash serve-test probe
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -37,9 +37,13 @@ crash:
 serve-test:
 	$(GO) test -race -count=1 -run 'Session|Remote|Serve|Frame|Wire|Protocol|Admission|Deadline|Drain|Kill|Coalesc|Client|Stats|Code|Sentinels' ./internal/server/ ./pkg/relmerge/
 
+## probe: the quick read-under-write check — the MVCC read path stays lock-free and makes progress beside a saturating writer
+probe:
+	$(GO) run ./cmd/benchreport -probe
+
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR5.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR6.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR5.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR6.json

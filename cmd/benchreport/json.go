@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/advisor"
@@ -18,6 +19,27 @@ import (
 	"repro/internal/translate"
 	"repro/internal/workload"
 )
+
+// benchMeta records the run environment, so a committed BENCH_*.json can be
+// compared against a regeneration: throughput and latency figures only mean
+// something next to the toolchain and parallelism that produced them.
+type benchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func runMeta() benchMeta {
+	return benchMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
 
 // benchProbe is one machine-readable measurement.
 type benchProbe struct {
@@ -38,6 +60,7 @@ type benchProbe struct {
 // throughput with the write-ahead log at each fsync policy, plus each
 // policy's throughput cost relative to the no-log baseline.
 type benchReport struct {
+	Meta               benchMeta          `json:"meta"`
 	Probes             []benchProbe       `json:"probes"`
 	Speedups           map[string]float64 `json:"speedups"`
 	CacheHitRates      map[string]float64 `json:"cache_hit_rates"`
@@ -49,6 +72,8 @@ type benchReport struct {
 	Serving            []servingRow       `json:"serving"`
 	ServingSpeedups    map[string]float64 `json:"serving_speedups"`
 	ServingCrash       *servingCrash      `json:"serving_crash"`
+	ReadUnderWrite     []p8Row            `json:"read_under_write"`
+	ReadUnderRatios    map[string]float64 `json:"read_under_write_ratios"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -302,7 +327,13 @@ func runJSON(path string) error {
 		return err
 	}
 
+	readUnderWrite, readUnderRatios, err := readUnderWriteSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
+		Meta:               runMeta(),
 		Probes:             probes,
 		Speedups:           map[string]float64{},
 		CacheHitRates:      cacheHitRates,
@@ -314,6 +345,8 @@ func runJSON(path string) error {
 		Serving:            serving,
 		ServingSpeedups:    servingSpeedups,
 		ServingCrash:       crash,
+		ReadUnderWrite:     readUnderWrite,
+		ReadUnderRatios:    readUnderRatios,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range probes {
@@ -383,6 +416,15 @@ func runJSON(path string) error {
 	}
 	fmt.Printf("crash probe: acked=%d recovered=%d exact_prefix=%v\n",
 		crash.AckedWrites, crash.RecoveredWrites, crash.ExactPrefix)
+	fmt.Printf("reader throughput under saturating writer vs. writer-idle:\n")
+	for _, db := range []string{"base", "merged"} {
+		for _, readers := range p8Readers {
+			k := fmt.Sprintf("star8/%s/readers=%d", db, readers)
+			if s, ok := report.ReadUnderRatios[k]; ok {
+				fmt.Printf("  %-28s %.2fx\n", k, s)
+			}
+		}
+	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -28,8 +28,17 @@ func main() {
 		only     = flag.String("only", "", "run a single experiment (e.g. E4 or P1)")
 		rows     = flag.Int("rows", 100, "row count for the performance experiments")
 		jsonPath = flag.String("json", "", "write machine-readable micro-benchmarks to this file and exit")
+		probe    = flag.Bool("probe", false, "quick read-under-write sanity check (the make-check gate) and exit")
 	)
 	flag.Parse()
+
+	if *probe {
+		if err := runProbe(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runJSON(*jsonPath); err != nil {
@@ -57,6 +66,7 @@ func main() {
 		{"P5", "Concurrent scalability: mixed workload throughput vs. goroutines", runP5},
 		{"P6", "Durability overhead: mixed workload throughput vs. fsync policy", runP6},
 		{"P7", "Client/server serving: Session throughput, embedded vs. remote", runP7},
+		{"P8", "Read-under-write: MVCC reader throughput vs. saturating writer", runP8},
 	}
 
 	matched := false

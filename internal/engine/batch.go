@@ -45,9 +45,10 @@ func Upd(relName string, key, tup relation.Tuple) BatchOp {
 // InsertBatch inserts tuples into the named relation as one atomic group:
 // the lock set is acquired once for the whole batch (amortizing per-op
 // locking), constraints are validated group-wise, and a violation anywhere
-// rolls the whole batch back. Tuples earlier in the batch are visible to the
-// constraint checks of later ones, so self-referencing chains load in one
-// batch.
+// drops the whole staged batch. Tuples earlier in the batch are visible to
+// the constraint checks of later ones, so self-referencing chains load in
+// one batch. Concurrent readers see the batch appear atomically: its staged
+// effects publish as ONE new version after the WAL accepts the record.
 func (db *DB) InsertBatch(name string, tuples []relation.Tuple) error {
 	return db.InsertBatchCtx(context.Background(), name, tuples)
 }
@@ -67,7 +68,7 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	ls := db.lm.insert[name]
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	// Re-check after acquisition: a deadline that expired while the batch was
 	// queued behind a contended lock plan must not still commit.
@@ -77,14 +78,14 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 	defer db.m.insertLat.ObserveSince(start)
 	db.simAccess()
 	// Group-wise validation first: arity and intra-batch primary-key
-	// duplicates are detectable before any mutation, so the common bad-batch
-	// cases fail without touching the table at all. Not counted as
+	// duplicates are detectable before any staging, so the common bad-batch
+	// cases fail without building a write transaction at all. Not counted as
 	// declarative checks — the authoritative per-tuple PK check still runs in
 	// insertLocked, and counting here too would make a batch of one tuple
 	// cost more checks than a plain Insert.
 	seen := make(map[string]bool, len(tuples))
 	for i, tup := range tuples {
-		if len(tup) != t.rel.Arity() {
+		if len(tup) != t.hdr.Arity() {
 			return fmt.Errorf("%w for %s (batch index %d)", ErrArityMismatch, name, i)
 		}
 		key := t.keyOfIncoming(tup)
@@ -93,25 +94,25 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 		}
 		seen[key] = true
 	}
+	tx := db.beginWrite()
 	var eff effects
 	for i, tup := range tuples {
-		if err := db.insertLocked(t, tup, &eff); err != nil {
-			eff.revert(db)
+		if err := db.insertLocked(tx, t, tup, &eff); err != nil {
 			return fmt.Errorf("engine: batch insert %d/%d into %s: %w", i+1, len(tuples), name, err)
 		}
 	}
-	// The whole batch is one log record: group commit, one write + one fsync.
-	if err := db.commitEffects(eff); err != nil {
-		eff.revert(db)
-		return err
-	}
-	return nil
+	// The whole batch is one log record (group commit: one write + one fsync)
+	// and one published version: readers see all of it or none of it.
+	return db.commitEffects(tx, eff)
 }
 
 // ApplyBatchCtx applies a mixed batch of inserts, deletes, and updates as
 // one atomic group under a single acquisition of the union lock set of all
 // its operations (deterministically ordered, so concurrent batches cannot
-// deadlock). A violation anywhere reverts every operation of the batch.
+// deadlock). A violation anywhere drops the whole staged batch; on success
+// the batch publishes as ONE new version, so a concurrent reader — however
+// it interleaves with the batch — observes either none or all of its
+// effects, never a torn middle.
 func (db *DB) ApplyBatchCtx(ctx context.Context, ops []BatchOp) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -123,35 +124,31 @@ func (db *DB) ApplyBatchCtx(ctx context.Context, ops []BatchOp) error {
 	if err != nil {
 		return err
 	}
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	// Re-check after acquisition (see InsertBatchCtx).
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	db.simAccess()
+	tx := db.beginWrite()
 	var eff effects
 	for i, op := range ops {
 		t := db.tables[op.Relation]
 		var opErr error
 		switch op.Kind {
 		case BatchInsert:
-			opErr = db.insertLocked(t, op.Tuple, &eff)
+			opErr = db.insertLocked(tx, t, op.Tuple, &eff)
 		case BatchDelete:
-			opErr = db.deleteLocked(t, op.Key, &eff)
+			opErr = db.deleteLocked(tx, t, op.Key, &eff)
 		case BatchUpdate:
-			opErr = db.updateLocked(t, op.Key, op.Tuple, &eff)
+			opErr = db.updateLocked(tx, t, op.Key, op.Tuple, &eff)
 		}
 		if opErr != nil {
-			eff.revert(db)
 			return fmt.Errorf("engine: batch op %d/%d (%s on %s): %w", i+1, len(ops), op.Kind, op.Relation, opErr)
 		}
 	}
-	if err := db.commitEffects(eff); err != nil {
-		eff.revert(db)
-		return err
-	}
-	return nil
+	return db.commitEffects(tx, eff)
 }
 
 // String renders the batch kind for error messages.

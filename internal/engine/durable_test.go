@@ -248,7 +248,7 @@ func (d *crashDriver) step() {
 		if victim == nil {
 			return
 		}
-		key := victim.Project(d.db.tables[rel].rel.Positions(d.db.tables[rel].rs.PrimaryKey))
+		key := victim.Project(d.db.tables[rel].hdr.Positions(d.db.tables[rel].rs.PrimaryKey))
 		if err := d.db.Delete(rel, key); err == nil {
 			d.deleted = append(d.deleted, struct {
 				rel string
@@ -266,7 +266,7 @@ func (d *crashDriver) step() {
 		if victim == nil {
 			return
 		}
-		key := victim.Project(d.db.tables[rel].rel.Positions(d.db.tables[rel].rs.PrimaryKey))
+		key := victim.Project(d.db.tables[rel].hdr.Positions(d.db.tables[rel].rs.PrimaryKey))
 		d.db.Update(rel, key, victim)
 	case 5: // batch of fresh root inserts — one log record for the group
 		d.fresh++
@@ -280,7 +280,7 @@ func (d *crashDriver) step() {
 func (d *crashDriver) randomTuple() (string, relation.Tuple) {
 	names := []string{"PERSON", "FACULTY", "STUDENT", "COURSE", "DEPARTMENT", "OFFER", "TEACH", "ASSIST"}
 	rel := names[d.rng.Intn(len(names))]
-	tuples := d.db.tables[rel].rel.Tuples()
+	tuples := d.db.Relation(rel).Tuples()
 	if len(tuples) == 0 {
 		return rel, nil
 	}

@@ -10,19 +10,21 @@
 //     uniqueness, and key-based FOREIGN KEY lookups, each an O(1) indexed
 //     operation;
 //   - procedural (trigger/rule) checks: general null constraints (evaluated
-//     per modified tuple) and non-key-based inclusion dependencies (requiring
-//     a scan or secondary index on the referenced side).
+//     per modified tuple) and non-key-based inclusion dependencies (probing
+//     a secondary index on the referenced side, prebuilt at Open).
 //
 // The Stats counters let benchmarks report exactly how much each regime
 // costs, reproducing the paper's argument for why only-NNA schemas
 // (Prop. 5.2) are preferable on 1992-era systems.
 //
-// Concurrency: a DB is safe for concurrent use by multiple goroutines.
-// Locking is per table (sync.RWMutex), so key lookups on distinct relations
-// never contend and readers of the same relation proceed in parallel;
-// multi-table operations acquire their whole lock set up front in a
-// deterministic order (see locks.go), so they cannot deadlock against each
-// other. All cost accounting is atomic and never takes a lock.
+// Concurrency — MVCC snapshot reads: the committed state lives in immutable
+// versioned snapshots (version.go). Readers (GetByKey, Scan,
+// FetchWithReferences, View) pin the current version with one atomic pointer
+// load and run entirely lock-free; writers never block them. Writers
+// serialize through per-table sync.RWMutex lock plans acquired in a
+// deterministic order (locks.go), stage their mutations copy-on-write, and
+// publish one new version per committed operation, stamped with its WAL
+// LSN. All cost accounting is atomic and never takes a lock.
 package engine
 
 import (
@@ -32,27 +34,35 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/immap"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/wal"
 )
 
-// table is one relation plus its primary-key index. Its mutex is the unit of
-// locking: every operation acquires the locks of all tables it may touch —
-// in ordinal order — before reading or writing any of them.
+// table is the immutable per-relation metadata: scheme, positional layout,
+// and the set of prebuilt secondary indexes. Contents live in versioned
+// snapshots (version.go); the mutex serializes writers of this table (the
+// unit of write locking, acquired via the lock plans in locks.go) and is
+// never taken by readers.
 type table struct {
-	mu  sync.RWMutex
-	ord int // position in the deterministic lock order (sorted by name)
-	rs  *schema.RelationScheme
-	rel *relation.Relation
-	pk  map[string]relation.Tuple // encoded key -> tuple
-	// secondary maps attr-list key -> (encoded value -> tuples); built on
-	// demand for referenced-side maintenance of inclusion dependencies.
-	// Building or probing it requires the table's write lock (the lock
-	// planner is conservative: any operation that may consult a secondary
-	// index locks that table for writing).
-	secondary map[string]map[string][]relation.Tuple
+	mu   sync.RWMutex
+	ord  int // position in the deterministic lock order (sorted by name)
+	name string
+	rs   *schema.RelationScheme
+	// hdr is an empty relation over the scheme's attributes: the shared,
+	// immutable positional metadata (Position/Positions/Arity) every path
+	// uses. Never add tuples to it.
+	hdr   *relation.Relation
+	pkPos []int
+	// secIdx maps a secondary-index key (secondaryKey of the attribute list)
+	// to the attribute positions it projects. The set is fixed at Open: one
+	// index per referencing side of every inclusion dependency, plus the
+	// referenced side of every non-key-based one, so no read-shaped
+	// operation ever needs to build an index (the pre-MVCC engine demoted
+	// such reads to write locks for exactly that lazy build).
+	secIdx map[string][]int
 }
 
 // DB is the engine instance: a schema plus its tables and counters.
@@ -68,8 +78,16 @@ type DB struct {
 	obsName string
 	m       *dbMetrics
 	// tables is immutable after Open (the schema is fixed), so lookups in it
-	// need no lock; all mutable state hangs off the *table values.
+	// need no lock.
 	tables map[string]*table
+	// current is the latest published snapshot (version.go): the single
+	// atomic load every reader pins. pubMu serializes publishers; seq issues
+	// version stamps for non-durable engines; lastPublish feeds the
+	// version-age gauge.
+	current     atomic.Pointer[dbSnapshot]
+	pubMu       sync.Mutex
+	seq         atomic.Uint64
+	lastPublish atomic.Int64
 	// lm holds the precomputed per-operation lock plans (locks.go).
 	lm *lockManager
 	// indsFrom/indsInto index the schema's inclusion dependencies by side.
@@ -81,11 +99,13 @@ type DB struct {
 	// delay simulates one storage access per operation while the operation's
 	// locks are held (WithAccessDelay); zero in production use.
 	delay time.Duration
-	// transaction state (see txn.go). txnMu guards undo; inTxn is read on
-	// the fast path without the mutex. Lock order: table locks before txnMu.
-	txnMu sync.Mutex
-	inTxn atomic.Bool
-	undo  []undoOp
+	// transaction state (see txn.go). txnMu guards undo and txnSnap; inTxn is
+	// read on the fast path without the mutex. Lock order: table locks before
+	// txnMu.
+	txnMu   sync.Mutex
+	inTxn   atomic.Bool
+	undo    []undoOp
+	txnSnap *dbSnapshot // read view pinned at Begin
 	// wal is the write-ahead log (durable.go); nil for an in-memory engine.
 	// Assigned once during Open (after recovery) and immutable afterwards.
 	wal      *wal.Log
@@ -116,13 +136,13 @@ func WithName(name string) Option {
 	return func(c *openConfig) { c.name = name }
 }
 
-// WithAccessDelay makes every operation sleep for d once while holding its
-// locks, simulating the storage-access latency the paper's cost model
-// assumes (one page fetch per indexed access on a 1992-era system). The
-// in-memory engine is otherwise so fast that lock-schedule effects — readers
-// overlapping, writers serializing — are invisible; with a simulated access
-// cost the throughput benchmarks expose them on any machine. Zero (the
-// default) disables the sleep entirely.
+// WithAccessDelay makes every operation sleep for d once, simulating the
+// storage-access latency the paper's cost model assumes (one page fetch per
+// indexed access on a 1992-era system). The in-memory engine is otherwise so
+// fast that concurrency-schedule effects — lock-free readers overlapping,
+// writers serializing — are invisible; with a simulated access cost the
+// throughput benchmarks expose them on any machine. Zero (the default)
+// disables the sleep entirely.
 func WithAccessDelay(d time.Duration) Option {
 	return func(c *openConfig) { c.delay = d }
 }
@@ -152,11 +172,13 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		delay:     cfg.delay,
 	}
 	for _, rs := range s.Relations {
+		hdr := relation.New(rs.AttrNames()...)
 		db.tables[rs.Name] = &table{
-			rs:        rs,
-			rel:       relation.New(rs.AttrNames()...),
-			pk:        make(map[string]relation.Tuple),
-			secondary: make(map[string]map[string][]relation.Tuple),
+			name:   rs.Name,
+			rs:     rs,
+			hdr:    hdr,
+			pkPos:  hdr.Positions(rs.PrimaryKey),
+			secIdx: make(map[string][]int),
 		}
 		db.nnaAttrs[rs.Name] = s.NNAAttrs(rs.Name)
 	}
@@ -175,13 +197,44 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
+	// Prebuild the full secondary-index set: referencing sides (delete/update
+	// restrict checks) and non-key-based referenced sides (insert FK probes,
+	// fetch hops). Maintained incrementally from here on, published immutably
+	// with every version.
+	for _, ind := range s.INDs {
+		db.tables[ind.Left].addSecIdx(ind.LeftAttrs)
+		if !ind.KeyBased(s) {
+			db.tables[ind.Right].addSecIdx(ind.RightAttrs)
+		}
+	}
 	db.lm = newLockManager(db)
+	// Version zero: every table empty, LSN 0.
+	tables := make(map[string]*tableVersion, len(db.tables))
+	for name, t := range db.tables {
+		sec := make(map[string]*immap.Map[[]relation.Tuple], len(t.secIdx))
+		for key := range t.secIdx {
+			sec[key] = immap.New[[]relation.Tuple]()
+		}
+		tables[name] = &tableVersion{pk: immap.New[relation.Tuple](), sec: sec}
+	}
+	db.current.Store(&dbSnapshot{tables: tables})
+	db.lastPublish.Store(time.Now().UnixNano())
+	db.m.registerVersionAge(cfg.reg, cfg.name, db)
 	if cfg.walDir != "" {
 		if err := db.openDurable(cfg.walDir, cfg.walOpts); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
+}
+
+// addSecIdx registers a prebuilt secondary index over attrs (idempotent).
+func (t *table) addSecIdx(attrs []string) {
+	key := secondaryKey(attrs)
+	if _, ok := t.secIdx[key]; ok {
+		return
+	}
+	t.secIdx[key] = t.hdr.Positions(attrs)
 }
 
 // validateINDShape rejects key-based inclusion dependencies whose right-side
@@ -228,36 +281,51 @@ func MustOpen(s *schema.Schema, opts ...Option) *DB {
 }
 
 // simAccess sleeps for the configured simulated storage-access latency. It
-// is called exactly once per operation, at a point where the operation's
-// locks are held, so throughput benchmarks measure how well the lock
-// schedule overlaps concurrent operations.
+// is called exactly once per operation, so throughput benchmarks measure how
+// well the concurrency schedule overlaps operations (lock-free readers
+// overlap perfectly; writers contend on their lock plans).
 func (db *DB) simAccess() {
 	if db.delay > 0 {
 		time.Sleep(db.delay)
 	}
 }
 
-// Relation exposes the underlying relation of a scheme. The returned handle
-// is live and not synchronized: for concurrent workloads use Snapshot or the
-// query methods, which lock internally.
+// Relation materializes the named relation from the current published
+// version: a point-in-time copy, consistent across its tuples, that later
+// writes never alter. Mutating the copy does not affect the database. For
+// positional metadata only (Position, Attrs, Arity), Header is cheaper.
 func (db *DB) Relation(name string) *relation.Relation {
 	t := db.tables[name]
 	if t == nil {
 		return nil
 	}
-	return t.rel
+	r := relation.New(t.hdr.Attrs()...)
+	db.current.Load().tables[name].pk.Range(func(_ string, tup relation.Tuple) bool {
+		r.Add(tup)
+		return true
+	})
+	return r
 }
 
-// Count returns the tuple count of a relation.
-func (db *DB) Count(name string) int {
+// Header returns the named relation's shared positional metadata: an empty,
+// immutable relation over its attributes (Position/Positions/Attrs/Arity).
+// Callers must not add tuples to it.
+func (db *DB) Header(name string) *relation.Relation {
 	t := db.tables[name]
 	if t == nil {
+		return nil
+	}
+	return t.hdr
+}
+
+// Count returns the tuple count of a relation in the current published
+// version (lock-free).
+func (db *DB) Count(name string) int {
+	v := db.current.Load().tables[name]
+	if v == nil {
 		return 0
 	}
-	t.mu.RLock()
-	n := t.rel.Len()
-	t.mu.RUnlock()
-	return n
+	return v.pk.Len()
 }
 
 // Insert adds a tuple to the named relation, enforcing all constraints. On
@@ -278,7 +346,7 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	ls := db.lm.insert[name]
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	// Re-check after acquisition: a deadline that expired while this op was
 	// queued behind a contended lock plan must not still commit.
@@ -287,38 +355,35 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 	}
 	defer db.m.insertLat.ObserveSince(start)
 	db.simAccess()
+	tx := db.beginWrite()
 	var eff effects
-	if err := db.insertLocked(t, tup, &eff); err != nil {
-		eff.revert(db)
+	if err := db.insertLocked(tx, t, tup, &eff); err != nil {
 		return err
 	}
-	if err := db.commitEffects(eff); err != nil {
-		eff.revert(db)
-		return err
-	}
-	return nil
+	return db.commitEffects(tx, eff)
 }
 
-// insertLocked validates and applies one tuple, assuming the insert lock set
-// of t is held. Mutations are recorded in eff; on error the caller reverts.
-func (db *DB) insertLocked(t *table, tup relation.Tuple, eff *effects) error {
-	if len(tup) != t.rel.Arity() {
+// insertLocked validates and stages one tuple, assuming the insert lock set
+// of t is held. Mutations are staged in tx and recorded in eff; on error the
+// caller simply drops tx (the published state was never touched).
+func (db *DB) insertLocked(tx *writeTx, t *table, tup relation.Tuple, eff *effects) error {
+	if len(tup) != t.hdr.Arity() {
 		return fmt.Errorf("%w for %s", ErrArityMismatch, t.rs.Name)
 	}
-	if err := db.checkDeclarative(t, tup); err != nil {
+	if err := db.checkDeclarative(tx, t, tup); err != nil {
 		return err
 	}
-	if err := db.fireInsertTriggers(t, tup); err != nil {
+	if err := db.fireInsertTriggers(tx, t, tup); err != nil {
 		return err
 	}
-	eff.apply(db, t, tup)
+	eff.apply(tx, t, tup)
 	db.countInsert()
 	return nil
 }
 
 // checkDeclarative runs the NOT NULL / PRIMARY KEY / key-based FOREIGN KEY
-// checks for an incoming tuple.
-func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
+// checks for an incoming tuple against the transaction's staged view.
+func (db *DB) checkDeclarative(tx *writeTx, t *table, tup relation.Tuple) error {
 	name := t.rs.Name
 	// NOT NULL.
 	for i, a := range t.rs.AttrNames() {
@@ -330,7 +395,7 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 	// PRIMARY KEY uniqueness (all nulls identical, per section 5.1).
 	db.countDecl()
 	db.countIdx()
-	if _, dup := t.pk[t.keyOfIncoming(tup)]; dup {
+	if _, dup := tx.pkGet(t, t.keyOfIncoming(tup)); dup {
 		return db.violation(&ConstraintViolation{Kind: PrimaryKeyViolation, Relation: name, Op: "insert"})
 	}
 	// Key-based foreign keys: indexed probe into the referenced table.
@@ -345,7 +410,7 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 			continue // null foreign keys are exempt
 		}
 		db.countIdx()
-		if _, ok := target.pk[orderAsKey(target, ind.RightAttrs, fk)]; !ok {
+		if _, ok := tx.pkGet(target, orderAsKey(target, ind.RightAttrs, fk)); !ok {
 			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
 		}
 	}
@@ -354,9 +419,9 @@ func (db *DB) checkDeclarative(t *table, tup relation.Tuple) error {
 
 // fireInsertTriggers runs the procedural checks: general null constraints of
 // the scheme (single-tuple, so evaluated on the incoming tuple alone) and
-// non-key-based inclusion dependencies from the scheme (scan of the
-// referenced relation, or secondary-index probe once warmed).
-func (db *DB) fireInsertTriggers(t *table, tup relation.Tuple) error {
+// non-key-based inclusion dependencies from the scheme (a probe of the
+// referenced relation's prebuilt secondary index).
+func (db *DB) fireInsertTriggers(tx *writeTx, t *table, tup relation.Tuple) error {
 	name := t.rs.Name
 	for _, nc := range db.procNulls[name] {
 		db.countTrig()
@@ -375,21 +440,12 @@ func (db *DB) fireInsertTriggers(t *table, tup relation.Tuple) error {
 		if !fk.IsTotal() {
 			continue
 		}
-		if !db.referencedHas(db.tables[ind.Right], ind.RightAttrs, fk) {
+		db.countIdx()
+		if len(tx.bucket(db.tables[ind.Right], secondaryKey(ind.RightAttrs), fk.EncodeKey())) == 0 {
 			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
 		}
 	}
 	return nil
-}
-
-// referencedHas checks membership of a value tuple in the total projection
-// of the referenced relation, via a lazily-built secondary index. The
-// caller must hold target's write lock (the lock planner guarantees it for
-// every path that reaches here).
-func (db *DB) referencedHas(target *table, attrs []string, val relation.Tuple) bool {
-	idx := db.secondaryIndex(target, attrs)
-	db.countIdx()
-	return len(idx[val.EncodeKey()]) > 0
 }
 
 func secondaryKey(attrs []string) string {
@@ -403,47 +459,12 @@ func secondaryKey(attrs []string) string {
 	return out
 }
 
-// secondaryIndex returns (building on first use) the secondary index of
-// target on attrs. The caller must hold target's write lock.
-func (db *DB) secondaryIndex(target *table, attrs []string) map[string][]relation.Tuple {
-	key := secondaryKey(attrs)
-	if idx, ok := target.secondary[key]; ok {
-		return idx
-	}
-	idx := make(map[string][]relation.Tuple)
-	ps := target.rel.Positions(attrs)
-	tuples := target.rel.Tuples()
-	db.countScan(len(tuples))
-	for _, tup := range tuples {
-		sub := tup.Project(ps)
-		if sub.IsTotal() {
-			idx[sub.EncodeKey()] = append(idx[sub.EncodeKey()], tup)
-		}
-	}
-	target.secondary[key] = idx
-	return idx
-}
-
-// physicalApply mutates the table without undo bookkeeping. The caller must
-// hold t's write lock.
-func (db *DB) physicalApply(t *table, tup relation.Tuple) {
-	t.rel.Add(tup)
-	t.pk[t.keyOfIncoming(tup)] = tup
-	for key := range t.secondary {
-		attrs := splitSecondary(key)
-		sub := projectAttrs(t, tup, attrs)
-		if sub.IsTotal() {
-			t.secondary[key][sub.EncodeKey()] = append(t.secondary[key][sub.EncodeKey()], tup)
-		}
-	}
-}
-
 func (t *table) keyOfIncoming(tup relation.Tuple) string {
-	return tup.Project(t.rel.Positions(t.rs.PrimaryKey)).EncodeKey()
+	return tup.Project(t.pkPos).EncodeKey()
 }
 
 func projectAttrs(t *table, tup relation.Tuple, attrs []string) relation.Tuple {
-	return tup.Project(t.rel.Positions(attrs))
+	return tup.Project(t.hdr.Positions(attrs))
 }
 
 // orderAsKey encodes a foreign-key value in the referenced table's
@@ -459,18 +480,4 @@ func orderAsKey(target *table, rightAttrs []string, val relation.Tuple) string {
 		}
 	}
 	return ordered.EncodeKey()
-}
-
-func splitSecondary(key string) []string {
-	var out []string
-	cur := ""
-	for _, r := range key {
-		if r == ',' {
-			out = append(out, cur)
-			cur = ""
-		} else {
-			cur += string(r)
-		}
-	}
-	return append(out, cur)
 }

@@ -3,24 +3,31 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
 
-// This file implements the engine's lock manager. The design:
+// This file implements the engine's writer lock manager. The design:
 //
-//   - One sync.RWMutex per table (the "stripes"): operations on distinct
-//     relations never contend, and readers of one relation run in parallel.
-//   - Every operation's lock set is known from the schema alone — an insert
-//     into R touches R plus the referenced sides of R's outgoing inclusion
-//     dependencies; a delete from R touches R plus the referencing sides of
-//     the dependencies into R — so the sets are precomputed once at Open.
+//   - One sync.RWMutex per table (the "stripes"): writers on distinct
+//     relations never contend. Readers take NO locks at all — they pin an
+//     immutable snapshot (version.go); the lock plans exist purely to
+//     serialize writers against each other.
+//   - Every mutating operation's lock set is known from the schema alone —
+//     an insert into R writes R and reads the referenced sides of R's
+//     outgoing inclusion dependencies; a delete from R writes R and reads
+//     the referencing sides of the dependencies into R — so the sets are
+//     precomputed once at Open. Referenced/referencing sides are READ locks:
+//     every secondary index is prebuilt at Open, so no operation ever
+//     escalates to a write lock just to build one (the pre-MVCC engine did).
 //   - Lock sets are sorted by table ordinal (tables sorted by name) and
 //     acquired front to back. Two operations always request their common
 //     tables in the same order, so multi-table operations cannot deadlock.
-//   - Mode is conservative: a table is locked for writing if the operation
-//     may mutate it or may build/probe one of its lazily-built secondary
-//     indexes; otherwise for reading. Within one set, write wins over read.
+//   - A read lock in a WRITE plan means: this operation validates against
+//     that table's current version and requires it not to advance before the
+//     operation publishes (FK write-skew prevention). It is unrelated to the
+//     lock-free read path.
 //
 // The remaining order rule is table locks BEFORE db.txnMu (see txn.go).
 
@@ -39,10 +46,16 @@ type lockReq struct {
 }
 
 // lockSet is a deduplicated lock request list sorted by table ordinal.
-// acquire/release are the only ways operations touch table mutexes.
+// db.acquire / lockSet.release are the only ways operations touch table
+// mutexes.
 type lockSet []lockReq
 
-func (ls lockSet) acquire() {
+// acquire takes every lock of the plan and counts the acquisition: the
+// counter's delta over a read-only phase is the observable proof that the
+// fetch/scan path is lock-free (DB.LockAcquisitions).
+func (db *DB) acquire(ls lockSet) {
+	db.lm.acquires.Add(1)
+	db.m.lockAcquisitions.Inc()
 	for _, r := range ls {
 		if r.mode == lockWrite {
 			r.t.mu.Lock()
@@ -66,11 +79,11 @@ func (ls lockSet) release() {
 // lockManager holds the precomputed lock plans, one per (operation kind,
 // table). The schema is immutable after Open, so the plans are too.
 type lockManager struct {
-	ordered []*table // all tables in ordinal (name) order
-	insert  map[string]lockSet
-	remove  map[string]lockSet
-	update  map[string]lockSet
-	fetch   map[string]lockSet // FetchWithReferences
+	ordered  []*table // all tables in ordinal (name) order
+	acquires atomic.Uint64
+	insert   map[string]lockSet
+	remove   map[string]lockSet
+	update   map[string]lockSet
 }
 
 // planBuilder accumulates (table, mode) pairs with write-wins semantics.
@@ -102,7 +115,6 @@ func newLockManager(db *DB) *lockManager {
 		insert: make(map[string]lockSet, len(names)),
 		remove: make(map[string]lockSet, len(names)),
 		update: make(map[string]lockSet, len(names)),
-		fetch:  make(map[string]lockSet, len(names)),
 	}
 	for i, name := range names {
 		t := db.tables[name]
@@ -112,24 +124,20 @@ func newLockManager(db *DB) *lockManager {
 	for _, name := range names {
 		t := db.tables[name]
 
-		// Insert: write the table itself; probe referenced sides — read for
-		// key-based dependencies (pk map only), write for non-key-based ones
-		// (may build the referenced side's secondary index).
+		// Insert: write the table itself; hold the referenced sides for
+		// reading so their versions cannot advance under the FK probes
+		// (key-based or not — every secondary index is prebuilt).
 		ins := planBuilder{t: lockWrite}
 		for _, ind := range db.indsFrom[name] {
-			mode := lockRead
-			if !ind.KeyBased(db.Schema) {
-				mode = lockWrite
-			}
-			ins.add(db.tables[ind.Right], mode)
+			ins.add(db.tables[ind.Right], lockRead)
 		}
 		lm.insert[name] = ins.build()
 
-		// Delete: write the table itself; referenced-side maintenance probes
-		// (and may build) the secondary index of every referencing table.
+		// Delete: write the table itself; hold every referencing side for
+		// reading under the restrict probes.
 		del := planBuilder{t: lockWrite}
 		for _, ind := range db.indsInto[name] {
-			del.add(db.tables[ind.Left], lockWrite)
+			del.add(db.tables[ind.Left], lockRead)
 		}
 		lm.remove[name] = del.build()
 
@@ -142,23 +150,13 @@ func newLockManager(db *DB) *lockManager {
 			upd.add(r.t, r.mode)
 		}
 		lm.update[name] = upd.build()
-
-		// FetchWithReferences: read everywhere, except non-key-based targets
-		// whose secondary index may need building.
-		f := planBuilder{t: lockRead}
-		for _, ind := range db.indsFrom[name] {
-			mode := lockRead
-			if !ind.KeyBased(db.Schema) {
-				mode = lockWrite
-			}
-			f.add(db.tables[ind.Right], mode)
-		}
-		lm.fetch[name] = f.build()
 	}
 	return lm
 }
 
-// allRead returns a lock set covering every table for reading (Snapshot).
+// allRead returns a lock set covering every table for reading (Checkpoint
+// quiesces writers with it so the WAL's covered LSN matches the serialized
+// state; readers are unaffected).
 func (lm *lockManager) allRead() lockSet {
 	ls := make(lockSet, len(lm.ordered))
 	for i, t := range lm.ordered {
@@ -202,60 +200,57 @@ func (db *DB) batchPlan(ops []BatchOp) (lockSet, error) {
 	return b.build(), nil
 }
 
-// effects records the physical mutations of one operation (or one batch) so
-// they can be reverted on a constraint violation — and, on success, appended
-// to the open transaction's undo log in one step. Recording locally first
-// keeps a failed operation from ever polluting the transaction log.
+// effects records the staged mutations of one operation (or one batch): the
+// change list that becomes the WAL record and, inside a transaction, the
+// undo-log entries. The mutations live only in the writeTx until
+// commitEffects publishes them, so a failed operation leaves no trace — its
+// writeTx is simply dropped.
 type effects []undoOp
 
-// apply physically applies tup to t and records the mutation.
-func (e *effects) apply(db *DB, t *table, tup relation.Tuple) {
-	db.physicalApply(t, tup)
+// apply stages tup into t via tx and records the mutation.
+func (e *effects) apply(tx *writeTx, t *table, tup relation.Tuple) {
+	tx.apply(t, tup)
 	*e = append(*e, undoOp{table: t, tuple: tup, insert: true})
 }
 
-// remove physically removes tup from t and records the mutation.
-func (e *effects) remove(db *DB, t *table, tup relation.Tuple) {
-	db.physicalRemove(t, tup)
+// remove stages the removal of tup from t via tx and records the mutation.
+func (e *effects) remove(tx *writeTx, t *table, tup relation.Tuple) {
+	tx.remove(t, tup)
 	*e = append(*e, undoOp{table: t, tuple: tup})
 }
 
-// revert undoes every recorded mutation, most recent first. The caller must
-// still hold the locks under which the mutations were made.
-func (e effects) revert(db *DB) {
-	for i := len(e) - 1; i >= 0; i-- {
-		op := e[i]
-		if op.insert {
-			db.physicalRemove(op.table, op.tuple)
-		} else {
-			db.physicalApply(op.table, op.tuple)
-		}
-	}
-}
-
 // commitEffects finishes a successful operation: its mutations are logged to
-// the write-ahead log (one record per operation, durable.go) and, inside a
-// transaction, appended to the undo log. Called with table locks held; takes
-// txnMu after them, which is the global lock order (never the reverse). A
-// non-nil error means the record is not on disk — the caller must revert the
-// effects and fail the operation, keeping memory and log in agreement.
-func (db *DB) commitEffects(eff effects) error {
+// the write-ahead log (one record per operation, durable.go), the staged
+// table versions are published under the record's LSN — the single point
+// where the operation becomes visible to readers — and, inside a
+// transaction, the effects are appended to the undo log. Called with table
+// locks held; takes txnMu after them, which is the global lock order (never
+// the reverse). A non-nil error means the record is not on disk and nothing
+// was published: memory and log stay in agreement with no revert needed.
+func (db *DB) commitEffects(tx *writeTx, eff effects) error {
 	if len(eff) == 0 {
 		return nil
 	}
 	if !db.inTxn.Load() {
-		return db.logOp(eff, false)
+		lsn, err := db.logOp(eff, false)
+		if err != nil {
+			return err
+		}
+		db.publish(tx, lsn)
+		return nil
 	}
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
 	// Re-read under the mutex: a racing Commit/Rollback may have closed the
 	// transaction, in which case the effects are logged as autonomous.
 	inTxn := db.inTxn.Load()
-	if err := db.logOp(eff, inTxn); err != nil {
+	lsn, err := db.logOp(eff, inTxn)
+	if err != nil {
 		return err
 	}
 	if inTxn {
 		db.undo = append(db.undo, eff...)
 	}
+	db.publish(tx, lsn)
 	return nil
 }

@@ -83,6 +83,11 @@ type StatsSnapshot struct {
 	TriggerFirings    int
 	IndexLookups      int
 	TuplesScanned     int
+	// VersionLSN is the LSN stamp of the published version current when the
+	// snapshot was taken. Stats itself cannot see the version chain, so
+	// Snapshot/Totals leave it zero; the session and server layers stamp it
+	// from DB.VersionLSN() (older peers omit it on the wire — it reads zero).
+	VersionLSN uint64
 }
 
 // Snapshot copies the windowed counters (since the last Reset).
@@ -132,6 +137,17 @@ const (
 	metricDeleteSeconds  = "engine.delete_seconds"
 	metricUpdateSeconds  = "engine.update_seconds"
 	metricLookupSeconds  = "engine.lookup_seconds"
+
+	// MVCC read-path series (version.go): publication count and latency, the
+	// LSN stamp and age of the current version, lock-free snapshot reads,
+	// and write-path lock-plan acquisitions (zero delta over a read-only
+	// phase = the lock-free proof the P8 suite asserts).
+	metricPublishes        = "engine.mvcc.publishes"
+	metricPublishSeconds   = "engine.mvcc.publish_seconds"
+	metricVersionLSN       = "engine.mvcc.version_lsn"
+	metricVersionAge       = "engine.mvcc.version_age_seconds"
+	metricSnapshotReads    = "engine.mvcc.snapshot_reads"
+	metricLockAcquisitions = "engine.lock_acquisitions"
 )
 
 // dbMetrics holds the registry-backed counter and histogram handles behind
@@ -143,26 +159,43 @@ type dbMetrics struct {
 	declChecks, triggerFirings                 *obs.Counter
 	indexLookups, tuplesScanned                *obs.Counter
 	violations                                 *obs.Counter
+	publishes, snapshotReads, lockAcquisitions *obs.Counter
+	versionLSN                                 *obs.Gauge
 	insertLat, deleteLat, updateLat, lookupLat *obs.Histogram
+	publishLat                                 *obs.Histogram
 }
 
 func newDBMetrics(r *obs.Registry, name string) *dbMetrics {
 	l := obs.L("db", name)
 	return &dbMetrics{
-		inserts:        r.Counter(metricInserts, l),
-		deletes:        r.Counter(metricDeletes, l),
-		updates:        r.Counter(metricUpdates, l),
-		lookups:        r.Counter(metricLookups, l),
-		declChecks:     r.Counter(metricDeclChecks, l),
-		triggerFirings: r.Counter(metricTriggerFirings, l),
-		indexLookups:   r.Counter(metricIndexLookups, l),
-		tuplesScanned:  r.Counter(metricTuplesScanned, l),
-		violations:     r.Counter(metricViolations, l),
-		insertLat:      r.Histogram(metricInsertSeconds, obs.LatencyBuckets, l),
-		deleteLat:      r.Histogram(metricDeleteSeconds, obs.LatencyBuckets, l),
-		updateLat:      r.Histogram(metricUpdateSeconds, obs.LatencyBuckets, l),
-		lookupLat:      r.Histogram(metricLookupSeconds, obs.LatencyBuckets, l),
+		inserts:          r.Counter(metricInserts, l),
+		deletes:          r.Counter(metricDeletes, l),
+		updates:          r.Counter(metricUpdates, l),
+		lookups:          r.Counter(metricLookups, l),
+		declChecks:       r.Counter(metricDeclChecks, l),
+		triggerFirings:   r.Counter(metricTriggerFirings, l),
+		indexLookups:     r.Counter(metricIndexLookups, l),
+		tuplesScanned:    r.Counter(metricTuplesScanned, l),
+		violations:       r.Counter(metricViolations, l),
+		publishes:        r.Counter(metricPublishes, l),
+		snapshotReads:    r.Counter(metricSnapshotReads, l),
+		lockAcquisitions: r.Counter(metricLockAcquisitions, l),
+		versionLSN:       r.Gauge(metricVersionLSN, l),
+		insertLat:        r.Histogram(metricInsertSeconds, obs.LatencyBuckets, l),
+		deleteLat:        r.Histogram(metricDeleteSeconds, obs.LatencyBuckets, l),
+		updateLat:        r.Histogram(metricUpdateSeconds, obs.LatencyBuckets, l),
+		lookupLat:        r.Histogram(metricLookupSeconds, obs.LatencyBuckets, l),
+		publishLat:       r.Histogram(metricPublishSeconds, obs.LatencyBuckets, l),
 	}
+}
+
+// registerVersionAge registers the version-age gauge: seconds since the last
+// publish, the "how stale can a freshly pinned read view be" signal. It is a
+// GaugeFunc because the age advances between publishes with no event to hook.
+func (m *dbMetrics) registerVersionAge(r *obs.Registry, name string, db *DB) {
+	r.GaugeFunc(metricVersionAge, func() float64 {
+		return now().Sub(time.Unix(0, db.lastPublish.Load())).Seconds()
+	}, obs.L("db", name))
 }
 
 // The accounting helpers below are the single mutation points for the cost
@@ -183,6 +216,10 @@ func (db *DB) countScan(n int) {
 	db.Stats.tuplesScanned.add(int64(n))
 	db.m.tuplesScanned.Add(int64(n))
 }
+
+// countSnapRead counts one lock-free snapshot-pinned read (registry only:
+// the Stats window API stays wire-compatible).
+func (db *DB) countSnapRead() { db.m.snapshotReads.Inc() }
 
 // violation counts a rejected mutation and returns the error unchanged, so
 // check paths can `return db.violation(&ConstraintViolation{...})`.

@@ -9,9 +9,9 @@ import (
 )
 
 // GetByKey returns the tuple of the named relation with the given primary
-// key value (in primary-key attribute order), or false. Only the one
-// table's read lock is taken, so lookups on distinct relations never
-// contend and concurrent lookups on the same relation run in parallel.
+// key value (in primary-key attribute order), or false. The lookup pins the
+// current published version with one atomic load and takes no locks, so it
+// never contends with writers or other readers.
 func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
 	tup, ok, err := db.GetByKeyCtx(context.Background(), name, key)
 	if err != nil {
@@ -21,61 +21,38 @@ func (db *DB) GetByKey(name string, key relation.Tuple) (relation.Tuple, bool) {
 }
 
 // GetByKeyCtx is GetByKey with cancellation and a typed error for unknown
-// relations: cancellation is checked both at entry and after the read lock is
-// acquired, so a lookup whose deadline expired while queued behind a writer
-// fails instead of paying the (simulated) page access.
+// relations. The read is lock-free (it cannot queue behind a writer), so
+// cancellation is checked once at entry.
 func (db *DB) GetByKeyCtx(ctx context.Context, name string, key relation.Tuple) (relation.Tuple, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	start := now()
-	t := db.tables[name]
-	if t == nil {
-		return nil, false, fmt.Errorf("%w %s", ErrUnknownRelation, name)
-	}
-	ek := key.EncodeKey()
-	t.mu.RLock()
-	if err := ctx.Err(); err != nil {
-		t.mu.RUnlock()
+	tup, ok, err := db.getAt(db.current.Load(), name, key)
+	if err != nil {
 		return nil, false, err
 	}
-	db.simAccess()
-	tup, ok := t.pk[ek]
-	t.mu.RUnlock()
-	db.countLookup()
-	db.countIdx()
 	db.m.lookupLat.ObserveSince(start)
 	return tup, ok, nil
 }
 
 // Scan visits every tuple of the relation satisfying the predicate,
-// accounting each visited tuple. The tuple list is snapshotted under the
-// read lock and the callbacks run outside any lock, so a callback may
-// re-enter the DB (even with mutations) without deadlocking; mutations made
-// after the snapshot are not visible to the scan.
+// accounting each visited tuple. The scan pins one published version and
+// never takes a lock: it observes a batch's effects either completely or not
+// at all (snapshot semantics — a concurrent ApplyBatchCtx publishing
+// mid-scan is invisible), and the callbacks run against immutable data, so
+// they may re-enter the DB freely, even with mutations. Mutations made after
+// the version was pinned are not visible to the scan. Iteration order is
+// unspecified.
 func (db *DB) Scan(name string, pred func(relation.Tuple) bool, visit func(relation.Tuple)) error {
-	t := db.tables[name]
-	if t == nil {
-		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
-	}
-	t.mu.RLock()
-	db.simAccess()
-	tuples := append([]relation.Tuple(nil), t.rel.Tuples()...)
-	t.mu.RUnlock()
-	db.countScan(len(tuples))
-	for _, tup := range tuples {
-		if pred == nil || pred(tup) {
-			visit(tup)
-		}
-	}
-	return nil
+	return db.scanAt(db.current.Load(), name, pred, visit)
 }
 
 // Delete removes the tuple with the given primary key, enforcing referential
 // integrity on the referenced side: any inclusion dependency pointing at
-// this relation restricts the delete when a referencing tuple exists
-// (a trigger-style check; key-based dependencies probe the referencing
-// relation's secondary index, which may require a one-time build scan).
+// this relation restricts the delete when a referencing tuple exists (a
+// trigger-style probe of the referencing relation's prebuilt secondary
+// index).
 func (db *DB) Delete(name string, key relation.Tuple) error {
 	return db.DeleteCtx(context.Background(), name, key)
 }
@@ -92,7 +69,7 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	ls := db.lm.remove[name]
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	// Re-check after acquisition: a deadline that expired while this op was
 	// queued behind a contended lock plan must not still commit.
@@ -101,23 +78,19 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 	}
 	defer db.m.deleteLat.ObserveSince(start)
 	db.simAccess()
+	tx := db.beginWrite()
 	var eff effects
-	if err := db.deleteLocked(t, key, &eff); err != nil {
-		eff.revert(db)
+	if err := db.deleteLocked(tx, t, key, &eff); err != nil {
 		return err
 	}
-	if err := db.commitEffects(eff); err != nil {
-		eff.revert(db)
-		return err
-	}
-	return nil
+	return db.commitEffects(tx, eff)
 }
 
-// deleteLocked checks and performs one delete, assuming the delete lock set
+// deleteLocked checks and stages one delete, assuming the delete lock set
 // of t is held.
-func (db *DB) deleteLocked(t *table, key relation.Tuple, eff *effects) error {
+func (db *DB) deleteLocked(tx *writeTx, t *table, key relation.Tuple, eff *effects) error {
 	name := t.rs.Name
-	tup, ok := t.pk[key.EncodeKey()]
+	tup, ok := tx.pkGet(t, key.EncodeKey())
 	if !ok {
 		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
@@ -127,16 +100,12 @@ func (db *DB) deleteLocked(t *table, key relation.Tuple, eff *effects) error {
 		if !referenced.IsTotal() {
 			continue
 		}
-		src := db.tables[ind.Left]
-		idx := db.secondaryIndex(src, ind.LeftAttrs)
 		db.countIdx()
-		for _, ref := range idx[referenced.EncodeKey()] {
-			if src.rel.Contains(ref) {
-				return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "delete"})
-			}
+		if len(tx.bucket(db.tables[ind.Left], secondaryKey(ind.LeftAttrs), referenced.EncodeKey())) > 0 {
+			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "delete"})
 		}
 	}
-	eff.remove(db, t, tup)
+	eff.remove(tx, t, tup)
 	db.countDelete()
 	return nil
 }
@@ -160,7 +129,7 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
 	ls := db.lm.update[name]
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	// Re-check after acquisition (see InsertCtx).
 	if err := ctx.Err(); err != nil {
@@ -168,32 +137,30 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 	}
 	defer db.m.updateLat.ObserveSince(start)
 	db.simAccess()
+	tx := db.beginWrite()
 	var eff effects
-	if err := db.updateLocked(t, key, newTup, &eff); err != nil {
-		eff.revert(db)
+	if err := db.updateLocked(tx, t, key, newTup, &eff); err != nil {
 		return err
 	}
-	if err := db.commitEffects(eff); err != nil {
-		eff.revert(db)
-		return err
-	}
-	return nil
+	return db.commitEffects(tx, eff)
 }
 
-// updateLocked checks and performs one update, assuming the update lock set
-// of t is held. On error the caller reverts eff, restoring the old tuple.
-func (db *DB) updateLocked(t *table, key, newTup relation.Tuple, eff *effects) error {
+// updateLocked checks and stages one update, assuming the update lock set of
+// t is held. The old tuple's staged removal precedes the checks, so the new
+// tuple validates against a view without it (a key-preserving update cannot
+// trip the PK check on its own old row); a violation drops the whole staged
+// transaction.
+func (db *DB) updateLocked(tx *writeTx, t *table, key, newTup relation.Tuple, eff *effects) error {
 	name := t.rs.Name
-	old, ok := t.pk[key.EncodeKey()]
+	old, ok := tx.pkGet(t, key.EncodeKey())
 	if !ok {
 		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
-	// Remove, try to insert; the caller reverts (re-applying old) on failure.
-	eff.remove(db, t, old)
-	if err := db.checkDeclarative(t, newTup); err != nil {
+	eff.remove(tx, t, old)
+	if err := db.checkDeclarative(tx, t, newTup); err != nil {
 		return err
 	}
-	if err := db.fireInsertTriggers(t, newTup); err != nil {
+	if err := db.fireInsertTriggers(tx, t, newTup); err != nil {
 		return err
 	}
 	// Referenced-side integrity for the vanishing old values.
@@ -204,55 +171,14 @@ func (db *DB) updateLocked(t *table, key, newTup relation.Tuple, eff *effects) e
 		if !oldRef.IsTotal() || oldRef.Identical(newRef) {
 			continue
 		}
-		src := db.tables[ind.Left]
-		idx := db.secondaryIndex(src, ind.LeftAttrs)
 		db.countIdx()
-		if len(idx[oldRef.EncodeKey()]) > 0 {
-			stillReferenced := false
-			for _, ref := range idx[oldRef.EncodeKey()] {
-				if src.rel.Contains(ref) {
-					stillReferenced = true
-					break
-				}
-			}
-			if stillReferenced {
-				return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
-			}
+		if len(tx.bucket(db.tables[ind.Left], secondaryKey(ind.LeftAttrs), oldRef.EncodeKey())) > 0 {
+			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
 		}
 	}
-	eff.apply(db, t, newTup)
+	eff.apply(tx, t, newTup)
 	db.countUpdate()
 	return nil
-}
-
-// physicalRemove mutates the table without undo bookkeeping. The caller must
-// hold t's write lock.
-func (db *DB) physicalRemove(t *table, tup relation.Tuple) {
-	t.rel.Remove(tup)
-	delete(t.pk, t.keyOfIncoming(tup))
-	for key, idx := range t.secondary {
-		attrs := splitSecondary(key)
-		sub := projectAttrs(t, tup, attrs)
-		if !sub.IsTotal() {
-			continue
-		}
-		ek := sub.EncodeKey()
-		bucket := idx[ek]
-		for i, cand := range bucket {
-			if cand.Identical(tup) {
-				bucket[i] = bucket[len(bucket)-1]
-				if len(bucket) == 1 {
-					// Drop emptied buckets: delete/insert churn over fresh
-					// keys would otherwise grow the index by one empty slice
-					// per retired key, forever.
-					delete(idx, ek)
-				} else {
-					idx[ek] = bucket[:len(bucket)-1]
-				}
-				break
-			}
-		}
-	}
 }
 
 // Load bulk-inserts a consistent database state, relation by relation in an
@@ -280,8 +206,8 @@ func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
 		}
 		src := r
 		// Reorder columns if needed.
-		if !sameAttrs(src.Attrs(), db.tables[name].rel.Attrs()) {
-			src = src.Project(db.tables[name].rel.Attrs())
+		if !sameAttrs(src.Attrs(), db.tables[name].hdr.Attrs()) {
+			src = src.Project(db.tables[name].hdr.Attrs())
 		}
 		if err := db.InsertBatchCtx(ctx, name, src.Tuples()); err != nil {
 			return fmt.Errorf("engine: loading %s: %w", name, err)
@@ -339,15 +265,24 @@ func sameAttrs(a, b []string) bool {
 	return true
 }
 
-// Snapshot exports the current contents as a state.DB (deep copy), taken
-// under every table's read lock so it is consistent across relations.
+// Snapshot exports the current contents as a state.DB (deep copy). It pins
+// one published version, so it is consistent across relations without
+// taking any lock — a snapshot taken mid-batch contains either all of the
+// batch or none of it.
 func (db *DB) Snapshot() *state.DB {
-	ls := db.lm.allRead()
-	ls.acquire()
-	defer ls.release()
-	out := &state.DB{Relations: make(map[string]*relation.Relation, len(db.tables))}
-	for name, t := range db.tables {
-		out.Set(name, t.rel.Clone())
+	return stateOf(db.tables, db.current.Load())
+}
+
+// stateOf materializes one pinned version as a state.DB (deep copy).
+func stateOf(tables map[string]*table, snap *dbSnapshot) *state.DB {
+	out := &state.DB{Relations: make(map[string]*relation.Relation, len(tables))}
+	for name, t := range tables {
+		r := relation.New(t.hdr.Attrs()...)
+		snap.tables[name].pk.Range(func(_ string, tup relation.Tuple) bool {
+			r.Add(tup.Clone())
+			return true
+		})
+		out.Set(name, r)
 	}
 	return out
 }

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
 	"repro/internal/relation"
 )
 
@@ -21,51 +19,10 @@ type Related struct {
 // (one indexed lookup per dependency — the navigational "join" the paper's
 // merging technique is designed to avoid when the referenced data is merged
 // in). Non-key-based dependencies are chased through the referenced
-// relation's secondary index. The whole chase runs under one deterministic
-// acquisition of the fetch lock set: reads everywhere, except referenced
-// tables whose secondary index may need a one-time build.
+// relation's prebuilt secondary index. The whole chase pins ONE published
+// version and takes no locks: the root tuple and every referenced tuple come
+// from the same snapshot, so the result can never mix the partial effects of
+// a concurrent batch, and writers never delay the fetch.
 func (db *DB) FetchWithReferences(name string, key relation.Tuple) (relation.Tuple, []Related, error) {
-	start := now()
-	t := db.tables[name]
-	if t == nil {
-		return nil, nil, fmt.Errorf("%w %s", ErrUnknownRelation, name)
-	}
-	ls := db.lm.fetch[name]
-	ls.acquire()
-	defer ls.release()
-	defer db.m.lookupLat.ObserveSince(start)
-	db.simAccess()
-	db.countLookup()
-	db.countIdx()
-	tup, ok := t.pk[key.EncodeKey()]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
-	}
-	var related []Related
-	for _, ind := range db.indsFrom[name] {
-		rel := Related{From: name, To: ind.Right, FK: ind.LeftAttrs}
-		fk := projectAttrs(t, tup, ind.LeftAttrs)
-		if !fk.IsTotal() {
-			rel.IsNull = true
-			related = append(related, rel)
-			continue
-		}
-		target := db.tables[ind.Right]
-		if ind.KeyBased(db.Schema) {
-			db.countLookup()
-			db.countIdx()
-			if hit, ok := target.pk[orderAsKey(target, ind.RightAttrs, fk)]; ok {
-				rel.Tuple = hit
-			}
-		} else {
-			idx := db.secondaryIndex(target, ind.RightAttrs)
-			db.countLookup()
-			db.countIdx()
-			if hits := idx[fk.EncodeKey()]; len(hits) > 0 {
-				rel.Tuple = hits[0]
-			}
-		}
-		related = append(related, rel)
-	}
-	return tup, related, nil
+	return db.fetchAt(db.current.Load(), name, key)
 }

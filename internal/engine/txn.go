@@ -14,9 +14,11 @@ type undoOp struct {
 }
 
 // Begin starts a transaction: subsequent mutations are recorded in an undo
-// log until Commit or Rollback. Transactions do not nest. This mirrors the
-// trigger semantics of the SYBASE DDL the ddl package emits — a constraint
-// violation inside a batch can ROLLBACK TRANSACTION the whole batch.
+// log until Commit or Rollback, and the current published version is pinned
+// as the transaction's consistent read view (TxnView). Transactions do not
+// nest. This mirrors the trigger semantics of the SYBASE DDL the ddl package
+// emits — a constraint violation inside a batch can ROLLBACK TRANSACTION the
+// whole batch.
 //
 // The transaction records mutations from any goroutine, but the usual
 // pattern is one goroutine driving the transaction; concurrent operations
@@ -30,10 +32,11 @@ func (db *DB) Begin() error {
 	}
 	// Log the marker before opening the transaction: if the log refuses it,
 	// no transaction starts and memory stays in step with the durable log.
-	if err := db.logMarker(walRecBegin); err != nil {
+	if _, err := db.logMarker(walRecBegin); err != nil {
 		return err
 	}
 	db.undo = db.undo[:0]
+	db.txnSnap = db.current.Load()
 	db.inTxn.Store(true)
 	return nil
 }
@@ -49,11 +52,12 @@ func (db *DB) Commit() error {
 	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
-	if err := db.logMarker(walRecCommit); err != nil {
+	if _, err := db.logMarker(walRecCommit); err != nil {
 		return err
 	}
 	db.inTxn.Store(false)
 	db.undo = nil
+	db.txnSnap = nil
 	return nil
 }
 
@@ -61,17 +65,20 @@ func (db *DB) Commit() error {
 // recent first. It locks every table for writing (in ordinal order, like any
 // other multi-table operation) before touching the log, so in-flight
 // operations finish — and log their effects — before the reversal starts.
+// The reversal is staged copy-on-write and published as ONE new version:
+// concurrent lock-free readers see the pre-rollback state or the restored
+// state, never an intermediate.
 //
 // The no-transaction case returns before acquiring any table lock: honest
 // callers hit it only on bugs, but RunAtomic-style wrappers probe it under
-// contention, and stalling every concurrent reader just to report an error
+// contention, and stalling every concurrent writer just to report an error
 // was a measurable regression (see TestRollbackNoTxnConcurrent*).
 func (db *DB) Rollback() error {
 	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
 	ls := db.lm.allWrite()
-	ls.acquire()
+	db.acquire(ls)
 	defer ls.release()
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
@@ -81,20 +88,29 @@ func (db *DB) Rollback() error {
 		return fmt.Errorf("engine: no open transaction")
 	}
 	db.inTxn.Store(false)
+	tx := db.beginWrite()
 	for i := len(db.undo) - 1; i >= 0; i-- {
 		op := db.undo[i]
-		// Reverse directly on the physical structures (no logging).
+		// Reverse directly through the staged transaction (no logging).
 		if op.insert {
-			db.physicalRemove(op.table, op.tuple)
+			tx.remove(op.table, op.tuple)
 		} else {
-			db.physicalApply(op.table, op.tuple)
+			tx.apply(op.table, op.tuple)
 		}
 	}
+	reversed := len(db.undo) > 0
 	db.undo = nil
+	db.txnSnap = nil
 	// Best-effort marker: if the log is crashed the replay discards the
 	// unterminated transaction anyway, which equals the rollback just
 	// performed, so the rollback itself still succeeded.
-	_ = db.logMarker(walRecRollback)
+	lsn, _ := db.logMarker(walRecRollback)
+	if reversed {
+		if lsn == 0 {
+			lsn = db.seq.Add(1)
+		}
+		db.publish(tx, lsn)
+	}
 	return nil
 }
 

@@ -1,0 +1,290 @@
+// Package immap implements a persistent (immutable, structurally shared)
+// hash map from string keys to arbitrary values — the copy-on-write
+// substrate of the engine's MVCC read path.
+//
+// Every update (Set, Delete) returns a NEW map that shares all untouched
+// structure with the original; the original is never modified and stays
+// valid forever. A published *Map can therefore be read from any number of
+// goroutines without synchronization while writers keep deriving new
+// versions from it: exactly the "readers pin a version, writers publish the
+// next one" discipline the engine needs. Old versions are reclaimed by the
+// garbage collector as soon as the last reader drops its pointer.
+//
+// The structure is a hash array mapped trie (HAMT): a 32-ary tree indexed
+// 5 hash bits per level. An update copies only the O(log₃₂ n) nodes on the
+// path from the root to the touched slot (each at most 32 entries wide), so
+// deriving a new version costs amortized constant work and memory — not the
+// O(n) of cloning a built-in map — while lookups stay O(log₃₂ n) with small
+// constants. Keys that exhaust all 64 hash bits (a full-hash collision)
+// fall into a linear collision bucket at maximum depth.
+package immap
+
+import "math/bits"
+
+const (
+	fanLog = 5           // bits consumed per level
+	fan    = 1 << fanLog // slots per node
+	slotMa = fan - 1     // slot index mask
+	// maxShift is the last shift at which 5 fresh hash bits remain; past it
+	// the trie stops splitting and chains collisions linearly.
+	maxShift = 60
+)
+
+// Map is an immutable hash map. The zero value is NOT usable; obtain an
+// empty map with New. All methods are safe for concurrent use by any number
+// of readers; updates return new maps and never mutate the receiver.
+type Map[V any] struct {
+	root *node[V]
+	size int
+}
+
+// entry is one key/value pair with its cached hash.
+type entry[V any] struct {
+	hash uint64
+	key  string
+	val  V
+}
+
+// node is one trie level: a bitmap-compressed array of entries (leaves) and
+// child nodes. A slot is either empty, an entry, or a child — never both.
+// At shift > maxShift a node degenerates into a collision bucket: all
+// entries share the full 64-bit hash and live in `entries` unordered.
+type node[V any] struct {
+	entryMap uint32 // bitmap of slots holding an entry
+	nodeMap  uint32 // bitmap of slots holding a child node
+	entries  []entry[V]
+	children []*node[V]
+}
+
+// hashString is FNV-1a 64. Indirect so tests can force collisions.
+var hashString = func(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// New returns an empty map.
+func New[V any]() *Map[V] {
+	return &Map[V]{root: &node[V]{}}
+}
+
+// Len returns the number of keys.
+func (m *Map[V]) Len() int { return m.size }
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	h := hashString(key)
+	n := m.root
+	shift := uint(0)
+	for {
+		if shift > maxShift {
+			// Collision bucket: linear search.
+			for i := range n.entries {
+				if n.entries[i].key == key {
+					return n.entries[i].val, true
+				}
+			}
+			var zero V
+			return zero, false
+		}
+		bit := uint32(1) << ((h >> shift) & slotMa)
+		if n.entryMap&bit != 0 {
+			e := &n.entries[index(n.entryMap, bit)]
+			if e.key == key {
+				return e.val, true
+			}
+			var zero V
+			return zero, false
+		}
+		if n.nodeMap&bit == 0 {
+			var zero V
+			return zero, false
+		}
+		n = n.children[index(n.nodeMap, bit)]
+		shift += fanLog
+	}
+}
+
+// Set returns a map with key bound to val (replacing any existing binding).
+func (m *Map[V]) Set(key string, val V) *Map[V] {
+	h := hashString(key)
+	root, added := set(m.root, 0, entry[V]{hash: h, key: key, val: val})
+	size := m.size
+	if added {
+		size++
+	}
+	return &Map[V]{root: root, size: size}
+}
+
+// Delete returns a map without key (the receiver if key is absent).
+func (m *Map[V]) Delete(key string) *Map[V] {
+	h := hashString(key)
+	root, removed := del(m.root, 0, h, key)
+	if !removed {
+		return m
+	}
+	return &Map[V]{root: root, size: m.size - 1}
+}
+
+// Range calls fn for every key/value pair until fn returns false. Iteration
+// order is unspecified but deterministic for a given map value.
+func (m *Map[V]) Range(fn func(key string, val V) bool) {
+	walk(m.root, fn)
+}
+
+// index converts a slot bit into a compressed-array index: the number of
+// set bits below it.
+func index(bitmap, bit uint32) int {
+	return bits.OnesCount32(bitmap & (bit - 1))
+}
+
+// clone shallow-copies a node so one path can be rewritten while every
+// untouched slot keeps sharing the original arrays' backing... Slices are
+// re-allocated (they are small, ≤ fan entries) so the original node's
+// arrays are never written through.
+func clone[V any](n *node[V]) *node[V] {
+	c := &node[V]{
+		entryMap: n.entryMap,
+		nodeMap:  n.nodeMap,
+		entries:  make([]entry[V], len(n.entries)),
+		children: make([]*node[V], len(n.children)),
+	}
+	copy(c.entries, n.entries)
+	copy(c.children, n.children)
+	return c
+}
+
+// set inserts e below n at the given shift, returning the rewritten node
+// and whether the key is new (false = replaced).
+func set[V any](n *node[V], shift uint, e entry[V]) (*node[V], bool) {
+	if shift > maxShift {
+		c := clone(n)
+		for i := range c.entries {
+			if c.entries[i].key == e.key {
+				c.entries[i] = e
+				return c, false
+			}
+		}
+		c.entries = append(c.entries, e)
+		return c, true
+	}
+	bit := uint32(1) << ((e.hash >> shift) & slotMa)
+	switch {
+	case n.entryMap&bit != 0:
+		i := index(n.entryMap, bit)
+		have := n.entries[i]
+		if have.key == e.key {
+			c := clone(n)
+			c.entries[i] = e
+			return c, false
+		}
+		// Two distinct keys in one slot: push both one level down.
+		child := merge(have, e, shift+fanLog)
+		c := &node[V]{
+			entryMap: n.entryMap &^ bit,
+			nodeMap:  n.nodeMap | bit,
+			entries:  make([]entry[V], 0, len(n.entries)-1),
+			children: make([]*node[V], 0, len(n.children)+1),
+		}
+		c.entries = append(c.entries, n.entries[:i]...)
+		c.entries = append(c.entries, n.entries[i+1:]...)
+		j := index(c.nodeMap, bit)
+		c.children = append(c.children, n.children[:j]...)
+		c.children = append(c.children, child)
+		c.children = append(c.children, n.children[j:]...)
+		return c, true
+	case n.nodeMap&bit != 0:
+		i := index(n.nodeMap, bit)
+		child, added := set(n.children[i], shift+fanLog, e)
+		c := clone(n)
+		c.children[i] = child
+		return c, added
+	default:
+		c := clone(n)
+		c.entryMap |= bit
+		i := index(c.entryMap, bit)
+		c.entries = append(c.entries[:i], append([]entry[V]{e}, c.entries[i:]...)...)
+		return c, true
+	}
+}
+
+// merge builds the minimal subtree holding two entries that collided in one
+// slot at the parent level.
+func merge[V any](a, b entry[V], shift uint) *node[V] {
+	if shift > maxShift {
+		return &node[V]{entries: []entry[V]{a, b}}
+	}
+	abit := uint32(1) << ((a.hash >> shift) & slotMa)
+	bbit := uint32(1) << ((b.hash >> shift) & slotMa)
+	if abit == bbit {
+		return &node[V]{nodeMap: abit, children: []*node[V]{merge(a, b, shift+fanLog)}}
+	}
+	n := &node[V]{entryMap: abit | bbit}
+	if index(n.entryMap, abit) == 0 {
+		n.entries = []entry[V]{a, b}
+	} else {
+		n.entries = []entry[V]{b, a}
+	}
+	return n
+}
+
+// del removes key below n, returning the rewritten node and whether the key
+// was present. The rewritten node may be sparser than the original but is
+// never compacted upward: stray empty nodes cost a pointer hop and vanish
+// with the version itself, which keeps deletion single-pass.
+func del[V any](n *node[V], shift uint, h uint64, key string) (*node[V], bool) {
+	if shift > maxShift {
+		for i := range n.entries {
+			if n.entries[i].key == key {
+				c := clone(n)
+				c.entries = append(c.entries[:i], c.entries[i+1:]...)
+				return c, true
+			}
+		}
+		return n, false
+	}
+	bit := uint32(1) << ((h >> shift) & slotMa)
+	if n.entryMap&bit != 0 {
+		i := index(n.entryMap, bit)
+		if n.entries[i].key != key {
+			return n, false
+		}
+		c := clone(n)
+		c.entryMap &^= bit
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+		return c, true
+	}
+	if n.nodeMap&bit == 0 {
+		return n, false
+	}
+	i := index(n.nodeMap, bit)
+	child, removed := del(n.children[i], shift+fanLog, h, key)
+	if !removed {
+		return n, false
+	}
+	c := clone(n)
+	c.children[i] = child
+	return c, true
+}
+
+// walk visits every entry of the subtree; returns false to stop early.
+func walk[V any](n *node[V], fn func(string, V) bool) bool {
+	for i := range n.entries {
+		if !fn(n.entries[i].key, n.entries[i].val) {
+			return false
+		}
+	}
+	for _, child := range n.children {
+		if !walk(child, fn) {
+			return false
+		}
+	}
+	return true
+}

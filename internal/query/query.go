@@ -94,7 +94,7 @@ func (p *BasePlanner) AnswerCtx(ctx context.Context, q Query) (Result, error) {
 	for name, attrs := range byScheme {
 		p.Obs.Counter(metricBaseLookups).Inc()
 		tup, ok := p.DB.GetByKey(name, q.Key)
-		rel := p.DB.Relation(name)
+		rel := p.DB.Header(name)
 		for _, a := range attrs {
 			if ok {
 				out[a] = tup[rel.Position(a)]
@@ -136,7 +136,7 @@ func (p *MergedPlanner) AnswerCtx(ctx context.Context, q Query) (Result, error) 
 	if rootMember == nil {
 		return nil, fmt.Errorf("query: root %s is not a member of the merge", q.Root)
 	}
-	rel := p.DB.Relation(p.M.Name)
+	rel := p.DB.Header(p.M.Name)
 	row, ok := p.DB.GetByKey(p.M.Name, q.Key)
 
 	out := make(Result, len(q.Want))

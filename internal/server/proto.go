@@ -123,15 +123,18 @@ type WireViolation struct {
 }
 
 // WireStats mirrors engine.StatsSnapshot with stable lowercase field names.
+// version_lsn is omitempty for cross-version compatibility: a client reading
+// an older server sees zero, an older client ignores the unknown key.
 type WireStats struct {
-	Inserts           int `json:"inserts"`
-	Deletes           int `json:"deletes"`
-	Updates           int `json:"updates"`
-	Lookups           int `json:"lookups"`
-	DeclarativeChecks int `json:"declarative_checks"`
-	TriggerFirings    int `json:"trigger_firings"`
-	IndexLookups      int `json:"index_lookups"`
-	TuplesScanned     int `json:"tuples_scanned"`
+	Inserts           int    `json:"inserts"`
+	Deletes           int    `json:"deletes"`
+	Updates           int    `json:"updates"`
+	Lookups           int    `json:"lookups"`
+	DeclarativeChecks int    `json:"declarative_checks"`
+	TriggerFirings    int    `json:"trigger_firings"`
+	IndexLookups      int    `json:"index_lookups"`
+	TuplesScanned     int    `json:"tuples_scanned"`
+	VersionLSN        uint64 `json:"version_lsn,omitempty"`
 }
 
 func toWireStats(s engine.StatsSnapshot) *WireStats {
@@ -144,6 +147,7 @@ func toWireStats(s engine.StatsSnapshot) *WireStats {
 		TriggerFirings:    s.TriggerFirings,
 		IndexLookups:      s.IndexLookups,
 		TuplesScanned:     s.TuplesScanned,
+		VersionLSN:        s.VersionLSN,
 	}
 }
 
@@ -160,6 +164,7 @@ func fromWireStats(w *WireStats) engine.StatsSnapshot {
 		TriggerFirings:    w.TriggerFirings,
 		IndexLookups:      w.IndexLookups,
 		TuplesScanned:     w.TuplesScanned,
+		VersionLSN:        w.VersionLSN,
 	}
 }
 

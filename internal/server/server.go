@@ -670,7 +670,9 @@ func (s *Server) dispatch(t *task) *Response {
 		}
 		return &Response{OK: true}
 	case OpStats:
-		return &Response{OK: true, Stats: toWireStats(s.db.Stats.Totals())}
+		st := s.db.Stats.Totals()
+		st.VersionLSN = s.db.VersionLSN()
+		return &Response{OK: true, Stats: toWireStats(st)}
 	case OpCheckpoint:
 		if err := s.db.Checkpoint(); err != nil {
 			return fail(err)

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// ReadUnderWriteConfig shapes one read-under-write run: N closed-loop reader
+// goroutines issuing navigational fetches, optionally racing a saturating
+// writer and a checkpoint cycler. It is the driver behind the P8 benchmark
+// suite — the MVCC claim ("writers never block readers") measured directly,
+// by comparing reader throughput with the writer idle vs. saturating.
+type ReadUnderWriteConfig struct {
+	// Readers is the number of closed-loop reader goroutines (minimum 1).
+	Readers int
+	// ReadsPerReader is each reader's fetch count (minimum 1).
+	ReadsPerReader int
+	// Writer, when true, runs one saturating writer (back-to-back inserts of
+	// fresh rows, no think time) for the whole read phase.
+	Writer bool
+	// Checkpoint, when true, cycles engine checkpoints for the whole read
+	// phase. Requires the side's engine to be durable (a WAL is attached).
+	Checkpoint bool
+	// ZipfS skews read keys with a Zipf(s) distribution when s > 1; any value
+	// ≤ 1 reads keys uniformly.
+	ZipfS float64
+	// Seed makes the per-reader key streams deterministic.
+	Seed int64
+}
+
+// ReadUnderWriteResult reports one run: reader throughput and latency, the
+// background writer/checkpoint progress, and the engine's lock-plan
+// acquisition delta across the run. With Writer and Checkpoint off the delta
+// must be zero — the observable proof that the fetch hot path is lock-free.
+type ReadUnderWriteResult struct {
+	Side        Side
+	Readers     int
+	Reads       int
+	Writes      int
+	Checkpoints int
+	Elapsed     time.Duration
+	ReadsPerSec float64
+	P50         time.Duration
+	P99         time.Duration
+	// LockAcquireDelta is the engine's lock-plan acquisition count growth
+	// during the run: writer and checkpoint acquisitions only, never the
+	// readers'.
+	LockAcquireDelta uint64
+}
+
+// RunReadUnderWrite drives the read-under-write scenario against one side of
+// the bench. Readers issue FetchWithReferences on the side's center relation
+// (the merged relation or the base root) over the preloaded keys; the
+// optional writer inserts fresh rows under keys disjoint from every reader's;
+// the optional checkpointer calls Checkpoint back-to-back. Readers, writer,
+// and checkpointer run concurrently with no coordination beyond the engine's
+// own — which, on the MVCC read path, means none at all.
+func (b *Bench) RunReadUnderWrite(side Side, cfg ReadUnderWriteConfig) (ReadUnderWriteResult, error) {
+	eng := b.Base
+	relName := b.Root
+	if side == SideMerged {
+		eng = b.Merged
+		relName = b.Scheme.Name
+	}
+	readers := cfg.Readers
+	if readers < 1 {
+		readers = 1
+	}
+	perReader := cfg.ReadsPerReader
+	if perReader < 1 {
+		perReader = 1
+	}
+	if len(b.Keys) == 0 {
+		return ReadUnderWriteResult{}, fmt.Errorf("workload: bench has no keys to read")
+	}
+
+	tmpl, keyPos, insRel, _, err := b.insertTemplate(side)
+	if err != nil {
+		return ReadUnderWriteResult{}, err
+	}
+
+	var (
+		wg          sync.WaitGroup
+		lats        = make([][]time.Duration, readers)
+		errs        = make([]error, readers)
+		stop        = make(chan struct{})
+		writes      atomic.Int64
+		checkpoints atomic.Int64
+		bgErr       atomic.Value
+	)
+	lockBase := eng.LockAcquisitions()
+	start := time.Now()
+
+	if cfg.Writer {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Op first, stop check second: even if the readers finish before
+			// this goroutine is scheduled, a saturating writer writes at
+			// least once.
+			for {
+				row := make(relation.Tuple, len(tmpl))
+				copy(row, tmpl)
+				key := relation.NewString(fmt.Sprintf("ruw-%d", b.seq.Add(1)))
+				for _, p := range keyPos {
+					row[p] = key
+				}
+				if err := eng.Insert(insRel, row); err != nil {
+					bgErr.Store(fmt.Errorf("workload: saturating writer: %w", err))
+					return
+				}
+				writes.Add(1)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	if cfg.Checkpoint {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := eng.Checkpoint(); err != nil {
+					bgErr.Store(fmt.Errorf("workload: checkpoint cycler: %w", err))
+					return
+				}
+				checkpoints.Add(1)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*6143))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 && len(b.Keys) > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(b.Keys)-1))
+			}
+			lat := make([]time.Duration, 0, perReader)
+			for i := 0; i < perReader; i++ {
+				var ki int
+				if zipf != nil {
+					ki = int(zipf.Uint64())
+				} else {
+					ki = rng.Intn(len(b.Keys))
+				}
+				t0 := time.Now()
+				if _, _, err := eng.FetchWithReferences(relName, b.Keys[ki]); err != nil && errs[r] == nil {
+					errs[r] = err
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[r] = lat
+		}(r)
+	}
+	rwg.Wait()
+	readElapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	res := ReadUnderWriteResult{
+		Side:             side,
+		Readers:          readers,
+		Writes:           int(writes.Load()),
+		Checkpoints:      int(checkpoints.Load()),
+		Elapsed:          readElapsed,
+		LockAcquireDelta: eng.LockAcquisitions() - lockBase,
+	}
+	var all []time.Duration
+	for r := 0; r < readers; r++ {
+		res.Reads += len(lats[r])
+		all = append(all, lats[r]...)
+		if errs[r] != nil {
+			err = errs[r]
+		}
+	}
+	if e, ok := bgErr.Load().(error); ok && err == nil {
+		err = e
+	}
+	if readElapsed > 0 {
+		res.ReadsPerSec = float64(res.Reads) / readElapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 50)
+	res.P99 = percentile(all, 99)
+	return res, err
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// The read-under-write driver on both sides: reads all land, the idle run
+// proves the lock-free read path (zero lock-plan acquisitions), the
+// saturated run shows writer progress beside the readers, and the
+// checkpointed run cycles real checkpoints on a durable engine. Named to run
+// fresh under the race detector via `make stress`.
+func TestConcurrentReadUnderWriteDriver(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBenchSided(StarEER(4), "E0", 24, 3, func(s Side) []engine.Option {
+		return []engine.Option{
+			engine.WithWALOptions(dir+"/"+s.String(), wal.Options{Policy: wal.SyncNever}),
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []Side{SideBase, SideMerged} {
+		idle, err := b.RunReadUnderWrite(side, ReadUnderWriteConfig{
+			Readers: 3, ReadsPerReader: 40, ZipfS: 1.2, Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("%v idle: %v", side, err)
+		}
+		if idle.Reads != 3*40 {
+			t.Errorf("%v idle reads = %d, want %d", side, idle.Reads, 3*40)
+		}
+		if idle.LockAcquireDelta != 0 {
+			t.Errorf("%v idle run acquired %d lock plans; read path is not lock-free", side, idle.LockAcquireDelta)
+		}
+		if idle.Writes != 0 || idle.Checkpoints != 0 {
+			t.Errorf("%v idle run reported background work: %+v", side, idle)
+		}
+
+		sat, err := b.RunReadUnderWrite(side, ReadUnderWriteConfig{
+			Readers: 3, ReadsPerReader: 40, Writer: true, Checkpoint: true, Seed: 6,
+		})
+		if err != nil {
+			t.Fatalf("%v saturated: %v", side, err)
+		}
+		if sat.Reads != 3*40 {
+			t.Errorf("%v saturated reads = %d, want %d", side, sat.Reads, 3*40)
+		}
+		if sat.Writes == 0 {
+			t.Errorf("%v saturating writer made no progress", side)
+		}
+		if sat.Checkpoints == 0 {
+			t.Errorf("%v checkpoint cycler made no progress", side)
+		}
+		if sat.LockAcquireDelta == 0 {
+			t.Errorf("%v saturated run reported zero lock acquisitions despite writer+checkpointer", side)
+		}
+	}
+}
+
+// Checkpoint cycling on a non-durable engine must surface the engine's
+// ErrNotDurable instead of spinning or succeeding vacuously.
+func TestReadUnderWriteCheckpointNeedsWAL(t *testing.T) {
+	b, err := NewBench(StarEER(2), "E0", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.RunReadUnderWrite(SideBase, ReadUnderWriteConfig{
+		Readers: 1, ReadsPerReader: 5, Checkpoint: true, Seed: 9,
+	})
+	if err == nil {
+		t.Fatal("checkpoint cycling on a non-durable engine returned nil")
+	}
+}

@@ -22,6 +22,15 @@ type (
 	// ConstraintViolation is the typed error mutations return when a
 	// declarative or procedural constraint rejects them.
 	ConstraintViolation = engine.ConstraintViolation
+	// EngineView is a consistent read view pinned to one published MVCC
+	// version of an engine: every lookup, scan, and navigational fetch
+	// through it answers from the same immutable snapshot, lock-free, no
+	// matter how many writers commit meanwhile. Obtain one with
+	// EmbeddedSession.View or Engine.View; re-pin for freshness.
+	EngineView = engine.View
+	// RelatedTuple is one edge of a navigational fetch result: the referenced
+	// (or referencing) tuple reached by following an inclusion dependency.
+	RelatedTuple = engine.Related
 )
 
 // Engine options, re-exported from internal/engine.

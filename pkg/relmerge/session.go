@@ -82,6 +82,14 @@ func OpenSession(s *Schema, opts ...EngineOption) (*EmbeddedSession, error) {
 // Session surface (Scan, Snapshot, Count, recovery info).
 func (s *EmbeddedSession) Engine() *Engine { return s.eng }
 
+// View pins the engine's current published MVCC version as a consistent,
+// lock-free read view: repeated reads through it are repeatable (they never
+// observe later commits), and a batch is visible either whole or not at all.
+// It is an embedded-only capability — a remote session's reads are each
+// individually snapshot-consistent, but pinning a version across calls
+// requires sharing the engine's memory.
+func (s *EmbeddedSession) View() *EngineView { return s.eng.View() }
+
 func (s *EmbeddedSession) Insert(relName string, tup Tuple) error {
 	return s.InsertCtx(context.Background(), relName, tup)
 }
@@ -165,7 +173,9 @@ func (s *EmbeddedSession) StatsCtx(ctx context.Context) (EngineStats, error) {
 	if err := ctx.Err(); err != nil {
 		return EngineStats{}, err
 	}
-	return s.eng.Stats.Totals(), nil
+	st := s.eng.Stats.Totals()
+	st.VersionLSN = s.eng.VersionLSN()
+	return st, nil
 }
 
 func (s *EmbeddedSession) Checkpoint() error { return s.CheckpointCtx(context.Background()) }

@@ -3,7 +3,11 @@ package relmerge_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,6 +214,68 @@ func TestSessionBatchAtomicity(t *testing.T) {
 	})
 }
 
+// TestSessionFetchNeverSeesTornBatch races fetches against delete-reinsert
+// batches on both backends: each batch removes a key and re-adds it with a
+// fresh payload in ONE atomic group, so a concurrent fetch must always find
+// the key (the deleted-but-not-yet-reinserted middle is never a published
+// state) and must always see a payload some whole batch wrote. On the
+// embedded engine this is the MVCC single-publish guarantee observed through
+// the Session surface; the remote backend must agree.
+func TestSessionFetchNeverSeesTornBatch(t *testing.T) {
+	withBackends(t, func(t *testing.T, sess relmerge.Session) {
+		if err := sess.Insert("D", d("d1", "eng")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("E", e("hot", "d1", "round-0")); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var fetches atomic.Int64
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tup, found, err := sess.Fetch("E", k("hot"))
+					if err != nil {
+						t.Errorf("fetch: %v", err)
+						return
+					}
+					if !found {
+						t.Error("fetch saw the torn middle of a delete+reinsert batch")
+						return
+					}
+					if pay := tup[2].AsString(); !strings.HasPrefix(pay, "round-") {
+						t.Errorf("fetch saw payload %q no batch ever wrote", pay)
+						return
+					}
+					fetches.Add(1)
+				}
+			}()
+		}
+		for i := 1; fetches.Load() < 200 && i < 4000; i++ {
+			err := sess.ApplyBatch([]relmerge.BatchOp{
+				relmerge.Del("E", k("hot")),
+				relmerge.Ins("E", e("hot", "d1", fmt.Sprintf("round-%d", i))),
+			})
+			if err != nil {
+				t.Fatalf("batch %d: %v", i, err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if fetches.Load() == 0 {
+			t.Fatal("no fetch completed during the batch churn")
+		}
+	})
+}
+
 func TestSessionTransactions(t *testing.T) {
 	withBackends(t, func(t *testing.T, sess relmerge.Session) {
 		if err := sess.Insert("D", d("d1", "eng")); err != nil {
@@ -272,6 +338,11 @@ func TestSessionStats(t *testing.T) {
 		}
 		if after.Lookups <= before.Lookups {
 			t.Errorf("lookups %d -> %d", before.Lookups, after.Lookups)
+		}
+		// The insert published a new MVCC version, so the stamped LSN must
+		// have advanced — on the embedded engine and across the wire alike.
+		if after.VersionLSN <= before.VersionLSN {
+			t.Errorf("version LSN did not advance across a write: %d -> %d", before.VersionLSN, after.VersionLSN)
 		}
 	})
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
 # The repo's CI gate: formatting, vet, build, the test suite under the race
-# detector, the concurrency stress suite, the crash-recovery suite, and the
-# client/server serving suite (all fresh, uncached). Equivalent to
-# `make check` for environments without make.
+# detector, the concurrency stress suite, the crash-recovery suite, the
+# client/server serving suite (all fresh, uncached), and the quick
+# read-under-write probe. Equivalent to `make check` for environments
+# without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,3 +22,4 @@ go test -race ./...
 go test -race -count=1 -run 'Stress|Concurrent|Mixed' ./internal/engine/ ./internal/workload/ ./internal/attrset/
 go test -race -count=1 -run 'Crash|Failpoint|Recovery|WAL' ./internal/wal/ ./internal/engine/
 go test -race -count=1 -run 'Session|Remote|Serve|Frame|Wire|Protocol|Admission|Deadline|Drain|Kill|Coalesc|Client|Stats|Code|Sentinels' ./internal/server/ ./pkg/relmerge/
+go run ./cmd/benchreport -probe
