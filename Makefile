@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash serve-test probe bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test probe bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, and the quick read-under-write probe
-check: fmt vet metriclint build race stress crash serve-test probe
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, and the quick probes (read-under-write + cross-shard IND)
+check: fmt vet metriclint build race stress crash serve-test shard-test probe
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -37,13 +37,17 @@ crash:
 serve-test:
 	$(GO) test -race -count=1 -run 'Session|Remote|Serve|Frame|Wire|Protocol|Admission|Deadline|Drain|Kill|Coalesc|Client|Stats|Code|Sentinels' ./internal/server/ ./pkg/relmerge/
 
-## probe: the quick read-under-write check — the MVCC read path stays lock-free and makes progress beside a saturating writer
+## shard-test: the sharding suite — hash golden vectors, cross-shard IND enforcement and stress, durable reopen — fresh under the race detector (the three-backend Session conformance suite, which includes the sharded router, runs under serve-test)
+shard-test:
+	$(GO) test -race -count=1 -run 'HashKey|Router|CrossShard|Shard|NonKeyIND|ProbeCache' ./internal/shard/
+
+## probe: the quick gates — the MVCC read path stays lock-free beside a saturating writer, and cross-shard routing exercises the IND probe path and rejects dangling keys
 probe:
 	$(GO) run ./cmd/benchreport -probe
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR6.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR7.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR6.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR7.json

@@ -41,6 +41,17 @@ func runMeta() benchMeta {
 	}
 }
 
+// suite wraps one suite's rows with the run environment, so every section of
+// the report is self-describing — a section copied out of the file, or
+// compared against another run's, carries the toolchain and parallelism that
+// produced it rather than relying on one file-level stamp.
+type suite[T any] struct {
+	Meta benchMeta `json:"meta"`
+	Rows []T       `json:"rows"`
+}
+
+func newSuite[T any](rows []T) suite[T] { return suite[T]{Meta: runMeta(), Rows: rows} }
+
 // benchProbe is one machine-readable measurement.
 type benchProbe struct {
 	Name        string  `json:"name"`
@@ -60,20 +71,22 @@ type benchProbe struct {
 // throughput with the write-ahead log at each fsync policy, plus each
 // policy's throughput cost relative to the no-log baseline.
 type benchReport struct {
-	Meta               benchMeta          `json:"meta"`
-	Probes             []benchProbe       `json:"probes"`
-	Speedups           map[string]float64 `json:"speedups"`
-	CacheHitRates      map[string]float64 `json:"cache_hit_rates"`
-	Maintenance        []maintenanceRow   `json:"maintenance"`
-	Scaling            []scalingRow       `json:"scaling"`
-	ScalingSpeedups    map[string]float64 `json:"scaling_speedups"`
-	Durability         []durabilityRow    `json:"durability"`
-	DurabilityOverhead map[string]float64 `json:"durability_overhead"`
-	Serving            []servingRow       `json:"serving"`
-	ServingSpeedups    map[string]float64 `json:"serving_speedups"`
-	ServingCrash       *servingCrash      `json:"serving_crash"`
-	ReadUnderWrite     []p8Row            `json:"read_under_write"`
-	ReadUnderRatios    map[string]float64 `json:"read_under_write_ratios"`
+	Meta               benchMeta             `json:"meta"`
+	Probes             suite[benchProbe]     `json:"probes"`
+	Speedups           map[string]float64    `json:"speedups"`
+	CacheHitRates      map[string]float64    `json:"cache_hit_rates"`
+	Maintenance        suite[maintenanceRow] `json:"maintenance"`
+	Scaling            suite[scalingRow]     `json:"scaling"`
+	ScalingSpeedups    map[string]float64    `json:"scaling_speedups"`
+	Durability         suite[durabilityRow]  `json:"durability"`
+	DurabilityOverhead map[string]float64    `json:"durability_overhead"`
+	Serving            suite[servingRow]     `json:"serving"`
+	ServingSpeedups    map[string]float64    `json:"serving_speedups"`
+	ServingCrash       *servingCrash         `json:"serving_crash"`
+	ReadUnderWrite     suite[p8Row]          `json:"read_under_write"`
+	ReadUnderRatios    map[string]float64    `json:"read_under_write_ratios"`
+	Sharding           suite[shardingRow]    `json:"sharding"`
+	ShardingSpeedups   map[string]float64    `json:"sharding_speedups"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -332,24 +345,31 @@ func runJSON(path string) error {
 		return err
 	}
 
+	sharding, shardingSpeedups, err := shardingSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
 		Meta:               runMeta(),
-		Probes:             probes,
+		Probes:             newSuite(probes),
 		Speedups:           map[string]float64{},
 		CacheHitRates:      cacheHitRates,
-		Maintenance:        maintenance,
-		Scaling:            scaling,
+		Maintenance:        newSuite(maintenance),
+		Scaling:            newSuite(scaling),
 		ScalingSpeedups:    scalingSpeedups,
-		Durability:         durability,
+		Durability:         newSuite(durability),
 		DurabilityOverhead: durabilityOverhead,
-		Serving:            serving,
+		Serving:            newSuite(serving),
 		ServingSpeedups:    servingSpeedups,
 		ServingCrash:       crash,
-		ReadUnderWrite:     readUnderWrite,
+		ReadUnderWrite:     newSuite(readUnderWrite),
 		ReadUnderRatios:    readUnderRatios,
+		Sharding:           newSuite(sharding),
+		ShardingSpeedups:   shardingSpeedups,
 	}
 	byName := make(map[string]benchProbe, len(probes))
-	for _, p := range probes {
+	for _, p := range report.Probes.Rows {
 		byName[p.Name] = p
 	}
 	for _, w := range []string{"chain=1000", "chain=10000", "chain-rev=1000", "chain-rev=10000", "star=1000"} {
@@ -381,7 +401,7 @@ func runJSON(path string) error {
 		}
 	}
 	fmt.Printf("maintenance (fig. 3 replay):\n")
-	for _, row := range report.Maintenance {
+	for _, row := range report.Maintenance.Rows {
 		fmt.Printf("  %-8s inserts=%d declarative=%d triggers=%d\n", row.DB, row.Inserts, row.DeclarativeChecks, row.TriggerFirings)
 	}
 	fmt.Printf("throughput scaling, 1 → %d workers (90/10 mix):\n", scalingWorkers[len(scalingWorkers)-1])
@@ -393,7 +413,7 @@ func runJSON(path string) error {
 		}
 	}
 	fmt.Printf("durability throughput (90/10 mix, ops/sec by fsync policy):\n")
-	for _, row := range report.Durability {
+	for _, row := range report.Durability.Rows {
 		fmt.Printf("  %-8s %-10s %12.0f ops/sec  (appends=%d fsyncs=%d)\n",
 			row.DB, row.Policy, row.OpsPerSec, row.WalAppends, row.WalFsyncs)
 	}
@@ -423,6 +443,12 @@ func runJSON(path string) error {
 			if s, ok := report.ReadUnderRatios[k]; ok {
 				fmt.Printf("  %-28s %.2fx\n", k, s)
 			}
+		}
+	}
+	fmt.Printf("shard-local write scaling (insert-only, ops/sec ratio):\n")
+	for _, k := range []string{"local/1to4", "local/1to8", "xshard/1to4", "xshard/1to8"} {
+		if s, ok := report.ShardingSpeedups[k]; ok {
+			fmt.Printf("  %-14s %.1fx\n", k, s)
 		}
 	}
 	fmt.Printf("wrote %s\n", path)

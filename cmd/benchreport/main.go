@@ -37,6 +37,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
+		if err := runShardProbe(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -67,6 +71,7 @@ func main() {
 		{"P6", "Durability overhead: mixed workload throughput vs. fsync policy", runP6},
 		{"P7", "Client/server serving: Session throughput, embedded vs. remote", runP7},
 		{"P8", "Read-under-write: MVCC reader throughput vs. saturating writer", runP8},
+		{"P9", "Shard scaling: write throughput and cross-shard IND probe cost vs. shard count", runP9},
 	}
 
 	matched := false

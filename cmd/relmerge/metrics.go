@@ -98,23 +98,36 @@ func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *stat
 	reg := obs.NewRegistry()
 	fd.RegisterMetrics(reg)
 	nullcon.RegisterMetrics(reg)
-	sideOpts := func(name string) []engine.Option {
-		opts := []engine.Option{engine.WithRegistry(reg), engine.WithName(name)}
-		if durableDir != "" {
-			opts = append(opts, engine.WithDurability(filepath.Join(durableDir, name), policy))
+	// Both replay engines come from the unified relmerge.Open entrypoint —
+	// the same constructor the quickstart, the benchmarks, and any embedded
+	// caller use — sharing one registry under db=base / db=merged labels.
+	openSide := func(name string, sc *schema.Schema) (*relmerge.EmbeddedSession, error) {
+		cfg := relmerge.Config{
+			Schema:        sc,
+			Registry:      reg,
+			EngineOptions: []relmerge.EngineOption{relmerge.WithEngineName(name)},
 		}
-		return opts
+		if durableDir != "" {
+			cfg.DurableDir = filepath.Join(durableDir, name)
+			cfg.Sync = policy
+		}
+		sess, err := relmerge.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sess.(*relmerge.EmbeddedSession), nil
 	}
-	base, err := engine.Open(s, sideOpts("base")...)
+	baseSess, err := openSide("base", s)
 	if err != nil {
 		return err
 	}
-	defer base.Close()
-	merged, err := engine.Open(m.Schema, sideOpts("merged")...)
+	defer baseSess.Close()
+	mergedSess, err := openSide("merged", m.Schema)
 	if err != nil {
 		return err
 	}
-	defer merged.Close()
+	defer mergedSess.Close()
+	base, merged := baseSess.Engine(), mergedSess.Engine()
 	// The replay runs through the Session API — the same surface the remote
 	// client exposes — so this report measures what any session-based caller
 	// would. A recovered engine already holds the previous run's replay
@@ -122,12 +135,12 @@ func metricsReport(w io.Writer, s *schema.Schema, m *core.MergedScheme, st *stat
 	// primary keys.
 	ctx := context.Background()
 	if !base.Recovered().Recovered {
-		if err := relmerge.ReplayState(ctx, relmerge.NewSession(base), s, st); err != nil {
+		if err := relmerge.ReplayState(ctx, baseSess, s, st); err != nil {
 			return fmt.Errorf("relmerge: replaying state into the base engine: %w", err)
 		}
 	}
 	if !merged.Recovered().Recovered {
-		if err := relmerge.ReplayState(ctx, relmerge.NewSession(merged), m.Schema, m.MapState(st)); err != nil {
+		if err := relmerge.ReplayState(ctx, mergedSess, m.Schema, m.MapState(st)); err != nil {
 			return fmt.Errorf("relmerge: replaying state into the merged engine: %w", err)
 		}
 	}

@@ -10,6 +10,7 @@
 //	relmerged -schema schema.sdl -data data.sdl          # serve a loaded state
 //	relmerged -fig3 -merged                              # apply the Prop 5.2 plan, serve the merged schema
 //	relmerged -fig3 -durable ./wal -fsync always         # durable: recovers on restart
+//	relmerged -fig3 -shards 4                            # hash-partition across 4 engine shards
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
 // requests, checkpoint a durable engine, close the WAL.
@@ -28,6 +29,7 @@ import (
 	"context"
 
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/pkg/relmerge"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		merged      = flag.Bool("merged", false, "apply the Prop. 5.2 merge plan and serve the merged schema")
 		dataPath    = flag.String("data", "", "optional data file (insert statements) loaded at startup; with -merged the state is mapped through the η mappings first")
 		durableDir  = flag.String("durable", "", "directory for the engine's write-ahead log; a reopened directory recovers before serving")
+		shards      = flag.Int("shards", 1, "hash-partition the engine across N shards behind a cross-shard router (1 = single engine; with -durable each shard logs under shard-<i>/)")
 		fsyncMode   = flag.String("fsync", "interval", "fsync policy for -durable: always, interval, or never")
 		workers     = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS, at least 4)")
 		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64); a full queue rejects with code overloaded")
@@ -84,25 +87,53 @@ func main() {
 		}
 	}
 
-	var engOpts []relmerge.EngineOption
+	var delayOpts []relmerge.EngineOption
 	if *accessDelay > 0 {
-		engOpts = append(engOpts, relmerge.WithAccessDelay(*accessDelay))
-	}
-	if *durableDir != "" {
-		engOpts = append(engOpts, relmerge.WithDurability(*durableDir, fsyncPolicy))
+		delayOpts = append(delayOpts, relmerge.WithAccessDelay(*accessDelay))
 	}
 
-	eng, err := buildEngine(s, orig, merges, *dataPath, engOpts)
-	if err != nil {
-		fatal(err)
-	}
-	if eng.Durable() {
-		rec := eng.Recovered()
-		logf("relmerged: wal %s (fsync %s): recovered=%v replayed=%d discarded=%d snapshot=%v",
-			*durableDir, *fsyncMode, rec.Recovered, rec.ReplayedOps, rec.DiscardedOps, rec.SnapshotLoaded)
+	var db server.Backend
+	if *shards > 1 {
+		// Sharded: N independent engines behind a hash-partitioning router
+		// that checks inclusion dependencies across shards. Durability is per
+		// shard (shard-<i>/ subdirectories), so WithDurability stays out of
+		// the engine options here — relmerge.Open wires the per-shard WALs.
+		router, err := buildRouter(s, orig, merges, *dataPath, relmerge.Config{
+			Backend:       relmerge.Sharded,
+			Schema:        s,
+			Shards:        *shards,
+			DurableDir:    *durableDir,
+			Sync:          fsyncPolicy,
+			EngineOptions: delayOpts,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if router.Durable() {
+			rec := router.Recovered()
+			logf("relmerged: wal %s (fsync %s, %d shards): recovered=%v replayed=%d",
+				*durableDir, *fsyncMode, *shards, rec.Recovered, rec.ReplayedOps)
+		}
+		logf("relmerged: routing across %d engine shards", *shards)
+		db = router
+	} else {
+		engOpts := delayOpts
+		if *durableDir != "" {
+			engOpts = append(engOpts, relmerge.WithDurability(*durableDir, fsyncPolicy))
+		}
+		eng, err := buildEngine(s, orig, merges, *dataPath, engOpts)
+		if err != nil {
+			fatal(err)
+		}
+		if eng.Durable() {
+			rec := eng.Recovered()
+			logf("relmerged: wal %s (fsync %s): recovered=%v replayed=%d discarded=%d snapshot=%v",
+				*durableDir, *fsyncMode, rec.Recovered, rec.ReplayedOps, rec.DiscardedOps, rec.SnapshotLoaded)
+		}
+		db = eng
 	}
 
-	srv := server.New(eng, server.Config{
+	srv := server.New(db, server.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CoalesceMax: *coalesce,
@@ -166,6 +197,41 @@ func buildEngine(s, orig *relmerge.Schema, merges []*relmerge.Merged, dataPath s
 		return nil, err
 	}
 	return eng, nil
+}
+
+// buildRouter opens the sharded serving backend through relmerge.Open. The
+// data-file rules match buildEngine: recovered state wins over -data, and a
+// fresh (or non-durable) router replays the file through the η mappings.
+func buildRouter(s, orig *relmerge.Schema, merges []*relmerge.Merged, dataPath string, cfg relmerge.Config) (*shard.Router, error) {
+	sess, err := relmerge.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	router := sess.(*relmerge.ShardedSession).Router()
+	if dataPath == "" {
+		return router, nil
+	}
+	if router.Durable() && router.Recovered().Recovered {
+		return router, nil // recovered state wins over the data file
+	}
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		router.Close()
+		return nil, err
+	}
+	st, err := relmerge.ParseState(orig, string(data))
+	if err != nil {
+		router.Close()
+		return nil, err
+	}
+	for _, m := range merges {
+		st = m.MapState(st)
+	}
+	if err := router.Load(st); err != nil {
+		router.Close()
+		return nil, err
+	}
+	return router, nil
 }
 
 func memberNames(m *relmerge.Merged) []string {

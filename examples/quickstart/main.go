@@ -72,10 +72,11 @@ func main() {
 	back := m.UnmapState(merged)
 	fmt.Printf("\nround trip restored the original state: %v\n", back.Equal(db))
 
-	// Serve the merged design through the Session API — the same interface a
-	// remote client from relmerge.Dial implements, so this code is one
-	// constructor swap away from running against a relmerged server.
-	sess, err := relmerge.OpenSession(m.Schema)
+	// Serve the merged design through the Session API. Open is the one
+	// constructor for every backend — change Config.Backend to Remote (plus
+	// an Addr) to run this same code against a relmerged server, or to
+	// Sharded (plus a shard count) to hash-partition it across engines.
+	sess, err := relmerge.Open(relmerge.Config{Schema: m.Schema})
 	if err != nil {
 		panic(err)
 	}

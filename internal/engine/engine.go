@@ -110,17 +110,23 @@ type DB struct {
 	// Assigned once during Open (after recovery) and immutable afterwards.
 	wal      *wal.Log
 	recovery RecoveryInfo
+	// partition marks the engine as one shard of a partitioned database;
+	// probes holds the router's cross-partition constraint hooks
+	// (partition.go). Installed once via SetShardProbes before traffic.
+	partition bool
+	probes    atomic.Pointer[ShardProbes]
 }
 
 // Option configures Open.
 type Option func(*openConfig)
 
 type openConfig struct {
-	reg     *obs.Registry
-	name    string
-	delay   time.Duration
-	walDir  string
-	walOpts wal.Options
+	reg       *obs.Registry
+	name      string
+	delay     time.Duration
+	walDir    string
+	walOpts   wal.Options
+	partition bool
 }
 
 // WithRegistry makes the DB report its cost counters and latency histograms
@@ -170,6 +176,7 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		procNulls: make(map[string][]schema.NullConstraint),
 		nnaAttrs:  make(map[string]map[string]bool),
 		delay:     cfg.delay,
+		partition: cfg.partition,
 	}
 	for _, rs := range s.Relations {
 		hdr := relation.New(rs.AttrNames()...)
@@ -377,7 +384,7 @@ func (db *DB) insertLocked(tx *writeTx, t *table, tup relation.Tuple, eff *effec
 		return err
 	}
 	eff.apply(tx, t, tup)
-	db.countInsert()
+	tx.countInsert()
 	return nil
 }
 
@@ -387,31 +394,39 @@ func (db *DB) checkDeclarative(tx *writeTx, t *table, tup relation.Tuple) error 
 	name := t.rs.Name
 	// NOT NULL.
 	for i, a := range t.rs.AttrNames() {
-		db.countDecl()
+		tx.countDecl()
 		if db.nnaAttrs[name][a] && tup[i].IsNull() {
 			return db.violation(&ConstraintViolation{Kind: NotNullViolation, Relation: name, Attr: a, Op: "insert"})
 		}
 	}
 	// PRIMARY KEY uniqueness (all nulls identical, per section 5.1).
-	db.countDecl()
-	db.countIdx()
+	tx.countDecl()
+	tx.countIdx()
 	if _, dup := tx.pkGet(t, t.keyOfIncoming(tup)); dup {
 		return db.violation(&ConstraintViolation{Kind: PrimaryKeyViolation, Relation: name, Op: "insert"})
 	}
-	// Key-based foreign keys: indexed probe into the referenced table.
+	// Key-based foreign keys: indexed probe into the referenced table. A
+	// local miss on a partition engine falls through to the router's
+	// cross-shard probe (partition.go) before it counts as a violation.
 	for _, ind := range db.indsFrom[name] {
 		target := db.tables[ind.Right]
 		if !ind.KeyBased(db.Schema) {
 			continue // handled by triggers
 		}
-		db.countDecl()
+		tx.countDecl()
 		fk := projectAttrs(t, tup, ind.LeftAttrs)
 		if !fk.IsTotal() {
 			continue // null foreign keys are exempt
 		}
-		db.countIdx()
+		tx.countIdx()
 		if _, ok := tx.pkGet(target, orderAsKey(target, ind.RightAttrs, fk)); !ok {
-			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
+			hit, err := db.probeReferenced(ind, orderAsKey(target, ind.RightAttrs, fk))
+			if err != nil {
+				return err
+			}
+			if !hit {
+				return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
+			}
 		}
 	}
 	return nil
@@ -424,7 +439,7 @@ func (db *DB) checkDeclarative(tx *writeTx, t *table, tup relation.Tuple) error 
 func (db *DB) fireInsertTriggers(tx *writeTx, t *table, tup relation.Tuple) error {
 	name := t.rs.Name
 	for _, nc := range db.procNulls[name] {
-		db.countTrig()
+		tx.countTrig()
 		probe := relation.New(t.rs.AttrNames()...)
 		probe.Add(tup)
 		if !nc.Satisfied(probe) {
@@ -435,14 +450,20 @@ func (db *DB) fireInsertTriggers(tx *writeTx, t *table, tup relation.Tuple) erro
 		if ind.KeyBased(db.Schema) {
 			continue
 		}
-		db.countTrig()
+		tx.countTrig()
 		fk := projectAttrs(t, tup, ind.LeftAttrs)
 		if !fk.IsTotal() {
 			continue
 		}
-		db.countIdx()
+		tx.countIdx()
 		if len(tx.bucket(db.tables[ind.Right], secondaryKey(ind.RightAttrs), fk.EncodeKey())) == 0 {
-			return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
+			hit, err := db.probeReferenced(ind, fk.EncodeKey())
+			if err != nil {
+				return err
+			}
+			if !hit {
+				return db.violation(&ConstraintViolation{Kind: ForeignKeyViolation, Relation: name, Constraint: ind.String(), Op: "insert"})
+			}
 		}
 	}
 	return nil

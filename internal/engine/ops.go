@@ -95,18 +95,27 @@ func (db *DB) deleteLocked(tx *writeTx, t *table, key relation.Tuple, eff *effec
 		return fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
 	for _, ind := range db.indsInto[name] {
-		db.countTrig()
+		tx.countTrig()
 		referenced := projectAttrs(t, tup, ind.RightAttrs)
 		if !referenced.IsTotal() {
 			continue
 		}
-		db.countIdx()
+		tx.countIdx()
 		if len(tx.bucket(db.tables[ind.Left], secondaryKey(ind.LeftAttrs), referenced.EncodeKey())) > 0 {
+			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "delete"})
+		}
+		// An empty local bucket is not authoritative on a partition engine:
+		// a referencing tuple may live in another shard.
+		hit, err := db.probeReferencing(ind, referenced.EncodeKey())
+		if err != nil {
+			return err
+		}
+		if hit {
 			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "delete"})
 		}
 	}
 	eff.remove(tx, t, tup)
-	db.countDelete()
+	tx.countDelete()
 	return nil
 }
 
@@ -165,19 +174,26 @@ func (db *DB) updateLocked(tx *writeTx, t *table, key, newTup relation.Tuple, ef
 	}
 	// Referenced-side integrity for the vanishing old values.
 	for _, ind := range db.indsInto[name] {
-		db.countTrig()
+		tx.countTrig()
 		oldRef := projectAttrs(t, old, ind.RightAttrs)
 		newRef := projectAttrs(t, newTup, ind.RightAttrs)
 		if !oldRef.IsTotal() || oldRef.Identical(newRef) {
 			continue
 		}
-		db.countIdx()
+		tx.countIdx()
 		if len(tx.bucket(db.tables[ind.Left], secondaryKey(ind.LeftAttrs), oldRef.EncodeKey())) > 0 {
+			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
+		}
+		hit, err := db.probeReferencing(ind, oldRef.EncodeKey())
+		if err != nil {
+			return err
+		}
+		if hit {
 			return db.violation(&ConstraintViolation{Kind: RestrictViolation, Relation: name, Constraint: ind.String(), Op: "update"})
 		}
 	}
 	eff.apply(tx, t, newTup)
-	db.countUpdate()
+	tx.countUpdate()
 	return nil
 }
 

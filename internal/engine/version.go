@@ -54,6 +54,49 @@ type writeTx struct {
 	db   *DB
 	snap *dbSnapshot
 	work map[*table]*workTable
+	// dry marks a prevalidation pass (PrevalidateBatchCtx): the same checks
+	// run against the same staged semantics, but nothing publishes and the
+	// cost counters stay silent, so a cross-shard prevalidate-then-apply pair
+	// accounts each operation exactly once.
+	dry bool
+}
+
+// Cost-accounting forwarders: identical to the db.countX helpers except that
+// a dry-run transaction suppresses them.
+func (tx *writeTx) countInsert() {
+	if !tx.dry {
+		tx.db.countInsert()
+	}
+}
+
+func (tx *writeTx) countDelete() {
+	if !tx.dry {
+		tx.db.countDelete()
+	}
+}
+
+func (tx *writeTx) countUpdate() {
+	if !tx.dry {
+		tx.db.countUpdate()
+	}
+}
+
+func (tx *writeTx) countDecl() {
+	if !tx.dry {
+		tx.db.countDecl()
+	}
+}
+
+func (tx *writeTx) countTrig() {
+	if !tx.dry {
+		tx.db.countTrig()
+	}
+}
+
+func (tx *writeTx) countIdx() {
+	if !tx.dry {
+		tx.db.countIdx()
+	}
 }
 
 // workTable holds the in-progress next version of one table's indexes.

@@ -68,9 +68,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Backend is what the server serves: the engine's operational surface, as
+// implemented by a single *engine.DB or by a shard router fronting several.
+// The server is indifferent to which — every request dispatches through
+// this interface, so `relmerged -shards N` is the same server wrapped
+// around a different backend.
+type Backend interface {
+	InsertCtx(ctx context.Context, name string, tup relation.Tuple) error
+	DeleteCtx(ctx context.Context, name string, key relation.Tuple) error
+	UpdateCtx(ctx context.Context, name string, key, tup relation.Tuple) error
+	GetByKeyCtx(ctx context.Context, name string, key relation.Tuple) (relation.Tuple, bool, error)
+	InsertBatchCtx(ctx context.Context, name string, tuples []relation.Tuple) error
+	ApplyBatchCtx(ctx context.Context, ops []engine.BatchOp) error
+	Begin() error
+	Commit() error
+	Rollback() error
+	// StatsTotals returns the monotonic counters stamped with the current
+	// version LSN (aggregated across shards for a router backend).
+	StatsTotals() engine.StatsSnapshot
+	Checkpoint() error
+	Durable() bool
+	Close() error
+}
+
 // Server serves engine operations over the relmerged wire protocol.
 type Server struct {
-	db  *engine.DB
+	db  Backend
 	cfg Config
 	m   *serverMetrics
 
@@ -109,10 +132,11 @@ type task struct {
 	start  time.Time
 }
 
-// New builds a server around an open engine and starts its worker pool. The
-// server assumes ownership of the engine's lifecycle: a graceful Shutdown
-// checkpoints (when durable) and closes it.
-func New(db *engine.DB, cfg Config) *Server {
+// New builds a server around an open backend — an engine, or a shard
+// router — and starts its worker pool. The server assumes ownership of the
+// backend's lifecycle: a graceful Shutdown checkpoints (when durable) and
+// closes it.
+func New(db Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -670,9 +694,7 @@ func (s *Server) dispatch(t *task) *Response {
 		}
 		return &Response{OK: true}
 	case OpStats:
-		st := s.db.Stats.Totals()
-		st.VersionLSN = s.db.VersionLSN()
-		return &Response{OK: true, Stats: toWireStats(st)}
+		return &Response{OK: true, Stats: toWireStats(s.db.StatsTotals())}
 	case OpCheckpoint:
 		if err := s.db.Checkpoint(); err != nil {
 			return fail(err)

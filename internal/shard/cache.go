@@ -1,0 +1,95 @@
+package shard
+
+import "sync"
+
+// probeCache is one shard's read-through cache of remote referenced keys:
+// "relation R on its owning shard has a row with primary key K". Only
+// positive answers are cached — a positive can be invalidated precisely
+// (the delete or update that falsifies it runs through the router, which
+// drops the entry before releasing the edge lock that ordered it against
+// concurrent probes), whereas a cached negative could be falsified by an
+// insert on the owning shard with no natural invalidation point on the
+// probing one.
+//
+// Eviction is random-victim (Go map iteration order) at a fixed capacity:
+// the cache is a correctness-neutral accelerator, so recency bookkeeping is
+// not worth its contention.
+type probeCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]struct{}
+}
+
+func newProbeCache(max int) *probeCache {
+	if max < 0 {
+		max = 0
+	}
+	return &probeCache{max: max, m: make(map[string]struct{})}
+}
+
+func cacheKey(rel, encodedKey string) string {
+	return rel + "\x00" + encodedKey
+}
+
+func (c *probeCache) has(k string) bool {
+	if c.max == 0 {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.m[k]
+	c.mu.Unlock()
+	return ok
+}
+
+func (c *probeCache) put(k string) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		for victim := range c.m {
+			delete(c.m, victim)
+			break
+		}
+	}
+	c.m[k] = struct{}{}
+	c.mu.Unlock()
+}
+
+func (c *probeCache) drop(k string) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	delete(c.m, k)
+	c.mu.Unlock()
+}
+
+func (c *probeCache) clear() {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.m = make(map[string]struct{})
+	c.mu.Unlock()
+}
+
+// invalidate drops the key from every shard's cache. Called with the
+// falsifying operation's edge locks still held, so a probe that raced the
+// invalidation either cached before (dropped here) or probes after (sees
+// the new truth on the owning shard).
+func (r *Router) invalidate(rel, encodedKey string) {
+	k := cacheKey(rel, encodedKey)
+	for _, c := range r.caches {
+		c.drop(k)
+	}
+}
+
+// clearCaches empties every shard's probe cache (transaction rollback: a
+// rolled-back insert may have seeded positives that the rollback silently
+// falsifies).
+func (r *Router) clearCaches() {
+	for _, c := range r.caches {
+		c.clear()
+	}
+}

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// overlay is the pending cross-shard batch, indexed for probe lookups: the
+// net tuples the batch introduces and the primary keys it removes, per
+// relation. While a cross-shard batch holds the router lock exclusively,
+// every shard's prevalidation (and the subsequent applies) see the whole
+// batch through this overlay, which is what makes the batch validate
+// set-wise: an insert on shard A can satisfy a foreign key checked on shard
+// B, and a delete on shard B is visible to shard A's restrict checks,
+// regardless of where either op sits in the batch.
+type overlay struct {
+	ins map[string]map[string]relation.Tuple // relation -> encoded pk -> tuple
+	del map[string]map[string]bool           // relation -> encoded pk -> removed
+}
+
+func newOverlay() *overlay {
+	return &overlay{
+		ins: make(map[string]map[string]relation.Tuple),
+		del: make(map[string]map[string]bool),
+	}
+}
+
+func (o *overlay) addIns(rel, pk string, tup relation.Tuple) {
+	m := o.ins[rel]
+	if m == nil {
+		m = make(map[string]relation.Tuple)
+		o.ins[rel] = m
+	}
+	m[pk] = tup
+}
+
+func (o *overlay) addDel(rel, pk string) {
+	m := o.del[rel]
+	if m == nil {
+		m = make(map[string]bool)
+		o.del[rel] = m
+	}
+	m[pk] = true
+}
+
+// probeReferenced answers a shard engine's cross-partition foreign-key
+// question: does the referenced relation hold a row with this key? For
+// key-based dependencies key is the referenced relation's encoded primary
+// key (in pk attribute order), so ownership is decidable and the answer
+// comes from one two-step probe of the owning shard, through the calling
+// shard's read-through cache. For non-key dependencies the referenced value
+// is not a routing key, so every sibling shard's secondary index is asked.
+//
+// The calling shard's own state is never consulted here: the engine probes
+// only after missing in its local staged view, which is authoritative for
+// rows the shard owns — answering from the shard's published version would
+// resurrect rows a staged sub-batch already deleted.
+func (r *Router) probeReferenced(self int, ind schema.IND, key string) bool {
+	if !ind.KeyBased(r.schema) {
+		// Value-based: ask each sibling's referenced-side index directly.
+		// The pending overlay is keyed by primary key, not by referenced
+		// value, so it cannot answer here; cross-shard batches are therefore
+		// conservative for value-based dependencies (see DESIGN.md).
+		for i, db := range r.shards {
+			if i == self {
+				continue
+			}
+			r.m.remoteProbes.Inc()
+			if db.HasReferenced(ind, key) {
+				return true
+			}
+		}
+		return false
+	}
+	if p := r.pending; p != nil {
+		if _, ok := p.ins[ind.Right][key]; ok {
+			r.m.overlayHits.Inc()
+			return true
+		}
+		if p.del[ind.Right][key] {
+			r.m.overlayHits.Inc()
+			return false
+		}
+	}
+	owner := r.ShardOf(key)
+	if owner == self {
+		// The local staged view already missed, and it is the truth for
+		// keys this shard owns.
+		return false
+	}
+	ck := cacheKey(ind.Right, key)
+	if r.caches[self].has(ck) {
+		r.m.cacheHits.Inc()
+		return true
+	}
+	r.m.remoteProbes.Inc()
+	if r.shards[owner].HasKey(ind.Right, key) {
+		r.caches[self].put(ck)
+		return true
+	}
+	return false
+}
+
+// probeReferencing answers the referenced side's restrict question: after
+// this shard found no local referencing tuple, does one exist elsewhere?
+// refKey is the encoded projection of the disappearing row onto the
+// dependency's referenced attributes.
+//
+// The pending overlay is consulted first, in two directions. If the batch
+// re-introduces a referenced row carrying the same value, the value
+// survives the batch and nothing dangles — this is what preserves the
+// engine's "referenced attributes unchanged" update semantics when a
+// key-moving update is decomposed into delete+insert across shards. If the
+// batch inserts a referencing row with the value, the delete must restrict
+// even though no shard has published that row yet.
+func (r *Router) probeReferencing(self int, ind schema.IND, refKey string) bool {
+	if p := r.pending; p != nil {
+		rm := r.meta[ind.Right]
+		rightPos := rm.hdr.Positions(ind.RightAttrs)
+		for _, tup := range p.ins[ind.Right] {
+			if len(tup) == rm.arity && tup.Project(rightPos).EncodeKey() == refKey {
+				r.m.overlayHits.Inc()
+				return false
+			}
+		}
+		lm := r.meta[ind.Left]
+		leftPos := lm.hdr.Positions(ind.LeftAttrs)
+		for _, tup := range p.ins[ind.Left] {
+			if len(tup) != lm.arity {
+				continue
+			}
+			proj := tup.Project(leftPos)
+			if proj.IsTotal() && proj.EncodeKey() == refKey {
+				r.m.overlayHits.Inc()
+				return true
+			}
+		}
+	}
+	for i, db := range r.shards {
+		if i == self {
+			continue
+		}
+		r.m.remoteProbes.Inc()
+		keys := db.ReferencingKeys(ind, refKey)
+		if r.pending == nil {
+			if len(keys) > 0 {
+				return true
+			}
+			continue
+		}
+		for _, k := range keys {
+			if !r.pending.del[ind.Left][k] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+	"repro/pkg/relmerge"
+)
+
+// InsertConfig shapes one concurrent insert-only run against a Session: the
+// write-scaling driver behind the shard benchmarks. Row receives a globally
+// unique index, so the caller controls the key scheme (fresh keys per op) and
+// any foreign-key targets without the driver knowing the schema.
+type InsertConfig struct {
+	// Workers is the number of closed-loop goroutines (minimum 1).
+	Workers int
+	// Ops is the total insert count, split evenly across workers.
+	Ops int
+	// Relation is the target relation name.
+	Relation string
+	// Row builds the tuple for the i-th insert; i is unique across workers
+	// and runs sequentially from Base.
+	Row func(i int) relation.Tuple
+	// Base offsets the index stream, keeping keys disjoint across runs
+	// against the same session.
+	Base int
+}
+
+// InsertResult reports one insert-only run: throughput and per-operation
+// latency percentiles.
+type InsertResult struct {
+	Ops       int
+	Errors    int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	P50       time.Duration
+	P99       time.Duration
+}
+
+// RunInsertsOn drives cfg.Ops inserts through the Session from cfg.Workers
+// closed-loop goroutines, each owning a disjoint index range. The first error
+// per worker is kept (and counted); remaining inserts still run, so the
+// throughput figure always covers the configured op count. The session is
+// not closed.
+func RunInsertsOn(sess relmerge.Session, cfg InsertConfig) (InsertResult, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := cfg.Ops / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		lats = make([][]time.Duration, workers)
+		errs = make([]error, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				idx := cfg.Base + w*perWorker + i
+				t0 := time.Now()
+				if err := sess.Insert(cfg.Relation, cfg.Row(idx)); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := InsertResult{Elapsed: elapsed}
+	var all []time.Duration
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		all = append(all, lats[w]...)
+		if errs[w] != nil {
+			res.Errors++
+			firstErr = errs[w]
+		}
+	}
+	res.Ops = len(all)
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 50)
+	res.P99 = percentile(all, 99)
+	return res, firstErr
+}

@@ -1,0 +1,139 @@
+package relmerge
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// BackendKind selects what an Open'd Session runs on.
+type BackendKind int
+
+const (
+	// Embedded runs the engine in-process (the zero value — plain
+	// Open(Config{Schema: s}) gives an embedded session).
+	Embedded BackendKind = iota
+	// Remote connects to a relmerged server over TCP.
+	Remote
+	// Sharded runs N in-process engines behind a hash-partitioning router
+	// that checks inclusion dependencies across shards.
+	Sharded
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case Embedded:
+		return "embedded"
+	case Remote:
+		return "remote"
+	case Sharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("BackendKind(%d)", int(k))
+}
+
+// Config describes a Session for Open: which backend, and the few fields
+// that backend needs. Zero values are meaningful everywhere — the minimal
+// embedded session is Open(Config{Schema: s}), the minimal remote one
+// Open(Config{Backend: Remote, Addr: addr}).
+type Config struct {
+	// Backend selects the implementation (default Embedded).
+	Backend BackendKind
+
+	// Schema is the relational schema (Embedded and Sharded; ignored by
+	// Remote — the server owns the schema).
+	Schema *Schema
+
+	// Addr is the relmerged server address (Remote only).
+	Addr string
+	// RemoteOptions tune the remote client: pool size, timeouts, retries
+	// (Remote only).
+	RemoteOptions []RemoteOption
+
+	// Shards is the partition count (Sharded only; must be >= 1).
+	Shards int
+	// ShardCacheSize bounds each shard's read-through cache of remote
+	// referenced keys (Sharded only; 0 = default, negative disables).
+	ShardCacheSize int
+
+	// DurableDir, when set, opens a write-ahead log there (Embedded), or one
+	// per shard in subdirectories shard-<i> (Sharded). An existing log is
+	// recovered from first.
+	DurableDir string
+	// Sync is the fsync policy of the log(s) (default SyncNever). Ignored
+	// unless DurableDir is set.
+	Sync SyncPolicy
+
+	// EngineOptions are extra engine options — access-delay simulation,
+	// metric names — applied to the embedded engine or to every shard.
+	EngineOptions []EngineOption
+	// Registry receives the backend's metric series (Embedded and Sharded;
+	// nil keeps each engine's private registry).
+	Registry *Registry
+}
+
+// Open is the one constructor for every Session backend: embedded engine,
+// remote client, or sharded router, selected by cfg.Backend. The returned
+// Session behaves identically across backends — same method set, same error
+// taxonomy (sentinels, *ConstraintViolation, Code), as enforced by the
+// cross-backend conformance suite.
+//
+// OpenSession, Dial, and NewShardedSession remain as typed wrappers for
+// callers that want the concrete session type.
+func Open(cfg Config) (Session, error) {
+	switch cfg.Backend {
+	case Embedded:
+		if cfg.Schema == nil {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Schema", cfg.Backend)
+		}
+		opts := append([]EngineOption{}, cfg.EngineOptions...)
+		if cfg.Registry != nil {
+			opts = append(opts, WithEngineRegistry(cfg.Registry))
+		}
+		if cfg.DurableDir != "" {
+			opts = append(opts, WithDurability(cfg.DurableDir, cfg.Sync))
+		}
+		eng, err := OpenEngine(cfg.Schema, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return NewSession(eng), nil
+
+	case Remote:
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Addr", cfg.Backend)
+		}
+		var o server.ClientOptions
+		for _, opt := range cfg.RemoteOptions {
+			opt(&o)
+		}
+		c, err := server.Dial(cfg.Addr, o)
+		if err != nil {
+			return nil, err
+		}
+		return &RemoteSession{c: c}, nil
+
+	case Sharded:
+		if cfg.Schema == nil {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Schema", cfg.Backend)
+		}
+		if cfg.Shards < 1 {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Shards >= 1 (got %d)", cfg.Backend, cfg.Shards)
+		}
+		r, err := shard.Open(cfg.Schema, shard.Config{
+			Shards:        cfg.Shards,
+			Registry:      cfg.Registry,
+			WALDir:        cfg.DurableDir,
+			WALOpts:       wal.Options{Policy: cfg.Sync},
+			EngineOptions: cfg.EngineOptions,
+			CacheSize:     cfg.ShardCacheSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewShardedSession(r), nil
+	}
+	return nil, fmt.Errorf("relmerge: Open: unknown backend %v", cfg.Backend)
+}

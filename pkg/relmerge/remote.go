@@ -53,19 +53,16 @@ func WithRetryBackoff(d time.Duration) RemoteOption {
 	return func(o *server.ClientOptions) { o.RetryBackoff = d }
 }
 
-// Dial connects to a relmerged server and returns it as a Session. The
-// protocol handshake runs eagerly on the first connection, so a wrong
-// address or version mismatch fails here, not on the first operation.
+// Dial connects to a relmerged server and returns it as a Session: a typed
+// wrapper around Open(Config{Backend: Remote, Addr: addr}). The protocol
+// handshake runs eagerly on the first connection, so a wrong address or
+// version mismatch fails here, not on the first operation.
 func Dial(addr string, opts ...RemoteOption) (*RemoteSession, error) {
-	var o server.ClientOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
-	c, err := server.Dial(addr, o)
+	sess, err := Open(Config{Backend: Remote, Addr: addr, RemoteOptions: opts})
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteSession{c: c}, nil
+	return sess.(*RemoteSession), nil
 }
 
 func (s *RemoteSession) Insert(relName string, tup Tuple) error {

@@ -68,14 +68,14 @@ type EmbeddedSession struct {
 // Close does close the engine.
 func NewSession(e *Engine) *EmbeddedSession { return &EmbeddedSession{eng: e} }
 
-// OpenSession opens an engine over the schema and wraps it (OpenEngine +
-// NewSession).
+// OpenSession opens an embedded session over the schema: a typed wrapper
+// around Open(Config{Backend: Embedded, Schema: s, EngineOptions: opts}).
 func OpenSession(s *Schema, opts ...EngineOption) (*EmbeddedSession, error) {
-	e, err := OpenEngine(s, opts...)
+	sess, err := Open(Config{Backend: Embedded, Schema: s, EngineOptions: opts})
 	if err != nil {
 		return nil, err
 	}
-	return NewSession(e), nil
+	return sess.(*EmbeddedSession), nil
 }
 
 // Engine returns the wrapped engine, for callers that need APIs beyond the

@@ -44,13 +44,20 @@ func e(id, dept, pay string) relmerge.Tuple {
 
 func k(id string) relmerge.Tuple { return relmerge.Tuple{relmerge.NewString(id)} }
 
-// withBackends runs one conformance body against a fresh embedded session
-// and a fresh remote session (relmerged server over loopback). The Session
-// contract — results, error sentinels, error codes — must be identical.
+// withBackends runs one conformance body against a fresh embedded session,
+// a fresh remote session (relmerged server over loopback), and a fresh
+// sharded session (3-way hash-partitioned router) — every one constructed
+// through the unified relmerge.Open entrypoint. The Session contract —
+// results, error sentinels, error codes, constraint-violation kinds (
+// including for dependencies whose two sides land on different shards) —
+// must be identical.
 func withBackends(t *testing.T, body func(t *testing.T, sess relmerge.Session)) {
 	t.Helper()
 	t.Run("embedded", func(t *testing.T) {
-		sess, err := relmerge.OpenSession(confSchema(), relmerge.WithEngineRegistry(obs.NewRegistry()))
+		sess, err := relmerge.Open(relmerge.Config{
+			Schema:   confSchema(),
+			Registry: obs.NewRegistry(),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +76,23 @@ func withBackends(t *testing.T, body func(t *testing.T, sess relmerge.Session)) 
 		}
 		go srv.Serve(ln)
 		t.Cleanup(func() { srv.Close() })
-		sess, err := relmerge.Dial(ln.Addr().String())
+		sess, err := relmerge.Open(relmerge.Config{
+			Backend: relmerge.Remote,
+			Addr:    ln.Addr().String(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		body(t, sess)
+	})
+	t.Run("sharded", func(t *testing.T) {
+		sess, err := relmerge.Open(relmerge.Config{
+			Backend:  relmerge.Sharded,
+			Schema:   confSchema(),
+			Shards:   3,
+			Registry: obs.NewRegistry(),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
