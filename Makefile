@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test probe bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test proto-test fuzz-short probe bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, and the quick probes (read-under-write + cross-shard IND)
-check: fmt vet metriclint build race stress crash serve-test shard-test probe
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, wire protocol (negotiation + golden vectors + short fuzz), and the quick probes (read-under-write + cross-shard IND)
+check: fmt vet metriclint build race stress crash serve-test shard-test proto-test probe
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -41,6 +41,17 @@ serve-test:
 shard-test:
 	$(GO) test -race -count=1 -run 'HashKey|Router|CrossShard|Shard|NonKeyIND|ProbeCache' ./internal/shard/
 
+## proto-test: the wire-protocol suite — version negotiation matrix, binary golden vectors, codec round trips, encode allocation budget — fresh under the race detector, then a short fuzz of both codecs
+proto-test:
+	$(GO) test -race -count=1 -run 'Negotiation|Golden|Binary|Version|Fallback|Taxonomy|WriteFrame|EncodeAllocs' ./internal/server/
+	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/server/
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/server/
+
+## fuzz-short: a longer fuzz pass over the wire codecs (frame reader + binary round trip)
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 60s ./internal/server/
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 60s ./internal/server/
+
 ## probe: the quick gates — the MVCC read path stays lock-free beside a saturating writer, and cross-shard routing exercises the IND probe path and rejects dangling keys
 probe:
 	$(GO) run ./cmd/benchreport -probe
@@ -48,6 +59,6 @@ probe:
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR7.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR8.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR7.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR8.json

@@ -87,6 +87,8 @@ type benchReport struct {
 	ReadUnderRatios    map[string]float64    `json:"read_under_write_ratios"`
 	Sharding           suite[shardingRow]    `json:"sharding"`
 	ShardingSpeedups   map[string]float64    `json:"sharding_speedups"`
+	Protocol           suite[protocolRow]    `json:"protocol"`
+	ProtocolRatios     map[string]float64    `json:"protocol_ratios"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -350,6 +352,11 @@ func runJSON(path string) error {
 		return err
 	}
 
+	protocol, protocolRatios, err := protocolSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
 		Meta:               runMeta(),
 		Probes:             newSuite(probes),
@@ -367,6 +374,8 @@ func runJSON(path string) error {
 		ReadUnderRatios:    readUnderRatios,
 		Sharding:           newSuite(sharding),
 		ShardingSpeedups:   shardingSpeedups,
+		Protocol:           newSuite(protocol),
+		ProtocolRatios:     protocolRatios,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range report.Probes.Rows {
@@ -449,6 +458,15 @@ func runJSON(path string) error {
 	for _, k := range []string{"local/1to4", "local/1to8", "xshard/1to4", "xshard/1to8"} {
 		if s, ok := report.ShardingSpeedups[k]; ok {
 			fmt.Printf("  %-14s %.1fx\n", k, s)
+		}
+	}
+	fmt.Printf("wire protocol, binary / json throughput ratio:\n")
+	for _, mix := range protocolMixes {
+		for _, clients := range protocolClients {
+			k := fmt.Sprintf("%s/clients=%d", mix.Name, clients)
+			if s, ok := report.ProtocolRatios[k]; ok {
+				fmt.Printf("  %-26s %.2fx\n", k, s)
+			}
 		}
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/sdl"
 	"repro/internal/state"
 	"repro/internal/wal"
+	"repro/pkg/relmerge"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 		metrics    = flag.String("metrics", "", "append an observability report (json or text): replays -data or a built-in state into base and merged engines sharing one registry")
 		durableDir = flag.String("durable", "", "directory for the metrics engines' write-ahead logs: the replay is logged, checkpointed, and recoverable (requires -metrics; a reopened directory recovers instead of replaying)")
 		fsyncMode  = flag.String("fsync", "interval", "fsync policy for -durable: always, interval, or never")
+		remoteAddr = flag.String("remote", "", "address of a running relmerged server: replay -data (or the built-in state) into it instead of reporting locally")
+		wireMode   = flag.String("wire", "binary", "wire codec offered to -remote: binary (protocol v2) or json (v1)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,23 @@ func main() {
 	s, err := loadSchema(*schemaPath, *useFig3)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -remote replays the chosen state into a running relmerged server (which
+	// must serve this same schema) instead of reporting locally.
+	if *remoteAddr != "" {
+		wire, err := relmerge.ParseWire(*wireMode)
+		if err != nil {
+			fatal(fmt.Errorf("relmerge: %w", err))
+		}
+		st, err := replayState(s, *dataPath, *useFig3)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runRemoteLoad(os.Stdout, *remoteAddr, wire, s, st); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *plan {

@@ -1,8 +1,9 @@
-// Command relmerged serves a relmerge engine over the length-prefixed JSON
-// wire protocol (see internal/server): inserts, deletes, updates, key
-// fetches, batches, transactions, stats, and checkpoints, with per-request
-// deadlines, admission control, and server-side write coalescing aligned
-// with the write-ahead log's group commit.
+// Command relmerged serves a relmerge engine over the length-prefixed wire
+// protocol (see internal/server) — binary v2 by default, negotiated down to
+// JSON v1 per connection: inserts, deletes, updates, key fetches, batches,
+// transactions, stats, and checkpoints, with per-request deadlines,
+// admission control, and server-side write coalescing aligned with the
+// write-ahead log's group commit.
 //
 // Usage:
 //
@@ -46,6 +47,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS, at least 4)")
 		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64); a full queue rejects with code overloaded")
 		coalesce    = flag.Int("coalesce", 0, "max queued writes folded into one engine batch and WAL record (0 = default 16, 1 disables)")
+		wire        = flag.String("wire", "binary", "highest wire codec to negotiate: binary (protocol v2) or json (v1 only); v1-only clients get JSON either way")
 		accessDelay = flag.Duration("access-delay", 0, "simulated storage access delay per operation (benchmark knob)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
 		quiet       = flag.Bool("quiet", false, "suppress lifecycle log lines")
@@ -55,6 +57,15 @@ func main() {
 	fsyncPolicy, err := relmerge.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
 		fatal(fmt.Errorf("relmerged: %w", err))
+	}
+
+	maxWire := server.MaxProtoVersion
+	switch *wire {
+	case "binary":
+	case "json":
+		maxWire = server.ProtoVersion
+	default:
+		fatal(fmt.Errorf("relmerged: unknown -wire codec %q (want binary or json)", *wire))
 	}
 
 	s, err := loadSchema(*schemaPath, *useFig3)
@@ -136,6 +147,7 @@ func main() {
 	srv := server.New(db, server.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
+		MaxWire:     maxWire,
 		CoalesceMax: *coalesce,
 		Logf:        logf,
 	})

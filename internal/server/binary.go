@@ -1,0 +1,579 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// The protocol v2 binary codec. A v2 frame keeps the v1 framing (4-byte
+// big-endian length prefix, bounded by MaxFrame) but replaces the JSON body
+// with a compact binary encoding: one opcode byte, unsigned varints for IDs,
+// lengths, and counts, signed varints for integer values, and raw
+// little-endian IEEE 754 bits for floats — so NaN payloads and signed zero
+// survive bit-exactly without the v1 hex-string detour. Strings travel as
+// length-prefixed raw bytes.
+//
+// The encoding is a frozen compatibility contract: wire_golden_test.go pins
+// byte-exact vectors for every frame shape, and any change that breaks them
+// needs a new protocol version, not an edit. Both request and response
+// bodies are strict — trailing bytes after the last field fail the decode
+// (and therefore the connection) closed.
+//
+// Field order is fixed and every field is always present (absent fields
+// encode as a zero count or empty string, one byte each), which keeps the
+// decoder branch-free and the golden vectors total:
+//
+//	Request  = opcode u8 | id uvarint | deadline_ms uvarint | version uvarint
+//	         | relation string | key tuple | tuple tuple
+//	         | ntuples uvarint tuple... | nops uvarint op...
+//	op       = kind u8 (insert/delete/update opcode) | relation string
+//	         | key tuple | tuple tuple
+//	Response = id uvarint | flags u8 | code string | error string
+//	         | [version uvarint] | [violation] | [tuple] | [stats]
+//	violation= kind u8 | relation string | attr string | constraint string | op string
+//	stats    = 9 uvarints (inserts deletes updates lookups declarative_checks
+//	           trigger_firings index_lookups tuples_scanned version_lsn)
+//	tuple    = count uvarint | value...          (count 0 = absent/nil)
+//	string   = len uvarint | raw bytes
+//	value    = tag u8 | payload (tag-dependent, see binVal*)
+
+// Binary opcodes, one per protocol operation. Frozen.
+const (
+	binOpHello       = 0x01
+	binOpPing        = 0x02
+	binOpInsert      = 0x03
+	binOpDelete      = 0x04
+	binOpUpdate      = 0x05
+	binOpFetch       = 0x06
+	binOpInsertBatch = 0x07
+	binOpApplyBatch  = 0x08
+	binOpBegin       = 0x09
+	binOpCommit      = 0x0a
+	binOpRollback    = 0x0b
+	binOpStats       = 0x0c
+	binOpCheckpoint  = 0x0d
+)
+
+// Binary value tags. Booleans fold their value into the tag. Frozen.
+const (
+	binValNull   = 0x00
+	binValString = 0x01 // uvarint length + raw bytes
+	binValInt    = 0x02 // signed (zigzag) varint
+	binValFloat  = 0x03 // 8 bytes, little-endian IEEE 754 bits
+	binValFalse  = 0x04
+	binValTrue   = 0x05
+)
+
+// Response flag bits. Frozen.
+const (
+	binFlagOK        = 1 << 0
+	binFlagFound     = 1 << 1
+	binFlagTuple     = 1 << 2
+	binFlagViolation = 1 << 3
+	binFlagStats     = 1 << 4
+	binFlagVersion   = 1 << 5
+)
+
+func opToOpcode(op string) (byte, bool) {
+	switch op {
+	case OpHello:
+		return binOpHello, true
+	case OpPing:
+		return binOpPing, true
+	case OpInsert:
+		return binOpInsert, true
+	case OpDelete:
+		return binOpDelete, true
+	case OpUpdate:
+		return binOpUpdate, true
+	case OpFetch:
+		return binOpFetch, true
+	case OpInsertBatch:
+		return binOpInsertBatch, true
+	case OpApplyBatch:
+		return binOpApplyBatch, true
+	case OpBegin:
+		return binOpBegin, true
+	case OpCommit:
+		return binOpCommit, true
+	case OpRollback:
+		return binOpRollback, true
+	case OpStats:
+		return binOpStats, true
+	case OpCheckpoint:
+		return binOpCheckpoint, true
+	}
+	return 0, false
+}
+
+func opcodeToOp(b byte) (string, bool) {
+	switch b {
+	case binOpHello:
+		return OpHello, true
+	case binOpPing:
+		return OpPing, true
+	case binOpInsert:
+		return OpInsert, true
+	case binOpDelete:
+		return OpDelete, true
+	case binOpUpdate:
+		return OpUpdate, true
+	case binOpFetch:
+		return OpFetch, true
+	case binOpInsertBatch:
+		return OpInsertBatch, true
+	case binOpApplyBatch:
+		return OpApplyBatch, true
+	case binOpBegin:
+		return OpBegin, true
+	case binOpCommit:
+		return OpCommit, true
+	case binOpRollback:
+		return OpRollback, true
+	case binOpStats:
+		return OpStats, true
+	case binOpCheckpoint:
+		return OpCheckpoint, true
+	}
+	return "", false
+}
+
+// --- encoding (append into the caller's pooled buffer, no allocation) ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendValue encodes one wire value. The payload string must be in the
+// canonical form EncodeValue produces; anything else (bad int digits, bad
+// float hex, bad bool) is an encode error, mirroring what DecodeValue would
+// reject on the JSON path.
+func appendValue(dst []byte, w WireValue) ([]byte, error) {
+	switch w.T {
+	case "n":
+		return append(dst, binValNull), nil
+	case "s":
+		dst = append(dst, binValString)
+		return appendString(dst, w.V), nil
+	case "i":
+		n, err := strconv.ParseInt(w.V, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad int value %q", w.V)
+		}
+		dst = append(dst, binValInt)
+		return binary.AppendVarint(dst, n), nil
+	case "f":
+		bits, err := strconv.ParseUint(w.V, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float value %q", w.V)
+		}
+		dst = append(dst, binValFloat)
+		return binary.LittleEndian.AppendUint64(dst, bits), nil
+	case "b":
+		switch w.V {
+		case "1":
+			return append(dst, binValTrue), nil
+		case "0":
+			return append(dst, binValFalse), nil
+		}
+		return nil, fmt.Errorf("bad bool value %q", w.V)
+	}
+	return nil, fmt.Errorf("unknown value kind %q", w.T)
+}
+
+func appendWireTuple(dst []byte, t []WireValue) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	var err error
+	for _, w := range t {
+		if dst, err = appendValue(dst, w); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// appendRequestBinary encodes one request as a v2 body.
+func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
+	oc, ok := opToOpcode(req.Op)
+	if !ok {
+		return nil, fmt.Errorf("unknown op %q", req.Op)
+	}
+	dst = append(dst, oc)
+	dst = binary.AppendUvarint(dst, req.ID)
+	dst = binary.AppendUvarint(dst, uint64(req.DeadlineMS))
+	dst = binary.AppendUvarint(dst, uint64(req.Version))
+	dst = appendString(dst, req.Relation)
+	var err error
+	if dst, err = appendWireTuple(dst, req.Key); err != nil {
+		return nil, err
+	}
+	if dst, err = appendWireTuple(dst, req.Tuple); err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(req.Tuples)))
+	for _, t := range req.Tuples {
+		if dst, err = appendWireTuple(dst, t); err != nil {
+			return nil, err
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(req.Ops)))
+	for _, op := range req.Ops {
+		kc, ok := opToOpcode(op.Kind)
+		if !ok || (kc != binOpInsert && kc != binOpDelete && kc != binOpUpdate) {
+			return nil, fmt.Errorf("unknown batch kind %q", op.Kind)
+		}
+		dst = append(dst, kc)
+		dst = appendString(dst, op.Relation)
+		if dst, err = appendWireTuple(dst, op.Key); err != nil {
+			return nil, err
+		}
+		if dst, err = appendWireTuple(dst, op.Tuple); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// appendResponseBinary encodes one response as a v2 body.
+func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, resp.ID)
+	var flags byte
+	if resp.OK {
+		flags |= binFlagOK
+	}
+	if resp.Found {
+		flags |= binFlagFound
+	}
+	if len(resp.Tuple) > 0 {
+		flags |= binFlagTuple
+	}
+	if resp.Violation != nil {
+		flags |= binFlagViolation
+	}
+	if resp.Stats != nil {
+		flags |= binFlagStats
+	}
+	if resp.Version != 0 {
+		flags |= binFlagVersion
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, string(resp.Code))
+	dst = appendString(dst, resp.Error)
+	if flags&binFlagVersion != 0 {
+		dst = binary.AppendUvarint(dst, uint64(resp.Version))
+	}
+	if v := resp.Violation; v != nil {
+		dst = append(dst, v.Kind)
+		dst = appendString(dst, v.Relation)
+		dst = appendString(dst, v.Attr)
+		dst = appendString(dst, v.Constraint)
+		dst = appendString(dst, v.Op)
+	}
+	if flags&binFlagTuple != 0 {
+		var err error
+		if dst, err = appendWireTuple(dst, resp.Tuple); err != nil {
+			return nil, err
+		}
+	}
+	if s := resp.Stats; s != nil {
+		for _, n := range []int{s.Inserts, s.Deletes, s.Updates, s.Lookups,
+			s.DeclarativeChecks, s.TriggerFirings, s.IndexLookups, s.TuplesScanned} {
+			dst = binary.AppendUvarint(dst, uint64(n))
+		}
+		dst = binary.AppendUvarint(dst, s.VersionLSN)
+	}
+	return dst, nil
+}
+
+// --- decoding (strict: bounds-checked, no trailing bytes) ---
+
+// binReader walks one v2 body. Every length and count is validated against
+// the remaining bytes before any allocation sized from it, so a hostile
+// frame can announce, at most, what its own (MaxFrame-bounded) body holds.
+type binReader struct {
+	b   []byte
+	off int
+}
+
+func (r *binReader) remaining() int { return len(r.b) - r.off }
+
+func (r *binReader) u8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("truncated body at byte %d", r.off)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a collection count, rejecting any that could not fit in the
+// remaining bytes even at one byte per element.
+func (r *binReader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()) {
+		return 0, fmt.Errorf("count %d exceeds remaining %d bytes", n, r.remaining())
+	}
+	return int(n), nil
+}
+
+func (r *binReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d bytes", n, r.remaining())
+	}
+	s := string(r.b[r.off : r.off+int(n)]) // copy: the body buffer is pooled
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *binReader) value() (WireValue, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return WireValue{}, err
+	}
+	switch tag {
+	case binValNull:
+		return WireValue{T: "n"}, nil
+	case binValString:
+		s, err := r.str()
+		if err != nil {
+			return WireValue{}, err
+		}
+		return WireValue{T: "s", V: s}, nil
+	case binValInt:
+		n, err := r.varint()
+		if err != nil {
+			return WireValue{}, err
+		}
+		return WireValue{T: "i", V: strconv.FormatInt(n, 10)}, nil
+	case binValFloat:
+		if r.remaining() < 8 {
+			return WireValue{}, fmt.Errorf("truncated float at byte %d", r.off)
+		}
+		bits := binary.LittleEndian.Uint64(r.b[r.off:])
+		r.off += 8
+		return WireValue{T: "f", V: strconv.FormatUint(bits, 16)}, nil
+	case binValFalse:
+		return WireValue{T: "b", V: "0"}, nil
+	case binValTrue:
+		return WireValue{T: "b", V: "1"}, nil
+	}
+	return WireValue{}, fmt.Errorf("unknown value tag 0x%02x", tag)
+}
+
+func (r *binReader) tuple() ([]WireValue, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil // absent tuple, matching v1 omitempty semantics
+	}
+	out := make([]WireValue, n)
+	for i := range out {
+		if out[i], err = r.value(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeRequestBinary parses one v2 request body.
+func decodeRequestBinary(body []byte) (*Request, error) {
+	r := &binReader{b: body}
+	oc, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := opcodeToOp(oc)
+	if !ok {
+		return nil, fmt.Errorf("unknown opcode 0x%02x", oc)
+	}
+	req := &Request{Op: op}
+	if req.ID, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	deadline, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if deadline > math.MaxInt64 {
+		return nil, fmt.Errorf("deadline %d overflows", deadline)
+	}
+	req.DeadlineMS = int64(deadline)
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version > math.MaxInt32 {
+		return nil, fmt.Errorf("version %d overflows", version)
+	}
+	req.Version = int(version)
+	if req.Relation, err = r.str(); err != nil {
+		return nil, err
+	}
+	if req.Key, err = r.tuple(); err != nil {
+		return nil, err
+	}
+	if req.Tuple, err = r.tuple(); err != nil {
+		return nil, err
+	}
+	ntuples, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if ntuples > 0 {
+		req.Tuples = make([][]WireValue, ntuples)
+		for i := range req.Tuples {
+			if req.Tuples[i], err = r.tuple(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nops, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if nops > 0 {
+		req.Ops = make([]WireOp, nops)
+		for i := range req.Ops {
+			kc, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := opcodeToOp(kc)
+			if !ok || (kc != binOpInsert && kc != binOpDelete && kc != binOpUpdate) {
+				return nil, fmt.Errorf("unknown batch kind opcode 0x%02x", kc)
+			}
+			req.Ops[i].Kind = kind
+			if req.Ops[i].Relation, err = r.str(); err != nil {
+				return nil, err
+			}
+			if req.Ops[i].Key, err = r.tuple(); err != nil {
+				return nil, err
+			}
+			if req.Ops[i].Tuple, err = r.tuple(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after request", r.remaining())
+	}
+	return req, nil
+}
+
+// decodeResponseBinary parses one v2 response body.
+func decodeResponseBinary(body []byte) (*Response, error) {
+	r := &binReader{b: body}
+	resp := &Response{}
+	var err error
+	if resp.ID, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	resp.OK = flags&binFlagOK != 0
+	resp.Found = flags&binFlagFound != 0
+	code, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	resp.Code = Code(code)
+	if resp.Error, err = r.str(); err != nil {
+		return nil, err
+	}
+	if flags&binFlagVersion != 0 {
+		version, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if version > math.MaxInt32 {
+			return nil, fmt.Errorf("version %d overflows", version)
+		}
+		resp.Version = int(version)
+	}
+	if flags&binFlagViolation != 0 {
+		v := &WireViolation{}
+		if v.Kind, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if v.Relation, err = r.str(); err != nil {
+			return nil, err
+		}
+		if v.Attr, err = r.str(); err != nil {
+			return nil, err
+		}
+		if v.Constraint, err = r.str(); err != nil {
+			return nil, err
+		}
+		if v.Op, err = r.str(); err != nil {
+			return nil, err
+		}
+		resp.Violation = v
+	}
+	if flags&binFlagTuple != 0 {
+		if resp.Tuple, err = r.tuple(); err != nil {
+			return nil, err
+		}
+	}
+	if flags&binFlagStats != 0 {
+		var ns [8]uint64
+		for i := range ns {
+			if ns[i], err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			if ns[i] > math.MaxInt64 {
+				return nil, fmt.Errorf("stat counter %d overflows", ns[i])
+			}
+		}
+		lsn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		resp.Stats = &WireStats{
+			Inserts:           int(ns[0]),
+			Deletes:           int(ns[1]),
+			Updates:           int(ns[2]),
+			Lookups:           int(ns[3]),
+			DeclarativeChecks: int(ns[4]),
+			TriggerFirings:    int(ns[5]),
+			IndexLookups:      int(ns[6]),
+			TuplesScanned:     int(ns[7]),
+			VersionLSN:        lsn,
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after response", r.remaining())
+	}
+	return resp, nil
+}

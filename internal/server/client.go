@@ -1,18 +1,21 @@
 package server
 
 import (
+	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -38,6 +41,13 @@ type ClientOptions struct {
 	RetryBackoff time.Duration
 	// Seed seeds the backoff jitter; 0 derives one from the clock.
 	Seed int64
+	// MaxWire is the highest protocol version this client offers in the
+	// hello (0 or out of range means MaxProtoVersion). The server answers
+	// min(offer, its own max); set 1 to force the JSON codec.
+	MaxWire int
+	// Registry receives the client-side byte/request counters, labeled
+	// client=<addr>. Nil means no metrics are recorded.
+	Registry *obs.Registry
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -61,6 +71,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.Seed == 0 {
 		o.Seed = time.Now().UnixNano()
 	}
+	if o.MaxWire <= 0 || o.MaxWire > MaxProtoVersion {
+		o.MaxWire = MaxProtoVersion
+	}
 	return o
 }
 
@@ -69,8 +82,11 @@ func (o ClientOptions) withDefaults() ClientOptions {
 type Client struct {
 	addr string
 	opt  ClientOptions
+	m    *clientMetrics
 
 	slots chan struct{} // counting semaphore: open-connection budget
+
+	wireVer atomic.Int32 // last negotiated protocol version
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -80,6 +96,9 @@ type Client struct {
 
 type clientConn struct {
 	nc     net.Conn
+	br     *bufio.Reader
+	ver    int    // negotiated protocol version for this connection
+	rbuf   []byte // reusable frame read buffer
 	nextID uint64
 }
 
@@ -90,6 +109,7 @@ func Dial(addr string, opt ClientOptions) (*Client, error) {
 	c := &Client{
 		addr:  addr,
 		opt:   opt,
+		m:     newClientMetrics(opt.Registry, addr),
 		slots: make(chan struct{}, opt.PoolSize),
 		rng:   rand.New(rand.NewSource(opt.Seed)),
 	}
@@ -125,19 +145,48 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// dial opens one connection, negotiating the wire version: the hello offers
+// opt.MaxWire and the server answers min(offer, its max). A pre-negotiation
+// server rejects any offer above its own version outright; when that happens
+// while we offered >1, redial once offering plain v1 so old servers keep
+// working transparently.
 func (c *Client) dial() (*clientConn, error) {
+	cc, err := c.dialVersion(c.opt.MaxWire)
+	if err != nil && c.opt.MaxWire > ProtoVersion && isVersionReject(err) {
+		cc, err = c.dialVersion(ProtoVersion)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.wireVer.Store(int32(cc.ver))
+	return cc, nil
+}
+
+// isVersionReject reports whether err is a server-side hello rejection of
+// the offered version (as opposed to a transport failure or a wrong-service
+// response), the signal for the JSON fallback redial.
+func isVersionReject(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeProtocol && strings.Contains(re.Msg, "version")
+}
+
+func (c *Client) dialVersion(offer int) (*clientConn, error) {
 	nc, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	cc := &clientConn{nc: nc}
+	cc := &clientConn{nc: nc, br: bufio.NewReaderSize(nc, 16<<10), ver: ProtoVersion}
 	nc.SetDeadline(time.Now().Add(c.opt.DialTimeout))
 	cc.nextID++
-	if _, err := WriteFrame(nc, &Request{ID: cc.nextID, Op: OpHello, Version: ProtoVersion}); err != nil {
+	// The hello exchange is always v1 JSON in both directions, whatever is
+	// being offered, so any client can negotiate with any server.
+	n, err := WriteFrameVersion(nc, ProtoVersion, &Request{ID: cc.nextID, Op: OpHello, Version: offer})
+	c.m.bytesWritten.Add(int64(n))
+	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	resp, err := readResponse(nc, DefaultMaxFrame)
+	resp, err := c.readResponse(cc)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -146,10 +195,11 @@ func (c *Client) dial() (*clientConn, error) {
 		nc.Close()
 		return nil, responseError(resp)
 	}
-	if resp.Version != ProtoVersion {
+	if resp.Version < ProtoVersion || resp.Version > offer {
 		nc.Close()
-		return nil, fmt.Errorf("%w: server speaks protocol %d, client %d", ErrProtocol, resp.Version, ProtoVersion)
+		return nil, fmt.Errorf("%w: server negotiated protocol %d, client offered %d", ErrProtocol, resp.Version, offer)
 	}
+	cc.ver = resp.Version
 	nc.SetDeadline(time.Time{})
 	return cc, nil
 }
@@ -211,16 +261,23 @@ func (c *Client) release(cc *clientConn, err error) {
 	c.slots <- struct{}{}
 }
 
-func readResponse(nc net.Conn, maxFrame int) (*Response, error) {
-	body, err := ReadFrame(nc, maxFrame)
+// WireVersion reports the protocol version negotiated on the most recent
+// dial (1 = JSON, 2 = binary); 0 before any connection succeeded.
+func (c *Client) WireVersion() int {
+	return int(c.wireVer.Load())
+}
+
+// readResponse reads one frame into the connection's reusable buffer and
+// decodes it with the connection's negotiated codec. Decoded responses copy
+// every string out of the buffer, so reuse across calls is safe.
+func (c *Client) readResponse(cc *clientConn) (*Response, error) {
+	body, err := ReadFrameInto(cc.br, DefaultMaxFrame, cc.rbuf)
 	if err != nil {
 		return nil, err
 	}
-	var resp Response
-	if err := json.Unmarshal(body, &resp); err != nil {
-		return nil, fmt.Errorf("%w: bad response JSON: %v", ErrProtocol, err)
-	}
-	return &resp, nil
+	cc.rbuf = body
+	c.m.bytesRead.Add(int64(4 + len(body)))
+	return DecodeResponseVersion(body, cc.ver)
 }
 
 // do sends one request, retrying idempotent requests after retryable
@@ -241,6 +298,7 @@ func (c *Client) do(ctx context.Context, req *Request, idempotent bool) (*Respon
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			c.m.retries.Add(1)
 			if err := c.backoff(ctx, i); err != nil {
 				return nil, lastErr
 			}
@@ -296,6 +354,7 @@ func (c *Client) doOnce(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.m.requests.Add(1)
 	cc.nextID++
 	req.ID = cc.nextID
 	req.DeadlineMS = 0
@@ -310,11 +369,13 @@ func (c *Client) doOnce(ctx context.Context, req *Request) (*Response, error) {
 	} else {
 		cc.nc.SetDeadline(time.Time{})
 	}
-	if _, err := WriteFrame(cc.nc, req); err != nil {
+	n, err := WriteFrameVersion(cc.nc, cc.ver, req)
+	c.m.bytesWritten.Add(int64(n))
+	if err != nil {
 		c.release(cc, err)
 		return nil, err
 	}
-	resp, err := readResponse(cc.nc, DefaultMaxFrame)
+	resp, err := c.readResponse(cc)
 	if err != nil {
 		c.release(cc, err)
 		return nil, err

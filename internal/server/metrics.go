@@ -12,8 +12,8 @@ const (
 	metricRequests        = "server.requests"
 	metricOverloaded      = "server.overloaded"
 	metricProtocolErrors  = "server.protocol_errors"
-	metricBytesIn         = "server.bytes_in"
-	metricBytesOut        = "server.bytes_out"
+	metricBytesRead       = "server.bytes_read"
+	metricBytesWritten    = "server.bytes_written"
 	metricWireSeconds     = "server.wire_seconds"
 	metricCoalescedBatch  = "server.coalesced_batches"
 	metricCoalescedWrites = "server.coalesced_writes"
@@ -26,12 +26,39 @@ type serverMetrics struct {
 	requests        *obs.Counter
 	overloaded      *obs.Counter
 	protocolErrors  *obs.Counter
-	bytesIn         *obs.Counter
-	bytesOut        *obs.Counter
+	bytesRead       *obs.Counter
+	bytesWritten    *obs.Counter
 	wireLat         map[string]*obs.Histogram
 	coalescedBatch  *obs.Counter
 	coalescedWrites *obs.Counter
 	drains          *obs.Counter
+}
+
+// Client-side mirrors of the byte counters, labeled client=<addr>, so a
+// process embedding the remote backend can see its own wire footprint
+// without asking the server.
+const (
+	metricClientBytesRead    = "client.bytes_read"
+	metricClientBytesWritten = "client.bytes_written"
+	metricClientRequests     = "client.requests"
+	metricClientRetries      = "client.retries"
+)
+
+type clientMetrics struct {
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	requests     *obs.Counter
+	retries      *obs.Counter
+}
+
+func newClientMetrics(r *obs.Registry, addr string) *clientMetrics {
+	lbl := obs.L("client", addr)
+	return &clientMetrics{
+		bytesRead:    r.Counter(metricClientBytesRead, lbl),
+		bytesWritten: r.Counter(metricClientBytesWritten, lbl),
+		requests:     r.Counter(metricClientRequests, lbl),
+		retries:      r.Counter(metricClientRetries, lbl),
+	}
 }
 
 func newServerMetrics(r *obs.Registry, name string) *serverMetrics {
@@ -42,8 +69,8 @@ func newServerMetrics(r *obs.Registry, name string) *serverMetrics {
 		requests:        r.Counter(metricRequests, lbl),
 		overloaded:      r.Counter(metricOverloaded, lbl),
 		protocolErrors:  r.Counter(metricProtocolErrors, lbl),
-		bytesIn:         r.Counter(metricBytesIn, lbl),
-		bytesOut:        r.Counter(metricBytesOut, lbl),
+		bytesRead:       r.Counter(metricBytesRead, lbl),
+		bytesWritten:    r.Counter(metricBytesWritten, lbl),
 		wireLat:         make(map[string]*obs.Histogram),
 		coalescedBatch:  r.Counter(metricCoalescedBatch, lbl),
 		coalescedWrites: r.Counter(metricCoalescedWrites, lbl),

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// errProtocolVersion reproduces the pre-negotiation server's exact-match
+// hello rejection, including the "version" wording the fallback keys on.
+func errProtocolVersion(offered int) error {
+	return fmt.Errorf("%w: protocol version %d not supported (server speaks %d)", ErrProtocol, offered, ProtoVersion)
+}
+
+// negotiate dials a pooled client offering maxWire against addr and checks
+// the negotiated version and a full round trip over the agreed codec.
+func negotiate(t *testing.T, addr string, maxWire, want int) {
+	t.Helper()
+	c, err := Dial(addr, ClientOptions{MaxWire: maxWire, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.WireVersion(); got != want {
+		t.Fatalf("negotiated version %d, want %d", got, want)
+	}
+	// Exercise the agreed codec past the handshake: a mutation, a hit, and a
+	// miss must all round-trip.
+	if err := c.InsertCtx(nil, "R", row("neg", "v")); err != nil {
+		t.Fatal(err)
+	}
+	tup, found, err := c.FetchCtx(nil, "R", key("neg"))
+	if err != nil || !found {
+		t.Fatalf("fetch: found=%v err=%v", found, err)
+	}
+	if tup[1].AsString() != "v" {
+		t.Fatalf("fetched %v", tup)
+	}
+	if _, found, err := c.FetchCtx(nil, "R", key("absent")); err != nil || found {
+		t.Fatalf("miss: found=%v err=%v", found, err)
+	}
+}
+
+// TestVersionNegotiationMatrix covers every client/server pairing: both
+// sides v2 speak binary; either side pinned to v1 lands the connection on
+// JSON transparently.
+func TestVersionNegotiationMatrix(t *testing.T) {
+	t.Run("v2 client, v2 server", func(t *testing.T) {
+		_, addr := startServer(t, Config{})
+		negotiate(t, addr, MaxProtoVersion, ProtoVersionBinary)
+	})
+	t.Run("v2 client, v1-only server", func(t *testing.T) {
+		_, addr := startServer(t, Config{MaxWire: ProtoVersion})
+		negotiate(t, addr, MaxProtoVersion, ProtoVersion)
+	})
+	t.Run("v1 client, v2 server", func(t *testing.T) {
+		_, addr := startServer(t, Config{})
+		negotiate(t, addr, ProtoVersion, ProtoVersion)
+	})
+	t.Run("v1 client, v1-only server", func(t *testing.T) {
+		_, addr := startServer(t, Config{MaxWire: ProtoVersion})
+		negotiate(t, addr, ProtoVersion, ProtoVersion)
+	})
+}
+
+// TestGarbageVersionFailsOnlyThatConnection sends a hello offering version 0:
+// the server must answer with a protocol error and close that connection,
+// while a well-behaved connection negotiated before it keeps working.
+func TestGarbageVersionFailsOnlyThatConnection(t *testing.T) {
+	_, addr := startServer(t, Config{})
+
+	good, err := Dial(addr, ClientOptions{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+
+	bad := dialRaw(t, addr)
+	bad.send(&Request{ID: 1, Op: OpHello, Version: 0})
+	resp, err := bad.recv()
+	if err != nil {
+		t.Fatalf("expected an error response before close, got %v", err)
+	}
+	if resp.OK || resp.Code != CodeProtocol {
+		t.Fatalf("garbage version answered %+v, want code %q", resp, CodeProtocol)
+	}
+	if !errors.Is(responseError(resp), ErrProtocol) {
+		t.Fatalf("response %+v does not map to ErrProtocol", resp)
+	}
+	if _, err := bad.recv(); err == nil {
+		t.Fatal("connection survived a garbage hello version")
+	}
+
+	// The abuse must not have poisoned the healthy connection.
+	if err := good.PingCtx(nil); err != nil {
+		t.Fatalf("healthy connection broken after another conn's bad hello: %v", err)
+	}
+}
+
+// TestClientFallsBackToV1AgainstLegacyServer runs a fake pre-negotiation
+// server that rejects any hello above version 1 outright (the old exact-match
+// handshake) and then serves v1 pings. A v2 client must transparently redial
+// offering v1.
+func TestClientFallsBackToV1AgainstLegacyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				for {
+					body, err := ReadFrame(nc, DefaultMaxFrame)
+					if err != nil {
+						return
+					}
+					req, err := DecodeRequest(body)
+					if err != nil {
+						return
+					}
+					switch {
+					case req.Op == OpHello && req.Version != ProtoVersion:
+						// The legacy exact-match rejection, message included.
+						WriteFrame(nc, errorResponse(req.ID, errProtocolVersion(req.Version)))
+						return
+					case req.Op == OpHello:
+						WriteFrame(nc, &Response{ID: req.ID, OK: true, Version: ProtoVersion})
+					case req.Op == OpPing:
+						WriteFrame(nc, &Response{ID: req.ID, OK: true})
+					default:
+						WriteFrame(nc, errorResponse(req.ID, io.ErrUnexpectedEOF))
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientOptions{MaxWire: MaxProtoVersion, PoolSize: 1})
+	if err != nil {
+		t.Fatalf("v2 client failed against legacy v1 server: %v", err)
+	}
+	defer c.Close()
+	if got := c.WireVersion(); got != ProtoVersion {
+		t.Fatalf("fell back to version %d, want %d", got, ProtoVersion)
+	}
+	if err := c.PingCtx(nil); err != nil {
+		t.Fatalf("ping after fallback: %v", err)
+	}
+}
+
+// TestErrorTaxonomyIdenticalAcrossCodecs issues the same failing operations
+// over a binary and a JSON connection: the Code, the mapped sentinel, and
+// the typed constraint violation must match exactly.
+func TestErrorTaxonomyIdenticalAcrossCodecs(t *testing.T) {
+	_, addr := startServer(t, Config{})
+
+	type outcome struct {
+		code      Code
+		violation *engine.ConstraintViolation
+	}
+	run := func(t *testing.T, maxWire int) map[string]outcome {
+		t.Helper()
+		c, err := Dial(addr, ClientOptions{MaxWire: maxWire, PoolSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		out := make(map[string]outcome)
+		record := func(name string, err error) {
+			o := outcome{code: CodeOf(err)}
+			var cv *engine.ConstraintViolation
+			if errors.As(err, &cv) {
+				o.violation = cv
+			}
+			out[name] = o
+		}
+		record("unknown relation", c.InsertCtx(nil, "NOPE", row("a", "b")))
+		record("arity mismatch", c.InsertCtx(nil, "R", relation.Tuple{relation.NewString("only")}))
+		record("duplicate key", func() error {
+			if err := c.InsertCtx(nil, "R", row("dup-"+t.Name(), "x")); err != nil {
+				return err
+			}
+			return c.InsertCtx(nil, "R", row("dup-"+t.Name(), "x"))
+		}())
+		record("commit without begin", c.CommitCtx(nil))
+		record("checkpoint non-durable", c.CheckpointCtx(nil))
+		return out
+	}
+
+	binOut := run(t, MaxProtoVersion)
+	jsonOut := run(t, ProtoVersion)
+	for name, b := range binOut {
+		j, ok := jsonOut[name]
+		if !ok {
+			t.Fatalf("case %q missing from JSON run", name)
+		}
+		if b.code != j.code {
+			t.Errorf("%s: binary code %q, json code %q", name, b.code, j.code)
+		}
+		if (b.violation == nil) != (j.violation == nil) {
+			t.Errorf("%s: violation presence differs (binary %v, json %v)", name, b.violation, j.violation)
+		} else if b.violation != nil && *b.violation != *j.violation {
+			t.Errorf("%s: violation differs:\n  binary %+v\n  json   %+v", name, *b.violation, *j.violation)
+		}
+	}
+}

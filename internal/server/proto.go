@@ -1,10 +1,11 @@
 // Package server implements the relmerged network service: a length-prefixed
-// JSON-over-TCP protocol serving engine operations (insert/delete/update/
-// fetch/batch/txn/stats/checkpoint) from a bounded worker pool with admission
-// control, per-request deadlines, and write coalescing aligned with the WAL's
-// group commit. The matching client (with connection pooling and retries for
-// idempotent operations) lives in this package too; pkg/relmerge wraps both
-// behind the Session interface.
+// TCP protocol (JSON v1 or binary v2, negotiated per connection) serving
+// engine operations (insert/delete/update/fetch/batch/txn/stats/checkpoint)
+// from a bounded worker pool with admission control, per-request deadlines,
+// and write coalescing aligned with the WAL's group commit. The matching
+// client (with connection pooling and retries for idempotent operations)
+// lives in this package too; pkg/relmerge wraps both behind the Session
+// interface.
 package server
 
 import (
@@ -14,14 +15,25 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/relation"
 )
 
-// ProtoVersion is the wire protocol version exchanged in the hello
-// handshake. A server refuses clients announcing a different version.
-const ProtoVersion = 1
+// Protocol versions. The hello handshake is a negotiation: the client offers
+// its highest supported version, the server answers min(offered, its own
+// maximum), and both sides speak the agreed codec for the rest of the
+// connection. The hello exchange itself is always v1 JSON, so any client can
+// talk to any server regardless of what they go on to negotiate.
+const (
+	// ProtoVersion is the v1 JSON codec — the floor every peer supports.
+	ProtoVersion = 1
+	// ProtoVersionBinary is the v2 binary codec (see binary.go).
+	ProtoVersionBinary = 2
+	// MaxProtoVersion is the highest version this build speaks.
+	MaxProtoVersion = ProtoVersionBinary
+)
 
 // DefaultMaxFrame bounds a single frame (4-byte length prefix + JSON body).
 // Frames announcing a larger body fail the connection closed before any
@@ -303,16 +315,72 @@ func DecodeOps(ws []WireOp) ([]engine.BatchOp, error) {
 	return out, nil
 }
 
-// WriteFrame writes one length-prefixed JSON frame.
+// frameEncoder is the pooled per-write scratch: one reusable buffer holding
+// the 4-byte length prefix plus the encoded body, and a json.Encoder bound
+// to it for the v1 path. Both codecs assemble the whole frame here and issue
+// ONE Write, so steady-state serving neither allocates a fresh body per
+// frame (the old json.Marshal) nor copies it into a second framing buffer.
+type frameEncoder struct {
+	buf []byte
+	enc *json.Encoder
+}
+
+// Write appends to the frame buffer; it is the json.Encoder's sink.
+func (fe *frameEncoder) Write(p []byte) (int, error) {
+	fe.buf = append(fe.buf, p...)
+	return len(p), nil
+}
+
+var framePool = sync.Pool{New: func() any {
+	fe := &frameEncoder{buf: make([]byte, 0, 512)}
+	fe.enc = json.NewEncoder(fe)
+	return fe
+}}
+
+// frameKeepCap bounds what a pooled frame buffer may retain: a rare huge
+// frame should not pin its allocation in the pool forever.
+const frameKeepCap = 64 << 10
+
+// WriteFrame writes one length-prefixed v1 JSON frame: encode into a pooled
+// buffer, one Write. Kept as the v1-only entrypoint (the hello handshake and
+// pre-negotiation peers).
 func WriteFrame(w io.Writer, v any) (int, error) {
-	body, err := json.Marshal(v)
+	return WriteFrameVersion(w, ProtoVersion, v)
+}
+
+// WriteFrameVersion writes one length-prefixed frame in the given protocol
+// version's codec. v must be *Request or *Response for the binary codec; the
+// JSON codec takes anything marshalable.
+func WriteFrameVersion(w io.Writer, version int, v any) (int, error) {
+	fe := framePool.Get().(*frameEncoder)
+	fe.buf = append(fe.buf[:0], 0, 0, 0, 0)
+	var err error
+	switch version {
+	case ProtoVersion:
+		// Encoder appends a trailing newline; it rides inside the frame as
+		// JSON whitespace, which every decoder tolerates.
+		err = fe.enc.Encode(v)
+	case ProtoVersionBinary:
+		switch m := v.(type) {
+		case *Request:
+			fe.buf, err = appendRequestBinary(fe.buf, m)
+		case *Response:
+			fe.buf, err = appendResponseBinary(fe.buf, m)
+		default:
+			err = fmt.Errorf("binary codec cannot encode %T", v)
+		}
+	default:
+		err = fmt.Errorf("unsupported protocol version %d", version)
+	}
 	if err != nil {
+		framePool.Put(fe)
 		return 0, err
 	}
-	buf := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(buf, uint32(len(body)))
-	copy(buf[4:], body)
-	n, err := w.Write(buf)
+	binary.BigEndian.PutUint32(fe.buf, uint32(len(fe.buf)-4))
+	n, err := w.Write(fe.buf)
+	if cap(fe.buf) <= frameKeepCap {
+		framePool.Put(fe)
+	}
 	return n, err
 }
 
@@ -321,6 +389,14 @@ func WriteFrame(w io.Writer, v any) (int, error) {
 // (returned before reading — and before allocating — the body). io.EOF is
 // returned unwrapped on a clean close before the prefix.
 func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	return ReadFrameInto(r, maxFrame, nil)
+}
+
+// ReadFrameInto is ReadFrame with a reusable buffer: when buf's capacity
+// covers the announced length the body is read into it and the returned
+// slice aliases buf. Connections keep one scratch buffer and pass it here,
+// so steady-state reads allocate nothing.
+func ReadFrameInto(r io.Reader, maxFrame int, buf []byte) ([]byte, error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		if err == io.EOF {
@@ -335,21 +411,63 @@ func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if int64(n) > int64(maxFrame) {
 		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrProtocol, n, maxFrame)
 	}
-	body := make([]byte, n)
+	var body []byte
+	if uint64(cap(buf)) >= uint64(n) {
+		body = buf[:n]
+	} else {
+		body = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("reading frame body: %w", err)
 	}
 	return body, nil
 }
 
-// DecodeRequest parses and validates one request frame.
+// DecodeRequest parses and validates one v1 JSON request frame.
 func DecodeRequest(body []byte) (*Request, error) {
-	var req Request
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, fmt.Errorf("%w: bad request JSON: %v", ErrProtocol, err)
+	return DecodeRequestVersion(body, ProtoVersion)
+}
+
+// DecodeRequestVersion parses and validates one request frame in the given
+// protocol version's codec. Malformed bodies — bad JSON, bad binary, unknown
+// ops, trailing bytes — are all ErrProtocol: the connection fails closed.
+func DecodeRequestVersion(body []byte, version int) (*Request, error) {
+	switch version {
+	case ProtoVersion:
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("%w: bad request JSON: %v", ErrProtocol, err)
+		}
+		if !knownOp(req.Op) {
+			return nil, fmt.Errorf("%w: unknown op %q", ErrProtocol, req.Op)
+		}
+		return &req, nil
+	case ProtoVersionBinary:
+		req, err := decodeRequestBinary(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad binary request: %v", ErrProtocol, err)
+		}
+		return req, nil
 	}
-	if !knownOp(req.Op) {
-		return nil, fmt.Errorf("%w: unknown op %q", ErrProtocol, req.Op)
+	return nil, fmt.Errorf("%w: unsupported protocol version %d", ErrProtocol, version)
+}
+
+// DecodeResponseVersion parses one response frame in the given protocol
+// version's codec.
+func DecodeResponseVersion(body []byte, version int) (*Response, error) {
+	switch version {
+	case ProtoVersion:
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("%w: bad response JSON: %v", ErrProtocol, err)
+		}
+		return &resp, nil
+	case ProtoVersionBinary:
+		resp, err := decodeResponseBinary(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad binary response: %v", ErrProtocol, err)
+		}
+		return resp, nil
 	}
-	return &req, nil
+	return nil, fmt.Errorf("%w: unsupported protocol version %d", ErrProtocol, version)
 }

@@ -142,31 +142,46 @@ func TestDecodeRequestFailsClosed(t *testing.T) {
 	}
 }
 
-// FuzzReadFrame feeds arbitrary bytes through the frame reader and request
-// decoder: they must fail closed (error or valid request), never panic.
+// FuzzReadFrame feeds arbitrary bytes through the frame reader and both
+// request decoders: they must fail closed (error or valid request), never
+// panic — in particular the binary decoder's counts and lengths must be
+// bounds-checked before any allocation sized from them.
 func FuzzReadFrame(f *testing.F) {
 	var seed bytes.Buffer
 	WriteFrame(&seed, &Request{ID: 1, Op: OpPing})
 	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteFrameVersion(&seed, ProtoVersionBinary, &Request{ID: 2, Op: OpInsert, Relation: "R",
+		Tuple: []WireValue{{T: "s", V: "v"}, {T: "i", V: "7"}}})
+	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteFrameVersion(&seed, ProtoVersionBinary, &Request{ID: 3, Op: OpApplyBatch,
+		Ops: []WireOp{{Kind: OpDelete, Relation: "R", Key: []WireValue{{T: "n"}}}}})
+	f.Add(seed.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
 	f.Add([]byte(`{"id":1,"op":"insert"}`))
+	// A binary body announcing a huge tuple count with no bytes behind it.
+	f.Add([]byte{0, 0, 0, 12, binOpInsert, 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		body, err := ReadFrame(bytes.NewReader(data), 1<<16)
 		if err != nil {
 			return
 		}
-		req, err := DecodeRequest(body)
-		if err != nil {
-			return
-		}
-		// A structurally valid request must still decode its payload without
-		// panicking, whatever the values hold.
-		DecodeTuple(req.Key)
-		DecodeTuple(req.Tuple)
-		DecodeOps(req.Ops)
-		for _, ws := range req.Tuples {
-			DecodeTuple(ws)
+		for _, version := range []int{ProtoVersion, ProtoVersionBinary} {
+			req, err := DecodeRequestVersion(body, version)
+			if err != nil {
+				continue
+			}
+			// A structurally valid request must still decode its payload
+			// without panicking, whatever the values hold.
+			DecodeTuple(req.Key)
+			DecodeTuple(req.Tuple)
+			DecodeOps(req.Ops)
+			for _, ws := range req.Tuples {
+				DecodeTuple(ws)
+			}
+			DecodeResponseVersion(body, version)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -27,6 +28,11 @@ type Config struct {
 	QueueDepth int
 	// MaxFrame bounds one protocol frame (default DefaultMaxFrame).
 	MaxFrame int
+	// MaxWire is the highest wire protocol version the server negotiates
+	// (default MaxProtoVersion). Setting it to ProtoVersion serves v1 JSON
+	// only — the negotiated version is min(client offer, MaxWire), so v2
+	// clients transparently fall back to JSON against such a server.
+	MaxWire int
 	// CoalesceMax bounds how many queued write requests a worker folds into
 	// one engine batch — one WAL record, one fsync — per dequeue (default
 	// 16; 1 disables coalescing).
@@ -52,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxWire <= 0 || c.MaxWire > MaxProtoVersion {
+		c.MaxWire = MaxProtoVersion
 	}
 	if c.CoalesceMax <= 0 {
 		c.CoalesceMax = 16
@@ -117,11 +126,30 @@ type Server struct {
 type srvConn struct {
 	s  *Server
 	nc net.Conn
+	br *bufio.Reader // buffered reads: frame prefix + body without per-field syscalls
+
+	// ver is the negotiated wire protocol version. It starts at ProtoVersion
+	// (the hello exchange is always v1 JSON) and is bumped once by the
+	// handshake, before any request is enqueued, so workers observe it
+	// through the queue's happens-before edge without locking.
+	ver int
+
+	rbuf []byte // connection-owned frame read buffer, reused across frames
 
 	wmu sync.Mutex // serializes response frames
 
 	mu       sync.Mutex
 	inflight map[uint64]struct{}
+}
+
+// readFrame reads one frame body into the connection's reusable buffer.
+func (c *srvConn) readFrame() ([]byte, error) {
+	body, err := ReadFrameInto(c.br, c.s.cfg.MaxFrame, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = body // keep the (possibly grown) buffer for the next frame
+	return body, nil
 }
 
 type task struct {
@@ -316,7 +344,13 @@ func (s *Server) drainingNow() bool {
 
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.connWG.Done()
-	c := &srvConn{s: s, nc: nc, inflight: make(map[uint64]struct{})}
+	c := &srvConn{
+		s:        s,
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 16<<10),
+		ver:      ProtoVersion,
+		inflight: make(map[uint64]struct{}),
+	}
 	s.mu.Lock()
 	if s.draining || s.closed {
 		s.mu.Unlock()
@@ -335,7 +369,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		return
 	}
 	for {
-		body, err := ReadFrame(c.nc, s.cfg.MaxFrame)
+		body, err := c.readFrame()
 		if err != nil {
 			if s.drainingNow() {
 				// Leave the connection open: workers still owe it responses;
@@ -349,8 +383,8 @@ func (s *Server) handleConn(nc net.Conn) {
 			nc.Close()
 			return
 		}
-		s.m.bytesIn.Add(int64(4 + len(body)))
-		req, err := DecodeRequest(body)
+		s.m.bytesRead.Add(int64(4 + len(body)))
+		req, err := DecodeRequestVersion(body, c.ver)
 		if err != nil {
 			s.failConn(c, 0, err)
 			s.untrack(c)
@@ -394,12 +428,16 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 }
 
+// handshake runs the version negotiation: the client's hello (always v1
+// JSON) offers its highest version, the server answers min(offer, MaxWire)
+// (also in JSON), and the connection speaks the agreed codec from the next
+// frame on. An offer below 1 is garbage and fails only this connection.
 func (s *Server) handshake(c *srvConn) error {
-	body, err := ReadFrame(c.nc, s.cfg.MaxFrame)
+	body, err := c.readFrame()
 	if err != nil {
 		return err
 	}
-	s.m.bytesIn.Add(int64(4 + len(body)))
+	s.m.bytesRead.Add(int64(4 + len(body)))
 	req, err := DecodeRequest(body)
 	if err != nil {
 		return err
@@ -407,10 +445,18 @@ func (s *Server) handshake(c *srvConn) error {
 	if req.Op != OpHello {
 		return fmt.Errorf("%w: first frame must be hello, got %q", ErrProtocol, req.Op)
 	}
-	if req.Version != ProtoVersion {
-		return fmt.Errorf("%w: protocol version %d not supported (server speaks %d)", ErrProtocol, req.Version, ProtoVersion)
+	if req.Version < ProtoVersion {
+		return fmt.Errorf("%w: protocol version %d not supported (server speaks %d-%d)", ErrProtocol, req.Version, ProtoVersion, s.cfg.MaxWire)
 	}
-	return c.send(&Response{ID: req.ID, OK: true, Version: ProtoVersion})
+	negotiated := req.Version
+	if negotiated > s.cfg.MaxWire {
+		negotiated = s.cfg.MaxWire
+	}
+	if err := c.send(&Response{ID: req.ID, OK: true, Version: negotiated}); err != nil {
+		return err
+	}
+	c.ver = negotiated
+	return nil
 }
 
 // failConn records a protocol violation, best-effort answers it, and lets
@@ -433,13 +479,14 @@ func (c *srvConn) clearID(id uint64) {
 	c.mu.Unlock()
 }
 
-// send writes one response frame. Write errors are swallowed: the reader
-// side notices the dead connection and tears it down.
+// send writes one response frame in the connection's negotiated codec.
+// Write errors are swallowed: the reader side notices the dead connection
+// and tears it down.
 func (c *srvConn) send(resp *Response) error {
 	c.wmu.Lock()
-	n, err := WriteFrame(c.nc, resp)
+	n, err := WriteFrameVersion(c.nc, c.ver, resp)
 	c.wmu.Unlock()
-	c.s.m.bytesOut.Add(int64(n))
+	c.s.m.bytesWritten.Add(int64(n))
 	return err
 }
 

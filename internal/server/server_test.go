@@ -167,8 +167,8 @@ func TestProtocolViolationsFailClosed(t *testing.T) {
 			c.hello()
 			c.send(&Request{ID: 2, Op: OpHello, Version: ProtoVersion})
 		}},
-		{"hello version mismatch", func(c *rawConn) {
-			c.send(&Request{ID: 1, Op: OpHello, Version: ProtoVersion + 9})
+		{"hello version garbage", func(c *rawConn) {
+			c.send(&Request{ID: 1, Op: OpHello, Version: 0})
 		}},
 		{"first frame not hello", func(c *rawConn) {
 			c.send(&Request{ID: 1, Op: OpPing})

@@ -51,6 +51,9 @@ type Config struct {
 	// RemoteOptions tune the remote client: pool size, timeouts, retries
 	// (Remote only).
 	RemoteOptions []RemoteOption
+	// Wire selects the codec offered in the protocol handshake (Remote
+	// only; default WireBinary). A WithWire entry in RemoteOptions wins.
+	Wire Wire
 
 	// Shards is the partition count (Sharded only; must be >= 1).
 	Shards int
@@ -70,7 +73,9 @@ type Config struct {
 	// metric names — applied to the embedded engine or to every shard.
 	EngineOptions []EngineOption
 	// Registry receives the backend's metric series (Embedded and Sharded;
-	// nil keeps each engine's private registry).
+	// nil keeps each engine's private registry). For Remote it receives the
+	// client-side wire counters (client.bytes_read / client.bytes_written /
+	// client.requests / client.retries, labeled client=<addr>).
 	Registry *Registry
 }
 
@@ -106,6 +111,8 @@ func Open(cfg Config) (Session, error) {
 			return nil, fmt.Errorf("relmerge: Open(%v) requires Addr", cfg.Backend)
 		}
 		var o server.ClientOptions
+		o.MaxWire = cfg.Wire.maxWire()
+		o.Registry = cfg.Registry
 		for _, opt := range cfg.RemoteOptions {
 			opt(&o)
 		}
