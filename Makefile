@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test proto-test fuzz-short probe bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test proto-test repl-test fuzz-short probe bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, wire protocol (negotiation + golden vectors + short fuzz), and the quick probes (read-under-write + cross-shard IND)
-check: fmt vet metriclint build race stress crash serve-test shard-test proto-test probe
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, wire protocol (negotiation + golden vectors + short fuzz), replication, and the quick probes (read-under-write + cross-shard IND)
+check: fmt vet metriclint build race stress crash serve-test shard-test proto-test repl-test probe
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -47,6 +47,10 @@ proto-test:
 	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/server/
 	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/server/
 
+## repl-test: the replication suite — WAL streaming and shipped-commit validation, follower catch-up, failover promotion, stream-fault (gap/reorder/duplicate) refusal, and the follower Session conformance reads — fresh under the race detector
+repl-test:
+	$(GO) test -race -count=1 -run 'Repl|Follower|Promote|Failover|Ship|Stream|Snapshot|Checkpoint' ./internal/wal/ ./internal/engine/ ./internal/repl/ ./pkg/relmerge/
+
 ## fuzz-short: a longer fuzz pass over the wire codecs (frame reader + binary round trip)
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 60s ./internal/server/
@@ -59,6 +63,6 @@ probe:
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR8.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR9.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR8.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR9.json

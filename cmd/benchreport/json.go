@@ -89,6 +89,10 @@ type benchReport struct {
 	ShardingSpeedups   map[string]float64    `json:"sharding_speedups"`
 	Protocol           suite[protocolRow]    `json:"protocol"`
 	ProtocolRatios     map[string]float64    `json:"protocol_ratios"`
+	Replication        suite[replRow]        `json:"replication"`
+	ReplicationGains   map[string]float64    `json:"replication_gains"`
+	ReplicationLag     *replLag              `json:"replication_lag"`
+	ReplicationFail    *replFailover         `json:"replication_failover"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -357,6 +361,11 @@ func runJSON(path string) error {
 		return err
 	}
 
+	replication, replicationGains, replicationLag, replicationFail, err := replicationSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
 		Meta:               runMeta(),
 		Probes:             newSuite(probes),
@@ -376,6 +385,10 @@ func runJSON(path string) error {
 		ShardingSpeedups:   shardingSpeedups,
 		Protocol:           newSuite(protocol),
 		ProtocolRatios:     protocolRatios,
+		Replication:        newSuite(replication),
+		ReplicationGains:   replicationGains,
+		ReplicationLag:     replicationLag,
+		ReplicationFail:    replicationFail,
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range report.Probes.Rows {
@@ -469,6 +482,16 @@ func runJSON(path string) error {
 			}
 		}
 	}
+	fmt.Printf("replication read fan-out (aggregate ops/sec vs. primary alone):\n")
+	for replicas := 1; replicas <= replFollowers; replicas++ {
+		k := fmt.Sprintf("replicas=%d", replicas)
+		if s, ok := replicationGains[k]; ok {
+			fmt.Printf("  %-14s %.1fx\n", k, s)
+		}
+	}
+	fmt.Printf("replication lag: max=%d records, caught up in %.1fms; failover: acked=%d recovered=%d exact_prefix=%v\n",
+		replicationLag.MaxLagRecords, replicationLag.CatchUpMS,
+		replicationFail.AckedWrites, replicationFail.RecoveredWrites, replicationFail.ExactPrefix)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -12,9 +12,12 @@
 //	relmerged -fig3 -merged                              # apply the Prop 5.2 plan, serve the merged schema
 //	relmerged -fig3 -durable ./wal -fsync always         # durable: recovers on restart
 //	relmerged -fig3 -shards 4                            # hash-partition across 4 engine shards
+//	relmerged -fig3 -durable ./rep -replica-of :7421     # read-only follower of the primary at :7421
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
-// requests, checkpoint a durable engine, close the WAL.
+// requests, checkpoint a durable engine, close the WAL. A follower promotes
+// on SIGUSR1: it stops shipping and starts accepting writes over exactly the
+// acked prefix its log holds.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"context"
 
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/pkg/relmerge"
@@ -42,6 +46,7 @@ func main() {
 		merged      = flag.Bool("merged", false, "apply the Prop. 5.2 merge plan and serve the merged schema")
 		dataPath    = flag.String("data", "", "optional data file (insert statements) loaded at startup; with -merged the state is mapped through the η mappings first")
 		durableDir  = flag.String("durable", "", "directory for the engine's write-ahead log; a reopened directory recovers before serving")
+		replicaOf   = flag.String("replica-of", "", "primary relmerged address to ship the WAL from; serves read-only until promoted by SIGUSR1 (requires -durable, same schema flags as the primary)")
 		shards      = flag.Int("shards", 1, "hash-partition the engine across N shards behind a cross-shard router (1 = single engine; with -durable each shard logs under shard-<i>/)")
 		fsyncMode   = flag.String("fsync", "interval", "fsync policy for -durable: always, interval, or never")
 		workers     = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS, at least 4)")
@@ -104,7 +109,34 @@ func main() {
 	}
 
 	var db server.Backend
-	if *shards > 1 {
+	var follower *repl.Follower
+	if *replicaOf != "" {
+		// Follower: the local durable engine replays the primary's shipped
+		// WAL; its state comes from the stream, never from -data.
+		switch {
+		case *durableDir == "":
+			fatal(fmt.Errorf("relmerged: -replica-of requires -durable (the local log is the replica state)"))
+		case *shards > 1:
+			fatal(fmt.Errorf("relmerged: -replica-of cannot be combined with -shards"))
+		case *dataPath != "":
+			fatal(fmt.Errorf("relmerged: -replica-of cannot load -data (state ships from the primary)"))
+		}
+		eng, err := buildEngine(s, orig, merges, "", append(delayOpts,
+			relmerge.WithDurability(*durableDir, fsyncPolicy)))
+		if err != nil {
+			fatal(err)
+		}
+		rec := eng.Recovered()
+		logf("relmerged: wal %s (fsync %s): recovered=%v replayed=%d", *durableDir, *fsyncMode, rec.Recovered, rec.ReplayedOps)
+		follower, err = repl.Open(*replicaOf, eng, repl.Options{})
+		if err != nil {
+			eng.Close()
+			fatal(err)
+		}
+		info := follower.Info()
+		logf("relmerged: following %s (applied LSN %d, primary horizon %d); read-only until SIGUSR1", *replicaOf, info.AppliedLSN, info.CommitLSN)
+		db = follower.Backend()
+	} else if *shards > 1 {
 		// Sharded: N independent engines behind a hash-partitioning router
 		// that checks inclusion dependencies across shards. Durability is per
 		// shard (shard-<i>/ subdirectories), so WithDurability stays out of
@@ -151,6 +183,20 @@ func main() {
 		CoalesceMax: *coalesce,
 		Logf:        logf,
 	})
+
+	if follower != nil {
+		promote := make(chan os.Signal, 1)
+		signal.Notify(promote, syscall.SIGUSR1)
+		go func() {
+			for range promote {
+				if err := follower.Promote(); err != nil {
+					logf("relmerged: promote: %v", err)
+					continue
+				}
+				logf("relmerged: promoted at LSN %d: accepting writes", follower.DB().DurableLSN())
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

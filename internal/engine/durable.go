@@ -189,6 +189,12 @@ func (db *DB) recover(rec *Recovery) error {
 		}
 	}
 	db.recovery.DiscardedOps += len(pending)
+	// The unterminated suffix is discarded from the recovered state (the
+	// transaction never committed) but retained for the replication applier:
+	// on a follower the commit marker is still in flight from the primary, and
+	// these ops are already durable in the local log, so the applier resumes
+	// the buffer instead of losing them (replica.go).
+	db.replPending = append([]walOp(nil), pending...)
 	db.recovery.Recovered = rec.Snapshot != nil || len(rec.Records) > 0
 	if !db.recovery.Recovered {
 		return nil

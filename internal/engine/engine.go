@@ -110,6 +110,12 @@ type DB struct {
 	// Assigned once during Open (after recovery) and immutable afterwards.
 	wal      *wal.Log
 	recovery RecoveryInfo
+	// replMu serializes the replicated-apply stream (replica.go); replPending
+	// buffers a shipped transaction's ops until its commit marker arrives.
+	// Recovery seeds it: a follower restarted mid-transaction resumes the
+	// buffer instead of losing the suffix the primary will never resend.
+	replMu      sync.Mutex
+	replPending []walOp
 	// partition marks the engine as one shard of a partitioned database;
 	// probes holds the router's cross-partition constraint hooks
 	// (partition.go). Installed once via SetShardProbes before traffic.

@@ -54,6 +54,14 @@ const (
 	binOpRollback    = 0x0b
 	binOpStats       = 0x0c
 	binOpCheckpoint  = 0x0d
+	// Replication opcodes, appended in v2 without touching the frozen ones.
+	// Their requests carry two extra trailing fields (after_lsn uvarint,
+	// max_records uvarint) and their responses may carry the repl section
+	// (binFlagRepl); both are invisible to the pre-replication frame shapes,
+	// so the golden vectors stand.
+	binOpReplSubscribe = 0x0e
+	binOpReplFetch     = 0x0f
+	binOpReplHeartbeat = 0x10
 )
 
 // Binary value tags. Booleans fold their value into the tag. Frozen.
@@ -74,6 +82,7 @@ const (
 	binFlagViolation = 1 << 3
 	binFlagStats     = 1 << 4
 	binFlagVersion   = 1 << 5
+	binFlagRepl      = 1 << 6
 )
 
 func opToOpcode(op string) (byte, bool) {
@@ -104,6 +113,12 @@ func opToOpcode(op string) (byte, bool) {
 		return binOpStats, true
 	case OpCheckpoint:
 		return binOpCheckpoint, true
+	case OpReplSubscribe:
+		return binOpReplSubscribe, true
+	case OpReplFetch:
+		return binOpReplFetch, true
+	case OpReplHeartbeat:
+		return binOpReplHeartbeat, true
 	}
 	return 0, false
 }
@@ -136,6 +151,12 @@ func opcodeToOp(b byte) (string, bool) {
 		return OpStats, true
 	case binOpCheckpoint:
 		return OpCheckpoint, true
+	case binOpReplSubscribe:
+		return OpReplSubscribe, true
+	case binOpReplFetch:
+		return OpReplFetch, true
+	case binOpReplHeartbeat:
+		return OpReplHeartbeat, true
 	}
 	return "", false
 }
@@ -234,6 +255,10 @@ func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if replOp(req.Op) {
+		dst = binary.AppendUvarint(dst, req.AfterLSN)
+		dst = binary.AppendUvarint(dst, uint64(req.MaxRecords))
+	}
 	return dst, nil
 }
 
@@ -258,6 +283,9 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 	}
 	if resp.Version != 0 {
 		flags |= binFlagVersion
+	}
+	if resp.Repl != nil {
+		flags |= binFlagRepl
 	}
 	dst = append(dst, flags)
 	dst = appendString(dst, string(resp.Code))
@@ -284,6 +312,18 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, uint64(n))
 		}
 		dst = binary.AppendUvarint(dst, s.VersionLSN)
+	}
+	if rp := resp.Repl; rp != nil {
+		dst = binary.AppendUvarint(dst, rp.CommitLSN)
+		dst = binary.AppendUvarint(dst, rp.SnapshotLSN)
+		dst = binary.AppendUvarint(dst, uint64(len(rp.Snapshot)))
+		dst = append(dst, rp.Snapshot...)
+		dst = binary.AppendUvarint(dst, uint64(len(rp.Records)))
+		for _, rec := range rp.Records {
+			dst = binary.AppendUvarint(dst, rec.LSN)
+			dst = binary.AppendUvarint(dst, uint64(len(rec.Payload)))
+			dst = append(dst, rec.Payload...)
+		}
 	}
 	return dst, nil
 }
@@ -351,6 +391,25 @@ func (r *binReader) str() (string, error) {
 	s := string(r.b[r.off : r.off+int(n)]) // copy: the body buffer is pooled
 	r.off += int(n)
 	return s, nil
+}
+
+// bytes reads a length-prefixed byte blob (copied: the body buffer is
+// pooled). A zero length returns nil, matching v1 omitempty semantics.
+func (r *binReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", n, r.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out, nil
 }
 
 func (r *binReader) value() (WireValue, error) {
@@ -484,6 +543,19 @@ func decodeRequestBinary(body []byte) (*Request, error) {
 			}
 		}
 	}
+	if replOp(req.Op) {
+		if req.AfterLSN, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		maxRecords, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if maxRecords > math.MaxInt32 {
+			return nil, fmt.Errorf("max_records %d overflows", maxRecords)
+		}
+		req.MaxRecords = int(maxRecords)
+	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%d trailing bytes after request", r.remaining())
 	}
@@ -571,6 +643,34 @@ func decodeResponseBinary(body []byte) (*Response, error) {
 			TuplesScanned:     int(ns[7]),
 			VersionLSN:        lsn,
 		}
+	}
+	if flags&binFlagRepl != 0 {
+		rp := &WireRepl{}
+		if rp.CommitLSN, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if rp.SnapshotLSN, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if rp.Snapshot, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		nrecs, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		if nrecs > 0 {
+			rp.Records = make([]WireRecord, nrecs)
+			for i := range rp.Records {
+				if rp.Records[i].LSN, err = r.uvarint(); err != nil {
+					return nil, err
+				}
+				if rp.Records[i].Payload, err = r.bytes(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		resp.Repl = rp
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%d trailing bytes after response", r.remaining())

@@ -489,3 +489,33 @@ func (c *Client) PingCtx(ctx context.Context) error {
 	_, err := c.do(ctx, &Request{Op: OpPing}, true)
 	return err
 }
+
+// ReplSubscribeCtx validates a follower's start position with the primary
+// and returns the first chunk (records, or a bootstrap snapshot when the
+// position was compacted away). Idempotent.
+func (c *Client) ReplSubscribeCtx(ctx context.Context, afterLSN uint64, maxRecords int) (*WireRepl, error) {
+	return c.repl(ctx, OpReplSubscribe, afterLSN, maxRecords)
+}
+
+// ReplFetchCtx returns the committed records after afterLSN plus the
+// primary's commit horizon. Idempotent: a duplicate delivery is skipped by
+// the follower's log, so retries are safe.
+func (c *Client) ReplFetchCtx(ctx context.Context, afterLSN uint64, maxRecords int) (*WireRepl, error) {
+	return c.repl(ctx, OpReplFetch, afterLSN, maxRecords)
+}
+
+// ReplHeartbeatCtx returns the primary's commit horizon. Idempotent.
+func (c *Client) ReplHeartbeatCtx(ctx context.Context) (*WireRepl, error) {
+	return c.repl(ctx, OpReplHeartbeat, 0, 0)
+}
+
+func (c *Client) repl(ctx context.Context, op string, afterLSN uint64, maxRecords int) (*WireRepl, error) {
+	resp, err := c.do(ctx, &Request{Op: op, AfterLSN: afterLSN, MaxRecords: maxRecords}, true)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repl == nil {
+		return nil, fmt.Errorf("%w: %s response without repl payload", ErrProtocol, op)
+	}
+	return resp.Repl, nil
+}

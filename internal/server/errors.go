@@ -30,6 +30,13 @@ var (
 	// ErrTxn is returned for transaction sequencing errors (begin while
 	// open, commit/rollback without begin).
 	ErrTxn = errors.New("server: transaction sequencing error")
+	// ErrReadOnly is returned for write operations against a read-only
+	// backend: a replication follower serving reads pinned at its applied-LSN
+	// horizon. Writes belong on the primary (or on this node after promotion).
+	ErrReadOnly = errors.New("server: read-only replica")
+	// ErrNotReplicating is returned for replication operations against a
+	// backend that cannot ship its log (not durable, or not an engine).
+	ErrNotReplicating = errors.New("server: backend does not support replication")
 )
 
 // Code is a stable wire error code. Every sentinel the engine, WAL, merge
@@ -49,6 +56,8 @@ const (
 	CodeCanceled   Code = "canceled"
 	CodeClosed     Code = "closed"
 	CodeTxn        Code = "txn"
+	CodeReadOnly   Code = "read_only"
+	CodeNotRepl    Code = "not_replicating"
 
 	// Engine.
 	CodeUnknownRelation Code = "unknown_relation"
@@ -61,8 +70,10 @@ const (
 	CodeRecovery        Code = "recovery"
 
 	// WAL.
-	CodeWALCrashed Code = "wal_crashed"
-	CodeWALClosed  Code = "wal_closed"
+	CodeWALCrashed   Code = "wal_crashed"
+	CodeWALClosed    Code = "wal_closed"
+	CodeWALGap       Code = "wal_gap"
+	CodeWALCompacted Code = "wal_compacted"
 
 	// Merge pipeline (Def. 4.1/4.3 + removability).
 	CodeMergeSetTooSmall Code = "merge_set_too_small"
@@ -87,6 +98,8 @@ var codeSentinels = []struct {
 	{ErrDeadline, CodeDeadline},
 	{ErrClosed, CodeClosed},
 	{ErrTxn, CodeTxn},
+	{ErrReadOnly, CodeReadOnly},
+	{ErrNotReplicating, CodeNotRepl},
 	{context.DeadlineExceeded, CodeDeadline},
 	{context.Canceled, CodeCanceled},
 
@@ -101,6 +114,8 @@ var codeSentinels = []struct {
 
 	{wal.ErrCrashed, CodeWALCrashed},
 	{wal.ErrClosed, CodeWALClosed},
+	{wal.ErrGap, CodeWALGap},
+	{wal.ErrCompacted, CodeWALCompacted},
 
 	{core.ErrMergeSetTooSmall, CodeMergeSetTooSmall},
 	{core.ErrUnknownScheme, CodeUnknownScheme},
@@ -160,6 +175,14 @@ func sentinelOf(code Code) error {
 		return ErrClosed
 	case CodeTxn:
 		return ErrTxn
+	case CodeReadOnly:
+		return ErrReadOnly
+	case CodeNotRepl:
+		return ErrNotReplicating
+	case CodeWALGap:
+		return wal.ErrGap
+	case CodeWALCompacted:
+		return wal.ErrCompacted
 	case CodeUnknownRelation:
 		return engine.ErrUnknownRelation
 	case CodeNoSuchTuple:

@@ -55,6 +55,15 @@ const (
 	OpRollback    = "rollback"
 	OpStats       = "stats"
 	OpCheckpoint  = "checkpoint"
+
+	// Replication ops (v2 additions; see repl.go in internal/repl for the
+	// shipping loop). All three are reads against the primary's log: subscribe
+	// validates a start position (shipping a snapshot when it was compacted
+	// away), fetch returns the next chunk of committed records plus the commit
+	// horizon, heartbeat returns the horizon alone.
+	OpReplSubscribe = "repl_subscribe"
+	OpReplFetch     = "repl_fetch"
+	OpReplHeartbeat = "repl_heartbeat"
 )
 
 // writeOp reports whether op mutates the database and is therefore a
@@ -73,7 +82,17 @@ func knownOp(op string) bool {
 	switch op {
 	case OpHello, OpPing, OpInsert, OpDelete, OpUpdate, OpFetch,
 		OpInsertBatch, OpApplyBatch, OpBegin, OpCommit, OpRollback,
-		OpStats, OpCheckpoint:
+		OpStats, OpCheckpoint, OpReplSubscribe, OpReplFetch, OpReplHeartbeat:
+		return true
+	}
+	return false
+}
+
+// replOp reports whether op is a replication operation; these carry the
+// repl-only request fields (AfterLSN, MaxRecords) in the binary codec.
+func replOp(op string) bool {
+	switch op {
+	case OpReplSubscribe, OpReplFetch, OpReplHeartbeat:
 		return true
 	}
 	return false
@@ -97,6 +116,11 @@ type Request struct {
 	// so a request that expires while queued is answered with CodeDeadline
 	// without touching the engine.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// Replication fields (repl_subscribe / repl_fetch only): the follower's
+	// durable position and the record-count cap for one fetch chunk.
+	AfterLSN   uint64 `json:"after_lsn,omitempty"`
+	MaxRecords int    `json:"max_records,omitempty"`
 }
 
 // WireOp is one operation of an apply_batch request.
@@ -123,6 +147,26 @@ type Response struct {
 	Found bool        `json:"found,omitempty"` // fetch
 	Tuple []WireValue `json:"tuple,omitempty"` // fetch
 	Stats *WireStats  `json:"stats,omitempty"` // stats
+	Repl  *WireRepl   `json:"repl,omitempty"`  // repl_*
+}
+
+// WireRepl is the payload of a replication response: the primary's commit
+// horizon, a chunk of committed records (repl_fetch), and — when the
+// requested position was compacted away — a full snapshot to bootstrap from.
+// Byte fields ride v1 JSON as base64 ([]byte marshaling) and v2 binary raw.
+type WireRepl struct {
+	CommitLSN   uint64       `json:"commit_lsn"`
+	Records     []WireRecord `json:"records,omitempty"`
+	Snapshot    []byte       `json:"snapshot,omitempty"`
+	SnapshotLSN uint64       `json:"snapshot_lsn,omitempty"`
+}
+
+// WireRecord is one shipped WAL record: the primary's LSN and the opaque
+// record payload (the engine's op encoding, replayed verbatim by the
+// follower's log).
+type WireRecord struct {
+	LSN     uint64 `json:"lsn"`
+	Payload []byte `json:"payload"`
 }
 
 // WireViolation mirrors engine.ConstraintViolation on the wire.

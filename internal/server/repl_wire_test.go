@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Round-trip the replication request/response shapes through both codecs:
+// the repl fields are additions on top of the frozen v2 layout, so they must
+// survive encode/decode exactly in v1 JSON and v2 binary alike.
+func TestReplFramesRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ID: 7, Op: OpReplSubscribe, AfterLSN: 42, MaxRecords: 512},
+		{ID: 8, Op: OpReplFetch, AfterLSN: 0, MaxRecords: 0, DeadlineMS: 250},
+		{ID: 9, Op: OpReplHeartbeat},
+	}
+	resps := []*Response{
+		{ID: 7, OK: true, Repl: &WireRepl{CommitLSN: 99, Records: []WireRecord{
+			{LSN: 43, Payload: []byte{0x01, 0x00, 0xff}},
+			{LSN: 44, Payload: []byte("record")},
+		}}},
+		{ID: 8, OK: true, Repl: &WireRepl{CommitLSN: 99, Snapshot: []byte("STATE"), SnapshotLSN: 90}},
+		{ID: 9, OK: true, Repl: &WireRepl{CommitLSN: 99}},
+	}
+	for _, version := range []int{ProtoVersion, ProtoVersionBinary} {
+		for _, req := range reqs {
+			var buf bytes.Buffer
+			if _, err := WriteFrameVersion(&buf, version, req); err != nil {
+				t.Fatalf("v%d encode %s: %v", version, req.Op, err)
+			}
+			body, err := ReadFrame(&buf, DefaultMaxFrame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeRequestVersion(body, version)
+			if err != nil {
+				t.Fatalf("v%d decode %s: %v", version, req.Op, err)
+			}
+			if !reflect.DeepEqual(got, req) {
+				t.Fatalf("v%d request round-trip:\ngot  %+v\nwant %+v", version, got, req)
+			}
+		}
+		for _, resp := range resps {
+			var buf bytes.Buffer
+			if _, err := WriteFrameVersion(&buf, version, resp); err != nil {
+				t.Fatalf("v%d encode response %d: %v", version, resp.ID, err)
+			}
+			body, err := ReadFrame(&buf, DefaultMaxFrame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeResponseVersion(body, version)
+			if err != nil {
+				t.Fatalf("v%d decode response %d: %v", version, resp.ID, err)
+			}
+			if !reflect.DeepEqual(got, resp) {
+				t.Fatalf("v%d response round-trip:\ngot  %+v\nwant %+v", version, got, resp)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/relation"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults.
@@ -98,6 +99,21 @@ type Backend interface {
 	Checkpoint() error
 	Durable() bool
 	Close() error
+}
+
+// Replicator is the optional primary-side replication surface of a Backend.
+// The server type-asserts for it when dispatching repl_* operations: a
+// durable *engine.DB implements it; backends that cannot ship a log (shard
+// routers, non-durable engines) answer CodeNotRepl instead.
+type Replicator interface {
+	// ReplRead returns committed records after afterLSN plus the commit
+	// horizon; wal.ErrCompacted means the position predates the newest
+	// checkpoint and the caller must bootstrap from ReplSnapshot.
+	ReplRead(afterLSN uint64, maxRecords int) ([]wal.Record, uint64, error)
+	// ReplSnapshot returns the newest checkpoint's payload and covered LSN.
+	ReplSnapshot() ([]byte, uint64, error)
+	// DurableLSN returns the log's commit horizon.
+	DurableLSN() uint64
 }
 
 // Server serves engine operations over the relmerged wire protocol.
@@ -747,6 +763,37 @@ func (s *Server) dispatch(t *task) *Response {
 			return fail(err)
 		}
 		return &Response{OK: true}
+	case OpReplSubscribe, OpReplFetch:
+		// Subscribe and fetch share semantics: validate the follower's
+		// position and return the chunk after it. A position below the
+		// compaction horizon ships the checkpoint snapshot instead, so a
+		// fresh (or long-dead) follower bootstraps in the same exchange.
+		rep, ok := s.db.(Replicator)
+		if !ok {
+			return fail(ErrNotReplicating)
+		}
+		recs, horizon, err := rep.ReplRead(req.AfterLSN, req.MaxRecords)
+		if err != nil {
+			if errors.Is(err, wal.ErrCompacted) {
+				data, lsn, serr := rep.ReplSnapshot()
+				if serr != nil {
+					return fail(serr)
+				}
+				return &Response{OK: true, Repl: &WireRepl{CommitLSN: horizon, Snapshot: data, SnapshotLSN: lsn}}
+			}
+			return fail(err)
+		}
+		out := make([]WireRecord, len(recs))
+		for i, r := range recs {
+			out[i] = WireRecord{LSN: r.LSN, Payload: r.Payload}
+		}
+		return &Response{OK: true, Repl: &WireRepl{CommitLSN: horizon, Records: out}}
+	case OpReplHeartbeat:
+		rep, ok := s.db.(Replicator)
+		if !ok {
+			return fail(ErrNotReplicating)
+		}
+		return &Response{OK: true, Repl: &WireRepl{CommitLSN: rep.DurableLSN()}}
 	}
 	return fail(fmt.Errorf("%w: unknown op %q", ErrProtocol, req.Op))
 }

@@ -18,6 +18,7 @@ const (
 	metricWalReplayRecords   = "wal.replay_records"
 	metricWalReplaySkipped   = "wal.replay_skipped_records"
 	metricWalReplayTruncated = "wal.replay_truncated_bytes"
+	metricWalShippedRecords  = "wal.shipped_records"
 )
 
 // logMetrics are one log's registry handles. All handles are nil-safe, so a
@@ -34,6 +35,7 @@ type logMetrics struct {
 	replayRecords   *obs.Counter
 	replaySkipped   *obs.Counter
 	replayTruncated *obs.Counter
+	shippedRecords  *obs.Counter
 }
 
 func newLogMetrics(r *obs.Registry, name string) *logMetrics {
@@ -50,5 +52,6 @@ func newLogMetrics(r *obs.Registry, name string) *logMetrics {
 		replayRecords:   r.Counter(metricWalReplayRecords, lbl),
 		replaySkipped:   r.Counter(metricWalReplaySkipped, lbl),
 		replayTruncated: r.Counter(metricWalReplayTruncated, lbl),
+		shippedRecords:  r.Counter(metricWalShippedRecords, lbl),
 	}
 }

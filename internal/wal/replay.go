@@ -33,6 +33,9 @@ type Recovery struct {
 	// SkippedRecords counts records dropped because their LSN did not
 	// advance (duplicated segments) or was covered by the snapshot.
 	SkippedRecords int
+	// CorruptSnapshots counts snapshot files whose integrity footer failed
+	// verification and were skipped in favor of an older one.
+	CorruptSnapshots int
 	// Segments is the number of segment files scanned.
 	Segments int
 }
@@ -68,16 +71,35 @@ func (l *Log) recover() (*Recovery, uint64, error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 
 	rec := &Recovery{Segments: len(segs)}
-	if len(snaps) > 0 {
-		lsn := snaps[len(snaps)-1]
+	// Load the newest snapshot that verifies. A snapshot failing its
+	// integrity footer is skipped in favor of the next-older one, but only
+	// tentatively: the skipped snapshot proves records up to its LSN were
+	// committed, so the segment replay below must reach at least that far or
+	// recovery refuses (replaying a stale baseline without the difference
+	// would silently lose the committed suffix).
+	var needLSN uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		lsn := snaps[i]
 		data, err := os.ReadFile(l.snapshotPath(lsn))
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: reading snapshot %d: %w", lsn, err)
 		}
-		rec.Snapshot = data
+		payload, err := decodeSnapshot(data)
+		if err != nil {
+			rec.CorruptSnapshots++
+			if needLSN == 0 {
+				needLSN = lsn
+			}
+			if i == 0 {
+				return nil, 0, fmt.Errorf("wal: snapshot %d: %w (no older snapshot to fall back to)", lsn, err)
+			}
+			continue
+		}
+		rec.Snapshot = payload
 		rec.SnapshotLSN = lsn
 		l.snapLSN = lsn
 		l.lsn = lsn
+		break
 	}
 	var maxSeg uint64
 	for i, idx := range segs {
@@ -87,6 +109,9 @@ func (l *Log) recover() (*Recovery, uint64, error) {
 		if err := l.replaySegment(rec, idx, i == len(segs)-1); err != nil {
 			return nil, 0, err
 		}
+	}
+	if l.lsn < needLSN {
+		return nil, 0, fmt.Errorf("%w: newest snapshot (LSN %d) failed verification and the surviving segments only reach LSN %d; refusing to recover a stale baseline", ErrSnapshotCorrupt, needLSN, l.lsn)
 	}
 	l.m.replayRecords.Add(int64(len(rec.Records)))
 	l.m.replaySkipped.Add(int64(rec.SkippedRecords))
@@ -126,6 +151,13 @@ func (l *Log) replaySegment(rec *Recovery, idx uint64, last bool) error {
 			// Duplicate (copied segment) or covered by the snapshot.
 			rec.SkippedRecords++
 		} else {
+			// Commit assigns LSNs densely, so the next surviving record must
+			// advance by exactly one — across segment boundaries too. A jump
+			// means a whole committed stretch is gone (a deleted or lost
+			// middle segment); replaying past it would be silent data loss.
+			if lsn != l.lsn+1 {
+				return fmt.Errorf("%w: segment %d: LSN jumps from %d to %d (a committed segment is missing; refusing to recover past the gap)", ErrGap, idx, l.lsn, lsn)
+			}
 			l.lsn = lsn
 			rec.Records = append(rec.Records, Record{
 				LSN:     lsn,

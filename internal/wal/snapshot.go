@@ -1,11 +1,57 @@
 package wal
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 )
+
+// Snapshot integrity framing. A checkpoint file is written as
+//
+//	[8B magic "RMSNAP01"][payload][4B payload length][4B IEEE CRC32 of payload]
+//
+// so bit-rot and filesystem truncation are detected on load instead of being
+// silently adopted as the recovery baseline. The magic header versions the
+// format: a file that does not start with it is a legacy footer-less snapshot
+// and loads as-is (old directories keep recovering), while a file that does
+// start with it MUST verify — a truncated new-format snapshot keeps its
+// header, so truncation cannot masquerade as legacy.
+const snapMagic = "RMSNAP01"
+
+const snapOverhead = len(snapMagic) + 8 // header + [len][CRC32] footer
+
+// encodeSnapshot frames payload with the magic header and integrity footer.
+func encodeSnapshot(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+snapOverhead)
+	out = append(out, snapMagic...)
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+}
+
+// decodeSnapshot verifies and strips the snapshot framing. Legacy files
+// (no magic header) pass through unchanged.
+func decodeSnapshot(data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return data, nil // legacy footer-less snapshot
+	}
+	if len(data) < snapOverhead {
+		return nil, fmt.Errorf("%w: %d bytes is too short for the integrity footer", ErrSnapshotCorrupt, len(data))
+	}
+	payload := data[len(snapMagic) : len(data)-8]
+	storedLen := binary.LittleEndian.Uint32(data[len(data)-8:])
+	storedCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if uint64(storedLen) != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: footer length %d does not match payload length %d", ErrSnapshotCorrupt, storedLen, len(payload))
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != storedCRC {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrSnapshotCorrupt, storedCRC, crc)
+	}
+	return payload, nil
+}
 
 // Checkpoint makes data the new recovery baseline: it is written to a temp
 // file, fsynced, atomically renamed to <LSN>.state, and the directory
@@ -28,7 +74,13 @@ func (l *Log) Checkpoint(data []byte) error {
 	if l.crashed != nil {
 		return l.crashErr()
 	}
-	lsn := l.lsn
+	return l.checkpointLocked(data, l.lsn)
+}
+
+// checkpointLocked publishes data as the snapshot covering lsn and truncates
+// the superseded log. Caller holds l.mu; lsn must be >= l.lsn (Checkpoint
+// passes l.lsn itself, InstallSnapshot a primary's horizon).
+func (l *Log) checkpointLocked(data []byte, lsn uint64) error {
 	tmp := filepath.Join(l.dir, fmt.Sprintf("%020d%s%s", lsn, snapSuffix, tmpSuffix))
 	if err := l.writeSnapshot(tmp, data); err != nil {
 		l.crash(err)
@@ -51,6 +103,7 @@ func (l *Log) Checkpoint(data []byte) error {
 	l.f = nil
 	l.removeObsolete(lsn, prevSeg)
 	l.snapLSN = lsn
+	l.lsn = lsn
 	l.segIndex++
 	if err := l.openSegment(); err != nil {
 		l.crash(err)
@@ -61,13 +114,14 @@ func (l *Log) Checkpoint(data []byte) error {
 	return nil
 }
 
-// writeSnapshot writes and fsyncs the temp snapshot file.
+// writeSnapshot writes and fsyncs the temp snapshot file, framed with the
+// magic header and [len][CRC32] integrity footer.
 func (l *Log) writeSnapshot(path string, data []byte) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
 	}
-	if _, err := l.write(f, data); err != nil {
+	if _, err := l.write(f, encodeSnapshot(data)); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: writing snapshot: %w", err)
 	}

@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the log's replication surface. A primary streams its committed
+// suffix with ReadCommitted; a follower appends the shipped records to its own
+// log with CommitShipped — preserving the PRIMARY's LSNs, so the follower's
+// log is byte-for-byte a prefix of the primary's record sequence and promotion
+// simply continues the numbering. A follower too far behind (the primary
+// compacted the records it needs into a checkpoint) bootstraps from
+// ReadSnapshot/InstallSnapshot instead.
+
+// ReadCommitted returns up to maxRecords committed records with LSN strictly
+// greater than afterLSN, in LSN order, plus the commit horizon (the LSN of the
+// newest committed record). It returns ErrCompacted when afterLSN predates the
+// newest checkpoint — those records were deleted, so the caller must ship the
+// snapshot instead. The scan runs under the log's commit mutex and never
+// returns a torn tail: the open segment is read only up to its last
+// group-commit offset.
+func (l *Log) ReadCommitted(afterLSN uint64, maxRecords int) ([]Record, uint64, error) {
+	if maxRecords <= 0 {
+		maxRecords = 1 << 30
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed != nil {
+		return nil, 0, l.crashErr()
+	}
+	if afterLSN < l.snapLSN {
+		return nil, l.lsn, fmt.Errorf("%w: records after LSN %d start below the checkpoint at LSN %d", ErrCompacted, afterLSN, l.snapLSN)
+	}
+	if afterLSN >= l.lsn {
+		return nil, l.lsn, nil
+	}
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: reading %s: %w", l.dir, err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			if idx, ok := parseSeq(e.Name(), segSuffix); ok {
+				segs = append(segs, idx)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	var out []Record
+	for _, idx := range segs {
+		if len(out) >= maxRecords {
+			break
+		}
+		data, err := os.ReadFile(l.segmentPath(idx))
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: reading segment %d: %w", idx, err)
+		}
+		if idx == l.segIndex {
+			// The open segment may hold a group still being written (or a
+			// torn suffix after a crash-in-progress); expose only the
+			// committed prefix.
+			if int64(len(data)) > l.committed {
+				data = data[:l.committed]
+			}
+		}
+		off := 0
+		for off < len(data) && len(out) < maxRecords {
+			rest := len(data) - off
+			if rest < frameHeader {
+				break
+			}
+			bodyLen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+			crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+			if bodyLen < 8 || bodyLen > maxRecordBytes || bodyLen > rest-frameHeader {
+				break
+			}
+			body := data[off+frameHeader : off+frameHeader+bodyLen]
+			if crc32.ChecksumIEEE(body) != crc {
+				break
+			}
+			lsn := binary.LittleEndian.Uint64(body[:8])
+			if lsn > afterLSN && (len(out) == 0 || lsn > out[len(out)-1].LSN) {
+				out = append(out, Record{LSN: lsn, Payload: append([]byte(nil), body[8:]...)})
+			}
+			off += frameHeader + bodyLen
+		}
+	}
+	l.m.shippedRecords.Add(int64(len(out)))
+	return out, l.lsn, nil
+}
+
+// CommitShipped appends records shipped from a primary, preserving their
+// LSNs, and makes the group durable under the log's fsync policy — the
+// follower-side twin of Commit. Records whose LSN does not advance past the
+// log's current position are skipped (duplicate delivery is harmless); a
+// record that jumps past the next expected LSN refuses the whole group with
+// ErrGap before anything is written, so a gapped stream can never become the
+// follower's durable state. It returns the records that were actually
+// appended (the accepted suffix), in order.
+func (l *Log) CommitShipped(records []Record) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed != nil {
+		return nil, l.crashErr()
+	}
+	var buf []byte
+	var accepted []Record
+	cur := l.lsn
+	for _, r := range records {
+		if r.LSN <= cur {
+			continue // duplicate delivery
+		}
+		if r.LSN != cur+1 {
+			return nil, fmt.Errorf("%w: shipped record jumps from LSN %d to %d; refusing the group", ErrGap, cur, r.LSN)
+		}
+		cur = r.LSN
+		buf = appendFrame(buf, r.LSN, r.Payload)
+		accepted = append(accepted, r)
+		l.m.appends.Inc()
+		l.m.appendSize.Observe(float64(frameHeader + 8 + len(r.Payload)))
+	}
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	n, err := l.write(l.f, buf)
+	l.fileSize += int64(n)
+	if err != nil {
+		l.crash(err)
+		return nil, err
+	}
+	l.m.appendBytes.Add(int64(n))
+	if err := l.maybeSync(false); err != nil {
+		l.crash(err)
+		return nil, err
+	}
+	l.lsn = cur
+	l.committed = l.fileSize
+	if l.fileSize >= l.opt.SegmentBytes {
+		if err := l.roll(); err != nil {
+			// Post-commit rotation fault, same contract as Commit: the group
+			// is durable, so it succeeds and only the log's future crashes.
+			l.crash(err)
+			return accepted, nil
+		}
+	}
+	return accepted, nil
+}
+
+// ReadSnapshot returns the newest checkpoint's verified payload and the LSN
+// it covers, for bootstrapping a follower that is behind the compaction
+// horizon. ok is false when the log has no checkpoint (every record is still
+// in segments).
+func (l *Log) ReadSnapshot() (data []byte, lsn uint64, ok bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed != nil {
+		return nil, 0, false, l.crashErr()
+	}
+	if l.snapLSN == 0 {
+		return nil, 0, false, nil
+	}
+	raw, err := os.ReadFile(l.snapshotPath(l.snapLSN))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: reading snapshot %d: %w", l.snapLSN, err)
+	}
+	payload, err := decodeSnapshot(raw)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: snapshot %d: %w", l.snapLSN, err)
+	}
+	return payload, l.snapLSN, true, nil
+}
+
+// InstallSnapshot makes a primary-shipped snapshot this log's recovery
+// baseline at the primary's LSN: the follower-side twin of Checkpoint. The
+// durability choreography is identical (temp write, fsync, atomic rename,
+// directory fsync, then segment truncation), and the log's position jumps
+// forward to lsn — the shipped snapshot covers everything before it. A
+// snapshot older than the log's current position is refused: installing it
+// would rewind a follower past records it already holds.
+func (l *Log) InstallSnapshot(data []byte, lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed != nil {
+		return l.crashErr()
+	}
+	if lsn < l.lsn {
+		return fmt.Errorf("wal: installing snapshot at LSN %d would rewind the log from LSN %d", lsn, l.lsn)
+	}
+	return l.checkpointLocked(data, lsn)
+}

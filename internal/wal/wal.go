@@ -99,6 +99,20 @@ var (
 	// ErrInjected is the failure injected by a Failpoint (wrapped by the
 	// failing call's error; later calls report ErrCrashed).
 	ErrInjected = errors.New("wal: injected fault")
+	// ErrGap reports an LSN discontinuity: committed records are missing
+	// from the log (a deleted middle segment, or a shipped stream skipping
+	// ahead). Recovery and replication ingest both refuse to proceed past a
+	// gap — replaying around one would silently lose committed records.
+	ErrGap = errors.New("wal: missing committed records (LSN gap)")
+	// ErrSnapshotCorrupt reports a checkpoint snapshot whose integrity
+	// footer failed verification. Recovery falls back to the next-older
+	// snapshot when the surviving segments still cover the difference, and
+	// refuses otherwise.
+	ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
+	// ErrCompacted reports a ReadCommitted position older than the newest
+	// checkpoint: the records were deleted by compaction, so a replication
+	// follower must bootstrap from the snapshot instead.
+	ErrCompacted = errors.New("wal: records compacted into snapshot")
 )
 
 const (

@@ -23,6 +23,8 @@ const (
 	CodeCanceled   = server.CodeCanceled
 	CodeClosed     = server.CodeClosed
 	CodeTxn        = server.CodeTxn
+	CodeReadOnly   = server.CodeReadOnly
+	CodeNotRepl    = server.CodeNotRepl
 
 	CodeUnknownRelation = server.CodeUnknownRelation
 	CodeNoSuchTuple     = server.CodeNoSuchTuple
@@ -33,8 +35,10 @@ const (
 	CodeOpenTransaction = server.CodeOpenTransaction
 	CodeRecovery        = server.CodeRecovery
 
-	CodeWALCrashed = server.CodeWALCrashed
-	CodeWALClosed  = server.CodeWALClosed
+	CodeWALCrashed   = server.CodeWALCrashed
+	CodeWALClosed    = server.CodeWALClosed
+	CodeWALGap       = server.CodeWALGap
+	CodeWALCompacted = server.CodeWALCompacted
 
 	CodeMergeSetTooSmall = server.CodeMergeSetTooSmall
 	CodeUnknownScheme    = server.CodeUnknownScheme
@@ -76,6 +80,12 @@ var (
 	ErrWALCrashed = wal.ErrCrashed
 	// ErrWALClosed reports an operation on a cleanly closed log.
 	ErrWALClosed = wal.ErrClosed
+	// ErrWALGap reports missing committed records: a replay or shipped
+	// stream whose LSNs jump, refused instead of silently losing the gap.
+	ErrWALGap = wal.ErrGap
+	// ErrWALCompacted reports a replication read position that predates the
+	// primary's newest checkpoint; the follower bootstraps from a snapshot.
+	ErrWALCompacted = wal.ErrCompacted
 )
 
 // Service-layer sentinels.
@@ -96,6 +106,12 @@ var (
 	// ErrTxn reports transaction sequencing errors: Begin while open,
 	// Commit/Rollback without Begin.
 	ErrTxn = server.ErrTxn
+	// ErrReadOnly reports a write against a read-only follower session;
+	// writes belong on the primary (or here after promotion).
+	ErrReadOnly = server.ErrReadOnly
+	// ErrNotReplicating reports a replication operation against a backend
+	// that cannot ship its log.
+	ErrNotReplicating = server.ErrNotReplicating
 )
 
 // Code maps any error surfaced by this package — merge pipeline, engine,
@@ -128,12 +144,16 @@ var sentinels = map[string]error{
 	"ErrOpenTransaction":     ErrOpenTransaction,
 	"ErrRecovery":            ErrRecovery,
 
-	"ErrWALCrashed": ErrWALCrashed,
-	"ErrWALClosed":  ErrWALClosed,
+	"ErrWALCrashed":   ErrWALCrashed,
+	"ErrWALClosed":    ErrWALClosed,
+	"ErrWALGap":       ErrWALGap,
+	"ErrWALCompacted": ErrWALCompacted,
 
-	"ErrOverloaded":    ErrOverloaded,
-	"ErrDeadline":      ErrDeadline,
-	"ErrProtocol":      ErrProtocol,
-	"ErrSessionClosed": ErrSessionClosed,
-	"ErrTxn":           ErrTxn,
+	"ErrOverloaded":     ErrOverloaded,
+	"ErrDeadline":       ErrDeadline,
+	"ErrProtocol":       ErrProtocol,
+	"ErrSessionClosed":  ErrSessionClosed,
+	"ErrTxn":            ErrTxn,
+	"ErrReadOnly":       ErrReadOnly,
+	"ErrNotReplicating": ErrNotReplicating,
 }

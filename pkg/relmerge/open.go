@@ -2,7 +2,9 @@ package relmerge
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/wal"
@@ -20,6 +22,11 @@ const (
 	// Sharded runs N in-process engines behind a hash-partitioning router
 	// that checks inclusion dependencies across shards.
 	Sharded
+	// Follower runs a local durable engine that continuously replays a
+	// primary relmerged server's shipped WAL and serves read-only sessions
+	// pinned at its applied-LSN horizon; writes fail with CodeReadOnly until
+	// Promote.
+	Follower
 )
 
 func (k BackendKind) String() string {
@@ -30,6 +37,8 @@ func (k BackendKind) String() string {
 		return "remote"
 	case Sharded:
 		return "sharded"
+	case Follower:
+		return "follower"
 	}
 	return fmt.Sprintf("BackendKind(%d)", int(k))
 }
@@ -46,7 +55,8 @@ type Config struct {
 	// Remote — the server owns the schema).
 	Schema *Schema
 
-	// Addr is the relmerged server address (Remote only).
+	// Addr is the relmerged server address: the server a Remote session
+	// talks to, or the primary a Follower ships its WAL from.
 	Addr string
 	// RemoteOptions tune the remote client: pool size, timeouts, retries
 	// (Remote only).
@@ -63,11 +73,17 @@ type Config struct {
 
 	// DurableDir, when set, opens a write-ahead log there (Embedded), or one
 	// per shard in subdirectories shard-<i> (Sharded). An existing log is
-	// recovered from first.
+	// recovered from first. Required for Follower — the local log IS the
+	// replica state, and a restarted follower resumes from it.
 	DurableDir string
 	// Sync is the fsync policy of the log(s) (default SyncNever). Ignored
 	// unless DurableDir is set.
 	Sync SyncPolicy
+
+	// PollInterval is a follower's fetch cadence when caught up with the
+	// primary (Follower only; 0 = default 25ms). While behind, the follower
+	// fetches continuously without sleeping.
+	PollInterval time.Duration
 
 	// EngineOptions are extra engine options — access-delay simulation,
 	// metric names — applied to the embedded engine or to every shard.
@@ -141,6 +157,35 @@ func Open(cfg Config) (Session, error) {
 			return nil, err
 		}
 		return NewShardedSession(r), nil
+
+	case Follower:
+		if cfg.Schema == nil {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Schema (the primary's serving schema)", cfg.Backend)
+		}
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires Addr (the primary to replicate from)", cfg.Backend)
+		}
+		if cfg.DurableDir == "" {
+			return nil, fmt.Errorf("relmerge: Open(%v) requires DurableDir (the local log is the replica state)", cfg.Backend)
+		}
+		opts := append([]EngineOption{}, cfg.EngineOptions...)
+		if cfg.Registry != nil {
+			opts = append(opts, WithEngineRegistry(cfg.Registry))
+		}
+		opts = append(opts, WithDurability(cfg.DurableDir, cfg.Sync))
+		eng, err := OpenEngine(cfg.Schema, opts...)
+		if err != nil {
+			return nil, err
+		}
+		f, err := repl.Open(cfg.Addr, eng, repl.Options{
+			PollInterval: cfg.PollInterval,
+			Registry:     cfg.Registry,
+		})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		return NewFollowerSession(f), nil
 	}
 	return nil, fmt.Errorf("relmerge: Open: unknown backend %v", cfg.Backend)
 }

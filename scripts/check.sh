@@ -3,8 +3,8 @@
 # detector, the concurrency stress suite, the crash-recovery suite, the
 # client/server serving suite, the shard-routing suite, the wire-protocol
 # suite (negotiation matrix + golden vectors + short fuzz; all fresh,
-# uncached), and the quick probes (read-under-write + cross-shard IND).
-# Equivalent to `make check` for environments without make.
+# uncached), the replication suite, and the quick probes (read-under-write +
+# cross-shard IND). Equivalent to `make check` for environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,4 +27,5 @@ go test -race -count=1 -run 'HashKey|Router|CrossShard|Shard|NonKeyIND|ProbeCach
 go test -race -count=1 -run 'Negotiation|Golden|Binary|Version|Fallback|Taxonomy|WriteFrame|EncodeAllocs' ./internal/server/
 go test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/server/
 go test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/server/
+go test -race -count=1 -run 'Repl|Follower|Promote|Failover|Ship|Stream|Snapshot|Checkpoint' ./internal/wal/ ./internal/engine/ ./internal/repl/ ./pkg/relmerge/
 go run ./cmd/benchreport -probe
