@@ -143,7 +143,7 @@ func replCluster(dir string, n int) (*replNode, []*replNode, error) {
 
 	followers := make([]*replNode, 0, n)
 	for i := 0; i < n; i++ {
-		fdb, err := engine.Open(crashSchema(),
+		fdb, err := engine.Open(crashSchema(), engine.AsReplica(),
 			engine.WithWALOptions(filepath.Join(dir, fmt.Sprintf("follower-%d", i)), wal.Options{Policy: wal.SyncNever}),
 			engine.WithAccessDelay(scalingAccessDelay))
 		if err != nil {
@@ -315,7 +315,7 @@ func replFailoverProbe(dir string) (*replFailover, error) {
 	if err != nil {
 		return nil, err
 	}
-	fdb, err := engine.Open(crashSchema(),
+	fdb, err := engine.Open(crashSchema(), engine.AsReplica(),
 		engine.WithWALOptions(filepath.Join(dir, "fo-follower"), wal.Options{Policy: wal.SyncAlways}))
 	if err != nil {
 		srv.Close()

@@ -122,7 +122,7 @@ func main() {
 			fatal(fmt.Errorf("relmerged: -replica-of cannot load -data (state ships from the primary)"))
 		}
 		eng, err := buildEngine(s, orig, merges, "", append(delayOpts,
-			relmerge.WithDurability(*durableDir, fsyncPolicy)))
+			relmerge.WithDurability(*durableDir, fsyncPolicy), relmerge.AsReplica()))
 		if err != nil {
 			fatal(err)
 		}

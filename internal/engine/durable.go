@@ -48,6 +48,17 @@ func WithWALOptions(dir string, opts wal.Options) Option {
 	}
 }
 
+// AsReplica marks the engine as a replication follower: its mutations arrive
+// as primary-shipped WAL records (IngestReplicated), so a log ending inside
+// an unterminated transaction is resumable — the commit marker is still in
+// flight from the primary — and recovery seeds the ingest buffer from it
+// instead of discarding it. A primary opened without this option discards
+// such a suffix (its transaction died with the crash; no marker can arrive)
+// and may checkpoint right past it.
+func AsReplica() Option {
+	return func(c *openConfig) { c.replica = true }
+}
+
 // RecoveryInfo describes what Open reconstructed from the write-ahead log.
 type RecoveryInfo struct {
 	// Recovered reports whether the log held anything to restore.
@@ -85,6 +96,13 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return ErrNotDurable
 	}
+	// replMu first (the replication paths order replMu before table locks):
+	// holding it for the whole checkpoint closes the window inside
+	// IngestReplicated between the durable append (which advances the WAL
+	// LSN) and the state apply — a snapshot stamped in that window would
+	// cover records whose effects it does not contain.
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
 	ls := db.lm.allRead()
 	db.acquire(ls)
 	defer ls.release()
@@ -92,6 +110,14 @@ func (db *DB) Checkpoint() error {
 	defer db.txnMu.Unlock()
 	if db.inTxn.Load() {
 		return fmt.Errorf("%w: cannot checkpoint until it commits or rolls back", ErrOpenTransaction)
+	}
+	if len(db.replPending) > 0 {
+		// A shipped transaction is buffered: the WAL LSN is already past its
+		// op records but their effects are not in the state. A snapshot
+		// stamped here would truncate those records; after a restart the
+		// commit marker would apply an empty buffer and the transaction
+		// would silently vanish from the replica.
+		return fmt.Errorf("%w: a replicated transaction (%d buffered ops) awaits its commit marker; cannot checkpoint until it arrives", ErrOpenTransaction, len(db.replPending))
 	}
 	// Writers are quiesced, so the current published version IS the
 	// committed state the log's LSN refers to.
@@ -190,11 +216,16 @@ func (db *DB) recover(rec *Recovery) error {
 	}
 	db.recovery.DiscardedOps += len(pending)
 	// The unterminated suffix is discarded from the recovered state (the
-	// transaction never committed) but retained for the replication applier:
-	// on a follower the commit marker is still in flight from the primary, and
-	// these ops are already durable in the local log, so the applier resumes
-	// the buffer instead of losing them (replica.go).
-	db.replPending = append([]walOp(nil), pending...)
+	// transaction never committed). On a replica it is additionally retained
+	// for the replication applier: the commit marker is still in flight from
+	// the primary and these ops are already durable in the local log, so the
+	// applier resumes the buffer instead of losing them (replica.go) — and
+	// Checkpoint refuses until the marker arrives. On a primary the suffix is
+	// dead (its transaction died with the crash; no marker can ever arrive),
+	// so seeding the buffer would block checkpoints forever.
+	if db.replica {
+		db.replPending = append([]walOp(nil), pending...)
+	}
 	db.recovery.Recovered = rec.Snapshot != nil || len(rec.Records) > 0
 	if !db.recovery.Recovered {
 		return nil

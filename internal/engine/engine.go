@@ -116,6 +116,12 @@ type DB struct {
 	// buffer instead of losing the suffix the primary will never resend.
 	replMu      sync.Mutex
 	replPending []walOp
+	// replica marks an engine opened with AsReplica: its log's unterminated
+	// transactional suffix is resumable (the primary's commit marker is still
+	// in flight), so recovery seeds replPending from it and Checkpoint
+	// refuses while it is non-empty. A primary discards such a suffix — its
+	// transaction died with the crash and no marker can ever arrive.
+	replica bool
 	// partition marks the engine as one shard of a partitioned database;
 	// probes holds the router's cross-partition constraint hooks
 	// (partition.go). Installed once via SetShardProbes before traffic.
@@ -133,6 +139,7 @@ type openConfig struct {
 	walDir    string
 	walOpts   wal.Options
 	partition bool
+	replica   bool
 }
 
 // WithRegistry makes the DB report its cost counters and latency histograms
@@ -183,6 +190,7 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		nnaAttrs:  make(map[string]map[string]bool),
 		delay:     cfg.delay,
 		partition: cfg.partition,
+		replica:   cfg.replica,
 	}
 	for _, rs := range s.Relations {
 		hdr := relation.New(rs.AttrNames()...)

@@ -8,6 +8,19 @@ import (
 	"repro/internal/wal"
 )
 
+// openReplica opens a durable engine marked as a replication follower:
+// recovery resumes a shipped transaction's buffered suffix instead of
+// discarding it.
+func openReplica(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(figures.Fig3(), AsReplica(),
+		WithWALOptions(dir, wal.Options{Policy: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("Open replica: %v", err)
+	}
+	return db
+}
+
 // shipAll pumps the primary's committed suffix into the follower until the
 // follower's durable horizon matches the primary's.
 func shipAll(t *testing.T, p, f *DB) {
@@ -63,7 +76,7 @@ func TestReplicatedApplyMirrorsPrimary(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f := openDurable(t, fdir, wal.Options{Policy: wal.SyncAlways})
+	f := openReplica(t, fdir)
 	shipAll(t, p, f)
 	if got, want := f.Snapshot(), p.Snapshot(); !got.Equal(want) {
 		t.Fatalf("follower state differs:\ngot:\n%s\nwant:\n%s", got, want)
@@ -91,7 +104,7 @@ func TestReplicatedApplyMirrorsPrimary(t *testing.T) {
 	}
 
 	// A restarted follower recovers to the same state and can keep applying.
-	f2 := openDurable(t, fdir, wal.Options{Policy: wal.SyncAlways})
+	f2 := openReplica(t, fdir)
 	defer f2.Close()
 	if got, want := f2.Snapshot(), p.Snapshot(); !got.Equal(want) {
 		t.Fatalf("recovered follower state differs")
@@ -126,7 +139,7 @@ func TestReplicatedTxnSpansBatchesAndRestart(t *testing.T) {
 
 	// Ship the open transaction's prefix: the follower buffers, publishes
 	// nothing of it.
-	f := openDurable(t, fdir, wal.Options{Policy: wal.SyncAlways})
+	f := openReplica(t, fdir)
 	shipAll(t, p, f)
 	if _, ok := f.GetByKey("PERSON", tup("p-mid")); ok {
 		t.Fatal("follower published an uncommitted transactional insert")
@@ -137,7 +150,7 @@ func TestReplicatedTxnSpansBatchesAndRestart(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	f2 := openDurable(t, fdir, wal.Options{Policy: wal.SyncAlways})
+	f2 := openReplica(t, fdir)
 	defer f2.Close()
 	if _, ok := f2.GetByKey("PERSON", tup("p-mid")); ok {
 		t.Fatal("restarted follower published an uncommitted transactional insert")
@@ -172,7 +185,7 @@ func TestReplicatedSnapshotBootstrap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f := openDurable(t, fdir, wal.Options{Policy: wal.SyncAlways})
+	f := openReplica(t, fdir)
 	defer f.Close()
 	_, _, err := p.ReplRead(f.DurableLSN(), 0)
 	if !errors.Is(err, wal.ErrCompacted) {
@@ -194,5 +207,63 @@ func TestReplicatedSnapshotBootstrap(t *testing.T) {
 	}
 	if _, ok := f.GetByKey("COURSE", tup("c9")); !ok {
 		t.Fatal("follower missing the post-checkpoint tail record")
+	}
+}
+
+// A follower must not checkpoint while a replicated transaction's ops sit in
+// the buffer awaiting their commit marker: the snapshot would be stamped past
+// the buffered records and truncation would drop them for good.
+func TestCheckpointRefusesBufferedReplicatedTxn(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p := openDurable(t, pdir, wal.Options{Policy: wal.SyncAlways})
+	defer p.Close()
+	if err := p.Load(figures.Fig3State()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert("PERSON", tup("p-buf")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert("STUDENT", tup("p-buf")); err != nil {
+		t.Fatal(err)
+	}
+
+	f := openReplica(t, fdir)
+	shipAll(t, p, f)
+	if err := f.Checkpoint(); !errors.Is(err, ErrOpenTransaction) {
+		t.Fatalf("Checkpoint with buffered replicated txn = %v, want ErrOpenTransaction", err)
+	}
+
+	// The refusal must survive a restart: recovery reseeds the buffer from
+	// the log's unterminated suffix.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2 := openReplica(t, fdir)
+	defer f2.Close()
+	if err := f2.Checkpoint(); !errors.Is(err, ErrOpenTransaction) {
+		t.Fatalf("Checkpoint after restart = %v, want ErrOpenTransaction", err)
+	}
+
+	// Once the commit marker lands the buffer drains and checkpointing works.
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, p, f2)
+	if err := f2.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after commit marker: %v", err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f3 := openReplica(t, fdir)
+	defer f3.Close()
+	if got, want := f3.Snapshot(), p.Snapshot(); !got.Equal(want) {
+		t.Fatalf("follower state differs after checkpoint+restart:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if _, ok := f3.GetByKey("PERSON", tup("p-buf")); !ok {
+		t.Fatal("follower missing the committed transactional insert after checkpoint")
 	}
 }

@@ -36,6 +36,18 @@ func openEngine(t *testing.T, dir string) *engine.DB {
 	return db
 }
 
+// openReplica is openEngine for follower engines: AsReplica makes a restart
+// mid-shipped-transaction resume the buffered suffix.
+func openReplica(t *testing.T, dir string) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(figures.Fig3(), engine.AsReplica(),
+		engine.WithWALOptions(dir, wal.Options{Policy: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("open replica engine: %v", err)
+	}
+	return db
+}
+
 // startServer serves backend on a loopback listener and returns its address.
 func startServer(t *testing.T, backend server.Backend) (string, *server.Server) {
 	t.Helper()
@@ -96,7 +108,7 @@ func TestFollowerCatchesUpServesAndStaysReadOnly(t *testing.T) {
 	defer srv.Close()
 
 	reg := obs.NewRegistry()
-	fdb := openEngine(t, t.TempDir())
+	fdb := openReplica(t, t.TempDir())
 	defer fdb.Close()
 	f, err := repl.Open(addr, fdb, fastOpts(reg))
 	if err != nil {
@@ -171,7 +183,7 @@ func TestFollowerBootstrapsFromSnapshotOverWire(t *testing.T) {
 	addr, srv := startServer(t, p)
 	defer srv.Close()
 
-	fdb := openEngine(t, t.TempDir())
+	fdb := openReplica(t, t.TempDir())
 	defer fdb.Close()
 	f, err := repl.Open(addr, fdb, fastOpts(nil))
 	if err != nil {
@@ -203,7 +215,7 @@ func TestFailoverPromoteRecoversAckedPrefix(t *testing.T) {
 	defer srv.Close()
 
 	reg := obs.NewRegistry()
-	fdb := openEngine(t, t.TempDir())
+	fdb := openReplica(t, t.TempDir())
 	defer fdb.Close()
 	f, err := repl.Open(addr, fdb, fastOpts(reg))
 	if err != nil {
@@ -296,7 +308,7 @@ func testStreamFaultBreaksFollower(t *testing.T, mode string) {
 	addr, srv := startServer(t, fb)
 	defer srv.Close()
 
-	fdb := openEngine(t, t.TempDir())
+	fdb := openReplica(t, t.TempDir())
 	defer fdb.Close()
 	f, err := repl.Open(addr, fdb, fastOpts(nil))
 	if err != nil {
@@ -361,7 +373,7 @@ func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
 	addr, srv := startServer(t, rb)
 	defer srv.Close()
 
-	fdb := openEngine(t, t.TempDir())
+	fdb := openReplica(t, t.TempDir())
 	defer fdb.Close()
 	f, err := repl.Open(addr, fdb, fastOpts(nil))
 	if err != nil {
@@ -403,7 +415,7 @@ func TestFollowerRestartResumes(t *testing.T) {
 	defer srv.Close()
 
 	fdir := t.TempDir()
-	fdb := openEngine(t, fdir)
+	fdb := openReplica(t, fdir)
 	f, err := repl.Open(addr, fdb, fastOpts(nil))
 	if err != nil {
 		t.Fatal(err)
@@ -422,7 +434,7 @@ func TestFollowerRestartResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fdb2 := openEngine(t, fdir)
+	fdb2 := openReplica(t, fdir)
 	defer fdb2.Close()
 	f2, err := repl.Open(addr, fdb2, fastOpts(nil))
 	if err != nil {
@@ -446,7 +458,7 @@ func TestCascadingReplication(t *testing.T) {
 	addr, srv := startServer(t, p)
 	defer srv.Close()
 
-	adb := openEngine(t, t.TempDir())
+	adb := openReplica(t, t.TempDir())
 	defer adb.Close()
 	fa, err := repl.Open(addr, adb, fastOpts(nil))
 	if err != nil {
@@ -456,7 +468,7 @@ func TestCascadingReplication(t *testing.T) {
 	addrA, srvA := startServer(t, fa.Backend())
 	defer srvA.Close()
 
-	bdb := openEngine(t, t.TempDir())
+	bdb := openReplica(t, t.TempDir())
 	defer bdb.Close()
 	fb, err := repl.Open(addrA, bdb, fastOpts(nil))
 	if err != nil {

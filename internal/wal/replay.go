@@ -109,6 +109,10 @@ func (l *Log) recover() (*Recovery, uint64, error) {
 		if err := l.replaySegment(rec, idx, i == len(segs)-1); err != nil {
 			return nil, 0, err
 		}
+		// The log's LSN after replaying a segment bounds every LSN it holds
+		// (duplicates never advance it), which is all ReadCommitted needs to
+		// skip fully-shipped segments.
+		l.segLast[idx] = l.lsn
 	}
 	if l.lsn < needLSN {
 		return nil, 0, fmt.Errorf("%w: newest snapshot (LSN %d) failed verification and the surviving segments only reach LSN %d; refusing to recover a stale baseline", ErrSnapshotCorrupt, needLSN, l.lsn)

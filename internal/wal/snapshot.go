@@ -17,8 +17,10 @@ import (
 // silently adopted as the recovery baseline. The magic header versions the
 // format: a file that does not start with it is a legacy footer-less snapshot
 // and loads as-is (old directories keep recovering), while a file that does
-// start with it MUST verify — a truncated new-format snapshot keeps its
-// header, so truncation cannot masquerade as legacy.
+// start with it MUST verify. Truncation cannot masquerade as legacy: a cut
+// inside the payload or footer keeps the full header, and a cut inside the
+// header itself leaves a prefix of the magic, which decodeSnapshot treats as
+// corrupt rather than legacy.
 const snapMagic = "RMSNAP01"
 
 const snapOverhead = len(snapMagic) + 8 // header + [len][CRC32] footer
@@ -33,9 +35,19 @@ func encodeSnapshot(payload []byte) []byte {
 }
 
 // decodeSnapshot verifies and strips the snapshot framing. Legacy files
-// (no magic header) pass through unchanged.
+// (no magic header) pass through unchanged — but a file shorter than the
+// header that is a prefix of the magic (including an empty file, the classic
+// filesystem-truncation artifact) is a new-format snapshot cut inside its
+// header, and must read as corrupt rather than be adopted as a legacy
+// baseline.
 func decodeSnapshot(data []byte) ([]byte, error) {
-	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+	if len(data) < len(snapMagic) {
+		if strings.HasPrefix(snapMagic, string(data)) {
+			return nil, fmt.Errorf("%w: %d bytes is a truncated header", ErrSnapshotCorrupt, len(data))
+		}
+		return data, nil // legacy footer-less snapshot
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
 		return data, nil // legacy footer-less snapshot
 	}
 	if len(data) < snapOverhead {
@@ -102,6 +114,10 @@ func (l *Log) checkpointLocked(data []byte, lsn uint64) error {
 	}
 	l.f = nil
 	l.removeObsolete(lsn, prevSeg)
+	// Every segment at or below prevSeg is gone (a file surviving the
+	// best-effort deletion is simply scanned again); the fresh segment
+	// repopulates the bounds on its first commit.
+	l.segLast = make(map[uint64]uint64)
 	l.snapLSN = lsn
 	l.lsn = lsn
 	l.segIndex++

@@ -57,6 +57,14 @@ func (l *Log) ReadCommitted(afterLSN uint64, maxRecords int) ([]Record, uint64, 
 		if len(out) >= maxRecords {
 			break
 		}
+		// Skip segments whose records all sit at or below the fetch position
+		// (segLast is an upper bound on the segment's LSNs, so this can only
+		// over-scan, never over-skip). A caught-up follower polls with
+		// afterLSN at the tail; without this, every poll re-parses the whole
+		// retained log while holding l.mu.
+		if last, ok := l.segLast[idx]; ok && last <= afterLSN {
+			continue
+		}
 		data, err := os.ReadFile(l.segmentPath(idx))
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: reading segment %d: %w", idx, err)
@@ -101,8 +109,10 @@ func (l *Log) ReadCommitted(afterLSN uint64, maxRecords int) ([]Record, uint64, 
 // log's current position are skipped (duplicate delivery is harmless); a
 // record that jumps past the next expected LSN refuses the whole group with
 // ErrGap before anything is written, so a gapped stream can never become the
-// follower's durable state. It returns the records that were actually
-// appended (the accepted suffix), in order.
+// follower's durable state. Records outside the frame bounds replay accepts
+// (empty, or above maxRecordBytes) likewise refuse the group up front — once
+// durable they would fail the next recovery instead. It returns the records
+// that were actually appended (the accepted suffix), in order.
 func (l *Log) CommitShipped(records []Record) ([]Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -118,6 +128,16 @@ func (l *Log) CommitShipped(records []Record) ([]Record, error) {
 		}
 		if r.LSN != cur+1 {
 			return nil, fmt.Errorf("%w: shipped record jumps from LSN %d to %d; refusing the group", ErrGap, cur, r.LSN)
+		}
+		// Enforce the frame bounds replay enforces, before anything is
+		// written: an oversized (or empty) shipped record would append
+		// durably but read back as a torn/garbage frame, failing the next
+		// recovery instead of this ingest.
+		if len(r.Payload) == 0 {
+			return nil, fmt.Errorf("wal: shipped record at LSN %d has an empty payload; refusing the group", r.LSN)
+		}
+		if bodyLen := 8 + len(r.Payload); bodyLen > maxRecordBytes {
+			return nil, fmt.Errorf("wal: shipped record at LSN %d is %d bytes, above the %d-byte frame bound; refusing the group", r.LSN, bodyLen, maxRecordBytes)
 		}
 		cur = r.LSN
 		buf = appendFrame(buf, r.LSN, r.Payload)
@@ -141,6 +161,7 @@ func (l *Log) CommitShipped(records []Record) ([]Record, error) {
 	}
 	l.lsn = cur
 	l.committed = l.fileSize
+	l.segLast[l.segIndex] = l.lsn
 	if l.fileSize >= l.opt.SegmentBytes {
 		if err := l.roll(); err != nil {
 			// Post-commit rotation fault, same contract as Commit: the group

@@ -428,3 +428,135 @@ func TestReadSnapshotWithoutCheckpoint(t *testing.T) {
 		t.Fatalf("ReadSnapshot on fresh log = ok=%v, err=%v", ok, err)
 	}
 }
+
+// A shipped record that would not fit the frame format (or carries no
+// payload) must be refused at ingest, before anything is written — a
+// durable-but-unparseable record would brick the follower at recovery.
+func TestCommitShippedRejectsMalformedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.CommitShipped([]Record{{LSN: 1, Payload: []byte("ok-1")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	huge := make([]byte, maxRecordBytes-7) // body = 8-byte LSN + payload, one over the bound
+	if _, err := l.CommitShipped([]Record{{LSN: 2, Payload: huge}}); err == nil {
+		t.Fatal("oversized shipped record was accepted")
+	}
+	if l.LSN() != 1 {
+		t.Fatalf("LSN moved to %d after refused oversized record", l.LSN())
+	}
+	huge = nil
+
+	if _, err := l.CommitShipped([]Record{{LSN: 2, Payload: nil}}); err == nil {
+		t.Fatal("empty shipped record was accepted")
+	}
+	if l.LSN() != 1 {
+		t.Fatalf("LSN moved to %d after refused empty record", l.LSN())
+	}
+
+	// The stream continues cleanly after a refusal, and recovery sees only
+	// the accepted records.
+	if _, err := l.CommitShipped([]Record{{LSN: 2, Payload: []byte("ok-2")}}); err != nil {
+		t.Fatalf("valid record after refusal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := reopen(t, dir, Options{})
+	defer l2.Close()
+	if got := payloads(rec); !equalStrings(got, []string{"ok-1", "ok-2"}) {
+		t.Fatalf("recovered %v, want [ok-1 ok-2]", got)
+	}
+}
+
+// A new-format snapshot truncated inside its magic header is corrupt, not a
+// legacy footer-less snapshot: the prefix proves the writer intended the
+// framed format and the crash ate the rest.
+func TestTruncatedSnapshotHeaderIsCorrupt(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"mid-magic", []byte(snapMagic[:5])},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, fmt.Sprintf("%020d%s", 3, snapSuffix))
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("Open over truncated header = %v, want ErrSnapshotCorrupt", err)
+			}
+		})
+	}
+
+	// A short file that is NOT a magic prefix is still a legacy snapshot.
+	dir := t.TempDir()
+	path := filepath.Join(dir, fmt.Sprintf("%020d%s", 3, snapSuffix))
+	if err := os.WriteFile(path, []byte("LEG"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := reopen(t, dir, Options{})
+	defer l.Close()
+	if string(rec.Snapshot) != "LEG" || rec.SnapshotLSN != 3 {
+		t.Fatalf("short legacy snapshot loaded as %q at LSN %d", rec.Snapshot, rec.SnapshotLSN)
+	}
+}
+
+// ReadCommitted must return the same records whether or not segments below
+// the cursor are skipped — across a live log and a recovered one, whose
+// per-segment bounds are rebuilt during replay.
+func TestReadCommittedSkipsFullyShippedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: SyncAlways, SegmentBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 1; i <= n; i++ {
+		if _, err := l.Commit([]byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := segmentFiles(t, dir); len(segs) < 3 {
+		t.Fatalf("only %d segments; the skip path is not exercised", len(segs))
+	}
+
+	check := func(t *testing.T, l *Log) {
+		t.Helper()
+		for after := uint64(0); after <= n; after++ {
+			recs, horizon, err := l.ReadCommitted(after, 0)
+			if err != nil {
+				t.Fatalf("ReadCommitted(%d): %v", after, err)
+			}
+			if horizon != n {
+				t.Fatalf("ReadCommitted(%d) horizon = %d, want %d", after, horizon, n)
+			}
+			if len(recs) != int(n-after) {
+				t.Fatalf("ReadCommitted(%d) = %d records, want %d", after, len(recs), n-after)
+			}
+			for i, r := range recs {
+				wantLSN := after + uint64(i) + 1
+				if r.LSN != wantLSN || string(r.Payload) != fmt.Sprintf("r%02d", wantLSN) {
+					t.Fatalf("ReadCommitted(%d) record %d = LSN %d %q", after, i, r.LSN, r.Payload)
+				}
+			}
+		}
+	}
+	check(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After recovery the bounds come from replay, not live commits.
+	l2, _ := reopen(t, dir, Options{SegmentBytes: 8})
+	defer l2.Close()
+	check(t, l2)
+}

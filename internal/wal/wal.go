@@ -158,10 +158,19 @@ type Log struct {
 	committed int64 // fileSize at the last successful Commit
 	lsn       uint64
 	snapLSN   uint64 // LSN covered by the newest snapshot
-	lastSync  time.Time
-	crashed   error // non-nil once the log refuses further work
-	fpArmed   bool  // failpoints fire only after Open's recovery completes
-	m         *logMetrics
+	// segLast maps each segment index to an upper bound on the LSNs of the
+	// records it holds (exact for segments written by this process; for
+	// recovered segments it is the log's LSN after replaying them, which can
+	// only over-estimate). ReadCommitted uses it to skip segments that are
+	// entirely at or below a fetch position instead of re-parsing the whole
+	// retained log on every replication poll. A segment with no entry (the
+	// just-opened one, or a file that survived a best-effort deletion) is
+	// simply scanned.
+	segLast  map[uint64]uint64
+	lastSync time.Time
+	crashed  error // non-nil once the log refuses further work
+	fpArmed  bool  // failpoints fire only after Open's recovery completes
+	m        *logMetrics
 }
 
 // Open opens (creating if needed) the log directory, replays whatever it
@@ -180,7 +189,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opts, m: newLogMetrics(opts.Registry, opts.Name)}
+	l := &Log{dir: dir, opt: opts, segLast: make(map[uint64]uint64), m: newLogMetrics(opts.Registry, opts.Name)}
 	rec, maxSeg, err := l.recover()
 	if err != nil {
 		return nil, nil, err
@@ -228,6 +237,7 @@ func (l *Log) Commit(payloads ...[]byte) (uint64, error) {
 		return 0, err
 	}
 	l.committed = l.fileSize
+	l.segLast[l.segIndex] = l.lsn
 	if l.fileSize >= l.opt.SegmentBytes {
 		if err := l.roll(); err != nil {
 			// The group is already durable to the policy's guarantee (written,

@@ -40,6 +40,12 @@ var (
 	WithDurability = engine.WithDurability
 	// WithWALOptions is WithDurability with full control of the log options.
 	WithWALOptions = engine.WithWALOptions
+	// AsReplica marks the engine as a replication follower: a log ending
+	// inside an unterminated transaction is resumable (the primary's commit
+	// marker is still in flight), so recovery keeps the buffered suffix and
+	// Checkpoint refuses until the marker arrives. Open(Config{Backend:
+	// Follower}) sets it automatically.
+	AsReplica = engine.AsReplica
 	// ParseSyncPolicy parses "always", "interval", or "never".
 	ParseSyncPolicy = wal.ParseSyncPolicy
 )

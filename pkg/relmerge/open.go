@@ -172,7 +172,7 @@ func Open(cfg Config) (Session, error) {
 		if cfg.Registry != nil {
 			opts = append(opts, WithEngineRegistry(cfg.Registry))
 		}
-		opts = append(opts, WithDurability(cfg.DurableDir, cfg.Sync))
+		opts = append(opts, WithDurability(cfg.DurableDir, cfg.Sync), AsReplica())
 		eng, err := OpenEngine(cfg.Schema, opts...)
 		if err != nil {
 			return nil, err
