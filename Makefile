@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test proto-test repl-test fuzz-short probe bench benchjson
+.PHONY: check fmt vet metriclint build test race stress crash serve-test shard-test proto-test repl-test advise-test fuzz-short probe bench benchjson
 
-## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, wire protocol (negotiation + golden vectors + short fuzz), replication, and the quick probes (read-under-write + cross-shard IND)
-check: fmt vet metriclint build race stress crash serve-test shard-test proto-test repl-test probe
+## check: the full CI gate — formatting, vet, metric-name lint, build, tests under the race detector, concurrency stress, crash recovery, client/server serving, shard routing, wire protocol (negotiation + golden vectors + short fuzz), replication, adaptive merging, and the quick probes (read-under-write + cross-shard IND)
+check: fmt vet metriclint build race stress crash serve-test shard-test proto-test repl-test advise-test probe
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,6 +51,10 @@ proto-test:
 repl-test:
 	$(GO) test -race -count=1 -run 'Repl|Follower|Promote|Failover|Ship|Stream|Snapshot|Checkpoint' ./internal/wal/ ./internal/engine/ ./internal/repl/ ./pkg/relmerge/
 
+## advise-test: the adaptive-merging suite — live schema migration (engine + router), the migration crash matrix, co-access measurement, the online decision policy, and the public Advise/ApplyRecommendation API — fresh under the race detector
+advise-test:
+	$(GO) test -race -count=1 -run 'Migrate|CoAccess|Decide|Apply|Advis|CostModelFromStats' ./internal/engine/ ./internal/shard/ ./internal/advisor/... ./pkg/relmerge/
+
 ## fuzz-short: a longer fuzz pass over the wire codecs (frame reader + binary round trip)
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 60s ./internal/server/
@@ -63,6 +67,6 @@ probe:
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./internal/attrset/ ./internal/fd/
 
-## benchjson: regenerate the machine-readable perf report committed as BENCH_PR9.json
+## benchjson: regenerate the machine-readable perf report committed as BENCH_PR10.json
 benchjson:
-	$(GO) run ./cmd/benchreport -json BENCH_PR9.json
+	$(GO) run ./cmd/benchreport -json BENCH_PR10.json

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/state"
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/pkg/relmerge"
+)
+
+// The adaptive-merging suite (P12): the live advisor A/B harness. One
+// engine serves the star schema's base (unmerged) design under two opposite
+// workloads:
+//
+//   - merge-favorable: object-profile reads, one key lookup per merge-set
+//     member. The reads themselves feed the engine's co-access counters —
+//     the measured workload IS the advisor's evidence. The advisor must
+//     admit the only-NNA star cluster, ApplyRecommendation migrates the
+//     live engine, and the same profile re-measured on the merged design
+//     shows the §6.1 access-path saving as a p50/p99 drop.
+//   - merge-hostile: fresh-key inserts only. No join-shaped reads means no
+//     co-access heat, so the advisor must decline (nothing admitted) and
+//     the design must not move.
+//
+// The same simulated access delay as the scaling suite prices each index
+// probe, so latency counts probes rather than loopback memory speed.
+const (
+	adaptiveStarN = 4   // R1..R4 around E0: a 5-lookup base profile
+	adaptiveRows  = 256 // preloaded rows per relation
+	adaptiveOps   = 400 // measured operations per phase
+	adaptiveSeed  = 7
+	adaptiveDelay = scalingAccessDelay
+)
+
+// adaptivePhase is one measured workload phase on one design.
+type adaptivePhase struct {
+	Design    string  `json:"design"` // base | merged
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     int64   `json:"p50_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+}
+
+// adaptiveDecision is what the advisor concluded from the measured heat.
+type adaptiveDecision struct {
+	Recommendations int     `json:"recommendations"`
+	Admitted        bool    `json:"admitted"`
+	AutoApplicable  bool    `json:"auto_applicable"`
+	Applied         bool    `json:"applied"`
+	MergedName      string  `json:"merged_name,omitempty"`
+	KeyRelation     string  `json:"key_relation,omitempty"`
+	CoAccessHits    int64   `json:"co_access_hits"`
+	NetBenefit      float64 `json:"net_benefit"`
+}
+
+// adaptiveRun is one workload's full before/decide/after record.
+type adaptiveRun struct {
+	Workload   string           `json:"workload"` // merge-favorable | merge-hostile
+	Before     adaptivePhase    `json:"before"`
+	Decision   adaptiveDecision `json:"decision"`
+	After      *adaptivePhase   `json:"after,omitempty"` // present only when the advisor applied
+	SpeedupP50 float64          `json:"speedup_p50,omitempty"`
+	SpeedupP99 float64          `json:"speedup_p99,omitempty"`
+}
+
+// adaptiveOpen loads a fresh embedded session over the star schema's base
+// design, and returns the profile keys and the merge-set member names.
+func adaptiveOpen() (*relmerge.EmbeddedSession, []relation.Tuple, []string, error) {
+	base, err := translate.MS(workload.StarEER(adaptiveStarN))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := state.Generate(base, rand.New(rand.NewSource(adaptiveSeed)),
+		state.GenOptions{Rows: adaptiveRows, DomainSize: 4 * adaptiveRows})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sess, err := relmerge.Open(relmerge.Config{
+		Schema:        base,
+		EngineOptions: []relmerge.EngineOption{relmerge.WithAccessDelay(adaptiveDelay)},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	es := sess.(*relmerge.EmbeddedSession)
+	if err := es.Engine().Load(st); err != nil {
+		es.Close()
+		return nil, nil, nil, err
+	}
+	rootScheme := base.Scheme("E0")
+	rel := st.Relation("E0")
+	var keys []relation.Tuple
+	for _, tup := range rel.Tuples() {
+		keys = append(keys, tup.Project(rel.Positions(rootScheme.PrimaryKey)))
+	}
+	return es, keys, workload.MergeSetFor(base, "E0"), nil
+}
+
+// measure times one operation per loop iteration and folds the latencies
+// into a phase row.
+func measure(design string, ops int, op func(i int) error) (adaptivePhase, error) {
+	lats := make([]time.Duration, 0, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		if err := op(i); err != nil {
+			return adaptivePhase{}, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 { return lats[int(p*float64(len(lats)-1))].Nanoseconds() }
+	return adaptivePhase{
+		Design:    design,
+		Ops:       ops,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		P50Ns:     pct(0.50),
+		P99Ns:     pct(0.99),
+	}, nil
+}
+
+func decisionOf(recs []relmerge.Recommendation, applied bool) adaptiveDecision {
+	d := adaptiveDecision{Recommendations: len(recs), Applied: applied}
+	if len(recs) == 0 {
+		return d
+	}
+	best := recs[0]
+	d.Admitted = best.Admitted
+	d.AutoApplicable = best.AutoApplicable
+	d.CoAccessHits = best.CoAccessHits
+	d.NetBenefit = best.NetBenefit
+	if best.Admitted {
+		d.MergedName = best.MergedName
+		d.KeyRelation = best.KeyRelation
+	}
+	return d
+}
+
+// adaptiveFavorable runs the profile-read workload, lets the advisor decide
+// from the heat those reads produced, applies the winning merge to the live
+// engine, and re-measures the same logical query on the merged design.
+func adaptiveFavorable() (adaptiveRun, error) {
+	sess, keys, members, err := adaptiveOpen()
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	defer sess.Close()
+
+	profile := func(i int) error {
+		key := keys[i%len(keys)]
+		for _, name := range members {
+			if _, _, err := sess.Fetch(name, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	before, err := measure("base", adaptiveOps, profile)
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+
+	recs, err := relmerge.Advise(sess, relmerge.AdvisorConfig{})
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	if len(recs) == 0 || !recs[0].AutoApplicable {
+		return adaptiveRun{}, fmt.Errorf("adaptive: profile workload must admit the star cluster, got %+v", recs)
+	}
+	best := recs[0]
+	if err := sess.ApplyRecommendation(context.Background(), best); err != nil {
+		return adaptiveRun{}, fmt.Errorf("adaptive: apply: %w", err)
+	}
+
+	after, err := measure("merged", adaptiveOps, func(i int) error {
+		_, _, err := sess.Fetch(best.MergedName, keys[i%len(keys)])
+		return err
+	})
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	run := adaptiveRun{
+		Workload: "merge-favorable",
+		Before:   before,
+		Decision: decisionOf(recs, true),
+		After:    &after,
+	}
+	if after.P50Ns > 0 {
+		run.SpeedupP50 = float64(before.P50Ns) / float64(after.P50Ns)
+	}
+	if after.P99Ns > 0 {
+		run.SpeedupP99 = float64(before.P99Ns) / float64(after.P99Ns)
+	}
+	return run, nil
+}
+
+// adaptiveHostile runs the insert-only workload: no join-shaped reads, no
+// heat, so the advisor must decline and leave the base design standing.
+func adaptiveHostile() (adaptiveRun, error) {
+	sess, _, _, err := adaptiveOpen()
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	defer sess.Close()
+
+	before, err := measure("base", adaptiveOps, func(i int) error {
+		return sess.Insert("E0", relmerge.Tuple{relmerge.NewString(fmt.Sprintf("fresh-%d", i))})
+	})
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	recs, err := relmerge.Advise(sess, relmerge.AdvisorConfig{})
+	if err != nil {
+		return adaptiveRun{}, err
+	}
+	for _, r := range recs {
+		if r.Admitted {
+			return adaptiveRun{}, fmt.Errorf("adaptive: insert-only workload must not admit a merge, got %+v", r)
+		}
+	}
+	// The design must not have moved: the base root still answers.
+	if _, _, err := sess.Fetch("E0", relmerge.Tuple{relmerge.NewString("fresh-0")}); err != nil {
+		return adaptiveRun{}, fmt.Errorf("adaptive: base design gone after declined advice: %w", err)
+	}
+	return adaptiveRun{
+		Workload: "merge-hostile",
+		Before:   before,
+		Decision: decisionOf(recs, false),
+	}, nil
+}
+
+func adaptiveSuite() ([]adaptiveRun, error) {
+	fav, err := adaptiveFavorable()
+	if err != nil {
+		return nil, err
+	}
+	hos, err := adaptiveHostile()
+	if err != nil {
+		return nil, err
+	}
+	return []adaptiveRun{fav, hos}, nil
+}
+
+// P12 — the live advisor A/B: measured heat admits the merge under the
+// read-profile workload (and the migrated design serves the same query
+// cheaper); the insert-only workload leaves it cold and declined.
+func runP12(int) {
+	runs, err := adaptiveSuite()
+	must(err)
+	fmt.Printf("star n=%d, %d rows, %d ops/phase, %v simulated access per probe\n\n",
+		adaptiveStarN, adaptiveRows, adaptiveOps, adaptiveDelay)
+	fmt.Printf("%-16s %-8s %-12s %-12s %-12s %s\n", "workload", "design", "ops/sec", "p50", "p99", "decision")
+	for _, r := range runs {
+		verdict := "declined (cold)"
+		if r.Decision.Applied {
+			verdict = fmt.Sprintf("applied %s (co-access %d)", r.Decision.MergedName, r.Decision.CoAccessHits)
+		}
+		fmt.Printf("%-16s %-8s %-12.0f %-12v %-12v %s\n", r.Workload, r.Before.Design,
+			r.Before.OpsPerSec, time.Duration(r.Before.P50Ns), time.Duration(r.Before.P99Ns), verdict)
+		if r.After != nil {
+			fmt.Printf("%-16s %-8s %-12.0f %-12v %-12v p50 %.1fx, p99 %.1fx\n", "", r.After.Design,
+				r.After.OpsPerSec, time.Duration(r.After.P50Ns), time.Duration(r.After.P99Ns),
+				r.SpeedupP50, r.SpeedupP99)
+		}
+	}
+	fmt.Println("\nshape: the advisor merges exactly when the measured workload is the")
+	fmt.Println("join-shaped one the paper's §6.1 saving applies to, and the migrated")
+	fmt.Println("engine serves the object profile in one lookup instead of n+1.")
+}

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/advisor"
 	"repro/internal/attrset"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/pkg/relmerge"
 )
 
 // benchMeta records the run environment, so a committed BENCH_*.json can be
@@ -93,6 +93,7 @@ type benchReport struct {
 	ReplicationGains   map[string]float64    `json:"replication_gains"`
 	ReplicationLag     *replLag              `json:"replication_lag"`
 	ReplicationFail    *replFailover         `json:"replication_failover"`
+	Adaptive           suite[adaptiveRun]    `json:"adaptive"`
 }
 
 // maintenanceRow is one engine's constraint-maintenance profile for the
@@ -304,14 +305,14 @@ func runJSON(path string) error {
 		if err != nil {
 			return err
 		}
-		w := advisor.Workload{
+		w := relmerge.Workload{
 			ProfileQueries: map[string]float64{"E0": 100},
 			Inserts:        map[string]float64{"E0": 1},
 		}
-		cm := advisor.DefaultCostModel()
+		cm := relmerge.DefaultCostModel()
 		add(probe("advisor/advise/star=8", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := advisor.Advise(star, w, cm); err != nil {
+				if _, err := relmerge.AdviseDesign(star, w, cm); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -366,6 +367,11 @@ func runJSON(path string) error {
 		return err
 	}
 
+	adaptive, err := adaptiveSuite()
+	if err != nil {
+		return err
+	}
+
 	report := benchReport{
 		Meta:               runMeta(),
 		Probes:             newSuite(probes),
@@ -389,6 +395,7 @@ func runJSON(path string) error {
 		ReplicationGains:   replicationGains,
 		ReplicationLag:     replicationLag,
 		ReplicationFail:    replicationFail,
+		Adaptive:           newSuite(adaptive),
 	}
 	byName := make(map[string]benchProbe, len(probes))
 	for _, p := range report.Probes.Rows {

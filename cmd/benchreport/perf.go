@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/schema"
 	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/pkg/relmerge"
 )
 
 // P1 — access performance: index lookups per object-profile query on the
@@ -81,24 +81,24 @@ func runP4(int) {
 	must(err)
 	star, err := translate.MS(workload.StarEER(4))
 	must(err)
-	cm := advisor.CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50}
+	cm := relmerge.CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50}
 
 	fmt.Println("read-heavy workload (1000 profile queries : 1 insert):")
 	for _, s := range []*schema.Schema{star, chain} {
-		recs, err := advisor.Advise(s, advisor.Workload{
+		recs, err := relmerge.AdviseDesign(s, relmerge.Workload{
 			ProfileQueries: map[string]float64{"E0": 1000},
 			Inserts:        map[string]float64{"E0": 1},
 		}, cm)
 		must(err)
-		fmt.Print(indent(advisor.Report(recs)))
+		fmt.Print(indent(relmerge.DesignReport(recs)))
 	}
 	fmt.Println("write-only workload (1000 inserts):")
 	for _, s := range []*schema.Schema{star, chain} {
-		recs, err := advisor.Advise(s, advisor.Workload{
+		recs, err := relmerge.AdviseDesign(s, relmerge.Workload{
 			Inserts: map[string]float64{"E0": 1000},
 		}, cm)
 		must(err)
-		fmt.Print(indent(advisor.Report(recs)))
+		fmt.Print(indent(relmerge.DesignReport(recs)))
 	}
 	fmt.Println("shape: the only-NNA star merges under every workload; the chain —")
 	fmt.Println("whose merge needs trigger-maintained null-existence constraints — flips")

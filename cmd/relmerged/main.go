@@ -11,6 +11,7 @@
 //	relmerged -schema schema.sdl -data data.sdl          # serve a loaded state
 //	relmerged -fig3 -merged                              # apply the Prop 5.2 plan, serve the merged schema
 //	relmerged -fig3 -durable ./wal -fsync always         # durable: recovers on restart
+//	relmerged -fig3 -advise auto                         # adaptive: merge hot only-NNA clusters live
 //	relmerged -fig3 -shards 4                            # hash-partition across 4 engine shards
 //	relmerged -fig3 -durable ./rep -replica-of :7421     # read-only follower of the primary at :7421
 //
@@ -53,6 +54,8 @@ func main() {
 		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64); a full queue rejects with code overloaded")
 		coalesce    = flag.Int("coalesce", 0, "max queued writes folded into one engine batch and WAL record (0 = default 16, 1 disables)")
 		wire        = flag.String("wire", "binary", "highest wire codec to negotiate: binary (protocol v2) or json (v1 only); v1-only clients get JSON either way")
+		adviseMode  = flag.String("advise", "off", "adaptive-merge advisor: off, suggest (log recommendations), or auto (additionally apply only-NNA merges to the live design); not valid with -replica-of")
+		adviseEvery = flag.Duration("advise-interval", time.Second, "decision cadence of the -advise loop")
 		accessDelay = flag.Duration("access-delay", 0, "simulated storage access delay per operation (benchmark knob)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
 		quiet       = flag.Bool("quiet", false, "suppress lifecycle log lines")
@@ -71,6 +74,14 @@ func main() {
 		maxWire = server.ProtoVersion
 	default:
 		fatal(fmt.Errorf("relmerged: unknown -wire codec %q (want binary or json)", *wire))
+	}
+
+	advisor, err := relmerge.ParseAdvisorMode(*adviseMode)
+	if err != nil {
+		fatal(fmt.Errorf("relmerged: %w", err))
+	}
+	if advisor != relmerge.AdvisorOff && *replicaOf != "" {
+		fatal(fmt.Errorf("relmerged: -advise %s cannot run on a follower: the primary's shipped log dictates the design; run the advisor on the primary", advisor))
 	}
 
 	s, err := loadSchema(*schemaPath, *useFig3)
@@ -174,6 +185,43 @@ func main() {
 				*durableDir, *fsyncMode, rec.Recovered, rec.ReplayedOps, rec.DiscardedOps, rec.SnapshotLoaded)
 		}
 		db = eng
+	}
+
+	// The advisor loop watches the serving backend's own co-access
+	// measurements and — in auto mode — migrates it live; the schema lock
+	// serializes migrations against the request workers.
+	if advisor != relmerge.AdvisorOff {
+		var advSess relmerge.Session
+		if router, ok := db.(*shard.Router); ok {
+			advSess = relmerge.NewShardedSession(router)
+		} else {
+			advSess = relmerge.NewSession(db.(*relmerge.Engine))
+		}
+		seen := map[string]bool{} // one log line per distinct recommendation
+		stopAdvise, err := relmerge.StartAdvisor(advSess, relmerge.AdvisorConfig{
+			Mode:     advisor,
+			Interval: *adviseEvery,
+			OnSuggestion: func(rec relmerge.Recommendation) {
+				if seen[rec.MergedName] {
+					return
+				}
+				seen[rec.MergedName] = true
+				logf("relmerged: advisor: merge {%s} -> %s (co-access %d, net benefit %.1f, auto-applicable %v)",
+					strings.Join(rec.Cluster, ","), rec.MergedName, rec.CoAccessHits, rec.NetBenefit, rec.AutoApplicable)
+			},
+			OnApplied: func(rec relmerge.Recommendation, err error) {
+				if err != nil {
+					logf("relmerged: advisor: apply %s: %v", rec.MergedName, err)
+					return
+				}
+				logf("relmerged: advisor: applied merge %s to the live design", rec.MergedName)
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("relmerged: %w", err))
+		}
+		defer stopAdvise()
+		logf("relmerged: advisor %s (every %s)", advisor, *adviseEvery)
 	}
 
 	srv := server.New(db, server.Config{

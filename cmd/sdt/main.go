@@ -24,7 +24,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/ddl"
 	"repro/internal/eer"
@@ -34,6 +33,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/translate"
+	"repro/pkg/relmerge"
 )
 
 func main() {
@@ -76,11 +76,11 @@ func main() {
 	}
 
 	if *advise {
-		w := advisor.Workload{
+		w := relmerge.Workload{
 			ProfileQueries: parseFreqs(*queries),
 			Inserts:        parseFreqs(*inserts),
 		}
-		recs, err := advisor.Advise(rs, w, advisor.DefaultCostModel())
+		recs, err := relmerge.AdviseDesign(rs, w, relmerge.DefaultCostModel())
 		if err != nil {
 			fatal(err)
 		}
@@ -88,7 +88,7 @@ func main() {
 			fmt.Println("no mergeable clusters found")
 			return
 		}
-		fmt.Print(advisor.Report(recs))
+		fmt.Print(relmerge.DesignReport(recs))
 		return
 	}
 

@@ -10,7 +10,6 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/ddl"
 	"repro/internal/engine"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/sdl"
 	"repro/internal/state"
 	"repro/internal/translate"
+	"repro/pkg/relmerge"
 )
 
 const ticketing = `
@@ -39,12 +39,12 @@ func main() {
 	fmt.Printf("base design: %d relations\n\n", len(base.Relations))
 
 	// The advisor under a read-heavy workload.
-	recs, err := advisor.Advise(base, advisor.Workload{
+	recs, err := relmerge.AdviseDesign(base, relmerge.Workload{
 		ProfileQueries: map[string]float64{"EVENT": 500},
 		Inserts:        map[string]float64{"EVENT": 20},
-	}, advisor.DefaultCostModel())
+	}, relmerge.DefaultCostModel())
 	check(err)
-	fmt.Print(advisor.Report(recs))
+	fmt.Print(relmerge.DesignReport(recs))
 
 	rec := recs[0]
 	if !rec.Merge {

@@ -155,13 +155,10 @@ func Advise(s *schema.Schema, w Workload, cm CostModel) ([]Recommendation, error
 		sem <- struct{}{}
 		go func(i int, cluster []string) {
 			defer func() { <-sem; wg.Done() }()
-			name := cluster[0] + "+"
-			m, err := core.MergeWith(s, cluster, name, core.Options{KeyRelation: cluster[0]})
+			rec, err := PriceCluster(s, cluster, w, cm)
 			if err != nil {
 				return
 			}
-			m.RemoveAll()
-			rec := price(s, m, cluster, w, cm)
 			recs[i] = &rec
 		}(i, cluster)
 	}
@@ -174,6 +171,23 @@ func Advise(s *schema.Schema, w Workload, cm CostModel) ([]Recommendation, error
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].NetBenefit > out[j].NetBenefit })
 	return out, nil
+}
+
+// PriceCluster merges one candidate cluster (key-relation first), removes
+// every removable key copy, and prices the before/after designs under the
+// workload and cost model. Unlike Advise it accepts any cluster — the online
+// advisor prices Prop. 5.2 clusters (auto-applicable, only-NNA) alongside the
+// maximal Prop. 3.1 closures Advise enumerates. The merge error is returned
+// (e.g. ErrNullableMember), letting the caller distinguish "unmergeable" from
+// "not worth it".
+func PriceCluster(s *schema.Schema, cluster []string, w Workload, cm CostModel) (Recommendation, error) {
+	name := cluster[0] + "+"
+	m, err := core.MergeWith(s, cluster, name, core.Options{KeyRelation: cluster[0]})
+	if err != nil {
+		return Recommendation{}, err
+	}
+	m.RemoveAll()
+	return price(s, m, cluster, w, cm), nil
 }
 
 func price(s *schema.Schema, m *core.MergedScheme, cluster []string, w Workload, cm CostModel) Recommendation {

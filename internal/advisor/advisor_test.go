@@ -1,9 +1,10 @@
-package advisor
+package advisor_test
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/advisor"
 	"repro/internal/figures"
 	"repro/internal/schema"
 	"repro/internal/translate"
@@ -12,7 +13,7 @@ import (
 
 func TestClustersFig3(t *testing.T) {
 	s := figures.Fig3()
-	clusters := Clusters(s)
+	clusters := advisor.Clusters(s)
 	// PERSON absorbs FACULTY and STUDENT; COURSE absorbs OFFER, TEACH, ASSIST.
 	if len(clusters) != 2 {
 		t.Fatalf("clusters = %v", clusters)
@@ -39,7 +40,7 @@ func TestClustersFig3(t *testing.T) {
 func TestClustersDisjoint(t *testing.T) {
 	s := figures.Fig3()
 	seen := map[string]bool{}
-	for _, c := range Clusters(s) {
+	for _, c := range advisor.Clusters(s) {
 		for _, n := range c {
 			if seen[n] {
 				t.Errorf("%s in two clusters", n)
@@ -51,10 +52,10 @@ func TestClustersDisjoint(t *testing.T) {
 
 func TestAdviseQueryHeavyMerges(t *testing.T) {
 	s := figures.Fig3()
-	recs, err := Advise(s, Workload{
+	recs, err := advisor.Advise(s, advisor.Workload{
 		ProfileQueries: map[string]float64{"COURSE": 100, "PERSON": 100},
 		Inserts:        map[string]float64{"COURSE": 1, "PERSON": 1},
-	}, DefaultCostModel())
+	}, advisor.DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAdviseQueryHeavyMerges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err = Advise(star, Workload{ProfileQueries: map[string]float64{"E0": 10}}, DefaultCostModel())
+	recs, err = advisor.Advise(star, advisor.Workload{ProfileQueries: map[string]float64{"E0": 10}}, advisor.DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +102,9 @@ func TestAdviseInsertHeavyAvoidsTriggerClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := Advise(chain, Workload{
+	recs, err := advisor.Advise(chain, advisor.Workload{
 		Inserts: map[string]float64{"E0": 1000},
-	}, CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
+	}, advisor.CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,9 +119,9 @@ func TestAdviseInsertHeavyAvoidsTriggerClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err = Advise(star, Workload{
+	recs, err = advisor.Advise(star, advisor.Workload{
 		Inserts: map[string]float64{"E0": 1000},
-	}, CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
+	}, advisor.CostModel{IndexLookup: 1, DeclarativeCheck: 0.25, TriggerFiring: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestAdviseSkipsUnmergeableClusters(t *testing.T) {
 	// Make TEACH's non-key attribute nullable: the Def. 4.1 assumption fails
 	// for the COURSE cluster, so only the PERSON cluster is priced.
 	s.Nulls[6] = schema.NNA("TEACH", "T.C.NR")
-	recs, err := Advise(s, Workload{}, DefaultCostModel())
+	recs, err := advisor.Advise(s, advisor.Workload{}, advisor.DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +148,13 @@ func TestAdviseSkipsUnmergeableClusters(t *testing.T) {
 
 func TestReportRendering(t *testing.T) {
 	s := figures.Fig3()
-	recs, err := Advise(s, Workload{
+	recs, err := advisor.Advise(s, advisor.Workload{
 		ProfileQueries: map[string]float64{"COURSE": 10},
-	}, DefaultCostModel())
+	}, advisor.DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Report(recs)
+	out := advisor.Report(recs)
 	if !strings.Contains(out, "COURSE,OFFER,TEACH,ASSIST") || !strings.Contains(out, "MERGE") {
 		t.Errorf("report:\n%s", out)
 	}
@@ -165,7 +166,7 @@ func TestReportRendering(t *testing.T) {
 func TestAdviseInvalidSchema(t *testing.T) {
 	s := schema.New()
 	s.Nulls = append(s.Nulls, schema.NNA("X", "A"))
-	if _, err := Advise(s, Workload{}, DefaultCostModel()); err == nil {
+	if _, err := advisor.Advise(s, advisor.Workload{}, advisor.DefaultCostModel()); err == nil {
 		t.Error("invalid schema should be rejected")
 	}
 }
@@ -178,16 +179,16 @@ func TestAdviseDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := Workload{
+	w := advisor.Workload{
 		ProfileQueries: map[string]float64{"E0": 10},
 		Inserts:        map[string]float64{"E0": 1},
 	}
-	first, err := Advise(s, w, DefaultCostModel())
+	first, err := advisor.Advise(s, w, advisor.DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 5; run++ {
-		again, err := Advise(s, w, DefaultCostModel())
+		again, err := advisor.Advise(s, w, advisor.DefaultCostModel())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,76 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/figures"
+)
+
+func TestCostModelFromStatsDegenerateWindow(t *testing.T) {
+	if got := CostModelFromStats(engine.StatsSnapshot{}); got != DefaultCostModel() {
+		t.Fatalf("empty window = %+v, want DefaultCostModel", got)
+	}
+	if got := CostModelFromStats(engine.StatsSnapshot{IndexLookups: 100}); got != DefaultCostModel() {
+		t.Fatalf("no-checks window = %+v, want DefaultCostModel", got)
+	}
+	if got := CostModelFromStats(engine.StatsSnapshot{DeclarativeChecks: 100}); got != DefaultCostModel() {
+		t.Fatalf("no-lookups window = %+v, want DefaultCostModel", got)
+	}
+}
+
+func TestCostModelFromStatsShape(t *testing.T) {
+	cm := CostModelFromStats(engine.StatsSnapshot{
+		IndexLookups:      4000,
+		DeclarativeChecks: 900,
+		TriggerFirings:    100,
+	})
+	if cm.IndexLookup != 1 {
+		t.Fatalf("IndexLookup = %v, want the unit", cm.IndexLookup)
+	}
+	// 4000 probes / 1000 checks = 4 probes per check → DeclarativeCheck = 1.
+	if cm.DeclarativeCheck != 1 {
+		t.Fatalf("DeclarativeCheck = %v, want 1", cm.DeclarativeCheck)
+	}
+	if cm.TriggerFiring != 16*cm.DeclarativeCheck {
+		t.Fatalf("TriggerFiring = %v, want 16x the declarative check", cm.TriggerFiring)
+	}
+}
+
+// TestCostModelFromStatsRankingAgreement pins the contract that matters: on
+// the figure 3 schema, a measured model and the default model must rank the
+// candidate merges identically and agree that the dominant cluster merges —
+// calibration changes magnitudes (and may flip a marginal cluster), not the
+// relative order of the advice.
+func TestCostModelFromStatsRankingAgreement(t *testing.T) {
+	s := figures.Fig3()
+	w := Workload{
+		ProfileQueries: map[string]float64{"COURSE": 120, "PERSON": 40},
+		Inserts:        map[string]float64{"COURSE": 5, "PERSON": 2},
+	}
+	base, err := Advise(s, w, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plausible measured window: a few probes per check, some triggers.
+	measured := CostModelFromStats(engine.StatsSnapshot{
+		IndexLookups:      5200,
+		DeclarativeChecks: 1200,
+		TriggerFirings:    80,
+	})
+	got, err := Advise(s, w, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(base) || len(base) == 0 {
+		t.Fatalf("recommendation counts differ: %d vs %d", len(got), len(base))
+	}
+	for i := range base {
+		if base[i].MergedName != got[i].MergedName {
+			t.Fatalf("rank %d: default says %s, measured says %s", i, base[i].MergedName, got[i].MergedName)
+		}
+	}
+	if !base[0].Merge || !got[0].Merge {
+		t.Fatalf("both models must merge the dominant cluster: default %v, measured %v", base[0].Merge, got[0].Merge)
+	}
+}

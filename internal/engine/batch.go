@@ -62,6 +62,8 @@ func (db *DB) InsertBatchCtx(ctx context.Context, name string, tuples []relation
 	if len(tuples) == 0 {
 		return nil
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	start := now()
 	t := db.tables[name]
 	if t == nil {
@@ -120,6 +122,8 @@ func (db *DB) ApplyBatchCtx(ctx context.Context, ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	ls, err := db.batchPlan(ops)
 	if err != nil {
 		return err

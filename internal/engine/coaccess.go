@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// coEdge counts join-shaped access along one IND edge Left->Right: how often a
+// fetch of Left was followed (in either order) by a fetch of Right, or resolved
+// a Right tuple directly through FetchWithReferences. The online advisor reads
+// these counters to find hot edges worth merging.
+type coEdge struct {
+	left, right string
+	hits        atomic.Int64
+}
+
+// CoAccessStat is one edge's counter, exported for the advisor and metrics.
+type CoAccessStat struct {
+	Left, Right string
+	Hits        int64
+}
+
+// buildCoEdges populates b.coEdges (keyed "Left->Right") and b.coPairs (keyed
+// pairKey in both directions) from the binding's INDs. Counters start at zero:
+// a migration installs a fresh binding, which naturally resets observation.
+func (db *DB) buildCoEdges(b *binding) {
+	b.coEdges = make(map[string]*coEdge)
+	b.coPairs = make(map[string]*coEdge)
+	for _, inds := range b.indsFrom {
+		for _, ind := range inds {
+			k := ind.Left + "->" + ind.Right
+			if _, ok := b.coEdges[k]; ok {
+				continue
+			}
+			e := &coEdge{left: ind.Left, right: ind.Right}
+			b.coEdges[k] = e
+			b.coPairs[pairKey(ind.Left, ind.Right)] = e
+			b.coPairs[pairKey(ind.Right, ind.Left)] = e
+		}
+	}
+}
+
+func pairKey(a, b string) string { return a + "\x00" + b }
+
+// noteFetch records a point read of name and, if the previous point read on
+// this engine touched the other side of an IND edge, bumps that edge. The
+// one-deep history is deliberately coarse: it is a traffic signal, not a trace.
+func (db *DB) noteFetch(b *binding, name string) {
+	prev, _ := db.lastFetch.Load().(string)
+	db.lastFetch.Store(name)
+	if prev == "" || prev == name {
+		return
+	}
+	if e, ok := b.coPairs[pairKey(prev, name)]; ok {
+		e.hits.Add(1)
+		db.countCoAccess()
+	}
+}
+
+// noteFetchHop records a direct IND traversal (FetchWithReferences resolved a
+// related tuple along from->to), which is the strongest merge signal.
+func (db *DB) noteFetchHop(b *binding, from, to string) {
+	if e, ok := b.coEdges[from+"->"+to]; ok {
+		e.hits.Add(1)
+		db.countCoAccess()
+	}
+}
+
+// CoAccessStats returns the per-edge co-access counters of the current design,
+// sorted hottest first (ties broken by edge name for determinism).
+func (db *DB) CoAccessStats() []CoAccessStat {
+	bind := db.current.Load().bind
+	out := make([]CoAccessStat, 0, len(bind.coEdges))
+	for _, e := range bind.coEdges {
+		out = append(out, CoAccessStat{Left: e.left, Right: e.right, Hits: e.hits.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}

@@ -75,6 +75,9 @@ type RecoveryInfo struct {
 	SkippedRecords int
 	// TruncatedBytes counts torn or corrupt trailing bytes discarded.
 	TruncatedBytes int64
+	// SchemaChanges counts schema-change records replayed: each one rebound
+	// the engine onto a migrated design mid-replay.
+	SchemaChanges int
 }
 
 // Recovered returns what Open reconstructed from the write-ahead log (the
@@ -96,7 +99,11 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return ErrNotDurable
 	}
-	// replMu first (the replication paths order replMu before table locks):
+	// schemaMu first (the global order is schemaMu → replMu → table locks →
+	// txnMu): the snapshot must serialize one design — never a schema mid-swap.
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
+	// replMu next (the replication paths order replMu before table locks):
 	// holding it for the whole checkpoint closes the window inside
 	// IngestReplicated between the durable append (which advances the WAL
 	// LSN) and the state apply — a snapshot stamped in that window would
@@ -120,9 +127,12 @@ func (db *DB) Checkpoint() error {
 		return fmt.Errorf("%w: a replicated transaction (%d buffered ops) awaits its commit marker; cannot checkpoint until it arrives", ErrOpenTransaction, len(db.replPending))
 	}
 	// Writers are quiesced, so the current published version IS the
-	// committed state the log's LSN refers to.
-	st := stateOf(db.tables, db.current.Load())
-	if err := db.wal.Checkpoint([]byte(sdl.PrintState(db.Schema, st))); err != nil {
+	// committed state the log's LSN refers to. The snapshot is framed with
+	// the schema that produced it: after a live migration the design on disk
+	// must be self-describing, not assumed equal to the Open-time schema.
+	st := stateOf(db.current.Load())
+	payload := encodeSnapshot(sdl.PrintSchema(db.Schema), sdl.PrintState(db.Schema, st))
+	if err := db.wal.Checkpoint(payload); err != nil {
 		return fmt.Errorf("engine: checkpoint: %w", err)
 	}
 	return nil
@@ -167,7 +177,20 @@ func (db *DB) recover(rec *Recovery) error {
 	}
 	st := state.New(db.Schema)
 	if rec.Snapshot != nil {
-		parsed, err := sdl.ParseState(db.Schema, string(rec.Snapshot))
+		schemaSDL, stateSDL, framed, err := decodeSnapshot(rec.Snapshot)
+		if err != nil {
+			return fmt.Errorf("%w: parsing snapshot: %v", ErrRecovery, err)
+		}
+		// A framed snapshot is self-describing: if it was taken after a live
+		// migration its schema differs from the Open-time one, and the engine
+		// rebinds onto the serialized design before parsing the state. Legacy
+		// (unframed) snapshots parse against the Open-time schema as before.
+		if framed && schemaSDL != sdl.PrintSchema(db.Schema) {
+			if err := db.rebind(schemaSDL); err != nil {
+				return fmt.Errorf("%w: rebinding onto snapshot schema: %v", ErrRecovery, err)
+			}
+		}
+		parsed, err := sdl.ParseState(db.Schema, stateSDL)
 		if err != nil {
 			return fmt.Errorf("%w: parsing snapshot: %v", ErrRecovery, err)
 		}
@@ -210,6 +233,29 @@ func (db *DB) recover(rec *Recovery) error {
 			} else if err := apply(ops); err != nil {
 				return err
 			}
+		case walRecSchema:
+			// A live migration committed here: everything before this record
+			// is pre-merge, everything after is post-merge. The record is
+			// self-contained — new schema plus the fully mapped state — so
+			// replay lands exactly on the post-merge design with no η
+			// re-derivation. Migrations are refused inside transactions, so a
+			// non-empty buffer here means a corrupt log.
+			if len(pending) > 0 {
+				return fmt.Errorf("%w: schema-change record inside an open transaction at LSN %d", ErrRecovery, r.LSN)
+			}
+			schemaSDL, stateSDL, err := decodeSchemaRecord(r.Payload)
+			if err != nil {
+				return err
+			}
+			if err := db.rebind(schemaSDL); err != nil {
+				return fmt.Errorf("%w: rebinding onto migrated schema: %v", ErrRecovery, err)
+			}
+			migrated, err := sdl.ParseState(db.Schema, stateSDL)
+			if err != nil {
+				return fmt.Errorf("%w: parsing migrated state: %v", ErrRecovery, err)
+			}
+			st = migrated
+			db.recovery.SchemaChanges++
 		default:
 			return fmt.Errorf("%w: unknown record kind %d at LSN %d", ErrRecovery, kind, r.LSN)
 		}
@@ -265,7 +311,89 @@ const (
 	walRecBegin    byte = 2
 	walRecCommit   byte = 3
 	walRecRollback byte = 4
+	// walRecSchema is one live schema migration: the new schema and the
+	// fully η-mapped state, self-contained so recovery lands atomically on
+	// either side of it — never a mix of designs.
+	walRecSchema byte = 5
 )
+
+// rebind parses a schema and swaps the engine's schema-derived structures
+// onto it: a fresh binding is installed and the published version chain is
+// reset to an empty version-zero of the new design (recovery reloads state
+// afterwards). Only the recovery and replication ingest paths call it — the
+// live-migration path (MigrateSchema) builds its binding and its mapped
+// versions together.
+func (db *DB) rebind(schemaSDL string) error {
+	ns, err := sdl.ParseSchema(schemaSDL)
+	if err != nil {
+		return fmt.Errorf("parsing schema: %w", err)
+	}
+	b, err := db.newBinding(ns)
+	if err != nil {
+		return fmt.Errorf("binding schema: %w", err)
+	}
+	db.install(b)
+	db.current.Store(&dbSnapshot{tables: emptyVersions(b), bind: b})
+	return nil
+}
+
+// snapMagic frames checkpoint snapshots that embed their own schema.
+// Payloads without the magic are legacy: raw state SDL against the Open-time
+// schema.
+const snapMagic = "RMSNAP2\n"
+
+// encodeSnapshot frames a checkpoint payload: magic, length-prefixed schema
+// SDL, then state SDL to the end.
+func encodeSnapshot(schemaSDL, stateSDL string) []byte {
+	buf := make([]byte, 0, len(snapMagic)+10+len(schemaSDL)+len(stateSDL))
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(schemaSDL)))
+	buf = append(buf, schemaSDL...)
+	buf = append(buf, stateSDL...)
+	return buf
+}
+
+// decodeSnapshot splits a checkpoint payload into schema and state SDL.
+// Unframed (legacy) payloads return framed=false with the whole payload as
+// state SDL.
+func decodeSnapshot(b []byte) (schemaSDL, stateSDL string, framed bool, err error) {
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return "", string(b), false, nil
+	}
+	d := &walDecoder{b: b[len(snapMagic):]}
+	schemaSDL = d.str()
+	if d.err != nil {
+		return "", "", false, fmt.Errorf("corrupt snapshot frame: %w", d.err)
+	}
+	return schemaSDL, string(d.b), true, nil
+}
+
+// encodeSchemaRecord renders one schema-change record:
+//
+//	[kind=5][uvarint len][schema SDL][uvarint len][state SDL]
+func encodeSchemaRecord(schemaSDL, stateSDL string) []byte {
+	buf := make([]byte, 0, 1+20+len(schemaSDL)+len(stateSDL))
+	buf = append(buf, walRecSchema)
+	buf = binary.AppendUvarint(buf, uint64(len(schemaSDL)))
+	buf = append(buf, schemaSDL...)
+	buf = binary.AppendUvarint(buf, uint64(len(stateSDL)))
+	buf = append(buf, stateSDL...)
+	return buf
+}
+
+// decodeSchemaRecord parses a walRecSchema payload (including its kind byte).
+func decodeSchemaRecord(b []byte) (schemaSDL, stateSDL string, err error) {
+	if len(b) == 0 || b[0] != walRecSchema {
+		return "", "", fmt.Errorf("%w: not a schema-change record", ErrRecovery)
+	}
+	d := &walDecoder{b: b[1:]}
+	schemaSDL = d.str()
+	stateSDL = d.str()
+	if d.err != nil {
+		return "", "", fmt.Errorf("%w: corrupt schema-change record: %v", ErrRecovery, d.err)
+	}
+	return schemaSDL, stateSDL, nil
+}
 
 // walOp is one decoded physical mutation.
 type walOp struct {

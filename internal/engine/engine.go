@@ -65,6 +65,32 @@ type table struct {
 	secIdx map[string][]int
 }
 
+// binding bundles every schema-derived structure of the engine: the schema
+// itself, the table catalog, the lock plans, the dependency indexes, the
+// constraint partitions, and the co-access edge counters. A binding is
+// immutable once built; a live schema migration (migrate.go) builds a fresh
+// binding and installs it wholesale under schemaMu, and every published
+// snapshot carries the binding it was produced under, so a pinned read view
+// keeps resolving names, indexes, and dependencies against the design it was
+// pinned on — even across a migration.
+type binding struct {
+	schema *schema.Schema
+	tables map[string]*table
+	lm     *lockManager
+	// indsFrom/indsInto index the schema's inclusion dependencies by side.
+	indsFrom map[string][]schema.IND
+	indsInto map[string][]schema.IND
+	// procedural null constraints per scheme (NNA excluded).
+	procNulls map[string][]schema.NullConstraint
+	nnaAttrs  map[string]map[string]bool
+	// coEdges holds one co-access counter per inclusion-dependency edge
+	// (keyed "Left->Right"); coPairs resolves an (A fetched, then B fetched)
+	// relation pair to its edge, in either direction. Fed from the lock-free
+	// fetch path, read by the online advisor (coaccess.go).
+	coEdges map[string]*coEdge
+	coPairs map[string]*coEdge
+}
+
 // DB is the engine instance: a schema plus its tables and counters.
 // All exported methods are safe for concurrent use; see the package comment
 // for the locking discipline.
@@ -77,8 +103,19 @@ type DB struct {
 	reg     *obs.Registry
 	obsName string
 	m       *dbMetrics
-	// tables is immutable after Open (the schema is fixed), so lookups in it
-	// need no lock.
+	// schemaMu guards the schema-derived structures below (Schema, tables,
+	// lm, indsFrom/indsInto, procNulls, nnaAttrs, bind) against live schema
+	// migration: every mutating entry point holds it shared for the
+	// operation's duration, MigrateSchema holds it exclusive. Lock order:
+	// schemaMu before replMu before table locks before txnMu. Lock-free
+	// readers never touch it — they resolve metadata through the binding
+	// carried by their pinned snapshot.
+	schemaMu sync.RWMutex
+	// bind is the current schema binding; replaced only by install (under
+	// schemaMu exclusive). The mirror fields below alias its contents for the
+	// write paths, which already hold schemaMu shared.
+	bind *binding
+	// tables aliases bind.tables (immutable between migrations).
 	tables map[string]*table
 	// current is the latest published snapshot (version.go): the single
 	// atomic load every reader pins. pubMu serializes publishers; seq issues
@@ -90,12 +127,19 @@ type DB struct {
 	lastPublish atomic.Int64
 	// lm holds the precomputed per-operation lock plans (locks.go).
 	lm *lockManager
+	// lockAcq counts lock-plan acquisitions for the engine's lifetime (it
+	// lives on the DB, not the lock manager, so a migration's fresh lock
+	// plans never reset it).
+	lockAcq atomic.Uint64
 	// indsFrom/indsInto index the schema's inclusion dependencies by side.
 	indsFrom map[string][]schema.IND
 	indsInto map[string][]schema.IND
 	// procedural null constraints per scheme (NNA excluded).
 	procNulls map[string][]schema.NullConstraint
 	nnaAttrs  map[string]map[string]bool
+	// lastFetch is the relation name of the most recent key-shaped fetch, the
+	// co-access pair detector's one-deep history (coaccess.go).
+	lastFetch atomic.Value
 	// delay simulates one storage access per operation while the operation's
 	// locks are held (WithAccessDelay); zero in production use.
 	delay time.Duration
@@ -168,9 +212,6 @@ func WithAccessDelay(d time.Duration) Option {
 
 // Open builds an engine for the schema (validated first).
 func Open(s *schema.Schema, opts ...Option) (*DB, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
 	cfg := openConfig{name: "db"}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -179,66 +220,20 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		cfg.reg = obs.NewRegistry()
 	}
 	db := &DB{
-		Schema:    s,
 		reg:       cfg.reg,
 		obsName:   cfg.name,
 		m:         newDBMetrics(cfg.reg, cfg.name),
-		tables:    make(map[string]*table, len(s.Relations)),
-		indsFrom:  make(map[string][]schema.IND),
-		indsInto:  make(map[string][]schema.IND),
-		procNulls: make(map[string][]schema.NullConstraint),
-		nnaAttrs:  make(map[string]map[string]bool),
 		delay:     cfg.delay,
 		partition: cfg.partition,
 		replica:   cfg.replica,
 	}
-	for _, rs := range s.Relations {
-		hdr := relation.New(rs.AttrNames()...)
-		db.tables[rs.Name] = &table{
-			name:   rs.Name,
-			rs:     rs,
-			hdr:    hdr,
-			pkPos:  hdr.Positions(rs.PrimaryKey),
-			secIdx: make(map[string][]int),
-		}
-		db.nnaAttrs[rs.Name] = s.NNAAttrs(rs.Name)
+	b, err := db.newBinding(s)
+	if err != nil {
+		return nil, err
 	}
-	for _, ind := range s.INDs {
-		db.indsFrom[ind.Left] = append(db.indsFrom[ind.Left], ind)
-		db.indsInto[ind.Right] = append(db.indsInto[ind.Right], ind)
-	}
-	for _, nc := range s.Nulls {
-		if ne, ok := nc.(schema.NullExistence); ok && ne.IsNNA() {
-			continue
-		}
-		db.procNulls[nc.SchemeName()] = append(db.procNulls[nc.SchemeName()], nc)
-	}
-	for _, ind := range s.INDs {
-		if err := db.validateINDShape(ind); err != nil {
-			return nil, err
-		}
-	}
-	// Prebuild the full secondary-index set: referencing sides (delete/update
-	// restrict checks) and non-key-based referenced sides (insert FK probes,
-	// fetch hops). Maintained incrementally from here on, published immutably
-	// with every version.
-	for _, ind := range s.INDs {
-		db.tables[ind.Left].addSecIdx(ind.LeftAttrs)
-		if !ind.KeyBased(s) {
-			db.tables[ind.Right].addSecIdx(ind.RightAttrs)
-		}
-	}
-	db.lm = newLockManager(db)
+	db.install(b)
 	// Version zero: every table empty, LSN 0.
-	tables := make(map[string]*tableVersion, len(db.tables))
-	for name, t := range db.tables {
-		sec := make(map[string]*immap.Map[[]relation.Tuple], len(t.secIdx))
-		for key := range t.secIdx {
-			sec[key] = immap.New[[]relation.Tuple]()
-		}
-		tables[name] = &tableVersion{pk: immap.New[relation.Tuple](), sec: sec}
-	}
-	db.current.Store(&dbSnapshot{tables: tables})
+	db.current.Store(&dbSnapshot{tables: emptyVersions(b), bind: b})
 	db.lastPublish.Store(time.Now().UnixNano())
 	db.m.registerVersionAge(cfg.reg, cfg.name, db)
 	if cfg.walDir != "" {
@@ -247,6 +242,95 @@ func Open(s *schema.Schema, opts ...Option) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// newBinding validates s and builds the full set of schema-derived
+// structures: the table catalog with prebuilt secondary indexes, the
+// dependency indexes by side, the constraint partitions, the lock plans, and
+// the co-access edge counters. It mutates nothing on db — the caller decides
+// when (and whether) to install the binding.
+func (db *DB) newBinding(s *schema.Schema) (*binding, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := &binding{
+		schema:    s,
+		tables:    make(map[string]*table, len(s.Relations)),
+		indsFrom:  make(map[string][]schema.IND),
+		indsInto:  make(map[string][]schema.IND),
+		procNulls: make(map[string][]schema.NullConstraint),
+		nnaAttrs:  make(map[string]map[string]bool),
+		coEdges:   make(map[string]*coEdge),
+		coPairs:   make(map[string]*coEdge),
+	}
+	for _, rs := range s.Relations {
+		hdr := relation.New(rs.AttrNames()...)
+		b.tables[rs.Name] = &table{
+			name:   rs.Name,
+			rs:     rs,
+			hdr:    hdr,
+			pkPos:  hdr.Positions(rs.PrimaryKey),
+			secIdx: make(map[string][]int),
+		}
+		b.nnaAttrs[rs.Name] = s.NNAAttrs(rs.Name)
+	}
+	for _, ind := range s.INDs {
+		b.indsFrom[ind.Left] = append(b.indsFrom[ind.Left], ind)
+		b.indsInto[ind.Right] = append(b.indsInto[ind.Right], ind)
+	}
+	for _, nc := range s.Nulls {
+		if ne, ok := nc.(schema.NullExistence); ok && ne.IsNNA() {
+			continue
+		}
+		b.procNulls[nc.SchemeName()] = append(b.procNulls[nc.SchemeName()], nc)
+	}
+	for _, ind := range s.INDs {
+		if err := b.validateINDShape(ind); err != nil {
+			return nil, err
+		}
+	}
+	// Prebuild the full secondary-index set: referencing sides (delete/update
+	// restrict checks) and non-key-based referenced sides (insert FK probes,
+	// fetch hops). Maintained incrementally from here on, published immutably
+	// with every version.
+	for _, ind := range s.INDs {
+		b.tables[ind.Left].addSecIdx(ind.LeftAttrs)
+		if !ind.KeyBased(s) {
+			b.tables[ind.Right].addSecIdx(ind.RightAttrs)
+		}
+	}
+	b.lm = newLockManager(b)
+	db.buildCoEdges(b)
+	return b, nil
+}
+
+// install makes b the engine's current binding. The mirror fields alias the
+// binding's contents so the write paths (which hold schemaMu shared) keep
+// their direct field access. Called from Open (before any concurrency) and
+// from migration paths holding schemaMu exclusively.
+func (db *DB) install(b *binding) {
+	db.Schema = b.schema
+	db.tables = b.tables
+	db.lm = b.lm
+	db.indsFrom = b.indsFrom
+	db.indsInto = b.indsInto
+	db.procNulls = b.procNulls
+	db.nnaAttrs = b.nnaAttrs
+	db.bind = b
+}
+
+// emptyVersions builds the version-zero table set of a binding: every table
+// empty, every prebuilt secondary index present.
+func emptyVersions(b *binding) map[string]*tableVersion {
+	tables := make(map[string]*tableVersion, len(b.tables))
+	for name, t := range b.tables {
+		sec := make(map[string]*immap.Map[[]relation.Tuple], len(t.secIdx))
+		for key := range t.secIdx {
+			sec[key] = immap.New[[]relation.Tuple]()
+		}
+		tables[name] = &tableVersion{pk: immap.New[relation.Tuple](), sec: sec}
+	}
+	return tables
 }
 
 // addSecIdx registers a prebuilt secondary index over attrs (idempotent).
@@ -266,11 +350,11 @@ func (t *table) addSecIdx(attrs []string) {
 // correspondence and probe the primary-key index with a garbage key,
 // rejecting valid foreign keys. Detecting the shape here turns that silent
 // misbehaviour into a typed Open error.
-func (db *DB) validateINDShape(ind schema.IND) error {
-	if !ind.KeyBased(db.Schema) {
+func (b *binding) validateINDShape(ind schema.IND) error {
+	if !ind.KeyBased(b.schema) {
 		return nil
 	}
-	target := db.tables[ind.Right]
+	target := b.tables[ind.Right]
 	if target == nil {
 		return fmt.Errorf("%w %s (in %s)", ErrUnknownRelation, ind.Right, ind)
 	}
@@ -316,12 +400,13 @@ func (db *DB) simAccess() {
 // writes never alter. Mutating the copy does not affect the database. For
 // positional metadata only (Position, Attrs, Arity), Header is cheaper.
 func (db *DB) Relation(name string) *relation.Relation {
-	t := db.tables[name]
+	snap := db.current.Load()
+	t := snap.bind.tables[name]
 	if t == nil {
 		return nil
 	}
 	r := relation.New(t.hdr.Attrs()...)
-	db.current.Load().tables[name].pk.Range(func(_ string, tup relation.Tuple) bool {
+	snap.tables[name].pk.Range(func(_ string, tup relation.Tuple) bool {
 		r.Add(tup)
 		return true
 	})
@@ -332,7 +417,7 @@ func (db *DB) Relation(name string) *relation.Relation {
 // immutable relation over its attributes (Position/Positions/Attrs/Arity).
 // Callers must not add tuples to it.
 func (db *DB) Header(name string) *relation.Relation {
-	t := db.tables[name]
+	t := db.current.Load().bind.tables[name]
 	if t == nil {
 		return nil
 	}
@@ -362,6 +447,8 @@ func (db *DB) InsertCtx(ctx context.Context, name string, tup relation.Tuple) er
 		return err
 	}
 	start := now()
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	t := db.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -54,7 +53,7 @@ type lockSet []lockReq
 // counter's delta over a read-only phase is the observable proof that the
 // fetch/scan path is lock-free (DB.LockAcquisitions).
 func (db *DB) acquire(ls lockSet) {
-	db.lm.acquires.Add(1)
+	db.lockAcq.Add(1)
 	db.m.lockAcquisitions.Inc()
 	for _, r := range ls {
 		if r.mode == lockWrite {
@@ -79,11 +78,10 @@ func (ls lockSet) release() {
 // lockManager holds the precomputed lock plans, one per (operation kind,
 // table). The schema is immutable after Open, so the plans are too.
 type lockManager struct {
-	ordered  []*table // all tables in ordinal (name) order
-	acquires atomic.Uint64
-	insert   map[string]lockSet
-	remove   map[string]lockSet
-	update   map[string]lockSet
+	ordered []*table // all tables in ordinal (name) order
+	insert  map[string]lockSet
+	remove  map[string]lockSet
+	update  map[string]lockSet
 }
 
 // planBuilder accumulates (table, mode) pairs with write-wins semantics.
@@ -104,10 +102,12 @@ func (b planBuilder) build() lockSet {
 	return ls
 }
 
-// newLockManager assigns table ordinals and precomputes every plan.
-func newLockManager(db *DB) *lockManager {
-	names := make([]string, 0, len(db.tables))
-	for name := range db.tables {
+// newLockManager assigns table ordinals and precomputes every plan for one
+// binding (the schema-derived structures of one design — a live migration
+// builds a whole new binding with its own lock manager).
+func newLockManager(b *binding) *lockManager {
+	names := make([]string, 0, len(b.tables))
+	for name := range b.tables {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -117,27 +117,27 @@ func newLockManager(db *DB) *lockManager {
 		update: make(map[string]lockSet, len(names)),
 	}
 	for i, name := range names {
-		t := db.tables[name]
+		t := b.tables[name]
 		t.ord = i
 		lm.ordered = append(lm.ordered, t)
 	}
 	for _, name := range names {
-		t := db.tables[name]
+		t := b.tables[name]
 
 		// Insert: write the table itself; hold the referenced sides for
 		// reading so their versions cannot advance under the FK probes
 		// (key-based or not — every secondary index is prebuilt).
 		ins := planBuilder{t: lockWrite}
-		for _, ind := range db.indsFrom[name] {
-			ins.add(db.tables[ind.Right], lockRead)
+		for _, ind := range b.indsFrom[name] {
+			ins.add(b.tables[ind.Right], lockRead)
 		}
 		lm.insert[name] = ins.build()
 
 		// Delete: write the table itself; hold every referencing side for
 		// reading under the restrict probes.
 		del := planBuilder{t: lockWrite}
-		for _, ind := range db.indsInto[name] {
-			del.add(db.tables[ind.Left], lockRead)
+		for _, ind := range b.indsInto[name] {
+			del.add(b.tables[ind.Left], lockRead)
 		}
 		lm.remove[name] = del.build()
 

@@ -148,6 +148,11 @@ const (
 	metricVersionAge       = "engine.mvcc.version_age_seconds"
 	metricSnapshotReads    = "engine.mvcc.snapshot_reads"
 	metricLockAcquisitions = "engine.lock_acquisitions"
+
+	// Online-advisor series: co-access edge hits observed on the fetch path
+	// and live schema migrations applied (MigrateSchema publishes).
+	metricCoAccess   = "advisor.co_access"
+	metricMigrations = "advisor.migrations"
 )
 
 // dbMetrics holds the registry-backed counter and histogram handles behind
@@ -160,6 +165,7 @@ type dbMetrics struct {
 	indexLookups, tuplesScanned                *obs.Counter
 	violations                                 *obs.Counter
 	publishes, snapshotReads, lockAcquisitions *obs.Counter
+	coAccess, migrations                       *obs.Counter
 	versionLSN                                 *obs.Gauge
 	insertLat, deleteLat, updateLat, lookupLat *obs.Histogram
 	publishLat                                 *obs.Histogram
@@ -180,6 +186,8 @@ func newDBMetrics(r *obs.Registry, name string) *dbMetrics {
 		publishes:        r.Counter(metricPublishes, l),
 		snapshotReads:    r.Counter(metricSnapshotReads, l),
 		lockAcquisitions: r.Counter(metricLockAcquisitions, l),
+		coAccess:         r.Counter(metricCoAccess, l),
+		migrations:       r.Counter(metricMigrations, l),
 		versionLSN:       r.Gauge(metricVersionLSN, l),
 		insertLat:        r.Histogram(metricInsertSeconds, obs.LatencyBuckets, l),
 		deleteLat:        r.Histogram(metricDeleteSeconds, obs.LatencyBuckets, l),
@@ -220,6 +228,9 @@ func (db *DB) countScan(n int) {
 // countSnapRead counts one lock-free snapshot-pinned read (registry only:
 // the Stats window API stays wire-compatible).
 func (db *DB) countSnapRead() { db.m.snapshotReads.Inc() }
+
+// countCoAccess counts one co-access edge hit (registry only).
+func (db *DB) countCoAccess() { db.m.coAccess.Inc() }
 
 // violation counts a rejected mutation and returns the error unchanged, so
 // check paths can `return db.violation(&ConstraintViolation{...})`.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/relation"
+	"repro/internal/schema"
 	"repro/internal/state"
 )
 
@@ -63,6 +64,8 @@ func (db *DB) DeleteCtx(ctx context.Context, name string, key relation.Tuple) er
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	start := now()
 	t := db.tables[name]
 	if t == nil {
@@ -132,6 +135,8 @@ func (db *DB) UpdateCtx(ctx context.Context, name string, key relation.Tuple, ne
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	start := now()
 	t := db.tables[name]
 	if t == nil {
@@ -208,7 +213,12 @@ func (db *DB) Load(st *state.DB) error {
 // LoadCtx is Load with cancellation, checked between relations so a large
 // bulk load can be abandoned at a consistent prefix.
 func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
-	order, err := db.loadOrder()
+	// Pin one binding for the read-only planning; each InsertBatchCtx takes
+	// the schema read lock itself (holding it across the whole load would
+	// block a concurrent migration for the load's full duration — and a
+	// waiting writer would deadlock a re-entrant read lock).
+	bind := db.current.Load().bind
+	order, err := loadOrder(bind.schema)
 	if err != nil {
 		return err
 	}
@@ -222,8 +232,8 @@ func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
 		}
 		src := r
 		// Reorder columns if needed.
-		if !sameAttrs(src.Attrs(), db.tables[name].hdr.Attrs()) {
-			src = src.Project(db.tables[name].hdr.Attrs())
+		if !sameAttrs(src.Attrs(), bind.tables[name].hdr.Attrs()) {
+			src = src.Project(bind.tables[name].hdr.Attrs())
 		}
 		if err := db.InsertBatchCtx(ctx, name, src.Tuples()); err != nil {
 			return fmt.Errorf("engine: loading %s: %w", name, err)
@@ -234,13 +244,13 @@ func (db *DB) LoadCtx(ctx context.Context, st *state.DB) error {
 
 // loadOrder topologically orders relations so referenced relations load
 // before referencing ones (cycles rejected).
-func (db *DB) loadOrder() ([]string, error) {
-	deg := make(map[string]int, len(db.Schema.Relations))
+func loadOrder(s *schema.Schema) ([]string, error) {
+	deg := make(map[string]int, len(s.Relations))
 	succ := make(map[string][]string)
-	for _, rs := range db.Schema.Relations {
+	for _, rs := range s.Relations {
 		deg[rs.Name] = 0
 	}
-	for _, ind := range db.Schema.INDs {
+	for _, ind := range s.INDs {
 		if ind.Left == ind.Right {
 			continue
 		}
@@ -248,7 +258,7 @@ func (db *DB) loadOrder() ([]string, error) {
 		deg[ind.Left]++
 	}
 	var queue, order []string
-	for _, rs := range db.Schema.Relations {
+	for _, rs := range s.Relations {
 		if deg[rs.Name] == 0 {
 			queue = append(queue, rs.Name)
 		}
@@ -263,7 +273,7 @@ func (db *DB) loadOrder() ([]string, error) {
 			}
 		}
 	}
-	if len(order) != len(db.Schema.Relations) {
+	if len(order) != len(s.Relations) {
 		return nil, fmt.Errorf("engine: cyclic inclusion dependencies; cannot bulk-load")
 	}
 	return order, nil
@@ -286,11 +296,14 @@ func sameAttrs(a, b []string) bool {
 // taking any lock — a snapshot taken mid-batch contains either all of the
 // batch or none of it.
 func (db *DB) Snapshot() *state.DB {
-	return stateOf(db.tables, db.current.Load())
+	return stateOf(db.current.Load())
 }
 
-// stateOf materializes one pinned version as a state.DB (deep copy).
-func stateOf(tables map[string]*table, snap *dbSnapshot) *state.DB {
+// stateOf materializes one pinned version as a state.DB (deep copy). Names
+// and headers resolve through the snapshot's own binding, so the export is
+// correct even for a version pinned before a live schema migration.
+func stateOf(snap *dbSnapshot) *state.DB {
+	tables := snap.bind.tables
 	out := &state.DB{Relations: make(map[string]*relation.Relation, len(tables))}
 	for name, t := range tables {
 		r := relation.New(t.hdr.Attrs()...)

@@ -95,11 +95,12 @@ func (db *DB) HasKey(name, encodedKey string) bool {
 // non-key-based dependencies (key-based ones use HasKey with the pk-ordered
 // encoding). Lock-free.
 func (db *DB) HasReferenced(ind schema.IND, valKey string) bool {
-	v := db.current.Load().tables[ind.Right]
+	snap := db.current.Load()
+	v := snap.tables[ind.Right]
 	if v == nil {
 		return false
 	}
-	if ind.KeyBased(db.Schema) {
+	if ind.KeyBased(snap.bind.schema) {
 		_, ok := v.pk.Get(valKey)
 		return ok
 	}
@@ -116,11 +117,12 @@ func (db *DB) HasReferenced(ind schema.IND, valKey string) bool {
 // refKey. The router filters them against a cross-shard batch's pending
 // deletes before calling a reference "surviving". Lock-free.
 func (db *DB) ReferencingKeys(ind schema.IND, refKey string) []string {
-	t := db.tables[ind.Left]
+	snap := db.current.Load()
+	t := snap.bind.tables[ind.Left]
 	if t == nil {
 		return nil
 	}
-	v := db.current.Load().tables[ind.Left]
+	v := snap.tables[ind.Left]
 	idx := v.sec[secondaryKey(ind.LeftAttrs)]
 	if idx == nil {
 		return nil
@@ -163,6 +165,8 @@ func (db *DB) PrevalidateBatchCtx(ctx context.Context, ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	ls, err := db.batchPlan(ops)
 	if err != nil {
 		return err

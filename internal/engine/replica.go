@@ -3,8 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/immap"
-	"repro/internal/relation"
 	"repro/internal/sdl"
 	"repro/internal/state"
 	"repro/internal/wal"
@@ -37,6 +35,13 @@ func (db *DB) IngestReplicated(recs []wal.Record) (uint64, error) {
 	if db.wal == nil {
 		return 0, ErrNotDurable
 	}
+	// schemaMu held EXCLUSIVELY (not shared): a shipped batch may carry a
+	// schema-change record, and applying one means swapping the binding —
+	// taking the exclusive lock up front avoids an upgrade mid-batch. A
+	// follower has no concurrent local writers to starve, so exclusivity
+	// costs nothing; lock-free readers are untouched either way.
+	db.schemaMu.Lock()
+	defer db.schemaMu.Unlock()
 	db.replMu.Lock()
 	defer db.replMu.Unlock()
 	accepted, err := db.wal.CommitShipped(recs)
@@ -64,6 +69,25 @@ func (db *DB) IngestReplicated(recs []wal.Record) (uint64, error) {
 			} else if err := db.applyReplicated(ops, r.LSN); err != nil {
 				return db.wal.LSN(), err
 			}
+		case walRecSchema:
+			// The primary migrated live. The record is self-contained (new
+			// schema + fully mapped state), so the follower lands exactly on
+			// the post-merge design in one swap, stamped with the record's LSN.
+			if len(db.replPending) > 0 {
+				return db.wal.LSN(), fmt.Errorf("%w: schema-change record inside an open replicated transaction at LSN %d", ErrRecovery, r.LSN)
+			}
+			schemaSDL, stateSDL, err := decodeSchemaRecord(r.Payload)
+			if err != nil {
+				return db.wal.LSN(), err
+			}
+			if err := db.rebind(schemaSDL); err != nil {
+				return db.wal.LSN(), fmt.Errorf("%w: rebinding onto shipped schema: %v", ErrRecovery, err)
+			}
+			migrated, err := sdl.ParseState(db.Schema, stateSDL)
+			if err != nil {
+				return db.wal.LSN(), fmt.Errorf("%w: parsing shipped migrated state: %v", ErrRecovery, err)
+			}
+			db.replaceState(migrated, r.LSN)
 		default:
 			return db.wal.LSN(), fmt.Errorf("%w: unknown replicated record kind %d at LSN %d", ErrRecovery, kind, r.LSN)
 		}
@@ -108,9 +132,23 @@ func (db *DB) IngestSnapshot(data []byte, lsn uint64) error {
 	if db.wal == nil {
 		return ErrNotDurable
 	}
+	// Exclusive for the same reason as IngestReplicated: a shipped snapshot
+	// may be framed with a schema the primary migrated onto, and adopting it
+	// swaps the binding.
+	db.schemaMu.Lock()
+	defer db.schemaMu.Unlock()
 	db.replMu.Lock()
 	defer db.replMu.Unlock()
-	st, err := sdl.ParseState(db.Schema, string(data))
+	schemaSDL, stateSDL, framed, err := decodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("%w: parsing shipped snapshot: %v", ErrRecovery, err)
+	}
+	if framed && schemaSDL != sdl.PrintSchema(db.Schema) {
+		if err := db.rebind(schemaSDL); err != nil {
+			return fmt.Errorf("%w: rebinding onto shipped snapshot schema: %v", ErrRecovery, err)
+		}
+	}
+	st, err := sdl.ParseState(db.Schema, stateSDL)
 	if err != nil {
 		return fmt.Errorf("%w: parsing shipped snapshot: %v", ErrRecovery, err)
 	}
@@ -126,25 +164,28 @@ func (db *DB) IngestSnapshot(data []byte, lsn uint64) error {
 	if err := db.wal.InstallSnapshot(data, lsn); err != nil {
 		return fmt.Errorf("engine: installing shipped snapshot: %w", err)
 	}
-	// Replace the published state. Staging every table over an EMPTY base
-	// version makes publish (which merges staged tables over current) a full
-	// replacement: tables absent from the snapshot publish empty.
-	ls := db.lm.allWrite()
+	db.replPending = nil
+	db.replaceState(st, lsn)
+	return nil
+}
+
+// replaceState publishes st as a wholesale replacement of every table's
+// current version, stamped lsn. Staging every table over an EMPTY base
+// version makes publish (which merges staged tables over current) a full
+// replacement: tables absent from st publish empty. Caller holds schemaMu
+// (shared or exclusive); local writers are additionally quiesced via the
+// all-write lock set so a concurrent writer cannot publish between the swap
+// decision and the swap.
+func (db *DB) replaceState(st *state.DB, lsn uint64) {
+	bind := db.bind
+	ls := bind.lm.allWrite()
 	db.acquire(ls)
 	defer ls.release()
-	empty := make(map[string]*tableVersion, len(db.tables))
-	for name, t := range db.tables {
-		sec := make(map[string]*immap.Map[[]relation.Tuple], len(t.secIdx))
-		for key := range t.secIdx {
-			sec[key] = immap.New[[]relation.Tuple]()
-		}
-		empty[name] = &tableVersion{pk: immap.New[relation.Tuple](), sec: sec}
-	}
-	tx := &writeTx{db: db, snap: &dbSnapshot{tables: empty}, work: make(map[*table]*workTable, len(db.tables))}
-	for _, t := range db.tables {
+	tx := &writeTx{db: db, snap: &dbSnapshot{tables: emptyVersions(bind), bind: bind}, work: make(map[*table]*workTable, len(bind.tables))}
+	for _, t := range bind.tables {
 		tx.stage(t)
 	}
-	for name, t := range db.tables {
+	for name, t := range bind.tables {
 		r := st.Relation(name)
 		if r == nil {
 			continue
@@ -157,9 +198,7 @@ func (db *DB) IngestSnapshot(data []byte, lsn uint64) error {
 			tx.apply(t, tup)
 		}
 	}
-	db.replPending = nil
 	db.publish(tx, lsn)
-	return nil
 }
 
 // ReplRead is the primary-side read half of the shipping loop: the committed

@@ -25,6 +25,11 @@ type undoOp struct {
 // racing with Begin/Rollback are applied either inside or outside the
 // transaction, never half-way.
 func (db *DB) Begin() error {
+	// Hold the schema read lock for the marker write: a transaction must open
+	// entirely on one design — a live migration (which refuses to run while a
+	// transaction is open) cannot slip between the inTxn check and the pin.
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
 	if db.inTxn.Load() {
@@ -47,6 +52,8 @@ func (db *DB) Begin() error {
 // Rollback (restoring agreement between memory and log) and reopen the
 // engine.
 func (db *DB) Commit() error {
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	db.txnMu.Lock()
 	defer db.txnMu.Unlock()
 	if !db.inTxn.Load() {
@@ -77,6 +84,8 @@ func (db *DB) Rollback() error {
 	if !db.inTxn.Load() {
 		return fmt.Errorf("engine: no open transaction")
 	}
+	db.schemaMu.RLock()
+	defer db.schemaMu.RUnlock()
 	ls := db.lm.allWrite()
 	db.acquire(ls)
 	defer ls.release()

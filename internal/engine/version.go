@@ -40,10 +40,15 @@ type tableVersion struct {
 
 // dbSnapshot is one immutable, cross-table-consistent version of the whole
 // database, stamped with the WAL LSN of the newest operation it contains
-// (a logical sequence number for non-durable engines).
+// (a logical sequence number for non-durable engines). It carries the schema
+// binding it was published under, so a pinned reader resolves relation names,
+// dependency hops, and index layouts against the design that produced the
+// snapshot — a live schema migration never changes what an already-pinned
+// View answers.
 type dbSnapshot struct {
 	lsn    uint64
 	tables map[string]*tableVersion
+	bind   *binding
 }
 
 // writeTx stages the mutations of one operation (or one whole batch) as
@@ -233,7 +238,7 @@ func (db *DB) publish(tx *writeTx, lsn uint64) {
 		// the snapshot stamp is the highest LSN it contains.
 		lsn = cur.lsn
 	}
-	db.current.Store(&dbSnapshot{lsn: lsn, tables: tables})
+	db.current.Store(&dbSnapshot{lsn: lsn, tables: tables, bind: cur.bind})
 	db.pubMu.Unlock()
 	db.lastPublish.Store(now().UnixNano())
 	db.m.publishes.Inc()
@@ -308,11 +313,11 @@ func (db *DB) TxnView() (*View, bool) {
 // Open. Read-only phases leave it unchanged — the observable witness that
 // the fetch/scan hot path takes no locks (benchreport's P8 suite and the
 // MVCC stress tests assert a zero delta).
-func (db *DB) LockAcquisitions() uint64 { return db.lm.acquires.Load() }
+func (db *DB) LockAcquisitions() uint64 { return db.lockAcq.Load() }
 
 // getAt answers a key lookup from one pinned snapshot.
 func (db *DB) getAt(snap *dbSnapshot, name string, key relation.Tuple) (relation.Tuple, bool, error) {
-	t := db.tables[name]
+	t := snap.bind.tables[name]
 	if t == nil {
 		return nil, false, fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
@@ -321,6 +326,7 @@ func (db *DB) getAt(snap *dbSnapshot, name string, key relation.Tuple) (relation
 	db.countLookup()
 	db.countIdx()
 	db.countSnapRead()
+	db.noteFetch(snap.bind, name)
 	return tup, ok, nil
 }
 
@@ -329,7 +335,7 @@ func (db *DB) getAt(snap *dbSnapshot, name string, key relation.Tuple) (relation
 // they may re-enter the DB freely (even with mutations); the scan itself can
 // never observe those — or any concurrent — mutations.
 func (db *DB) scanAt(snap *dbSnapshot, name string, pred func(relation.Tuple) bool, visit func(relation.Tuple)) error {
-	t := db.tables[name]
+	t := snap.bind.tables[name]
 	if t == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
@@ -351,7 +357,8 @@ func (db *DB) scanAt(snap *dbSnapshot, name string, pred func(relation.Tuple) bo
 // so the result can never mix tuples from different batches.
 func (db *DB) fetchAt(snap *dbSnapshot, name string, key relation.Tuple) (relation.Tuple, []Related, error) {
 	start := now()
-	t := db.tables[name]
+	bind := snap.bind
+	t := bind.tables[name]
 	if t == nil {
 		return nil, nil, fmt.Errorf("%w %s", ErrUnknownRelation, name)
 	}
@@ -360,12 +367,13 @@ func (db *DB) fetchAt(snap *dbSnapshot, name string, key relation.Tuple) (relati
 	db.countLookup()
 	db.countIdx()
 	db.countSnapRead()
+	db.noteFetch(bind, name)
 	tup, ok := snap.tables[name].pk.Get(key.EncodeKey())
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: no %s tuple with key %v", ErrNoSuchTuple, name, key)
 	}
 	var related []Related
-	for _, ind := range db.indsFrom[name] {
+	for _, ind := range bind.indsFrom[name] {
 		rel := Related{From: name, To: ind.Right, FK: ind.LeftAttrs}
 		fk := projectAttrs(t, tup, ind.LeftAttrs)
 		if !fk.IsTotal() {
@@ -373,9 +381,9 @@ func (db *DB) fetchAt(snap *dbSnapshot, name string, key relation.Tuple) (relati
 			related = append(related, rel)
 			continue
 		}
-		target := db.tables[ind.Right]
+		target := bind.tables[ind.Right]
 		tv := snap.tables[ind.Right]
-		if ind.KeyBased(db.Schema) {
+		if ind.KeyBased(bind.schema) {
 			db.countLookup()
 			db.countIdx()
 			if hit, ok := tv.pk.Get(orderAsKey(target, ind.RightAttrs, fk)); ok {
@@ -389,6 +397,9 @@ func (db *DB) fetchAt(snap *dbSnapshot, name string, key relation.Tuple) (relati
 					rel.Tuple = hits[0]
 				}
 			}
+		}
+		if rel.Tuple != nil {
+			db.noteFetchHop(bind, name, ind.Right)
 		}
 		related = append(related, rel)
 	}

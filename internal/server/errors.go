@@ -37,6 +37,12 @@ var (
 	// ErrNotReplicating is returned for replication operations against a
 	// backend that cannot ship its log (not durable, or not an engine).
 	ErrNotReplicating = errors.New("server: backend does not support replication")
+	// ErrUnsupported is returned for a capability the session's backend does
+	// not offer at all — e.g. adaptive-merge advice on a remote session (the
+	// design is the server's to change) or an advisor in Auto mode on a
+	// read-only follower. Unlike ErrReadOnly it is not a role that promotion
+	// can change; the operation belongs on a different backend.
+	ErrUnsupported = errors.New("server: operation not supported by this backend")
 )
 
 // Code is a stable wire error code. Every sentinel the engine, WAL, merge
@@ -50,14 +56,15 @@ const (
 	CodeUnknown Code = "unknown"
 
 	// Service layer.
-	CodeProtocol   Code = "protocol"
-	CodeOverloaded Code = "overloaded"
-	CodeDeadline   Code = "deadline"
-	CodeCanceled   Code = "canceled"
-	CodeClosed     Code = "closed"
-	CodeTxn        Code = "txn"
-	CodeReadOnly   Code = "read_only"
-	CodeNotRepl    Code = "not_replicating"
+	CodeProtocol    Code = "protocol"
+	CodeOverloaded  Code = "overloaded"
+	CodeDeadline    Code = "deadline"
+	CodeCanceled    Code = "canceled"
+	CodeClosed      Code = "closed"
+	CodeTxn         Code = "txn"
+	CodeReadOnly    Code = "read_only"
+	CodeNotRepl     Code = "not_replicating"
+	CodeUnsupported Code = "unsupported"
 
 	// Engine.
 	CodeUnknownRelation Code = "unknown_relation"
@@ -100,6 +107,7 @@ var codeSentinels = []struct {
 	{ErrTxn, CodeTxn},
 	{ErrReadOnly, CodeReadOnly},
 	{ErrNotReplicating, CodeNotRepl},
+	{ErrUnsupported, CodeUnsupported},
 	{context.DeadlineExceeded, CodeDeadline},
 	{context.Canceled, CodeCanceled},
 
@@ -179,6 +187,8 @@ func sentinelOf(code Code) error {
 		return ErrReadOnly
 	case CodeNotRepl:
 		return ErrNotReplicating
+	case CodeUnsupported:
+		return ErrUnsupported
 	case CodeWALGap:
 		return wal.ErrGap
 	case CodeWALCompacted:

@@ -50,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
+	"repro/internal/sdl"
 	"repro/internal/wal"
 )
 
@@ -166,30 +167,12 @@ func Open(s *schema.Schema, cfg Config) (*Router, error) {
 		cfg.CacheSize = 4096
 	}
 	r := &Router{
-		schema:     s,
-		shards:     make([]*engine.DB, cfg.Shards),
-		meta:       make(map[string]*relMeta, len(s.Relations)),
-		edges:      make(map[string]*sync.RWMutex, len(s.INDs)),
-		insertMode: make(map[string]map[string]bool, len(s.Relations)),
-		removeMode: make(map[string]map[string]bool, len(s.Relations)),
-		updateMode: make(map[string]map[string]bool, len(s.Relations)),
-		insertPlan: make(map[string][]edgeReq, len(s.Relations)),
-		removePlan: make(map[string][]edgeReq, len(s.Relations)),
-		updatePlan: make(map[string][]edgeReq, len(s.Relations)),
-		caches:     make([]*probeCache, cfg.Shards),
-		m:          newRouterMetrics(cfg.Registry, cfg.Name),
-		durable:    cfg.WALDir != "",
+		shards:  make([]*engine.DB, cfg.Shards),
+		caches:  make([]*probeCache, cfg.Shards),
+		m:       newRouterMetrics(cfg.Registry, cfg.Name),
+		durable: cfg.WALDir != "",
 	}
-	for _, rs := range s.Relations {
-		hdr := relation.New(rs.AttrNames()...)
-		r.meta[rs.Name] = &relMeta{
-			name:  rs.Name,
-			hdr:   hdr,
-			pkPos: hdr.Positions(rs.PrimaryKey),
-			arity: hdr.Arity(),
-		}
-	}
-	r.buildEdgePlans()
+	r.bindSchema(s)
 	for i := range r.caches {
 		r.caches[i] = newProbeCache(cfg.CacheSize)
 	}
@@ -233,6 +216,22 @@ func Open(s *schema.Schema, cfg Config) (*Router, error) {
 		})
 	}
 	if r.rec.Recovered {
+		// A live migration logs one schema-change record per shard, so a
+		// recovered shard may come back on a LATER design than the one Open
+		// was given. Adopt it — uniformly: a mix (a crash between per-shard
+		// installs) is refused rather than served half-merged.
+		first := sdl.PrintSchema(r.shards[0].Schema)
+		for i, db := range r.shards[1:] {
+			if got := sdl.PrintSchema(db.Schema); got != first {
+				for _, db := range r.shards {
+					db.Close()
+				}
+				return nil, fmt.Errorf("%w: shards recovered mixed designs (shard 0 and shard %d disagree); a migration was interrupted mid-rollout", engine.ErrRecovery, i+1)
+			}
+		}
+		if first != sdl.PrintSchema(s) {
+			r.bindSchema(r.shards[0].Schema)
+		}
 		if err := r.validateINDs(); err != nil {
 			for _, db := range r.shards {
 				db.Close()

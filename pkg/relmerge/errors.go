@@ -25,6 +25,9 @@ const (
 	CodeTxn        = server.CodeTxn
 	CodeReadOnly   = server.CodeReadOnly
 	CodeNotRepl    = server.CodeNotRepl
+	// CodeUnsupported classifies operations the session's backend does not
+	// offer at all, e.g. ApplyRecommendation on a remote session.
+	CodeUnsupported = server.CodeUnsupported
 
 	CodeUnknownRelation = server.CodeUnknownRelation
 	CodeNoSuchTuple     = server.CodeNoSuchTuple
@@ -112,6 +115,12 @@ var (
 	// ErrNotReplicating reports a replication operation against a backend
 	// that cannot ship its log.
 	ErrNotReplicating = server.ErrNotReplicating
+	// ErrUnsupported reports a capability the session's backend does not
+	// offer at all — adaptive-merge advice and application on Remote (the
+	// server owns the design) and Follower (the primary dictates it)
+	// sessions. Unlike ErrReadOnly, no role change makes the operation valid
+	// here; it belongs on a different backend.
+	ErrUnsupported = server.ErrUnsupported
 )
 
 // Code maps any error surfaced by this package — merge pipeline, engine,
@@ -156,4 +165,5 @@ var sentinels = map[string]error{
 	"ErrTxn":            ErrTxn,
 	"ErrReadOnly":       ErrReadOnly,
 	"ErrNotReplicating": ErrNotReplicating,
+	"ErrUnsupported":    ErrUnsupported,
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/advisor/online"
 	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -93,6 +94,36 @@ type Config struct {
 	// client-side wire counters (client.bytes_read / client.bytes_written /
 	// client.requests / client.retries, labeled client=<addr>).
 	Registry *Registry
+
+	// Advisor configures the background adaptive-merge advisor (usually set
+	// via the WithAdvisor option). Modes other than AdvisorOff are valid only
+	// on backends that own their design: Open refuses them on Remote and
+	// Follower with an error wrapping ErrUnsupported.
+	Advisor AdvisorConfig
+}
+
+// OpenOption mutates the Config before Open validates it, so call sites can
+// layer optional behavior over a literal base config:
+//
+//	sess, err := relmerge.Open(cfg, relmerge.WithAdvisor(relmerge.AdvisorAuto, time.Second))
+type OpenOption func(*Config)
+
+// WithAdvisor runs the adaptive-merge advisor loop on the opened session:
+// every interval (0 = default 1s) it reads the engine's co-access
+// measurements, prices the merge candidates, and — in AdvisorAuto mode —
+// applies the best auto-applicable (only-NNA) merge to the live design.
+// Valid on Embedded and Sharded backends only.
+func WithAdvisor(mode AdvisorMode, interval time.Duration) OpenOption {
+	return func(cfg *Config) {
+		cfg.Advisor.Mode = mode
+		cfg.Advisor.Interval = interval
+	}
+}
+
+// WithAdvisorConfig is WithAdvisor with the full policy surface: admission
+// heat, pinned cost model, and observation callbacks.
+func WithAdvisorConfig(ac AdvisorConfig) OpenOption {
+	return func(cfg *Config) { cfg.Advisor = ac }
 }
 
 // Open is the one constructor for every Session backend: embedded engine,
@@ -103,7 +134,18 @@ type Config struct {
 //
 // OpenSession, Dial, and NewShardedSession remain as typed wrappers for
 // callers that want the concrete session type.
-func Open(cfg Config) (Session, error) {
+func Open(cfg Config, options ...OpenOption) (Session, error) {
+	for _, opt := range options {
+		opt(&cfg)
+	}
+	if cfg.Advisor.Mode != AdvisorOff {
+		switch cfg.Backend {
+		case Remote:
+			return nil, fmt.Errorf("%w: Open(%v) with advisor mode %v — a remote session cannot migrate the server's design; run the advisor on the server (relmerged -advise)", ErrUnsupported, cfg.Backend, cfg.Advisor.Mode)
+		case Follower:
+			return nil, fmt.Errorf("%w: Open(%v) with advisor mode %v — a follower replays the primary's design; run the advisor on the primary", ErrUnsupported, cfg.Backend, cfg.Advisor.Mode)
+		}
+	}
 	switch cfg.Backend {
 	case Embedded:
 		if cfg.Schema == nil {
@@ -120,7 +162,9 @@ func Open(cfg Config) (Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewSession(eng), nil
+		sess := NewSession(eng)
+		sess.advStop = startAdvisor(online.ForDB(eng), cfg.Advisor)
+		return sess, nil
 
 	case Remote:
 		if cfg.Addr == "" {
@@ -156,7 +200,9 @@ func Open(cfg Config) (Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewShardedSession(r), nil
+		sess := NewShardedSession(r)
+		sess.advStop = startAdvisor(routerTarget{r}, cfg.Advisor)
+		return sess, nil
 
 	case Follower:
 		if cfg.Schema == nil {

@@ -52,6 +52,13 @@ type Session interface {
 	// (ErrNotDurable otherwise).
 	Checkpoint() error
 	CheckpointCtx(ctx context.Context) error
+	// ApplyRecommendation migrates the live design onto a merge the advisor
+	// recommended (see Advise). Backends that own their design (Embedded,
+	// Sharded) re-derive the merge on the current schema and migrate through
+	// one atomic schema-change; Remote and Follower sessions return
+	// ErrUnsupported (CodeUnsupported) — the design is the server's,
+	// respectively the primary's, to change.
+	ApplyRecommendation(ctx context.Context, rec Recommendation) error
 	// Close releases the session. Closing an embedded session closes the
 	// engine (and its WAL); closing a remote session closes the connection
 	// pool, leaving the server running.
@@ -61,6 +68,9 @@ type Session interface {
 // EmbeddedSession adapts an in-process *Engine to the Session interface.
 type EmbeddedSession struct {
 	eng *Engine
+	// advStop stops the background advisor loop, when Open started one
+	// (WithAdvisor / Config.Advisor); nil otherwise.
+	advStop func()
 }
 
 // NewSession wraps an already-open engine. The caller keeps full access to
@@ -187,6 +197,12 @@ func (s *EmbeddedSession) CheckpointCtx(ctx context.Context) error {
 	return s.eng.Checkpoint()
 }
 
-func (s *EmbeddedSession) Close() error { return s.eng.Close() }
+func (s *EmbeddedSession) Close() error {
+	if s.advStop != nil {
+		s.advStop()
+		s.advStop = nil
+	}
+	return s.eng.Close()
+}
 
 var _ Session = (*EmbeddedSession)(nil)

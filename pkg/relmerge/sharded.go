@@ -14,6 +14,9 @@ import (
 // dependencies whose two sides live on different shards.
 type ShardedSession struct {
 	r *shard.Router
+	// advStop stops the background advisor loop, when Open started one
+	// (WithAdvisor / Config.Advisor); nil otherwise.
+	advStop func()
 }
 
 // ShardedView is a read view pinned across every shard's current MVCC
@@ -128,6 +131,12 @@ func (s *ShardedSession) CheckpointCtx(ctx context.Context) error {
 	return s.r.Checkpoint()
 }
 
-func (s *ShardedSession) Close() error { return s.r.Close() }
+func (s *ShardedSession) Close() error {
+	if s.advStop != nil {
+		s.advStop()
+		s.advStop = nil
+	}
+	return s.r.Close()
+}
 
 var _ Session = (*ShardedSession)(nil)

@@ -3,8 +3,9 @@
 # detector, the concurrency stress suite, the crash-recovery suite, the
 # client/server serving suite, the shard-routing suite, the wire-protocol
 # suite (negotiation matrix + golden vectors + short fuzz; all fresh,
-# uncached), the replication suite, and the quick probes (read-under-write +
-# cross-shard IND). Equivalent to `make check` for environments without make.
+# uncached), the replication suite, the adaptive-merging suite, and the quick
+# probes (read-under-write + cross-shard IND). Equivalent to `make check` for
+# environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,4 +29,5 @@ go test -race -count=1 -run 'Negotiation|Golden|Binary|Version|Fallback|Taxonomy
 go test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/server/
 go test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/server/
 go test -race -count=1 -run 'Repl|Follower|Promote|Failover|Ship|Stream|Snapshot|Checkpoint' ./internal/wal/ ./internal/engine/ ./internal/repl/ ./pkg/relmerge/
+go test -race -count=1 -run 'Migrate|CoAccess|Decide|Apply|Advis|CostModelFromStats' ./internal/engine/ ./internal/shard/ ./internal/advisor/... ./pkg/relmerge/
 go run ./cmd/benchreport -probe
